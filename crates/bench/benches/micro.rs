@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the per-batch building blocks.
+//!
+//! These benches back the cost claims of the paper: feature extraction with
+//! deterministic per-packet work (Section 3.2.1, Table 3.4), cheap FCBF +
+//! MLR prediction (Section 3.3.1), lightweight packet/flow sampling
+//! (Section 4.2) and the sketches they are built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netshed_features::FeatureExtractor;
+use netshed_monitor::{flow_sample, packet_sample};
+use netshed_predict::{MlrPredictor, Predictor};
+use netshed_queries::{build_query, BoyerMoore, CycleMeter, QueryKind};
+use netshed_sketch::{mix64, H3Hasher, MultiResolutionBitmap};
+use netshed_trace::{TraceConfig, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut generator =
+        TraceGenerator::new(TraceConfig::default().with_seed(1).with_mean_packets_per_batch(1000.0));
+    let batch = generator.next_batch();
+    c.bench_function("feature_extraction_1000pkt_batch", |b| {
+        let mut extractor = FeatureExtractor::with_defaults();
+        b.iter(|| black_box(extractor.extract(&batch)))
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut generator =
+        TraceGenerator::new(TraceConfig::default().with_seed(2).with_mean_packets_per_batch(1000.0));
+    let batches = generator.batches(80);
+    let mut extractor = FeatureExtractor::with_defaults();
+    let mut query = build_query(QueryKind::Flows);
+    let mut predictor = MlrPredictor::with_defaults();
+    let mut history = Vec::new();
+    for batch in &batches {
+        let (features, _) = extractor.extract(batch);
+        let mut meter = CycleMeter::new();
+        query.process_batch(batch, 1.0, &mut meter);
+        predictor.observe(&features, meter.cycles() as f64);
+        history.push(features);
+    }
+    let last = history.last().unwrap().clone();
+    c.bench_function("mlr_fcbf_predict_60_history", |b| {
+        b.iter(|| black_box(predictor.predict(&last)))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut generator =
+        TraceGenerator::new(TraceConfig::default().with_seed(3).with_mean_packets_per_batch(1000.0));
+    let batch = generator.next_batch();
+    c.bench_function("packet_sample_1000pkt_batch", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(packet_sample(&batch, 0.3, &mut rng)))
+    });
+    let hasher = H3Hasher::new(13, 9);
+    c.bench_function("flow_sample_1000pkt_batch", |b| {
+        b.iter(|| black_box(flow_sample(&batch, 0.3, &hasher)))
+    });
+}
+
+fn bench_sketches(c: &mut Criterion) {
+    c.bench_function("multiresolution_bitmap_insert_10k", |b| {
+        b.iter(|| {
+            let mut bitmap = MultiResolutionBitmap::for_cardinality(100_000);
+            for i in 0..10_000u64 {
+                bitmap.insert_hash(mix64(i));
+            }
+            black_box(bitmap.estimate())
+        })
+    });
+}
+
+fn bench_pattern_search(c: &mut Criterion) {
+    let pattern = BoyerMoore::new(b"BitTorrent protocol");
+    let haystack = vec![b'x'; 1460];
+    c.bench_function("boyer_moore_scan_1460B", |b| {
+        b.iter(|| black_box(pattern.find(&haystack)))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut generator = TraceGenerator::new(
+        TraceConfig::default().with_seed(4).with_mean_packets_per_batch(1000.0).with_payloads(true),
+    );
+    let batch = generator.next_batch();
+    let mut group = c.benchmark_group("query_per_batch");
+    for kind in [QueryKind::Counter, QueryKind::Flows, QueryKind::PatternSearch, QueryKind::Trace] {
+        group.bench_function(kind.name(), |b| {
+            let mut query = build_query(kind);
+            b.iter(|| {
+                let mut meter = CycleMeter::new();
+                query.process_batch(&batch, 1.0, &mut meter);
+                black_box(meter.cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_extraction,
+    bench_prediction,
+    bench_sampling,
+    bench_sketches,
+    bench_pattern_search,
+    bench_queries
+);
+criterion_main!(benches);

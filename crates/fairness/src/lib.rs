@@ -1,0 +1,23 @@
+//! Fair allocation of computing resources among competing queries.
+//!
+//! Chapter 5 of the paper replaces the single global sampling rate of the
+//! basic load shedder by a per-query allocation computed with a *max-min
+//! fair share* policy under per-query minimum sampling-rate constraints
+//! (`m_q`). Two flavours exist:
+//!
+//! * [`mmfs_cpu`] — max-min fairness in terms of allocated CPU cycles,
+//! * [`mmfs_pkt`] — max-min fairness in terms of access to the packet stream
+//!   (the sampling rates themselves), which the paper shows to be fairer in
+//!   terms of resulting accuracy because the number of processed packets
+//!   correlates with accuracy better than raw cycles do.
+//!
+//! When even the minimum demands do not fit, the queries with the largest
+//! minimum demands (`m_q × d̂_q`) are disabled first — the rule that gives
+//! the allocation game its unique Nash equilibrium at demand `C/|Q|`
+//! (Section 5.3), modelled in the [`game`] module.
+
+pub mod allocation;
+pub mod game;
+
+pub use allocation::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
+pub use game::{AllocationGame, FairnessMode};

@@ -1,0 +1,236 @@
+//! The per-batch feature extractor.
+
+use crate::aggregate::Aggregate;
+use crate::vector::{CounterKind, FeatureId, FeatureVector};
+use netshed_sketch::{hash_bytes, MultiResolutionBitmap};
+use netshed_trace::Batch;
+
+/// Configuration of the feature extractor.
+#[derive(Debug, Clone)]
+pub struct ExtractorConfig {
+    /// Duration of the measurement interval in microseconds; the "new items"
+    /// bitmaps are reset at every interval boundary.
+    pub measurement_interval_us: u64,
+    /// Maximum cardinality the bitmaps are dimensioned for.
+    pub max_cardinality: usize,
+    /// Seed mixed into the aggregate hash functions.
+    pub hash_seed: u64,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        Self {
+            measurement_interval_us: netshed_trace::DEFAULT_MEASUREMENT_INTERVAL_US,
+            max_cardinality: 200_000,
+            hash_seed: 0x5eed_f00d,
+        }
+    }
+}
+
+/// Per-aggregate bitmap state.
+struct AggregateState {
+    /// Distinct items observed in the current batch; cleared per batch.
+    batch_unique: MultiResolutionBitmap,
+    /// Distinct items observed in the current measurement interval.
+    interval_seen: MultiResolutionBitmap,
+}
+
+/// Extracts the 42-feature vector from every batch.
+///
+/// The extractor is stateful: the "new items" counters compare each batch
+/// against everything seen since the start of the current measurement
+/// interval, so batches must be fed in order.
+pub struct FeatureExtractor {
+    config: ExtractorConfig,
+    aggregates: Vec<AggregateState>,
+    current_interval: Option<u64>,
+    batches_processed: u64,
+}
+
+impl std::fmt::Debug for FeatureExtractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureExtractor")
+            .field("batches_processed", &self.batches_processed)
+            .field("current_interval", &self.current_interval)
+            .finish()
+    }
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with the given configuration.
+    pub fn new(config: ExtractorConfig) -> Self {
+        let aggregates = Aggregate::ALL
+            .iter()
+            .map(|_| AggregateState {
+                batch_unique: MultiResolutionBitmap::for_cardinality(config.max_cardinality),
+                interval_seen: MultiResolutionBitmap::for_cardinality(config.max_cardinality),
+            })
+            .collect();
+        Self { config, aggregates, current_interval: None, batches_processed: 0 }
+    }
+
+    /// Creates an extractor with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ExtractorConfig::default())
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+
+    /// Approximate memory footprint of the bitmap state in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.aggregates
+            .iter()
+            .map(|a| a.batch_unique.memory_bytes() + a.interval_seen.memory_bytes())
+            .sum()
+    }
+
+    /// Extracts the feature vector for a batch.
+    ///
+    /// The estimated number of elementary operations performed (one hash +
+    /// bitmap update per aggregate per packet) is returned alongside the
+    /// vector so the caller can account for the extraction overhead
+    /// (Table 3.4 of the paper).
+    pub fn extract(&mut self, batch: &Batch) -> (FeatureVector, u64) {
+        // Reset the per-interval state when the batch crosses into a new
+        // measurement interval.
+        let interval = batch.measurement_interval(self.config.measurement_interval_us);
+        if self.current_interval != Some(interval) {
+            for state in &mut self.aggregates {
+                state.interval_seen.clear();
+            }
+            self.current_interval = Some(interval);
+        }
+
+        let mut vector = FeatureVector::zeros();
+        vector.set(FeatureId::Packets, batch.len() as f64);
+        vector.set(FeatureId::Bytes, batch.total_bytes() as f64);
+
+        let packets = batch.len() as f64;
+        let mut operations = 0u64;
+
+        for (agg_idx, aggregate) in Aggregate::ALL.iter().enumerate() {
+            let state = &mut self.aggregates[agg_idx];
+            state.batch_unique.clear();
+
+            let seed = self.config.hash_seed ^ (agg_idx as u64).wrapping_mul(0x9e37_79b9);
+            for packet in batch.packets.iter() {
+                let key = aggregate.key(&packet.tuple);
+                let hash = hash_bytes(&key, seed);
+                state.batch_unique.insert_hash(hash);
+                operations += 1;
+            }
+
+            let unique = state.batch_unique.estimate().min(packets).round();
+            // Update the per-interval bitmap with a single merge per batch, as
+            // in the paper, and derive the new-item count from the estimate
+            // difference.
+            let before = state.interval_seen.estimate();
+            state.interval_seen.merge(&state.batch_unique);
+            let after = state.interval_seen.estimate();
+            let new = (after - before).clamp(0.0, unique).round();
+
+            let repeated = (packets - unique).max(0.0);
+            let batch_repeated = (packets - new).max(0.0);
+
+            vector.set(FeatureId::Counter(*aggregate, CounterKind::Unique), unique);
+            vector.set(FeatureId::Counter(*aggregate, CounterKind::New), new);
+            vector.set(FeatureId::Counter(*aggregate, CounterKind::Repeated), repeated);
+            vector.set(FeatureId::Counter(*aggregate, CounterKind::BatchRepeated), batch_repeated);
+        }
+
+        self.batches_processed += 1;
+        (vector, operations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_trace::{FiveTuple, Packet};
+
+    fn batch_of(tuples: &[FiveTuple], bin: u64) -> Batch {
+        let packets: Vec<Packet> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Packet::header_only(bin * 100_000 + i as u64, *t, 100, 0))
+            .collect();
+        Batch::new(bin, bin * 100_000, 100_000, packets)
+    }
+
+    #[test]
+    fn packets_and_bytes_are_exact() {
+        let tuples = vec![FiveTuple::new(1, 2, 3, 4, 6); 10];
+        let mut extractor = FeatureExtractor::with_defaults();
+        let (features, ops) = extractor.extract(&batch_of(&tuples, 0));
+        assert_eq!(features.packets(), 10.0);
+        assert_eq!(features.bytes(), 1000.0);
+        assert_eq!(ops, 10 * Aggregate::ALL.len() as u64);
+    }
+
+    #[test]
+    fn unique_counts_distinct_tuples() {
+        let tuples: Vec<FiveTuple> =
+            (0..100).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
+        let mut extractor = FeatureExtractor::with_defaults();
+        let (features, _) = extractor.extract(&batch_of(&tuples, 0));
+        let unique_src =
+            features.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::Unique));
+        assert!((unique_src - 100.0).abs() <= 10.0, "unique src-ip estimate {unique_src}");
+        // All packets share the destination IP, so unique dst-ip is ~1.
+        let unique_dst =
+            features.get(FeatureId::Counter(Aggregate::DstIp, CounterKind::Unique));
+        assert!(unique_dst <= 3.0, "unique dst-ip estimate {unique_dst}");
+    }
+
+    #[test]
+    fn repeated_is_packets_minus_unique() {
+        let tuples: Vec<FiveTuple> =
+            (0..50).map(|i| FiveTuple::new(i % 10, 2, 3, 4, 6)).collect();
+        let mut extractor = FeatureExtractor::with_defaults();
+        let (features, _) = extractor.extract(&batch_of(&tuples, 0));
+        let unique = features.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::Unique));
+        let repeated = features.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::Repeated));
+        assert!((unique + repeated - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_items_shrink_within_a_measurement_interval() {
+        let tuples: Vec<FiveTuple> = (0..200).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
+        let mut extractor = FeatureExtractor::with_defaults();
+        // Bin 0 and bin 1 fall into the same 1 s measurement interval.
+        let (first, _) = extractor.extract(&batch_of(&tuples, 0));
+        let (second, _) = extractor.extract(&batch_of(&tuples, 1));
+        let new_first = first.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::New));
+        let new_second = second.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::New));
+        assert!(new_first > 150.0, "first batch should be mostly new: {new_first}");
+        assert!(
+            new_second < new_first * 0.3,
+            "second identical batch should have few new items: {new_second}"
+        );
+    }
+
+    #[test]
+    fn new_items_reset_at_interval_boundaries() {
+        let tuples: Vec<FiveTuple> = (0..200).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
+        let mut extractor = FeatureExtractor::with_defaults();
+        let (_, _) = extractor.extract(&batch_of(&tuples, 0));
+        // Bin 10 starts a new 1 s measurement interval (10 * 100 ms).
+        let (third, _) = extractor.extract(&batch_of(&tuples, 10));
+        let new_third = third.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::New));
+        assert!(new_third > 150.0, "items should count as new again: {new_third}");
+    }
+
+    #[test]
+    fn empty_batch_yields_zero_vector() {
+        let mut extractor = FeatureExtractor::with_defaults();
+        let (features, ops) = extractor.extract(&Batch::empty(0, 0, 100_000));
+        assert_eq!(features.packets(), 0.0);
+        assert_eq!(ops, 0);
+        for id in FeatureId::all() {
+            assert_eq!(features.get(id), 0.0, "feature {} non-zero", id.name());
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal column-major dense matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, column-major `f64` matrix.
+///
+/// Column-major storage matches the access pattern of the Jacobi SVD (which
+/// orthogonalises column pairs) and of least-squares design matrices where
+/// each column is one predictor's history.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an identity matrix of the given size.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major nested slice (convenient in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "inconsistent row lengths");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have inconsistent lengths.
+    pub fn from_columns(columns: &[Vec<f64>]) -> Self {
+        let ncols = columns.len();
+        let nrows = columns.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(nrows, ncols);
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), nrows, "inconsistent column lengths");
+            m.column_mut(j).copy_from_slice(col);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the column `j` as a slice.
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Returns the column `j` as a mutable slice.
+    pub fn column_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let col = self.column(j);
+            let xj = x[j];
+            for (o, &c) in out.iter_mut().zip(col) {
+                *o += c * xj;
+            }
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product `self^T * y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.rows()`.
+    pub fn tr_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        (0..self.cols).map(|j| dot(self.column(j), y)).collect()
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            let col = self.mul_vec(other.column(j));
+            out.column_mut(j).copy_from_slice(&col);
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Dot product of two equally long slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_vector_is_vector() {
+        let m = Matrix::identity(3);
+        assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.column(0), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matrix_product_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn tr_mul_vec_matches_transpose_mul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let y = vec![1.0, 1.0, 1.0];
+        assert_eq!(a.tr_mul_vec(&y), a.transpose().mul_vec(&y));
+    }
+}

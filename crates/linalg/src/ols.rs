@@ -1,0 +1,151 @@
+//! Ordinary least squares through the SVD pseudo-inverse.
+
+use crate::matrix::Matrix;
+use crate::svd::svd;
+
+/// Result of a least-squares fit `y ≈ X b`.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Estimated coefficients, one per column of the design matrix.
+    pub coefficients: Vec<f64>,
+    /// Residual sum of squares.
+    pub residual_sum_of_squares: f64,
+    /// Coefficient of determination (R²); 1.0 when the response is constant
+    /// and perfectly fitted.
+    pub r_squared: f64,
+    /// Effective rank of the design matrix.
+    pub rank: usize,
+}
+
+impl OlsFit {
+    /// Predicts the response for one observation (row of predictor values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of coefficients.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "predictor count mismatch");
+        x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Solves `min_b ||y - X b||²` using the SVD pseudo-inverse.
+///
+/// Singular values below `rcond * max_singular_value` are treated as zero, so
+/// collinear predictors (which violate the paper's no-multicollinearity
+/// assumption but do occur under anomalous traffic, e.g. packets ≈ flows
+/// during a SYN flood) yield the minimum-norm solution instead of blowing up.
+///
+/// # Panics
+///
+/// Panics if `y.len()` differs from the number of rows of `x`.
+pub fn ols_solve(x: &Matrix, y: &[f64], rcond: f64) -> OlsFit {
+    assert_eq!(x.rows(), y.len(), "observation count mismatch");
+    let decomposition = svd(x);
+    let k = decomposition.singular_values.len();
+    let max_sv = decomposition.singular_values.first().copied().unwrap_or(0.0);
+    let threshold = max_sv * rcond.max(f64::EPSILON);
+
+    // b = V * diag(1/s) * U^T * y, zeroing the small singular values.
+    let uty = decomposition.u.tr_mul_vec(y);
+    let mut scaled = vec![0.0; k];
+    let mut rank = 0usize;
+    for i in 0..k {
+        let s = decomposition.singular_values[i];
+        if s > threshold && s > 0.0 {
+            scaled[i] = uty[i] / s;
+            rank += 1;
+        }
+    }
+    let coefficients = decomposition.v.mul_vec(&scaled);
+
+    let predictions = x.mul_vec(&coefficients);
+    let rss: f64 = predictions.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
+    let mean_y = y.iter().sum::<f64>() / y.len().max(1) as f64;
+    let tss: f64 = y.iter().map(|v| (v - mean_y) * (v - mean_y)).sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+
+    OlsFit { coefficients, residual_sum_of_squares: rss, r_squared, rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2 + 3*x1 - 0.5*x2 with an intercept column of ones.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let x1: f64 = rng.gen_range(0.0..10.0);
+            let x2: f64 = rng.gen_range(0.0..10.0);
+            rows.push(vec![1.0, x1, x2]);
+            y.push(2.0 + 3.0 * x1 - 0.5 * x2);
+        }
+        let x = Matrix::from_rows(&rows);
+        let fit = ols_solve(&x, &y, 1e-10);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-8);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-8);
+        assert!((fit.coefficients[2] + 0.5).abs() < 1e-8);
+        assert!(fit.r_squared > 0.999_999);
+        assert_eq!(fit.rank, 3);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r_squared() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let x1: f64 = rng.gen_range(0.0..100.0);
+            rows.push(vec![1.0, x1]);
+            y.push(5.0 + 2.0 * x1 + rng.gen_range(-1.0..1.0));
+        }
+        let fit = ols_solve(&Matrix::from_rows(&rows), &y, 1e-10);
+        assert!((fit.coefficients[1] - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn collinear_predictors_do_not_explode() {
+        // Second and third columns are identical: the pseudo-inverse should
+        // spread the weight rather than produce huge opposite coefficients.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let x = i as f64;
+            rows.push(vec![1.0, x, x]);
+            y.push(1.0 + 4.0 * x);
+        }
+        let fit = ols_solve(&Matrix::from_rows(&rows), &y, 1e-9);
+        assert_eq!(fit.rank, 2);
+        for c in &fit.coefficients {
+            assert!(c.abs() < 10.0, "coefficient blew up: {c}");
+        }
+        // Predictions must still be accurate.
+        assert!((fit.predict(&[1.0, 10.0, 10.0]) - 41.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underdetermined_system_yields_minimum_norm_solution() {
+        // Two observations, three predictors.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let y = vec![14.0, 32.0];
+        let fit = ols_solve(&x, &y, 1e-12);
+        // The system is consistent; residuals should be ~0.
+        assert!(fit.residual_sum_of_squares < 1e-16);
+    }
+
+    #[test]
+    fn constant_response_gives_unit_r_squared() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![5.0, 5.0, 5.0];
+        let fit = ols_solve(&x, &y, 1e-12);
+        assert!((fit.coefficients[0] - 5.0).abs() < 1e-9);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

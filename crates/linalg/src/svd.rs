@@ -1,0 +1,203 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The prediction subsystem solves its least-squares problems through the
+//! SVD, "able to obtain the best approximation, in the least-squares sense,
+//! in the case of an over- or under-determined system" (Section 3.2.2). The
+//! matrices involved are tiny (at most a few hundred rows and a few dozen
+//! columns), so the one-sided Jacobi method — simple, numerically robust and
+//! free of external dependencies — is a good fit.
+
+use crate::matrix::{dot, Matrix};
+
+/// Result of a thin singular value decomposition `A = U * diag(s) * V^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `rows x k` where `k = min(rows, cols)`.
+    pub u: Matrix,
+    /// Singular values in non-increasing order, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `cols x k`.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Effective numerical rank with respect to a relative tolerance.
+    pub fn rank(&self, relative_tolerance: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        if max <= 0.0 {
+            return 0;
+        }
+        self.singular_values.iter().filter(|&&s| s > max * relative_tolerance).count()
+    }
+
+    /// Reconstructs the original matrix (used by the tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut scaled = self.u.clone();
+        for j in 0..k {
+            let s = self.singular_values[j];
+            for value in scaled.column_mut(j) {
+                *value *= s;
+            }
+        }
+        scaled.mul(&self.v.transpose())
+    }
+}
+
+/// Computes the thin SVD of `a` using the one-sided Jacobi method.
+///
+/// For matrices with more columns than rows the decomposition is computed on
+/// the transpose and the factors are swapped, so callers may pass any shape.
+pub fn svd(a: &Matrix) -> Svd {
+    if a.cols() > a.rows() {
+        let t = svd(&a.transpose());
+        return Svd { u: t.v, singular_values: t.singular_values, v: t.u };
+    }
+
+    let rows = a.rows();
+    let cols = a.cols();
+    // Work on a copy whose columns are rotated until mutually orthogonal.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(cols);
+
+    let eps = 1e-12;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off_diagonal = 0.0f64;
+        for p in 0..cols {
+            for q in (p + 1)..cols {
+                let (alpha, beta, gamma) = {
+                    let cp = w.column(p);
+                    let cq = w.column(q);
+                    (dot(cp, cp), dot(cq, cq), dot(cp, cq))
+                };
+                if alpha * beta > 0.0 {
+                    off_diagonal = off_diagonal.max(gamma.abs() / (alpha * beta).sqrt());
+                }
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p, q) entry of W^T W.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_columns(&mut w, p, q, c, s, rows);
+                rotate_columns(&mut v, p, q, c, s, cols);
+            }
+        }
+        if off_diagonal < eps {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of the rotated matrix.
+    let mut order: Vec<usize> = (0..cols).collect();
+    let norms: Vec<f64> = (0..cols).map(|j| dot(w.column(j), w.column(j)).sqrt()).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = Matrix::zeros(rows, cols);
+    let mut v_sorted = Matrix::zeros(cols, cols);
+    let mut singular_values = Vec::with_capacity(cols);
+    for (dst, &src) in order.iter().enumerate() {
+        let norm = norms[src];
+        singular_values.push(norm);
+        if norm > 0.0 {
+            let col = w.column(src).to_vec();
+            for (i, value) in col.iter().enumerate() {
+                u[(i, dst)] = value / norm;
+            }
+        }
+        let vcol = v.column(src).to_vec();
+        v_sorted.column_mut(dst).copy_from_slice(&vcol);
+    }
+
+    Svd { u, singular_values, v: v_sorted }
+}
+
+/// Applies the plane rotation `[c, s; -s, c]` to columns `p` and `q`.
+fn rotate_columns(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64, rows: usize) {
+    for i in 0..rows {
+        let vp = m[(i, p)];
+        let vq = m[(i, q)];
+        m[(i, p)] = c * vp - s * vq;
+        m[(i, q)] = s * vp + c * vq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_of_small_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 2.0, 2.0],
+            vec![2.0, 3.0, -2.0],
+            vec![1.0, 0.0, 4.0],
+            vec![0.0, 1.0, 1.0],
+        ]);
+        let decomposition = svd(&a);
+        assert_close(&decomposition.reconstruct(), &a, 1e-8);
+        // Singular values sorted in non-increasing order.
+        let s = &decomposition.singular_values;
+        assert!(s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn wide_matrix_is_handled_by_transposition() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]);
+        let decomposition = svd(&a);
+        assert_close(&decomposition.reconstruct(), &a, 1e-8);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_small_trailing_singular_values() {
+        // Third column is the sum of the first two: rank 2.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 2.0],
+            vec![2.0, 1.0, 3.0],
+        ]);
+        let decomposition = svd(&a);
+        assert_eq!(decomposition.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let decomposition = svd(&Matrix::identity(5));
+        for s in &decomposition.singular_values {
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_vectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0],
+            vec![2.0, 3.0],
+            vec![0.0, 5.0],
+        ]);
+        let d = svd(&a);
+        let vtv = d.v.transpose().mul(&d.v);
+        assert_close(&vtv, &Matrix::identity(2), 1e-9);
+        let utu = d.u.transpose().mul(&d.u);
+        assert_close(&utu, &Matrix::identity(2), 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! The netshed load shedding system.
+//!
+//! This crate assembles the substrates (traffic model, feature extraction,
+//! prediction, queries, fairness) into the monitoring pipeline of the paper:
+//!
+//! ```text
+//!              ┌──────────────────────────────────────────────────┐
+//!   packets →  │ capture buffer → batch → features → prediction   │
+//!              │      ↓ (uncontrolled drops when the buffer       │
+//!              │        overflows, as in the original CoMo)       │
+//!              │  load shedding: when / where / how much to shed  │
+//!              │      ↓ per-query packet / flow / custom shedding │
+//!              │  queries (black boxes, cycles metered)           │
+//!              │      ↓ feedback: observed cycles → prediction    │
+//!              └──────────────────────────────────────────────────┘
+//! ```
+//!
+//! The central type is [`Monitor`]: it is configured with a
+//! [`MonitorConfig`] (system capacity, buffer size, strategy) and a set of
+//! [`QuerySpec`](netshed_queries::QuerySpec)s, consumes
+//! [`Batch`](netshed_trace::Batch)es and produces per-bin
+//! [`BinRecord`]s and per-interval query outputs. A [`ReferenceRunner`] runs
+//! the same queries without any resource limit to provide the ground truth
+//! against which accuracy is measured.
+//!
+//! Strategies (Chapters 4–6 of the paper):
+//!
+//! * [`Strategy::NoShedding`] — the original CoMo behaviour: drop packets at
+//!   the capture buffer when overloaded.
+//! * [`Strategy::Reactive`] — adjust the sampling rate from the previous
+//!   batch's measured cycles (SEDA-style).
+//! * [`Strategy::Predictive`] — the paper's scheme (Algorithm 1): MLR+FCBF
+//!   prediction, buffer discovery, EWMA error correction, and one of the
+//!   allocation policies of Chapter 5 ([`AllocationPolicy::EqualRates`],
+//!   [`AllocationPolicy::MmfsCpu`], [`AllocationPolicy::MmfsPkt`]).
+
+pub mod capture;
+pub mod config;
+pub mod monitor;
+pub mod reference;
+pub mod report;
+pub mod shedder;
+
+pub use capture::CaptureBuffer;
+pub use config::{AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
+pub use monitor::Monitor;
+pub use reference::ReferenceRunner;
+pub use report::{BinRecord, QueryBinRecord, RunSummary};
+pub use shedder::{flow_sample, packet_sample};

@@ -1,0 +1,163 @@
+//! Reference (ground truth) execution of a query set.
+//!
+//! Accuracy in the paper is always measured against a lossless packet-level
+//! trace processed without any resource constraint (Section 2.3.3 collects a
+//! full trace on a second machine for exactly this purpose). The
+//! [`ReferenceRunner`] plays that role: it runs its own instances of the
+//! queries over every batch at sampling rate 1.0 and reports their outputs at
+//! the same measurement interval boundaries as the [`Monitor`](crate::Monitor).
+
+use netshed_queries::{build_query_from_spec, CycleMeter, Query, QueryOutput, QuerySpec};
+use netshed_trace::Batch;
+
+/// Unconstrained reference execution used as accuracy ground truth.
+pub struct ReferenceRunner {
+    queries: Vec<Box<dyn Query>>,
+    measurement_interval_us: u64,
+    current_interval: Option<u64>,
+    /// Total cycles the reference execution would have needed (useful to
+    /// derive overload factors for experiments).
+    total_cycles: u64,
+    bins: u64,
+}
+
+impl ReferenceRunner {
+    /// Creates a reference runner for the given query specifications.
+    pub fn new(specs: &[QuerySpec], measurement_interval_us: u64) -> Self {
+        Self {
+            queries: specs.iter().map(build_query_from_spec).collect(),
+            measurement_interval_us,
+            current_interval: None,
+            total_cycles: 0,
+            bins: 0,
+        }
+    }
+
+    /// Adds another query instance mid-run (mirrors
+    /// [`Monitor::add_query`](crate::Monitor::add_query)).
+    pub fn add_query(&mut self, spec: &QuerySpec) {
+        self.queries.push(build_query_from_spec(spec));
+    }
+
+    /// Names of the registered queries.
+    pub fn query_names(&self) -> Vec<&'static str> {
+        self.queries.iter().map(|q| q.name()).collect()
+    }
+
+    /// Mean cycles per bin the unconstrained execution needed so far.
+    pub fn mean_cycles_per_bin(&self) -> f64 {
+        if self.bins == 0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.bins as f64
+    }
+
+    /// Processes one batch; returns the per-query outputs when the batch
+    /// starts a new measurement interval (i.e. the previous one just closed).
+    pub fn process_batch(&mut self, batch: &Batch) -> Option<Vec<(&'static str, QueryOutput)>> {
+        let interval = batch.measurement_interval(self.measurement_interval_us);
+        let outputs = if self.current_interval.is_some() && self.current_interval != Some(interval)
+        {
+            Some(self.close_interval())
+        } else {
+            None
+        };
+        self.current_interval = Some(interval);
+
+        for query in &mut self.queries {
+            let mut meter = CycleMeter::new();
+            query.process_batch(batch, 1.0, &mut meter);
+            self.total_cycles += meter.cycles();
+        }
+        self.bins += 1;
+        outputs
+    }
+
+    /// Flushes the final interval.
+    pub fn finish_interval(&mut self) -> Vec<(&'static str, QueryOutput)> {
+        self.close_interval()
+    }
+
+    fn close_interval(&mut self) -> Vec<(&'static str, QueryOutput)> {
+        self.queries.iter_mut().map(|query| (query.name(), query.end_interval())).collect()
+    }
+}
+
+/// Measures the mean per-bin cycle demand of a query set over a batch slice,
+/// counting only the query-processing cycles.
+///
+/// Experiments use this to derive the monitor capacity for a target overload
+/// factor `K` (Section 5.4): `capacity = demand × (1 - K)`.
+pub fn measure_demand(specs: &[QuerySpec], batches: &[Batch], measurement_interval_us: u64) -> f64 {
+    let mut runner = ReferenceRunner::new(specs, measurement_interval_us);
+    for batch in batches {
+        runner.process_batch(batch);
+    }
+    runner.mean_cycles_per_bin()
+}
+
+/// Measures the mean per-bin *total* demand of a query set — query cycles
+/// plus the monitoring system's own overhead (feature extraction, prediction,
+/// platform tasks) — by running an unconstrained monitor without shedding.
+///
+/// This is the right baseline for setting a capacity with a target overload
+/// factor: the monitoring overhead is not sheddable, so a capacity below it
+/// starves every query regardless of the strategy.
+pub fn measure_total_demand(specs: &[QuerySpec], batches: &[Batch]) -> f64 {
+    use crate::config::{MonitorConfig, Strategy};
+    let config = MonitorConfig::default()
+        .with_capacity(1e15)
+        .with_strategy(Strategy::NoShedding)
+        .without_noise();
+    let mut monitor = crate::Monitor::new(config);
+    for spec in specs {
+        monitor.add_query(spec);
+    }
+    if batches.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = batches.iter().map(|batch| monitor.process_batch(batch).total_cycles()).sum();
+    total / batches.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_queries::QueryKind;
+    use netshed_trace::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn reference_emits_outputs_per_interval() {
+        let mut generator = TraceGenerator::new(
+            TraceConfig::default().with_seed(1).with_mean_packets_per_batch(100.0),
+        );
+        let specs = vec![QuerySpec::new(QueryKind::Counter), QuerySpec::new(QueryKind::Flows)];
+        let mut runner = ReferenceRunner::new(&specs, 1_000_000);
+        let mut closed = 0;
+        for _ in 0..25 {
+            if runner.process_batch(&generator.next_batch()).is_some() {
+                closed += 1;
+            }
+        }
+        assert_eq!(closed, 2);
+        let final_outputs = runner.finish_interval();
+        assert_eq!(final_outputs.len(), 2);
+        assert_eq!(runner.query_names(), vec!["counter", "flows"]);
+    }
+
+    #[test]
+    fn measured_demand_is_positive_and_grows_with_query_count() {
+        let mut generator = TraceGenerator::new(
+            TraceConfig::default().with_seed(2).with_mean_packets_per_batch(200.0),
+        );
+        let batches = generator.batches(10);
+        let one = measure_demand(&[QuerySpec::new(QueryKind::Counter)], &batches, 1_000_000);
+        let two = measure_demand(
+            &[QuerySpec::new(QueryKind::Counter), QuerySpec::new(QueryKind::Flows)],
+            &batches,
+            1_000_000,
+        );
+        assert!(one > 0.0);
+        assert!(two > one);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-bin and per-run records produced by the monitor.
+
+use netshed_queries::QueryOutput;
+
+/// What happened to one query during one time bin.
+#[derive(Debug, Clone)]
+pub struct QueryBinRecord {
+    /// Query name.
+    pub name: &'static str,
+    /// Sampling rate assigned to the query for this bin (0 = disabled).
+    pub sampling_rate: f64,
+    /// Cycles the prediction subsystem expected the query to need for the
+    /// full batch.
+    pub predicted_cycles: f64,
+    /// Cycles the query actually consumed (after sampling / custom shedding).
+    pub measured_cycles: f64,
+    /// Packets delivered to the query after load shedding.
+    pub delivered_packets: u64,
+    /// Whether the query was disabled for this bin (by the allocation or by
+    /// the enforcement policy).
+    pub disabled: bool,
+}
+
+/// Everything that happened during one time bin.
+#[derive(Debug, Clone)]
+pub struct BinRecord {
+    /// Index of the time bin.
+    pub bin_index: u64,
+    /// Packets that arrived at the capture interface during the bin.
+    pub incoming_packets: u64,
+    /// Packets dropped without control at the capture buffer (DAG drops).
+    pub uncontrolled_drops: u64,
+    /// Packets not processed because of controlled sampling (summed over
+    /// queries would double count; this is packets of the post-drop batch not
+    /// delivered to at least one query because of its sampling rate, averaged
+    /// over queries).
+    pub unsampled_packets: u64,
+    /// Cycles available to process queries in this bin (after overhead and
+    /// buffer discovery adjustments).
+    pub available_cycles: f64,
+    /// Sum of the per-query full-batch predictions.
+    pub predicted_cycles: f64,
+    /// Total cycles actually consumed by the queries.
+    pub query_cycles: f64,
+    /// Cycles spent extracting features and computing predictions.
+    pub prediction_cycles: f64,
+    /// Cycles spent applying load shedding (sampling + feature re-extraction).
+    pub shedding_cycles: f64,
+    /// Fixed platform overhead cycles.
+    pub platform_cycles: f64,
+    /// Capture buffer occupation at the end of the bin (0..1).
+    pub buffer_occupation: f64,
+    /// Per-query details.
+    pub queries: Vec<QueryBinRecord>,
+    /// Query outputs emitted at the end of the measurement interval this bin
+    /// closed, if any (query name → output).
+    pub interval_outputs: Option<Vec<(&'static str, QueryOutput)>>,
+}
+
+impl BinRecord {
+    /// Total cycles consumed in the bin (queries + all overheads).
+    pub fn total_cycles(&self) -> f64 {
+        self.query_cycles + self.prediction_cycles + self.shedding_cycles + self.platform_cycles
+    }
+
+    /// Average sampling rate over the enabled queries (1.0 when nothing was
+    /// shed).
+    pub fn mean_sampling_rate(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 1.0;
+        }
+        self.queries.iter().map(|q| q.sampling_rate).sum::<f64>() / self.queries.len() as f64
+    }
+}
+
+/// Aggregated statistics over a full run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Number of bins processed.
+    pub bins: u64,
+    /// Total packets that arrived.
+    pub total_packets: u64,
+    /// Total uncontrolled drops.
+    pub total_uncontrolled_drops: u64,
+    /// Per-bin total cycles consumed (for CDFs like Figure 4.1).
+    pub cycles_per_bin: Vec<f64>,
+    /// Per-bin prediction error of the aggregate prediction.
+    pub prediction_errors: Vec<f64>,
+}
+
+impl RunSummary {
+    /// Folds one bin record into the summary.
+    pub fn absorb(&mut self, record: &BinRecord) {
+        self.bins += 1;
+        self.total_packets += record.incoming_packets;
+        self.total_uncontrolled_drops += record.uncontrolled_drops;
+        self.cycles_per_bin.push(record.total_cycles());
+        if record.query_cycles > 0.0 {
+            self.prediction_errors
+                .push((1.0 - record.predicted_cycles / record.query_cycles).abs());
+        }
+    }
+
+    /// Fraction of all packets that were dropped without control.
+    pub fn uncontrolled_drop_fraction(&self) -> f64 {
+        if self.total_packets == 0 {
+            return 0.0;
+        }
+        self.total_uncontrolled_drops as f64 / self.total_packets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(query_cycles: f64, predicted: f64) -> BinRecord {
+        BinRecord {
+            bin_index: 0,
+            incoming_packets: 100,
+            uncontrolled_drops: 10,
+            unsampled_packets: 0,
+            available_cycles: 1000.0,
+            predicted_cycles: predicted,
+            query_cycles,
+            prediction_cycles: 10.0,
+            shedding_cycles: 5.0,
+            platform_cycles: 20.0,
+            buffer_occupation: 0.5,
+            queries: vec![],
+            interval_outputs: None,
+        }
+    }
+
+    #[test]
+    fn total_cycles_sums_components() {
+        assert_eq!(record(100.0, 100.0).total_cycles(), 135.0);
+    }
+
+    #[test]
+    fn summary_accumulates_bins_and_drops() {
+        let mut summary = RunSummary::default();
+        summary.absorb(&record(100.0, 90.0));
+        summary.absorb(&record(200.0, 210.0));
+        assert_eq!(summary.bins, 2);
+        assert_eq!(summary.total_packets, 200);
+        assert_eq!(summary.total_uncontrolled_drops, 20);
+        assert_eq!(summary.cycles_per_bin.len(), 2);
+        assert!((summary.uncontrolled_drop_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(summary.prediction_errors.len(), 2);
+    }
+
+    #[test]
+    fn mean_sampling_rate_defaults_to_one() {
+        assert_eq!(record(1.0, 1.0).mean_sampling_rate(), 1.0);
+    }
+}

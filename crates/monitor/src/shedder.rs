@@ -1,0 +1,123 @@
+//! The load shedding mechanisms: packet sampling and flow sampling
+//! (Section 4.2).
+
+use netshed_sketch::H3Hasher;
+use netshed_trace::Batch;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform random packet sampling: every packet of the batch is kept
+/// independently with probability `rate`.
+///
+/// Returns the sampled batch and the number of packets discarded.
+pub fn packet_sample(batch: &Batch, rate: f64, rng: &mut StdRng) -> (Batch, u64) {
+    let rate = rate.clamp(0.0, 1.0);
+    if rate >= 1.0 {
+        return (batch.clone(), 0);
+    }
+    if rate <= 0.0 {
+        return (Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us), batch.len() as u64);
+    }
+    let sampled = batch.filtered(|_| rng.gen::<f64>() < rate);
+    let dropped = batch.len() as u64 - sampled.len() as u64;
+    (sampled, dropped)
+}
+
+/// Flowwise sampling: a flow is kept if the H3 hash of its 5-tuple, mapped to
+/// `[0, 1)`, is below `rate` — so all packets of a flow share the same fate
+/// and no flow table is needed (the "Flowwise sampling" technique the paper
+/// adopts).
+///
+/// Returns the sampled batch and the number of packets discarded.
+pub fn flow_sample(batch: &Batch, rate: f64, hasher: &H3Hasher) -> (Batch, u64) {
+    let rate = rate.clamp(0.0, 1.0);
+    if rate >= 1.0 {
+        return (batch.clone(), 0);
+    }
+    if rate <= 0.0 {
+        return (Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us), batch.len() as u64);
+    }
+    let sampled = batch.filtered(|p| hasher.unit_interval(&p.tuple.as_key()) < rate);
+    let dropped = batch.len() as u64 - sampled.len() as u64;
+    (sampled, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_trace::{FiveTuple, Packet};
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn test_batch(flows: u32, packets_per_flow: u32) -> Batch {
+        let mut packets = Vec::new();
+        for f in 0..flows {
+            let tuple = FiveTuple::new(f, 100 + f, 1000, 80, 6);
+            for p in 0..packets_per_flow {
+                packets.push(Packet::header_only(u64::from(f * 10 + p), tuple, 100, 0));
+            }
+        }
+        Batch::new(0, 0, 100_000, packets)
+    }
+
+    #[test]
+    fn packet_sampling_keeps_roughly_the_requested_fraction() {
+        let batch = test_batch(100, 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sampled, dropped) = packet_sample(&batch, 0.3, &mut rng);
+        let kept_fraction = sampled.len() as f64 / batch.len() as f64;
+        assert!((kept_fraction - 0.3).abs() < 0.05, "kept {kept_fraction}");
+        assert_eq!(sampled.len() as u64 + dropped, batch.len() as u64);
+    }
+
+    #[test]
+    fn rate_one_keeps_everything_rate_zero_drops_everything() {
+        let batch = test_batch(10, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (all, dropped_none) = packet_sample(&batch, 1.0, &mut rng);
+        assert_eq!(all.len(), batch.len());
+        assert_eq!(dropped_none, 0);
+        let (none, dropped_all) = packet_sample(&batch, 0.0, &mut rng);
+        assert!(none.is_empty());
+        assert_eq!(dropped_all, batch.len() as u64);
+    }
+
+    #[test]
+    fn flow_sampling_keeps_or_drops_entire_flows() {
+        let batch = test_batch(200, 10);
+        let hasher = H3Hasher::new(13, 7);
+        let (sampled, _) = flow_sample(&batch, 0.5, &hasher);
+        // Every flow present in the sampled batch must have all 10 packets.
+        let mut per_flow: std::collections::HashMap<FiveTuple, usize> =
+            std::collections::HashMap::new();
+        for p in sampled.packets.iter() {
+            *per_flow.entry(p.tuple).or_insert(0) += 1;
+        }
+        assert!(per_flow.values().all(|&count| count == 10), "flows must be kept whole");
+        let kept_flows = per_flow.len() as f64 / 200.0;
+        assert!((kept_flows - 0.5).abs() < 0.12, "kept flow fraction {kept_flows}");
+    }
+
+    #[test]
+    fn flow_sampling_is_deterministic_for_a_given_hash_function() {
+        let batch = test_batch(50, 4);
+        let hasher = H3Hasher::new(13, 9);
+        let (a, _) = flow_sample(&batch, 0.4, &hasher);
+        let (b, _) = flow_sample(&batch, 0.4, &hasher);
+        let flows_a: HashSet<FiveTuple> = a.packets.iter().map(|p| p.tuple).collect();
+        let flows_b: HashSet<FiveTuple> = b.packets.iter().map(|p| p.tuple).collect();
+        assert_eq!(flows_a, flows_b);
+    }
+
+    #[test]
+    fn different_hash_functions_select_different_flows() {
+        let batch = test_batch(200, 2);
+        let h1 = H3Hasher::new(13, 1);
+        let h2 = H3Hasher::new(13, 2);
+        let (a, _) = flow_sample(&batch, 0.5, &h1);
+        let (b, _) = flow_sample(&batch, 0.5, &h2);
+        let flows_a: HashSet<FiveTuple> = a.packets.iter().map(|p| p.tuple).collect();
+        let flows_b: HashSet<FiveTuple> = b.packets.iter().map(|p| p.tuple).collect();
+        assert_ne!(flows_a, flows_b, "fresh hash functions must change the selection");
+    }
+}

@@ -1,0 +1,173 @@
+//! Fast Correlation-Based Filter feature selection.
+//!
+//! Section 3.2.3: the predictor must pick, out of the 42 extracted features,
+//! the small subset that is (i) relevant to the query's CPU usage and (ii)
+//! not redundant with an already selected feature. The paper adapts the FCBF
+//! algorithm of Yu and Liu, replacing symmetrical uncertainty with the linear
+//! (Pearson) correlation coefficient as the goodness measure:
+//!
+//! 1. **Relevance**: features whose |correlation| with the response is below
+//!    the FCBF threshold are dropped.
+//! 2. **Redundancy**: the surviving features are ranked by |correlation|;
+//!    walking the list from the strongest predictor, any later feature that
+//!    is more correlated with the current predictor than with the response is
+//!    removed.
+
+use crate::history::History;
+use netshed_linalg::stats::pearson;
+
+/// Configuration of the FCBF feature selection.
+#[derive(Debug, Clone, Copy)]
+pub struct FcbfConfig {
+    /// Minimum |correlation| with the response for a feature to be relevant.
+    /// The paper settles on 0.6 as a good cost/accuracy trade-off.
+    pub threshold: f64,
+    /// Hard cap on the number of selected features (guards the MLR cost).
+    pub max_features: usize,
+}
+
+impl Default for FcbfConfig {
+    fn default() -> Self {
+        Self { threshold: 0.6, max_features: 8 }
+    }
+}
+
+/// Selects predictor feature indices from the history using FCBF.
+///
+/// Returns the indices (into the feature vector) of the selected features,
+/// ordered from most to least correlated with the response. The result may
+/// be empty if no feature clears the threshold; callers are expected to fall
+/// back to a sensible default (the `packets` feature) in that case.
+pub fn fcbf_select(history: &History, config: &FcbfConfig, feature_count: usize) -> Vec<usize> {
+    if history.len() < 2 {
+        return Vec::new();
+    }
+    let responses = history.responses();
+
+    // Phase 1: relevance.
+    let mut candidates: Vec<(usize, f64, Vec<f64>)> = Vec::new();
+    for index in 0..feature_count {
+        let column = history.feature_column(index);
+        let correlation = pearson(&column, &responses).abs();
+        if correlation >= config.threshold {
+            candidates.push((index, correlation, column));
+        }
+    }
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    // Phase 2: redundancy removal.
+    let mut selected: Vec<(usize, f64, Vec<f64>)> = Vec::new();
+    'outer: for candidate in candidates {
+        for kept in &selected {
+            let mutual = pearson(&candidate.2, &kept.2).abs();
+            // If the candidate is at least as correlated with an already
+            // selected predictor as with the response, it is redundant. The
+            // small tolerance keeps the comparison robust when both
+            // correlations are numerically ~1.0 (exactly collinear features).
+            if mutual + 1e-9 >= candidate.1 {
+                continue 'outer;
+            }
+        }
+        selected.push(candidate);
+        if selected.len() >= config.max_features {
+            break;
+        }
+    }
+
+    selected.into_iter().map(|(index, _, _)| index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_features::{FeatureId, FeatureVector};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a history where the response depends on the given features.
+    fn synthetic_history<F: Fn(&FeatureVector) -> f64>(
+        n: usize,
+        seed: u64,
+        response: F,
+    ) -> History {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut history = History::new(n);
+        for _ in 0..n {
+            let mut f = FeatureVector::zeros();
+            // Populate a handful of features with independent noise.
+            f.set(FeatureId::Packets, rng.gen_range(100.0..2000.0));
+            f.set(FeatureId::Bytes, rng.gen_range(10_000.0..1_000_000.0));
+            f.set(FeatureId::from_index(2), rng.gen_range(0.0..500.0));
+            f.set(FeatureId::from_index(6), rng.gen_range(0.0..300.0));
+            let y = response(&f);
+            history.push(f, y);
+        }
+        history
+    }
+
+    #[test]
+    fn selects_the_driving_feature() {
+        let history = synthetic_history(60, 1, |f| 10.0 * f.packets() + 50.0);
+        let selected = fcbf_select(&history, &FcbfConfig::default(), 42);
+        assert_eq!(selected.first(), Some(&FeatureId::Packets.index()));
+    }
+
+    #[test]
+    fn removes_redundant_copies_of_the_same_signal() {
+        // Response driven by packets; bytes made perfectly redundant with packets.
+        let mut history = History::new(60);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..60 {
+            let packets = rng.gen_range(100.0..2000.0);
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, packets);
+            f.set(FeatureId::Bytes, packets * 500.0);
+            history.push(f, 3.0 * packets);
+        }
+        let selected = fcbf_select(&history, &FcbfConfig::default(), 42);
+        assert_eq!(selected.len(), 1, "redundant feature should be removed: {selected:?}");
+    }
+
+    #[test]
+    fn high_threshold_selects_nothing_for_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut history = History::new(60);
+        for _ in 0..60 {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, rng.gen_range(0.0..1000.0));
+            // Response completely independent of the features.
+            history.push(f, rng.gen_range(0.0..1000.0));
+        }
+        let selected =
+            fcbf_select(&history, &FcbfConfig { threshold: 0.9, max_features: 8 }, 42);
+        assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn multi_feature_response_selects_both_drivers() {
+        // Both terms contribute comparable variance so each feature clears
+        // the relevance threshold on its own.
+        let history = synthetic_history(80, 4, |f| {
+            30.0 * f.packets() + 200.0 * f.get(FeatureId::from_index(6))
+        });
+        let config = FcbfConfig { threshold: 0.3, max_features: 8 };
+        let selected = fcbf_select(&history, &config, 42);
+        assert!(selected.contains(&FeatureId::Packets.index()));
+        assert!(selected.contains(&6));
+    }
+
+    #[test]
+    fn tiny_history_selects_nothing() {
+        let mut history = History::new(10);
+        history.push(FeatureVector::zeros(), 1.0);
+        assert!(fcbf_select(&history, &FcbfConfig::default(), 42).is_empty());
+    }
+
+    #[test]
+    fn max_features_caps_the_selection() {
+        let history = synthetic_history(60, 5, |f| f.packets() + f.bytes());
+        let config = FcbfConfig { threshold: 0.1, max_features: 1 };
+        let selected = fcbf_select(&history, &config, 42);
+        assert!(selected.len() <= 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Sliding window of (features, observed cycles) observations.
+
+use netshed_features::FeatureVector;
+use std::collections::VecDeque;
+
+/// The regression history of one query: the most recent `capacity`
+/// observations of (feature vector, CPU cycles actually used).
+///
+/// Section 3.3.1 of the paper studies the history length trade-off and
+/// settles on 60 observations (6 s of 100 ms batches), which is the default
+/// used by [`crate::MlrConfig`].
+#[derive(Debug, Clone)]
+pub struct History {
+    capacity: usize,
+    entries: VecDeque<(FeatureVector, f64)>,
+}
+
+impl History {
+    /// Creates an empty history holding at most `capacity` observations.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        Self { capacity, entries: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Maximum number of observations retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of observations currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an observation, evicting the oldest one if full.
+    pub fn push(&mut self, features: FeatureVector, cycles: f64) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((features, cycles));
+    }
+
+    /// Iterates over the stored observations from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &(FeatureVector, f64)> {
+        self.entries.iter()
+    }
+
+    /// Returns the response column (observed cycles) as a vector.
+    pub fn responses(&self) -> Vec<f64> {
+        self.entries.iter().map(|(_, y)| *y).collect()
+    }
+
+    /// Returns the values of the feature at `feature_index` across the history.
+    pub fn feature_column(&self, feature_index: usize) -> Vec<f64> {
+        self.entries.iter().map(|(f, _)| f.get_index(feature_index)).collect()
+    }
+
+    /// Discards all observations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Replaces the most recent observation's response value.
+    ///
+    /// Section 3.2.4: when a context switch corrupts a CPU measurement the
+    /// paper discards the observation and substitutes the predicted value so
+    /// the regression history is not polluted.
+    pub fn replace_last_response(&mut self, cycles: f64) {
+        if let Some(last) = self.entries.back_mut() {
+            last.1 = cycles;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_when_full() {
+        let mut h = History::new(3);
+        for i in 0..5 {
+            h.push(FeatureVector::zeros(), i as f64);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.responses(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn feature_column_tracks_feature_values() {
+        let mut h = History::new(4);
+        for i in 0..3 {
+            let mut f = FeatureVector::zeros();
+            f.set(netshed_features::FeatureId::Packets, i as f64 * 10.0);
+            h.push(f, 0.0);
+        }
+        assert_eq!(h.feature_column(0), vec![0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn replace_last_response_overwrites_only_newest() {
+        let mut h = History::new(3);
+        h.push(FeatureVector::zeros(), 1.0);
+        h.push(FeatureVector::zeros(), 2.0);
+        h.replace_last_response(99.0);
+        assert_eq!(h.responses(), vec![1.0, 99.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "history capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = History::new(0);
+    }
+}

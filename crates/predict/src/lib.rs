@@ -1,0 +1,30 @@
+//! CPU-usage prediction for black-box monitoring queries.
+//!
+//! This crate implements Chapter 3 of the paper: given only the per-batch
+//! traffic [`FeatureVector`](netshed_features::FeatureVector) and the history
+//! of observed per-batch CPU usage of a query, predict the cycles the query
+//! will need for the next batch.
+//!
+//! Three predictors are provided:
+//!
+//! * [`MlrPredictor`] — the paper's method: Fast Correlation-Based Filter
+//!   feature selection followed by multiple linear regression over a sliding
+//!   history window (Sections 3.2.2 and 3.2.3).
+//! * [`SlrPredictor`] — simple linear regression on a single, fixed feature
+//!   (the number of packets by default), the stronger of the two baselines
+//!   (Section 3.4.1).
+//! * [`EwmaPredictor`] — exponentially weighted moving average of the past
+//!   CPU usage, ignoring the traffic entirely (Section 3.4.1).
+//!
+//! All predictors implement the [`Predictor`] trait so the load shedding
+//! system and the experiment harness can swap them freely.
+
+pub mod error;
+pub mod fcbf;
+pub mod history;
+pub mod predictor;
+
+pub use error::ErrorStats;
+pub use fcbf::{fcbf_select, FcbfConfig};
+pub use history::History;
+pub use predictor::{EwmaPredictor, MlrConfig, MlrPredictor, Predictor, SlrPredictor};

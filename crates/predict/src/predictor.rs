@@ -1,0 +1,376 @@
+//! The three CPU-usage predictors: MLR+FCBF, SLR and EWMA.
+
+use crate::fcbf::{fcbf_select, FcbfConfig};
+use crate::history::History;
+use netshed_features::{FeatureId, FeatureVector, FEATURE_COUNT};
+use netshed_linalg::stats::Ewma;
+use netshed_linalg::{ols_solve, Matrix};
+
+/// A per-query CPU-usage predictor.
+///
+/// The monitoring system calls [`Predictor::predict`] once per batch *before*
+/// running the query (to decide whether load must be shed) and
+/// [`Predictor::observe`] once per batch *after* running it, feeding back the
+/// measured cycles so the model can adapt.
+pub trait Predictor: Send {
+    /// Predicts the CPU cycles needed to process a batch with the given
+    /// feature vector.
+    fn predict(&mut self, features: &FeatureVector) -> f64;
+
+    /// Feeds back the observed cycles for a batch with the given features.
+    fn observe(&mut self, features: &FeatureVector, actual_cycles: f64);
+
+    /// Records that the observation for the last batch was unusable (e.g. a
+    /// context switch corrupted the measurement) and that the given predicted
+    /// value should be kept in the history instead. The default implementation
+    /// simply observes the prediction.
+    fn observe_corrupted(&mut self, features: &FeatureVector, predicted_cycles: f64) {
+        self.observe(features, predicted_cycles);
+    }
+
+    /// Short name for reports ("mlr", "slr", "ewma").
+    fn name(&self) -> &'static str;
+
+    /// Indices of the features most recently used as predictors, if the
+    /// method performs feature selection.
+    fn selected_features(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Rough number of elementary operations performed by the most recent
+    /// prediction (used for the overhead accounting of Table 3.4).
+    fn last_cost_operations(&self) -> u64 {
+        0
+    }
+}
+
+/// Configuration of the [`MlrPredictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct MlrConfig {
+    /// Number of past observations kept in the regression history
+    /// (60 batches = 6 s in the paper).
+    pub history: usize,
+    /// FCBF feature selection configuration.
+    pub fcbf: FcbfConfig,
+    /// Relative singular-value cutoff of the OLS solver.
+    pub rcond: f64,
+    /// How often (in batches) the feature selection is re-run; 1 re-runs it
+    /// every batch as in the paper.
+    pub reselect_every: usize,
+}
+
+impl Default for MlrConfig {
+    fn default() -> Self {
+        Self { history: 60, fcbf: FcbfConfig::default(), rcond: 1e-9, reselect_every: 1 }
+    }
+}
+
+/// The paper's predictor: FCBF feature selection + multiple linear regression
+/// over a sliding window of observations.
+#[derive(Debug)]
+pub struct MlrPredictor {
+    config: MlrConfig,
+    history: History,
+    selected: Vec<usize>,
+    batches_since_selection: usize,
+    last_cost: u64,
+}
+
+impl MlrPredictor {
+    /// Creates a predictor with the given configuration.
+    pub fn new(config: MlrConfig) -> Self {
+        Self {
+            history: History::new(config.history),
+            config,
+            selected: Vec::new(),
+            batches_since_selection: 0,
+            last_cost: 0,
+        }
+    }
+
+    /// Creates a predictor with the paper's default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(MlrConfig::default())
+    }
+
+    /// Returns the regression history (mainly for inspection in tests).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Builds the design matrix (intercept + selected features) over the history.
+    fn design_matrix(&self, selected: &[usize]) -> (Matrix, Vec<f64>) {
+        let n = self.history.len();
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(selected.len() + 1);
+        columns.push(vec![1.0; n]);
+        for &feature in selected {
+            columns.push(self.history.feature_column(feature));
+        }
+        (Matrix::from_columns(&columns), self.history.responses())
+    }
+}
+
+impl Predictor for MlrPredictor {
+    fn predict(&mut self, features: &FeatureVector) -> f64 {
+        let n = self.history.len();
+        if n < 3 {
+            // Not enough history to regress; fall back to the mean of what we
+            // have seen (or zero for a cold start).
+            let responses = self.history.responses();
+            return netshed_linalg::stats::mean(&responses);
+        }
+
+        // Re-run feature selection periodically (every batch by default).
+        if self.selected.is_empty() || self.batches_since_selection >= self.config.reselect_every {
+            self.selected = fcbf_select(&self.history, &self.config.fcbf, FEATURE_COUNT);
+            if self.selected.is_empty() {
+                // Nothing cleared the threshold: fall back to the packet count,
+                // which the paper reports as the most broadly useful feature.
+                self.selected = vec![FeatureId::Packets.index()];
+            }
+            self.batches_since_selection = 0;
+        }
+        self.batches_since_selection += 1;
+
+        let (design, responses) = self.design_matrix(&self.selected);
+        let fit = ols_solve(&design, &responses, self.config.rcond);
+
+        // Cost accounting: correlation pass (n * p) + OLS (~ n * k^2).
+        let p = FEATURE_COUNT as u64;
+        let k = self.selected.len() as u64 + 1;
+        self.last_cost = n as u64 * p + n as u64 * k * k;
+
+        let mut row = Vec::with_capacity(self.selected.len() + 1);
+        row.push(1.0);
+        row.extend(self.selected.iter().map(|&i| features.get_index(i)));
+        fit.predict(&row).max(0.0)
+    }
+
+    fn observe(&mut self, features: &FeatureVector, actual_cycles: f64) {
+        self.history.push(features.clone(), actual_cycles);
+    }
+
+    fn observe_corrupted(&mut self, features: &FeatureVector, predicted_cycles: f64) {
+        self.history.push(features.clone(), predicted_cycles);
+    }
+
+    fn name(&self) -> &'static str {
+        "mlr"
+    }
+
+    fn selected_features(&self) -> Vec<usize> {
+        self.selected.clone()
+    }
+
+    fn last_cost_operations(&self) -> u64 {
+        self.last_cost
+    }
+}
+
+/// Simple linear regression on one fixed feature (packets by default).
+#[derive(Debug)]
+pub struct SlrPredictor {
+    feature: usize,
+    history: History,
+    last_cost: u64,
+}
+
+impl SlrPredictor {
+    /// Creates an SLR predictor regressing on the given feature index with
+    /// the given history length.
+    pub fn new(feature: FeatureId, history: usize) -> Self {
+        Self { feature: feature.index(), history: History::new(history), last_cost: 0 }
+    }
+
+    /// SLR on the number of packets with the paper's 6 s history.
+    pub fn on_packets() -> Self {
+        Self::new(FeatureId::Packets, 60)
+    }
+}
+
+impl Predictor for SlrPredictor {
+    fn predict(&mut self, features: &FeatureVector) -> f64 {
+        let n = self.history.len();
+        if n < 3 {
+            return netshed_linalg::stats::mean(&self.history.responses());
+        }
+        let xs = self.history.feature_column(self.feature);
+        let ys = self.history.responses();
+        let design = Matrix::from_columns(&[vec![1.0; n], xs]);
+        let fit = ols_solve(&design, &ys, 1e-9);
+        self.last_cost = n as u64 * 4;
+        fit.predict(&[1.0, features.get_index(self.feature)]).max(0.0)
+    }
+
+    fn observe(&mut self, features: &FeatureVector, actual_cycles: f64) {
+        self.history.push(features.clone(), actual_cycles);
+    }
+
+    fn name(&self) -> &'static str {
+        "slr"
+    }
+
+    fn selected_features(&self) -> Vec<usize> {
+        vec![self.feature]
+    }
+
+    fn last_cost_operations(&self) -> u64 {
+        self.last_cost
+    }
+}
+
+/// Exponentially weighted moving average of past CPU usage.
+///
+/// Ignores the traffic features entirely, which is exactly why it lags behind
+/// sudden traffic changes (Figure 3.9 / 3.13 of the paper).
+#[derive(Debug)]
+pub struct EwmaPredictor {
+    ewma: Ewma,
+}
+
+impl EwmaPredictor {
+    /// Creates an EWMA predictor with the given weight for new observations.
+    ///
+    /// The paper's sweep (Figure 3.10) finds `alpha = 0.3` to be the best
+    /// setting for its traces.
+    pub fn new(alpha: f64) -> Self {
+        Self { ewma: Ewma::new(alpha) }
+    }
+}
+
+impl Default for EwmaPredictor {
+    fn default() -> Self {
+        Self::new(0.3)
+    }
+}
+
+impl Predictor for EwmaPredictor {
+    fn predict(&mut self, _features: &FeatureVector) -> f64 {
+        self.ewma.value()
+    }
+
+    fn observe(&mut self, _features: &FeatureVector, actual_cycles: f64) {
+        self.ewma.update(actual_cycles);
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn last_cost_operations(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives a predictor over a synthetic workload where the true cost is a
+    /// known function of the features and reports the mean relative error
+    /// over the second half of the run.
+    fn run_predictor<P: Predictor, F: Fn(&FeatureVector) -> f64>(
+        predictor: &mut P,
+        cost: F,
+        batches: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut errors = Vec::new();
+        for i in 0..batches {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, rng.gen_range(500.0..1500.0));
+            f.set(FeatureId::Bytes, rng.gen_range(100_000.0..800_000.0));
+            f.set(FeatureId::from_index(5), rng.gen_range(50.0..400.0));
+            let actual = cost(&f);
+            let predicted = predictor.predict(&f);
+            if i > batches / 2 && actual > 0.0 {
+                errors.push((predicted - actual).abs() / actual);
+            }
+            predictor.observe(&f, actual);
+        }
+        netshed_linalg::stats::mean(&errors)
+    }
+
+    #[test]
+    fn mlr_learns_a_linear_cost_model() {
+        let mut p = MlrPredictor::with_defaults();
+        let err = run_predictor(&mut p, |f| 2000.0 * f.packets() + 1e6, 200, 1);
+        assert!(err < 0.02, "MLR error {err} too high for an exactly linear cost");
+        assert_eq!(p.selected_features(), vec![FeatureId::Packets.index()]);
+    }
+
+    #[test]
+    fn mlr_handles_multi_feature_costs_better_than_slr() {
+        let cost = |f: &FeatureVector| 1500.0 * f.packets() + 30_000.0 * f.get_index(5) + 5e5;
+        let mut mlr = MlrPredictor::new(MlrConfig {
+            fcbf: FcbfConfig { threshold: 0.2, max_features: 8 },
+            ..MlrConfig::default()
+        });
+        let mut slr = SlrPredictor::on_packets();
+        let mlr_err = run_predictor(&mut mlr, cost, 300, 2);
+        let slr_err = run_predictor(&mut slr, cost, 300, 2);
+        assert!(
+            mlr_err < slr_err * 0.5,
+            "MLR ({mlr_err}) should clearly beat SLR ({slr_err}) on a two-feature cost"
+        );
+    }
+
+    #[test]
+    fn slr_tracks_packet_linear_costs() {
+        let mut p = SlrPredictor::on_packets();
+        let err = run_predictor(&mut p, |f| 900.0 * f.packets(), 150, 3);
+        assert!(err < 0.02, "SLR error {err}");
+    }
+
+    #[test]
+    fn ewma_lags_behind_feature_driven_changes() {
+        let cost = |f: &FeatureVector| 1000.0 * f.packets();
+        let mut ewma = EwmaPredictor::default();
+        let mut mlr = MlrPredictor::with_defaults();
+        let ewma_err = run_predictor(&mut ewma, cost, 200, 4);
+        let mlr_err = run_predictor(&mut mlr, cost, 200, 4);
+        assert!(
+            ewma_err > mlr_err * 3.0,
+            "EWMA ({ewma_err}) should be clearly worse than MLR ({mlr_err})"
+        );
+    }
+
+    #[test]
+    fn cold_start_returns_finite_prediction() {
+        let mut p = MlrPredictor::with_defaults();
+        let f = FeatureVector::zeros();
+        let prediction = p.predict(&f);
+        assert!(prediction.is_finite());
+        assert!(prediction >= 0.0);
+    }
+
+    #[test]
+    fn observe_corrupted_keeps_history_usable() {
+        let mut p = MlrPredictor::with_defaults();
+        let mut f = FeatureVector::zeros();
+        f.set(FeatureId::Packets, 100.0);
+        for _ in 0..10 {
+            p.observe(&f, 1000.0);
+        }
+        p.observe_corrupted(&f, 1000.0);
+        assert_eq!(p.history().len(), 11);
+        let prediction = p.predict(&f);
+        assert!((prediction - 1000.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn predictions_are_never_negative() {
+        let mut p = MlrPredictor::with_defaults();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, rng.gen_range(0.0..10.0));
+            let predicted = p.predict(&f);
+            assert!(predicted >= 0.0);
+            p.observe(&f, rng.gen_range(0.0..5.0));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Accuracy evaluation helpers.
+//!
+//! The paper evaluates every load shedding strategy by comparing the output
+//! of each query under load shedding against a reference execution over the
+//! complete packet stream (Section 2.2.1). [`AccuracySeries`] accumulates
+//! those per-interval comparisons and reports the summary statistics used in
+//! the tables (mean ± standard deviation) and figures (time series).
+
+use crate::output::QueryOutput;
+
+/// Per-interval accuracy comparison series for one query.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracySeries {
+    errors: Vec<f64>,
+}
+
+impl AccuracySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compares one interval's output against the reference output and
+    /// records the error.
+    pub fn record(&mut self, output: &QueryOutput, truth: &QueryOutput) {
+        self.errors.push(output.error_against(truth));
+    }
+
+    /// Records an interval in which the query was disabled (accuracy 0).
+    pub fn record_disabled(&mut self) {
+        self.errors.push(1.0);
+    }
+
+    /// Records a pre-computed error value.
+    pub fn record_error(&mut self, error: f64) {
+        self.errors.push(error.clamp(0.0, 1.0));
+    }
+
+    /// Number of intervals recorded.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Returns `true` if no intervals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Per-interval errors in recording order.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// Per-interval accuracies (1 - error) in recording order.
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.errors.iter().map(|e| 1.0 - e).collect()
+    }
+
+    /// Mean error across intervals.
+    pub fn mean_error(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Standard deviation of the error across intervals.
+    pub fn stdev_error(&self) -> f64 {
+        if self.errors.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_error();
+        (self.errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+            / self.errors.len() as f64)
+            .sqrt()
+    }
+
+    /// Mean accuracy across intervals.
+    pub fn mean_accuracy(&self) -> f64 {
+        1.0 - self.mean_error()
+    }
+
+    /// Minimum accuracy across intervals.
+    pub fn min_accuracy(&self) -> f64 {
+        1.0 - self.errors.iter().copied().fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_errors() {
+        let mut series = AccuracySeries::new();
+        let truth = QueryOutput::Flows { count: 100.0 };
+        series.record(&QueryOutput::Flows { count: 90.0 }, &truth);
+        series.record(&QueryOutput::Flows { count: 100.0 }, &truth);
+        assert_eq!(series.len(), 2);
+        assert!((series.mean_error() - 0.05).abs() < 1e-12);
+        assert!((series.mean_accuracy() - 0.95).abs() < 1e-12);
+        assert!((series.min_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_intervals_count_as_zero_accuracy() {
+        let mut series = AccuracySeries::new();
+        series.record_disabled();
+        assert_eq!(series.mean_accuracy(), 0.0);
+        assert_eq!(series.min_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn empty_series_is_benign() {
+        let series = AccuracySeries::new();
+        assert!(series.is_empty());
+        assert_eq!(series.mean_error(), 0.0);
+        assert_eq!(series.stdev_error(), 0.0);
+    }
+}

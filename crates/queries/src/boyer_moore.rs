@@ -1,0 +1,120 @@
+//! Boyer–Moore–Horspool substring search.
+//!
+//! The `pattern-search` and `p2p-detector` queries of the paper use the
+//! Boyer–Moore algorithm to locate byte sequences in packet payloads
+//! (Section 2.2, reference [23]); their cost is linear in the number of
+//! bytes scanned. The Horspool simplification keeps the same average-case
+//! behaviour with a single skip table, which is what matters for the cost
+//! model.
+
+/// A compiled search pattern.
+#[derive(Debug, Clone)]
+pub struct BoyerMoore {
+    pattern: Vec<u8>,
+    skip: [usize; 256],
+}
+
+impl BoyerMoore {
+    /// Compiles a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn new(pattern: &[u8]) -> Self {
+        assert!(!pattern.is_empty(), "pattern must not be empty");
+        let mut skip = [pattern.len(); 256];
+        for (i, &byte) in pattern.iter().enumerate().take(pattern.len() - 1) {
+            skip[usize::from(byte)] = pattern.len() - 1 - i;
+        }
+        Self { pattern: pattern.to_vec(), skip }
+    }
+
+    /// Length of the compiled pattern.
+    pub fn pattern_len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Searches for the pattern in `haystack`.
+    ///
+    /// Returns the offset of the first occurrence (if any) together with the
+    /// number of byte positions examined, which the queries charge to their
+    /// cycle meter.
+    pub fn find(&self, haystack: &[u8]) -> (Option<usize>, u64) {
+        let m = self.pattern.len();
+        let n = haystack.len();
+        if n < m {
+            return (None, n as u64);
+        }
+        let mut examined = 0u64;
+        let mut pos = 0usize;
+        while pos <= n - m {
+            let mut j = m;
+            while j > 0 && haystack[pos + j - 1] == self.pattern[j - 1] {
+                j -= 1;
+                examined += 1;
+            }
+            if j == 0 {
+                return (Some(pos), examined.max(1));
+            }
+            examined += 1;
+            let skip = self.skip[usize::from(haystack[pos + m - 1])];
+            pos += skip;
+        }
+        (None, examined.max(1))
+    }
+
+    /// Returns `true` if the pattern occurs in `haystack`.
+    pub fn matches(&self, haystack: &[u8]) -> bool {
+        self.find(haystack).0.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_pattern_at_various_positions() {
+        let bm = BoyerMoore::new(b"needle");
+        assert_eq!(bm.find(b"needle in a haystack").0, Some(0));
+        assert_eq!(bm.find(b"a needle in a haystack").0, Some(2));
+        assert_eq!(bm.find(b"haystack with a needle").0, Some(16));
+        assert_eq!(bm.find(b"no match here").0, None);
+    }
+
+    #[test]
+    fn short_haystack_cannot_match() {
+        let bm = BoyerMoore::new(b"longpattern");
+        assert_eq!(bm.find(b"short").0, None);
+    }
+
+    #[test]
+    fn examined_bytes_grow_with_haystack() {
+        let bm = BoyerMoore::new(b"zzz");
+        let small = bm.find(&vec![b'a'; 100]).1;
+        let large = bm.find(&vec![b'a'; 10_000]).1;
+        assert!(large > small * 50, "examined should scale with input: {small} vs {large}");
+    }
+
+    #[test]
+    fn skip_table_makes_search_sublinear_for_distinct_alphabet() {
+        let bm = BoyerMoore::new(b"xyz");
+        // A haystack with no bytes from the pattern can skip by the full
+        // pattern length each step.
+        let (_, examined) = bm.find(&vec![b'a'; 3000]);
+        assert!(examined < 1200, "examined {examined} should be about a third of the bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must not be empty")]
+    fn empty_pattern_is_rejected() {
+        let _ = BoyerMoore::new(b"");
+    }
+
+    #[test]
+    fn matches_is_consistent_with_find() {
+        let bm = BoyerMoore::new(b"GNUTELLA");
+        assert!(bm.matches(b"....GNUTELLA CONNECT...."));
+        assert!(!bm.matches(b"....bittorrent...."));
+    }
+}

@@ -1,0 +1,427 @@
+//! The payload-dependent queries: `trace`, `pattern-search` and
+//! `p2p-detector`.
+//!
+//! Their cost is dominated by the number of bytes touched (storing or
+//! scanning payloads), which is why the feature selection picks the `bytes`
+//! feature for them on payload traces and falls back to `packets` on
+//! header-only traces (Table 3.2). The `p2p-detector` additionally supports
+//! a *custom load shedding* method (Chapter 6): instead of having the system
+//! sample packets — which makes it miss protocol handshakes — it restricts
+//! the fraction of each flow's packets it inspects.
+
+use crate::boyer_moore::BoyerMoore;
+use crate::cost::{costs, CycleMeter};
+use crate::output::QueryOutput;
+use crate::query::{Query, SheddingMethod};
+use netshed_sketch::hash_bytes;
+use netshed_trace::Batch;
+use std::collections::{HashMap, HashSet};
+
+/// Number of bytes of a packet that are captured when no payload is present
+/// (the link + network + transport headers stored by the trace query).
+const HEADER_BYTES: u64 = 40;
+
+/// `trace`: full-payload packet collection (Table 2.2).
+#[derive(Debug, Default)]
+pub struct TraceQuery {
+    processed_packets: f64,
+    stored_bytes: f64,
+}
+
+impl TraceQuery {
+    /// Creates the query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Query for TraceQuery {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.10
+    }
+
+    fn process_batch(&mut self, batch: &Batch, _sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            let stored = if packet.payload.is_some() {
+                u64::from(packet.ip_len)
+            } else {
+                HEADER_BYTES
+            };
+            meter.charge(costs::PER_PACKET_BASE);
+            meter.charge_n(costs::STORE_BYTE, stored);
+            self.processed_packets += 1.0;
+            self.stored_bytes += stored as f64;
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let output = QueryOutput::Coverage {
+            processed_packets: self.processed_packets,
+            total_packets: self.processed_packets,
+        };
+        self.processed_packets = 0.0;
+        self.stored_bytes = 0.0;
+        output
+    }
+}
+
+/// `pattern-search`: identification of byte sequences in packet payloads via
+/// Boyer–Moore (Table 2.2).
+#[derive(Debug)]
+pub struct PatternSearchQuery {
+    pattern: BoyerMoore,
+    processed_packets: f64,
+    matches: u64,
+}
+
+impl PatternSearchQuery {
+    /// Creates a query searching for the given byte pattern.
+    pub fn new(pattern: &[u8]) -> Self {
+        Self { pattern: BoyerMoore::new(pattern), processed_packets: 0.0, matches: 0 }
+    }
+
+    /// Number of packets that matched the pattern so far in this interval.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+}
+
+impl Default for PatternSearchQuery {
+    fn default() -> Self {
+        Self::new(b"GET / HTTP/1.1")
+    }
+}
+
+impl Query for PatternSearchQuery {
+    fn name(&self) -> &'static str {
+        "pattern-search"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.10
+    }
+
+    fn process_batch(&mut self, batch: &Batch, _sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE);
+            if let Some(payload) = &packet.payload {
+                let (found, examined) = self.pattern.find(payload);
+                meter.charge_n(costs::SCAN_BYTE, examined);
+                if found.is_some() {
+                    self.matches += 1;
+                }
+            }
+            self.processed_packets += 1.0;
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let output = QueryOutput::Coverage {
+            processed_packets: self.processed_packets,
+            total_packets: self.processed_packets,
+        };
+        self.processed_packets = 0.0;
+        self.matches = 0;
+        output
+    }
+}
+
+/// Behaviour of the `p2p-detector` when asked to shed load itself
+/// (Chapter 6, Figures 6.10 and 6.11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CustomBehavior {
+    /// Applies its custom load shedding method correctly.
+    Honest,
+    /// Ignores the requested sampling rate and processes everything,
+    /// trying to grab more than its fair share of cycles.
+    Selfish,
+    /// Sheds the wrong amount of load because of an implementation bug
+    /// (it only ever sheds half of what it is asked to).
+    Buggy,
+}
+
+/// `p2p-detector`: signature-based detection of P2P flows (Table 2.2).
+///
+/// With standard load shedding the detector receives packet-sampled batches
+/// and misses handshakes; configured for *custom* shedding it receives the
+/// full batch plus a target rate and limits the fraction of each flow's
+/// packets it inspects, which preserves detection accuracy at the same cost
+/// (Figure 6.2).
+#[derive(Debug)]
+pub struct P2pDetectorQuery {
+    signatures: Vec<BoyerMoore>,
+    p2p_ports: Vec<u16>,
+    shedding: SheddingMethod,
+    behavior: CustomBehavior,
+    identified: HashSet<u64>,
+    /// Packets (seen, inspected) so far per flow key (only used in custom mode).
+    inspected_per_flow: HashMap<u64, (u32, u32)>,
+}
+
+impl P2pDetectorQuery {
+    /// Creates a detector using the system's packet-sampling load shedding.
+    pub fn new() -> Self {
+        Self::with_shedding(SheddingMethod::PacketSampling, CustomBehavior::Honest)
+    }
+
+    /// Creates a detector that performs custom load shedding with the given
+    /// behaviour.
+    pub fn custom(behavior: CustomBehavior) -> Self {
+        Self::with_shedding(SheddingMethod::Custom, behavior)
+    }
+
+    fn with_shedding(shedding: SheddingMethod, behavior: CustomBehavior) -> Self {
+        Self {
+            signatures: vec![
+                BoyerMoore::new(b"BitTorrent protocol"),
+                BoyerMoore::new(b"GNUTELLA CONNECT"),
+            ],
+            p2p_ports: vec![6881, 6346],
+            shedding,
+            behavior,
+            identified: HashSet::new(),
+            inspected_per_flow: HashMap::new(),
+        }
+    }
+
+    /// Canonical flow key (direction-insensitive) used in the output set.
+    fn flow_key(tuple: &netshed_trace::FiveTuple) -> u64 {
+        let forward = hash_bytes(&tuple.as_key(), 0x9292);
+        let backward = hash_bytes(&tuple.reversed().as_key(), 0x9292);
+        forward.min(backward)
+    }
+
+    /// Effective fraction of per-flow packets inspected given the requested
+    /// rate and the configured behaviour.
+    fn effective_rate(&self, requested: f64) -> f64 {
+        match self.behavior {
+            CustomBehavior::Honest => requested,
+            CustomBehavior::Selfish => 1.0,
+            CustomBehavior::Buggy => (requested + 1.0) / 2.0,
+        }
+    }
+}
+
+impl Default for P2pDetectorQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Query for P2pDetectorQuery {
+    fn name(&self) -> &'static str {
+        "p2p-detector"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        self.shedding
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.35
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        let custom = self.shedding == SheddingMethod::Custom;
+        let rate = self.effective_rate(sampling_rate);
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE);
+            let key = Self::flow_key(&packet.tuple);
+
+            if custom {
+                // Custom load shedding: inspect at most a `rate` fraction of
+                // each flow's packets, always including the first two where
+                // protocol handshakes live. Skipped packets cost almost
+                // nothing, which is how the query saves cycles.
+                let (seen, inspected) = self.inspected_per_flow.entry(key).or_insert((0, 0));
+                *seen += 1;
+                let budget = (f64::from(*seen) * rate).ceil().max(2.0) as u32;
+                if *inspected >= budget {
+                    continue;
+                }
+                *inspected += 1;
+            }
+
+            let mut is_p2p = self.p2p_ports.contains(&packet.tuple.src_port)
+                || self.p2p_ports.contains(&packet.tuple.dst_port);
+            if let Some(payload) = &packet.payload {
+                let mut examined_total = 0u64;
+                for signature in &self.signatures {
+                    let (found, examined) = signature.find(payload);
+                    examined_total += examined;
+                    if found.is_some() {
+                        is_p2p = true;
+                        break;
+                    }
+                }
+                meter.charge_n(costs::P2P_SCAN_BYTE, examined_total);
+            }
+            if is_p2p && self.identified.insert(key) {
+                meter.charge(costs::P2P_FLOW_SETUP);
+            }
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        self.inspected_per_flow.clear();
+        QueryOutput::P2pFlows { flows: std::mem::take(&mut self.identified) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netshed_trace::{FiveTuple, Packet};
+
+    fn payload_packet(ts: u64, tuple: FiveTuple, payload: &'static [u8]) -> Packet {
+        Packet::with_payload(ts, tuple, 40 + payload.len() as u32, 0x10, Bytes::from_static(payload))
+    }
+
+    fn p2p_batch(flows: u32, packets_per_flow: u32) -> Batch {
+        // Realistically sized data packets (~1 KiB payload) so that the byte
+        // scanning cost dominates, as it does on full-payload traces.
+        let mut handshake = vec![b'.'; 1024];
+        handshake[..20].copy_from_slice(b"\x13BitTorrent protocol");
+        let data = vec![b'd'; 1024];
+        let mut packets = Vec::new();
+        for f in 0..flows {
+            let tuple = FiveTuple::new(0x0a000000 + f, 0x80000000 + f, 50000 + f as u16, 6881, 6);
+            for p in 0..packets_per_flow {
+                let payload = if p == 0 { handshake.clone() } else { data.clone() };
+                packets.push(Packet::with_payload(
+                    u64::from(f * 100 + p),
+                    tuple,
+                    40 + payload.len() as u32,
+                    0x10,
+                    Bytes::from(payload),
+                ));
+            }
+        }
+        Batch::new(0, 0, 100_000, packets)
+    }
+
+    #[test]
+    fn trace_cost_scales_with_bytes_for_payload_traffic() {
+        let tuple = FiveTuple::new(1, 2, 3, 4, 6);
+        let small = Batch::new(0, 0, 100_000, vec![payload_packet(0, tuple, &[0u8; 64])]);
+        let large = Batch::new(0, 0, 100_000, vec![payload_packet(0, tuple, &[0u8; 1024])]);
+        let mut q = TraceQuery::new();
+        let mut meter_small = CycleMeter::new();
+        let mut meter_large = CycleMeter::new();
+        q.process_batch(&small, 1.0, &mut meter_small);
+        q.process_batch(&large, 1.0, &mut meter_large);
+        assert!(meter_large.cycles() > meter_small.cycles() * 5);
+    }
+
+    #[test]
+    fn pattern_search_counts_matches() {
+        let tuple = FiveTuple::new(1, 2, 3, 80, 6);
+        let batch = Batch::new(
+            0,
+            0,
+            100_000,
+            vec![
+                payload_packet(0, tuple, b"GET / HTTP/1.1\r\nHost: example.org"),
+                payload_packet(1, tuple, b"POST /upload HTTP/1.1"),
+            ],
+        );
+        let mut q = PatternSearchQuery::default();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch, 1.0, &mut meter);
+        assert_eq!(q.matches(), 1);
+        match q.end_interval() {
+            QueryOutput::Coverage { processed_packets, .. } => assert_eq!(processed_packets, 2.0),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn p2p_detector_finds_flows_by_signature_and_port() {
+        let batch = p2p_batch(5, 4);
+        let mut q = P2pDetectorQuery::new();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch, 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::P2pFlows { flows } => assert_eq!(flows.len(), 5),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_shedding_reduces_cycles_but_keeps_detection() {
+        let batch = p2p_batch(20, 10);
+        // Full-rate reference.
+        let mut reference = P2pDetectorQuery::new();
+        let mut meter_full = CycleMeter::new();
+        reference.process_batch(&batch, 1.0, &mut meter_full);
+        let truth = reference.end_interval();
+
+        // Custom shedding at 30%.
+        let mut custom = P2pDetectorQuery::custom(CustomBehavior::Honest);
+        let mut meter_custom = CycleMeter::new();
+        custom.process_batch(&batch, 0.3, &mut meter_custom);
+        let output = custom.end_interval();
+
+        assert!(
+            meter_custom.cycles() < meter_full.cycles() * 6 / 10,
+            "custom shedding should cut cycles: {} vs {}",
+            meter_custom.cycles(),
+            meter_full.cycles()
+        );
+        // Detection barely suffers because handshakes are in the first packets.
+        assert!(output.error_against(&truth) < 0.2, "error {}", output.error_against(&truth));
+    }
+
+    #[test]
+    fn selfish_detector_ignores_the_requested_rate() {
+        let batch = p2p_batch(20, 10);
+        let mut honest = P2pDetectorQuery::custom(CustomBehavior::Honest);
+        let mut selfish = P2pDetectorQuery::custom(CustomBehavior::Selfish);
+        let mut meter_honest = CycleMeter::new();
+        let mut meter_selfish = CycleMeter::new();
+        honest.process_batch(&batch, 0.2, &mut meter_honest);
+        selfish.process_batch(&batch, 0.2, &mut meter_selfish);
+        assert!(meter_selfish.cycles() > meter_honest.cycles() * 2);
+    }
+
+    #[test]
+    fn buggy_detector_sheds_less_than_requested() {
+        let batch = p2p_batch(20, 10);
+        let mut honest = P2pDetectorQuery::custom(CustomBehavior::Honest);
+        let mut buggy = P2pDetectorQuery::custom(CustomBehavior::Buggy);
+        let mut meter_honest = CycleMeter::new();
+        let mut meter_buggy = CycleMeter::new();
+        honest.process_batch(&batch, 0.2, &mut meter_honest);
+        buggy.process_batch(&batch, 0.2, &mut meter_buggy);
+        assert!(meter_buggy.cycles() > meter_honest.cycles());
+    }
+
+    #[test]
+    fn header_only_traffic_is_cheap_for_payload_queries() {
+        let tuple = FiveTuple::new(1, 2, 3, 4, 6);
+        let header_batch = Batch::new(
+            0,
+            0,
+            100_000,
+            (0..100).map(|i| Packet::header_only(i, tuple, 1500, 0)).collect(),
+        );
+        let mut q = PatternSearchQuery::default();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&header_batch, 1.0, &mut meter);
+        // Only the per-packet base cost, no byte scanning.
+        assert_eq!(meter.cycles(), 100 * costs::PER_PACKET_BASE);
+    }
+}

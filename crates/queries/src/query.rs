@@ -1,0 +1,72 @@
+//! The black-box query abstraction.
+
+use crate::cost::CycleMeter;
+use crate::output::QueryOutput;
+use netshed_trace::Batch;
+
+/// How excess load should be shed for a query (Section 4.2 and Chapter 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SheddingMethod {
+    /// Uniform random packet sampling.
+    PacketSampling,
+    /// Flow sampling: entire 5-tuple flows are kept or dropped together.
+    FlowSampling,
+    /// The query implements its own custom load shedding method; the system
+    /// hands it the full batch plus the target sampling rate and polices the
+    /// cycles it uses (Chapter 6).
+    Custom,
+}
+
+/// A monitoring query (CoMo plug-in module).
+///
+/// The monitoring system never inspects a query's internals: it delivers
+/// (possibly sampled) batches, measures the cycles charged to the
+/// [`CycleMeter`], and collects a [`QueryOutput`] at the end of every
+/// measurement interval. Implementations must scale their estimates by the
+/// inverse of the sampling rate they were given, exactly as the paper's
+/// modified queries do.
+pub trait Query: Send {
+    /// The query's name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The load shedding method this query selects at configuration time.
+    fn preferred_shedding(&self) -> SheddingMethod;
+
+    /// Minimum sampling rate the query can tolerate while keeping its error
+    /// within the bound declared by its user (`m_q` of Chapter 5).
+    fn min_sampling_rate(&self) -> f64 {
+        0.0
+    }
+
+    /// Processes one (already sampled) batch.
+    ///
+    /// `sampling_rate` is the rate that was applied to produce `batch`
+    /// (1.0 = no sampling); queries use it to scale their estimates. All work
+    /// performed must be charged to `meter`.
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter);
+
+    /// Closes the current measurement interval and returns its output,
+    /// resetting the per-interval state.
+    fn end_interval(&mut self) -> QueryOutput;
+}
+
+/// Blanket helpers shared by query implementations.
+pub(crate) fn scale(value: f64, sampling_rate: f64) -> f64 {
+    if sampling_rate > 0.0 {
+        value / sampling_rate
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_inverts_sampling_rate() {
+        assert_eq!(scale(10.0, 0.5), 20.0);
+        assert_eq!(scale(10.0, 1.0), 10.0);
+        assert_eq!(scale(10.0, 0.0), 0.0);
+    }
+}

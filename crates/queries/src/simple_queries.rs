@@ -1,0 +1,254 @@
+//! The low-cost queries: `counter`, `application` and `high-watermark`.
+//!
+//! All three maintain simple arrays of counters driven by the packet stream,
+//! so their CPU cost is dominated by the number of packets in the batch —
+//! which is exactly what the prediction subsystem should discover on its own
+//! (Table 3.2 selects the `packets` feature for them).
+
+use crate::cost::{costs, CycleMeter};
+use crate::output::QueryOutput;
+use crate::query::{scale, Query, SheddingMethod};
+use netshed_trace::{AppProtocol, Batch};
+use std::collections::HashMap;
+
+/// `counter`: traffic load in packets and bytes (Table 2.2).
+#[derive(Debug, Default)]
+pub struct CounterQuery {
+    packets: f64,
+    bytes: f64,
+}
+
+impl CounterQuery {
+    /// Creates the query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Query for CounterQuery {
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.03
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE + costs::COUNTER_UPDATE);
+            self.packets += scale(1.0, sampling_rate);
+            self.bytes += scale(f64::from(packet.ip_len), sampling_rate);
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let output = QueryOutput::Counter { packets: self.packets, bytes: self.bytes };
+        self.packets = 0.0;
+        self.bytes = 0.0;
+        output
+    }
+}
+
+/// `application`: port-based application classification (Table 2.2).
+#[derive(Debug, Default)]
+pub struct ApplicationQuery {
+    per_app: HashMap<&'static str, (f64, f64)>,
+}
+
+impl ApplicationQuery {
+    /// Creates the query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps a (port, protocol) pair to an application label, mirroring the
+    /// port-based classification of the paper's `application` query.
+    fn classify(src_port: u16, dst_port: u16, proto: u8) -> &'static str {
+        for app in AppProtocol::ALL {
+            if app.ip_proto() == proto
+                && (src_port == app.server_port() || dst_port == app.server_port())
+            {
+                return app.name();
+            }
+        }
+        "unknown"
+    }
+}
+
+impl Query for ApplicationQuery {
+    fn name(&self) -> &'static str {
+        "application"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.03
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE + costs::PORT_LOOKUP + costs::COUNTER_UPDATE);
+            let app = Self::classify(packet.tuple.src_port, packet.tuple.dst_port, packet.tuple.proto);
+            let entry = self.per_app.entry(app).or_insert((0.0, 0.0));
+            entry.0 += scale(1.0, sampling_rate);
+            entry.1 += scale(f64::from(packet.ip_len), sampling_rate);
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        QueryOutput::Application { per_app: std::mem::take(&mut self.per_app) }
+    }
+}
+
+/// `high-watermark`: high watermark of link utilisation over time (Table 2.2).
+///
+/// The query tracks the peak estimated load over fixed sub-intervals (the
+/// paper uses the batch granularity) within each measurement interval.
+#[derive(Debug, Default)]
+pub struct HighWatermarkQuery {
+    peak_mbps: f64,
+}
+
+impl HighWatermarkQuery {
+    /// Creates the query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Query for HighWatermarkQuery {
+    fn name(&self) -> &'static str {
+        "high-watermark"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.15
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        let mut batch_bytes = 0.0;
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE + costs::COUNTER_UPDATE);
+            batch_bytes += scale(f64::from(packet.ip_len), sampling_rate);
+        }
+        let seconds = batch.duration_us as f64 / 1e6;
+        if seconds > 0.0 {
+            let mbps = batch_bytes * 8.0 / seconds / 1e6;
+            if mbps > self.peak_mbps {
+                self.peak_mbps = mbps;
+            }
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let output = QueryOutput::HighWatermark { mbps: self.peak_mbps };
+        self.peak_mbps = 0.0;
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_trace::{FiveTuple, Packet};
+
+    fn batch_with_packets(n: usize, size: u32) -> Batch {
+        let packets: Vec<Packet> = (0..n)
+            .map(|i| {
+                Packet::header_only(i as u64, FiveTuple::new(i as u32, 2, 1024, 80, 6), size, 0)
+            })
+            .collect();
+        Batch::new(0, 0, 100_000, packets)
+    }
+
+    #[test]
+    fn counter_scales_by_inverse_sampling_rate() {
+        let mut q = CounterQuery::new();
+        let mut meter = CycleMeter::new();
+        // A batch that was sampled at 50%: estimates should double.
+        q.process_batch(&batch_with_packets(50, 100), 0.5, &mut meter);
+        match q.end_interval() {
+            QueryOutput::Counter { packets, bytes } => {
+                assert_eq!(packets, 100.0);
+                assert_eq!(bytes, 10_000.0);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        assert!(meter.cycles() > 0);
+    }
+
+    #[test]
+    fn counter_interval_resets_state() {
+        let mut q = CounterQuery::new();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_with_packets(10, 100), 1.0, &mut meter);
+        let _ = q.end_interval();
+        match q.end_interval() {
+            QueryOutput::Counter { packets, bytes } => {
+                assert_eq!(packets, 0.0);
+                assert_eq!(bytes, 0.0);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_classifies_by_port() {
+        assert_eq!(ApplicationQuery::classify(1024, 80, 6), "http");
+        assert_eq!(ApplicationQuery::classify(53, 40000, 17), "dns");
+        assert_eq!(ApplicationQuery::classify(1, 2, 50), "unknown");
+    }
+
+    #[test]
+    fn application_accumulates_per_app_counters() {
+        let mut q = ApplicationQuery::new();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_with_packets(20, 200), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::Application { per_app } => {
+                let (packets, bytes) = per_app.get("http").copied().unwrap_or_default();
+                assert_eq!(packets, 20.0);
+                assert_eq!(bytes, 4000.0);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_batch_load() {
+        let mut q = HighWatermarkQuery::new();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_with_packets(10, 1000), 1.0, &mut meter);
+        q.process_batch(&batch_with_packets(100, 1000), 1.0, &mut meter);
+        q.process_batch(&batch_with_packets(5, 1000), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::HighWatermark { mbps } => {
+                // Peak batch: 100 packets * 1000 B * 8 / 0.1 s = 8 Mbps.
+                assert!((mbps - 8.0).abs() < 1e-9, "peak {mbps}");
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_packet_cost_is_linear_in_packets() {
+        let mut q = CounterQuery::new();
+        let mut meter_small = CycleMeter::new();
+        let mut meter_large = CycleMeter::new();
+        q.process_batch(&batch_with_packets(10, 100), 1.0, &mut meter_small);
+        q.process_batch(&batch_with_packets(1000, 100), 1.0, &mut meter_large);
+        assert_eq!(meter_large.cycles() - meter_small.cycles() * 100, 0);
+    }
+}

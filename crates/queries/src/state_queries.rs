@@ -1,0 +1,408 @@
+//! The stateful queries whose cost depends on the flow structure of the
+//! traffic: `flows`, `top-k`, `super-sources` and `autofocus`.
+//!
+//! Their per-batch cost mixes a per-packet lookup term with a per-new-entry
+//! creation term, which is what makes the multi-feature MLR predictor of the
+//! paper clearly better than single-feature baselines (Figure 3.3/3.4).
+
+use crate::cost::{costs, CycleMeter};
+use crate::output::QueryOutput;
+use crate::query::{scale, Query, SheddingMethod};
+use netshed_sketch::hash_bytes;
+use netshed_trace::Batch;
+use std::collections::{HashMap, HashSet};
+
+/// `flows`: per-flow classification and count of active 5-tuple flows.
+///
+/// Uses flow sampling (Table 2.2), since packet sampling biases flow counts.
+#[derive(Debug, Default)]
+pub struct FlowsQuery {
+    /// Flow key → Horvitz–Thompson weight (1 / sampling rate at insertion).
+    table: HashMap<u64, f64>,
+}
+
+impl FlowsQuery {
+    /// Creates the query.
+    pub fn new() -> Self {
+        Self { table: HashMap::new() }
+    }
+}
+
+impl Query for FlowsQuery {
+    fn name(&self) -> &'static str {
+        "flows"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::FlowSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.05
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP);
+            let key = hash_bytes(&packet.tuple.as_key(), 0xf10f);
+            if let std::collections::hash_map::Entry::Vacant(vacant) = self.table.entry(key) {
+                meter.charge(costs::HASH_INSERT);
+                // The sampling rate may change from batch to batch, so each
+                // flow is weighted by the rate in force when it was first seen.
+                vacant.insert(scale(1.0, sampling_rate));
+            }
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let count = self.table.values().sum();
+        self.table.clear();
+        QueryOutput::Flows { count }
+    }
+}
+
+/// `top-k`: ranking of the destination addresses that received the most bytes.
+#[derive(Debug)]
+pub struct TopKQuery {
+    k: usize,
+    bytes_per_dst: HashMap<u32, f64>,
+}
+
+impl TopKQuery {
+    /// Creates a query reporting the top `k` destinations.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1), bytes_per_dst: HashMap::new() }
+    }
+}
+
+impl Default for TopKQuery {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl Query for TopKQuery {
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.57
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP + costs::RANKING_UPDATE);
+            let bytes = scale(f64::from(packet.ip_len), sampling_rate);
+            let entry = self.bytes_per_dst.entry(packet.tuple.dst_ip);
+            if let std::collections::hash_map::Entry::Vacant(vacant) = entry {
+                meter.charge(costs::HASH_INSERT);
+                vacant.insert(bytes);
+            } else if let std::collections::hash_map::Entry::Occupied(mut occupied) = entry {
+                *occupied.get_mut() += bytes;
+            }
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let mut ranking: Vec<(u32, f64)> = self.bytes_per_dst.drain().collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranking.truncate(self.k);
+        QueryOutput::TopK { ranking }
+    }
+}
+
+/// `super-sources`: detection of the sources with the largest fan-out
+/// (number of distinct destinations contacted). Uses flow sampling.
+#[derive(Debug)]
+pub struct SuperSourcesQuery {
+    /// Number of sources reported.
+    top: usize,
+    pairs_seen: HashSet<u64>,
+    fanout: HashMap<u32, f64>,
+}
+
+impl SuperSourcesQuery {
+    /// Creates a query reporting the `top` sources by fan-out.
+    pub fn new(top: usize) -> Self {
+        Self { top: top.max(1), pairs_seen: HashSet::new(), fanout: HashMap::new() }
+    }
+}
+
+impl Default for SuperSourcesQuery {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl Query for SuperSourcesQuery {
+    fn name(&self) -> &'static str {
+        "super-sources"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::FlowSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.93
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE + costs::DISTINCT_UPDATE);
+            let mut key = [0u8; 8];
+            key[..4].copy_from_slice(&packet.tuple.src_ip.to_be_bytes());
+            key[4..].copy_from_slice(&packet.tuple.dst_ip.to_be_bytes());
+            let pair = hash_bytes(&key, 0x5005);
+            if self.pairs_seen.insert(pair) {
+                meter.charge(costs::HASH_INSERT);
+                // Weight each new (source, destination) pair by the sampling
+                // rate in force when it was discovered.
+                *self.fanout.entry(packet.tuple.src_ip).or_insert(0.0) +=
+                    scale(1.0, sampling_rate);
+            }
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let mut sources: Vec<(u32, f64)> = self.fanout.drain().collect();
+        sources.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        sources.truncate(self.top);
+        self.pairs_seen.clear();
+        QueryOutput::SuperSources { fanouts: sources.into_iter().collect() }
+    }
+}
+
+/// `autofocus` (uni-dimensional): traffic clusters per destination prefix
+/// that exceed a fraction of the total interval traffic.
+#[derive(Debug)]
+pub struct AutofocusQuery {
+    /// Report threshold as a fraction of the interval's total bytes.
+    threshold_fraction: f64,
+    /// Bytes per (prefix value, prefix length).
+    prefixes: HashMap<(u32, u8), f64>,
+    total_bytes: f64,
+    sampling_rate: f64,
+}
+
+impl AutofocusQuery {
+    /// Creates a query reporting clusters above `threshold_fraction` of the
+    /// interval's traffic.
+    pub fn new(threshold_fraction: f64) -> Self {
+        Self {
+            threshold_fraction: threshold_fraction.clamp(0.0001, 1.0),
+            prefixes: HashMap::new(),
+            total_bytes: 0.0,
+            sampling_rate: 1.0,
+        }
+    }
+
+    /// Prefix lengths of the uni-dimensional hierarchy.
+    const LEVELS: [u8; 3] = [8, 16, 24];
+}
+
+impl Default for AutofocusQuery {
+    fn default() -> Self {
+        Self::new(0.02)
+    }
+}
+
+impl Query for AutofocusQuery {
+    fn name(&self) -> &'static str {
+        "autofocus"
+    }
+
+    fn preferred_shedding(&self) -> SheddingMethod {
+        SheddingMethod::PacketSampling
+    }
+
+    fn min_sampling_rate(&self) -> f64 {
+        0.69
+    }
+
+    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+        self.sampling_rate = sampling_rate;
+        for packet in batch.packets.iter() {
+            meter.charge(costs::PER_PACKET_BASE);
+            let bytes = f64::from(packet.ip_len);
+            self.total_bytes += scale(bytes, sampling_rate);
+            for &len in &Self::LEVELS {
+                meter.charge(costs::PREFIX_LEVEL);
+                let mask = if len == 32 { u32::MAX } else { !0u32 << (32 - len) };
+                let prefix = packet.tuple.dst_ip & mask;
+                let entry = self.prefixes.entry((prefix, len));
+                if let std::collections::hash_map::Entry::Vacant(vacant) = entry {
+                    meter.charge(costs::HASH_INSERT);
+                    vacant.insert(scale(bytes, sampling_rate));
+                } else if let std::collections::hash_map::Entry::Occupied(mut occupied) = entry {
+                    *occupied.get_mut() += scale(bytes, sampling_rate);
+                }
+            }
+        }
+    }
+
+    fn end_interval(&mut self) -> QueryOutput {
+        let threshold = self.total_bytes * self.threshold_fraction;
+        let mut clusters: Vec<(u32, u8, f64)> = self
+            .prefixes
+            .drain()
+            .filter(|(_, bytes)| *bytes >= threshold && threshold > 0.0)
+            .map(|((prefix, len), bytes)| (prefix, len, bytes))
+            .collect();
+        clusters.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        self.total_bytes = 0.0;
+        QueryOutput::Autofocus { clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_trace::{FiveTuple, Packet};
+
+    fn batch_of(tuples: &[FiveTuple], size: u32) -> Batch {
+        let packets: Vec<Packet> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Packet::header_only(i as u64, *t, size, 0))
+            .collect();
+        Batch::new(0, 0, 100_000, packets)
+    }
+
+    #[test]
+    fn flows_counts_distinct_five_tuples() {
+        let tuples: Vec<FiveTuple> = (0..200).map(|i| FiveTuple::new(i, 2, 1000, 80, 6)).collect();
+        let mut q = FlowsQuery::new();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut meter);
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::Flows { count } => assert_eq!(count, 200.0),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flows_scales_estimate_by_flow_sampling_rate() {
+        let tuples: Vec<FiveTuple> = (0..100).map(|i| FiveTuple::new(i, 2, 1000, 80, 6)).collect();
+        let mut q = FlowsQuery::new();
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 0.5, &mut meter);
+        match q.end_interval() {
+            QueryOutput::Flows { count } => assert_eq!(count, 200.0),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flows_new_entries_cost_more_than_lookups() {
+        let tuples: Vec<FiveTuple> = (0..100).map(|i| FiveTuple::new(i, 2, 1000, 80, 6)).collect();
+        let mut q = FlowsQuery::new();
+        let mut first = CycleMeter::new();
+        let mut second = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut first);
+        // Same flows again: no inserts, only lookups.
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut second);
+        assert!(first.cycles() > second.cycles());
+    }
+
+    #[test]
+    fn topk_ranks_heaviest_destinations_first() {
+        let mut tuples = Vec::new();
+        // Destination 99 receives 50 packets, destination 1 receives 5.
+        for _ in 0..50 {
+            tuples.push(FiveTuple::new(1, 99, 1000, 80, 6));
+        }
+        for _ in 0..5 {
+            tuples.push(FiveTuple::new(1, 1, 1000, 80, 6));
+        }
+        let mut q = TopKQuery::new(2);
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::TopK { ranking } => {
+                assert_eq!(ranking[0].0, 99);
+                assert_eq!(ranking.len(), 2);
+                assert!(ranking[0].1 > ranking[1].1);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn super_sources_measures_fanout() {
+        let mut tuples = Vec::new();
+        // Source 7 contacts 30 destinations; source 8 contacts 2.
+        for d in 0..30 {
+            tuples.push(FiveTuple::new(7, d, 1000, 80, 6));
+        }
+        for d in 0..2 {
+            tuples.push(FiveTuple::new(8, 100 + d, 1000, 80, 6));
+        }
+        let mut q = SuperSourcesQuery::new(1);
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::SuperSources { fanouts } => {
+                assert_eq!(fanouts.len(), 1);
+                assert_eq!(fanouts.get(&7).copied(), Some(30.0));
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn super_sources_counts_each_pair_once() {
+        let tuples = vec![FiveTuple::new(7, 1, 1000, 80, 6); 50];
+        let mut q = SuperSourcesQuery::new(5);
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::SuperSources { fanouts } => {
+                assert_eq!(fanouts.get(&7).copied(), Some(1.0));
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn autofocus_reports_heavy_prefixes_only() {
+        let mut tuples = Vec::new();
+        // 95% of bytes to 10.1.x.x, 5% spread elsewhere.
+        for i in 0..95 {
+            tuples.push(FiveTuple::new(1, 0x0a01_0000 | i, 1000, 80, 6));
+        }
+        for i in 0..5 {
+            tuples.push(FiveTuple::new(1, 0xc0a8_0000 | (i << 8), 1000, 80, 6));
+        }
+        let mut q = AutofocusQuery::new(0.5);
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 1000), 1.0, &mut meter);
+        match q.end_interval() {
+            QueryOutput::Autofocus { clusters } => {
+                assert!(!clusters.is_empty());
+                // The /8 and /16 of 10.1.0.0 dominate; nothing from 192.168.
+                assert!(clusters.iter().all(|(prefix, _, _)| (prefix >> 24) == 0x0a));
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_reset_clears_state() {
+        let tuples: Vec<FiveTuple> = (0..10).map(|i| FiveTuple::new(i, 2, 1000, 80, 6)).collect();
+        let mut q = TopKQuery::new(5);
+        let mut meter = CycleMeter::new();
+        q.process_batch(&batch_of(&tuples, 100), 1.0, &mut meter);
+        let _ = q.end_interval();
+        match q.end_interval() {
+            QueryOutput::TopK { ranking } => assert!(ranking.is_empty()),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! A standard Bloom filter.
+//!
+//! Some of the monitoring queries maintain membership state (for example the
+//! `super-sources` query needs to know whether a (source, destination) pair
+//! was already counted towards a fan-out). The paper lists Bloom filters
+//! among the data structures used by the plug-in modules (Section 2.2); this
+//! implementation uses double hashing to derive the `k` probe positions from
+//! two 64-bit hashes.
+
+use crate::hash::{hash_bytes, mix64};
+
+/// A Bloom filter over arbitrary byte-slice keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `num_hashes` probes per key.
+    pub fn new(num_bits: usize, num_hashes: u32) -> Self {
+        let num_bits = num_bits.max(64).next_multiple_of(64);
+        Self {
+            bits: vec![0; num_bits / 64],
+            num_bits: num_bits as u64,
+            num_hashes: num_hashes.max(1),
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter dimensioned for `expected_items` at roughly the given
+    /// false-positive rate.
+    pub fn with_rate(expected_items: usize, false_positive_rate: f64) -> Self {
+        let rate = false_positive_rate.clamp(1e-6, 0.5);
+        let ln2 = std::f64::consts::LN_2;
+        let bits = (-(expected_items.max(1) as f64) * rate.ln() / (ln2 * ln2)).ceil() as usize;
+        let hashes = ((bits as f64 / expected_items.max(1) as f64) * ln2).round().max(1.0) as u32;
+        Self::new(bits, hashes.min(16))
+    }
+
+    /// Number of keys inserted so far (counting duplicates).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Inserts a key. Returns `true` if the key was (probably) not present.
+    pub fn insert(&mut self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        let mut newly_set = false;
+        for i in 0..self.num_hashes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            let (word, mask) = ((bit / 64) as usize, 1u64 << (bit % 64));
+            if self.bits[word] & mask == 0 {
+                self.bits[word] |= mask;
+                newly_set = true;
+            }
+        }
+        self.inserted += 1;
+        newly_set
+    }
+
+    /// Returns `true` if the key may have been inserted (false positives are
+    /// possible, false negatives are not).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        (0..self.num_hashes).all(|i| {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    fn base_hashes(&self, key: &[u8]) -> (u64, u64) {
+        let h1 = hash_bytes(key, 0x9e3779b97f4a7c15);
+        let h2 = mix64(h1) | 1;
+        (h1, h2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_rate(1000, 0.01);
+        for i in 0..1000u32 {
+            bf.insert(&i.to_be_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(bf.contains(&i.to_be_bytes()), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_roughly_as_configured() {
+        let mut bf = BloomFilter::with_rate(5000, 0.01);
+        for i in 0..5000u32 {
+            bf.insert(&i.to_be_bytes());
+        }
+        let fp = (5000..25000u32).filter(|i| bf.contains(&i.to_be_bytes())).count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(rate < 0.05, "false positive rate {rate} too high");
+    }
+
+    #[test]
+    fn clear_empties_filter() {
+        let mut bf = BloomFilter::new(1024, 4);
+        bf.insert(b"hello");
+        assert!(bf.contains(b"hello"));
+        bf.clear();
+        assert!(!bf.contains(b"hello"));
+        assert_eq!(bf.inserted(), 0);
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut bf = BloomFilter::new(4096, 4);
+        assert!(bf.insert(b"a"));
+        assert!(!bf.insert(b"a"));
+    }
+}

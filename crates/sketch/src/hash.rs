@@ -1,0 +1,141 @@
+//! Hash functions shared by the sketches and the flow sampler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A strong 64-bit integer mixer (SplitMix64 finalizer).
+///
+/// Used wherever a cheap, deterministic, well-distributed hash of a 64-bit
+/// value is needed (bitmap bucket selection, Bloom filter double hashing).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hashes an arbitrary byte slice to 64 bits with a caller-supplied seed.
+///
+/// This is an FNV-1a pass followed by [`mix64`]; it is not cryptographic but
+/// is fast and has good avalanche behaviour for the short keys (≤ 13 bytes)
+/// used by the traffic aggregates.
+#[inline]
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    mix64(h)
+}
+
+/// An H3-style universal hash over fixed-length keys, realised as tabulation
+/// hashing: one 256-entry table of random 64-bit words per key byte, XORed
+/// together.
+///
+/// The paper draws a fresh H3 function per query and measurement interval so
+/// that flow sampling cannot be evaded by adversarial flows and selection is
+/// unbiased (Section 4.2). [`H3Hasher::unit_interval`] maps a key to `[0, 1)`
+/// exactly as the flowwise sampler requires.
+#[derive(Debug, Clone)]
+pub struct H3Hasher {
+    tables: Vec<[u64; 256]>,
+}
+
+impl H3Hasher {
+    /// Draws a new hash function for keys of `key_len` bytes from the given seed.
+    pub fn new(key_len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tables = Vec::with_capacity(key_len);
+        for _ in 0..key_len {
+            let mut table = [0u64; 256];
+            for entry in table.iter_mut() {
+                *entry = rng.gen();
+            }
+            tables.push(table);
+        }
+        Self { tables }
+    }
+
+    /// Number of key bytes this hash function was drawn for.
+    pub fn key_len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Hashes a key of exactly `key_len` bytes to a 64-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the length used at construction.
+    pub fn hash(&self, key: &[u8]) -> u64 {
+        assert_eq!(key.len(), self.tables.len(), "key length mismatch");
+        let mut h = 0u64;
+        for (table, &byte) in self.tables.iter().zip(key) {
+            h ^= table[usize::from(byte)];
+        }
+        h
+    }
+
+    /// Maps a key to a value uniformly distributed in `[0, 1)`.
+    pub fn unit_interval(&self, key: &[u8]) -> f64 {
+        // 53 mantissa bits keep the conversion exact.
+        (self.hash(key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_separates_nearby_inputs() {
+        assert_ne!(mix64(1), mix64(2));
+        // Nearby inputs should differ in roughly half their bits.
+        let distance = (mix64(3) ^ mix64(4)).count_ones();
+        assert!(distance > 16, "avalanche too weak: {distance} bits");
+    }
+
+    #[test]
+    fn hash_bytes_depends_on_seed_and_content() {
+        assert_ne!(hash_bytes(b"abc", 1), hash_bytes(b"abc", 2));
+        assert_ne!(hash_bytes(b"abc", 1), hash_bytes(b"abd", 1));
+        assert_eq!(hash_bytes(b"abc", 1), hash_bytes(b"abc", 1));
+    }
+
+    #[test]
+    fn h3_is_deterministic_per_seed() {
+        let h1 = H3Hasher::new(13, 7);
+        let h2 = H3Hasher::new(13, 7);
+        let h3 = H3Hasher::new(13, 8);
+        let key = [1u8; 13];
+        assert_eq!(h1.hash(&key), h2.hash(&key));
+        assert_ne!(h1.hash(&key), h3.hash(&key));
+    }
+
+    #[test]
+    fn h3_unit_interval_is_within_bounds_and_roughly_uniform() {
+        let h = H3Hasher::new(4, 3);
+        let mut below_half = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let key = (i as u32).to_be_bytes();
+            let u = h.unit_interval(&key);
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below_half += 1;
+            }
+        }
+        let frac = f64::from(below_half) / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.03, "fraction below 0.5 was {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "key length mismatch")]
+    fn h3_panics_on_wrong_key_length() {
+        let h = H3Hasher::new(4, 3);
+        let _ = h.hash(&[0u8; 5]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Synthetic traffic anomalies.
+//!
+//! Section 3.4.3 of the paper evaluates the prediction and load shedding
+//! schemes under injected anomalies: volume-based DDoS attacks, SYN floods
+//! with spoofed sources, worm outbreaks and attacks crafted against the
+//! monitoring system itself (bursts that are hard to predict because they go
+//! idle every other second). The same four shapes are reproduced here as
+//! packet injectors that add packets to the bins they are active in.
+
+use crate::packet::{FiveTuple, Packet, TCP_SYN};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The kind of anomaly to inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnomalyKind {
+    /// Volume-based distributed denial of service: an overwhelming number of
+    /// small packets from spoofed sources towards a single target, with
+    /// random source ports (drives up the number of distinct flows).
+    DdosFlood {
+        /// Target host of the attack.
+        target: u32,
+    },
+    /// TCP SYN flood against one target host and port: 40-byte SYN packets
+    /// from spoofed sources.
+    SynFlood {
+        /// Target host.
+        target: u32,
+        /// Target port.
+        port: u16,
+    },
+    /// Worm outbreak: many sources scanning many destinations on a fixed
+    /// destination port, small payload with a recognisable signature.
+    WormOutbreak {
+        /// Destination port the worm propagates on.
+        port: u16,
+    },
+    /// Burst of MTU-sized packets on a handful of flows; stresses queries
+    /// whose cost depends on the number of bytes (trace, pattern-search).
+    ByteBurst,
+}
+
+/// An anomaly active over a range of time bins.
+///
+/// `duty_cycle_bins` reproduces the paper's "goes idle every other second"
+/// attack: the anomaly only injects packets during the first half of every
+/// duty cycle. With `duty_cycle_bins == 0` the anomaly is always on while in
+/// range.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// Attack shape.
+    pub kind: AnomalyKind,
+    /// First affected bin (inclusive).
+    pub start_bin: u64,
+    /// Last affected bin (exclusive).
+    pub end_bin: u64,
+    /// Extra packets injected per active bin.
+    pub packets_per_bin: usize,
+    /// Length of the on/off duty cycle in bins (0 = always on).
+    pub duty_cycle_bins: u64,
+}
+
+impl Anomaly {
+    /// Creates an always-on anomaly over `[start_bin, end_bin)`.
+    pub fn new(kind: AnomalyKind, start_bin: u64, end_bin: u64, packets_per_bin: usize) -> Self {
+        Self { kind, start_bin, end_bin, packets_per_bin, duty_cycle_bins: 0 }
+    }
+
+    /// Sets an on/off duty cycle: the anomaly injects packets only during the
+    /// first half of every `cycle_bins`-bin period.
+    pub fn with_duty_cycle(mut self, cycle_bins: u64) -> Self {
+        self.duty_cycle_bins = cycle_bins;
+        self
+    }
+
+    /// Returns `true` if the anomaly injects packets into the given bin.
+    pub fn is_active(&self, bin: u64) -> bool {
+        if bin < self.start_bin || bin >= self.end_bin {
+            return false;
+        }
+        if self.duty_cycle_bins == 0 {
+            return true;
+        }
+        let phase = (bin - self.start_bin) % self.duty_cycle_bins;
+        phase < self.duty_cycle_bins / 2
+    }
+
+    /// Appends this anomaly's packets for the given bin to `out`.
+    pub fn inject(
+        &self,
+        bin: u64,
+        start_ts: u64,
+        duration_us: u64,
+        rng: &mut StdRng,
+        out: &mut Vec<Packet>,
+    ) {
+        if !self.is_active(bin) {
+            return;
+        }
+        for _ in 0..self.packets_per_bin {
+            let ts = start_ts + rng.gen_range(0..duration_us);
+            let packet = match self.kind {
+                AnomalyKind::DdosFlood { target } => {
+                    let tuple = FiveTuple::new(
+                        rng.gen::<u32>(),
+                        target,
+                        rng.gen_range(1..=65535u16),
+                        rng.gen_range(1..=65535u16),
+                        17,
+                    );
+                    Packet::header_only(ts, tuple, 60, 0)
+                }
+                AnomalyKind::SynFlood { target, port } => {
+                    let tuple = FiveTuple::new(
+                        rng.gen::<u32>(),
+                        target,
+                        rng.gen_range(1024..=65535u16),
+                        port,
+                        6,
+                    );
+                    Packet::header_only(ts, tuple, 40, TCP_SYN)
+                }
+                AnomalyKind::WormOutbreak { port } => {
+                    let tuple = FiveTuple::new(
+                        0x0a00_0000 | (rng.gen::<u32>() & 0xffff),
+                        rng.gen::<u32>(),
+                        rng.gen_range(1024..=65535u16),
+                        port,
+                        6,
+                    );
+                    let mut p = Packet::header_only(ts, tuple, 404, TCP_SYN);
+                    p.payload = Some(bytes::Bytes::from_static(
+                        b"\x90\x90\x90\x90WORM-PAYLOAD-SIGNATURE-0xDEADBEEF",
+                    ));
+                    p
+                }
+                AnomalyKind::ByteBurst => {
+                    // A handful of heavy-hitter flows sending MTU packets.
+                    let flow = rng.gen_range(0..8u32);
+                    let tuple =
+                        FiveTuple::new(0x0a00_00f0 + flow, 0xc0a8_0001, 40_000 + flow as u16, 80, 6);
+                    Packet::header_only(ts, tuple, 1500, 0)
+                }
+            };
+            out.push(packet);
+        }
+    }
+}
+
+/// Convenience collection of anomalies applied to a batch stream.
+#[derive(Debug, Clone, Default)]
+pub struct AnomalyInjector {
+    anomalies: Vec<Anomaly>,
+}
+
+impl AnomalyInjector {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an anomaly to the set.
+    pub fn add(&mut self, anomaly: Anomaly) -> &mut Self {
+        self.anomalies.push(anomaly);
+        self
+    }
+
+    /// Returns the configured anomalies.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// Returns `true` if any anomaly is active in the given bin.
+    pub fn any_active(&self, bin: u64) -> bool {
+        self.anomalies.iter().any(|a| a.is_active(bin))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn anomaly_respects_bin_range() {
+        let a = Anomaly::new(AnomalyKind::ByteBurst, 10, 20, 5);
+        assert!(!a.is_active(9));
+        assert!(a.is_active(10));
+        assert!(a.is_active(19));
+        assert!(!a.is_active(20));
+    }
+
+    #[test]
+    fn duty_cycle_alternates() {
+        let a = Anomaly::new(AnomalyKind::ByteBurst, 0, 100, 5).with_duty_cycle(20);
+        // First half of each 20-bin cycle is on, second half off.
+        assert!(a.is_active(0));
+        assert!(a.is_active(9));
+        assert!(!a.is_active(10));
+        assert!(!a.is_active(19));
+        assert!(a.is_active(20));
+    }
+
+    #[test]
+    fn syn_flood_injects_syn_packets_to_target() {
+        let a = Anomaly::new(AnomalyKind::SynFlood { target: 0x01020304, port: 80 }, 0, 1, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        a.inject(0, 0, 100_000, &mut rng, &mut out);
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|p| p.is_syn() && p.tuple.dst_ip == 0x01020304 && p.ip_len == 40));
+    }
+
+    #[test]
+    fn ddos_flood_produces_many_distinct_sources() {
+        let a = Anomaly::new(AnomalyKind::DdosFlood { target: 7 }, 0, 1, 200);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        a.inject(0, 0, 100_000, &mut rng, &mut out);
+        let distinct: std::collections::HashSet<u32> = out.iter().map(|p| p.tuple.src_ip).collect();
+        assert!(distinct.len() > 150, "spoofed sources should be mostly unique");
+    }
+
+    #[test]
+    fn inactive_bin_injects_nothing() {
+        let a = Anomaly::new(AnomalyKind::ByteBurst, 5, 6, 50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        a.inject(0, 0, 100_000, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+}

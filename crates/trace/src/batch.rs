@@ -1,0 +1,245 @@
+//! Batches: the unit of work of the monitoring system.
+//!
+//! The CoMo-based system of the paper groups every 100 ms of traffic into a
+//! *batch* and runs the prediction / load-shedding / query-execution cycle
+//! once per batch (Section 3.1). A [`Batch`] owns its packets; the load
+//! shedders produce new (sampled) batches rather than mutating in place so
+//! that per-query sampling rates can differ (Chapter 5).
+
+use crate::packet::{Packet, Timestamp};
+use std::sync::Arc;
+
+/// A set of packets collected during one time bin.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Index of the time bin this batch belongs to (0-based).
+    pub bin_index: u64,
+    /// Timestamp of the start of the time bin, in microseconds.
+    pub start_ts: Timestamp,
+    /// Duration of the time bin in microseconds.
+    pub duration_us: u64,
+    /// Packets captured during the time bin, in timestamp order.
+    pub packets: Arc<Vec<Packet>>,
+}
+
+impl Batch {
+    /// Creates a batch from a packet vector.
+    pub fn new(bin_index: u64, start_ts: Timestamp, duration_us: u64, packets: Vec<Packet>) -> Self {
+        Self { bin_index, start_ts, duration_us, packets: Arc::new(packets) }
+    }
+
+    /// Creates an empty batch for the given time bin.
+    pub fn empty(bin_index: u64, start_ts: Timestamp, duration_us: u64) -> Self {
+        Self::new(bin_index, start_ts, duration_us, Vec::new())
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` if the batch contains no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total number of IP bytes carried by the batch.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| u64::from(p.ip_len)).sum()
+    }
+
+    /// Total number of captured payload bytes in the batch.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| p.payload_len() as u64).sum()
+    }
+
+    /// End timestamp of the time bin (exclusive).
+    pub fn end_ts(&self) -> Timestamp {
+        self.start_ts + self.duration_us
+    }
+
+    /// Returns the measurement interval index this batch belongs to, given the
+    /// measurement interval duration in microseconds.
+    pub fn measurement_interval(&self, interval_us: u64) -> u64 {
+        debug_assert!(interval_us > 0);
+        self.start_ts / interval_us
+    }
+
+    /// Returns a new batch containing only the packets for which `keep` is true.
+    ///
+    /// The bin index, start timestamp and duration are preserved so the result
+    /// still identifies the same time bin.
+    pub fn filtered<F: FnMut(&Packet) -> bool>(&self, mut keep: F) -> Batch {
+        let packets: Vec<Packet> = self.packets.iter().filter(|p| keep(p)).cloned().collect();
+        Batch::new(self.bin_index, self.start_ts, self.duration_us, packets)
+    }
+
+    /// Computes summary statistics for the batch.
+    pub fn stats(&self) -> BatchStats {
+        let mut stats = BatchStats {
+            packets: self.packets.len() as u64,
+            bytes: 0,
+            payload_bytes: 0,
+            syn_packets: 0,
+            tcp_packets: 0,
+            udp_packets: 0,
+        };
+        for p in self.packets.iter() {
+            stats.bytes += u64::from(p.ip_len);
+            stats.payload_bytes += p.payload_len() as u64;
+            if p.is_syn() {
+                stats.syn_packets += 1;
+            }
+            match p.tuple.proto {
+                6 => stats.tcp_packets += 1,
+                17 => stats.udp_packets += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// Average bit rate of the batch over the time bin, in megabits per second.
+    pub fn load_mbps(&self) -> f64 {
+        if self.duration_us == 0 {
+            return 0.0;
+        }
+        let bits = self.total_bytes() as f64 * 8.0;
+        bits / (self.duration_us as f64 / 1e6) / 1e6
+    }
+}
+
+/// Summary statistics of a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of packets.
+    pub packets: u64,
+    /// Number of IP bytes.
+    pub bytes: u64,
+    /// Number of captured payload bytes.
+    pub payload_bytes: u64,
+    /// Number of pure SYN packets (SYN set, ACK clear).
+    pub syn_packets: u64,
+    /// Number of TCP packets.
+    pub tcp_packets: u64,
+    /// Number of UDP packets.
+    pub udp_packets: u64,
+}
+
+/// Accumulates packets into consecutive fixed-duration batches.
+///
+/// The builder assumes packets are pushed in non-decreasing timestamp order
+/// (as delivered by a capture device). Whenever a packet belongs to a later
+/// time bin than the one currently being filled, the current batch is closed
+/// and returned; empty bins are emitted as empty batches so downstream
+/// consumers see a batch per time bin.
+#[derive(Debug)]
+pub struct BatchBuilder {
+    duration_us: u64,
+    current_bin: u64,
+    pending: Vec<Packet>,
+}
+
+impl BatchBuilder {
+    /// Creates a builder producing batches of the given time-bin duration.
+    pub fn new(duration_us: u64) -> Self {
+        assert!(duration_us > 0, "time bin duration must be positive");
+        Self { duration_us, current_bin: 0, pending: Vec::new() }
+    }
+
+    /// Pushes a packet; returns all batches that were completed by this push.
+    ///
+    /// A single push can complete several batches if the packet timestamp
+    /// jumps over one or more empty bins.
+    pub fn push(&mut self, packet: Packet) -> Vec<Batch> {
+        let bin = packet.ts / self.duration_us;
+        let mut closed = Vec::new();
+        while bin > self.current_bin {
+            closed.push(self.close_current());
+        }
+        self.pending.push(packet);
+        closed
+    }
+
+    /// Closes the batch currently being filled and advances to the next bin.
+    pub fn close_current(&mut self) -> Batch {
+        let packets = std::mem::take(&mut self.pending);
+        let batch = Batch::new(
+            self.current_bin,
+            self.current_bin * self.duration_us,
+            self.duration_us,
+            packets,
+        );
+        self.current_bin += 1;
+        batch
+    }
+
+    /// Flushes the final (possibly partial) batch.
+    pub fn finish(mut self) -> Batch {
+        self.close_current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FiveTuple;
+
+    fn pkt(ts: Timestamp) -> Packet {
+        Packet::header_only(ts, FiveTuple::new(1, 2, 3, 4, 6), 100, 0)
+    }
+
+    #[test]
+    fn builder_groups_packets_by_bin() {
+        let mut b = BatchBuilder::new(100);
+        assert!(b.push(pkt(10)).is_empty());
+        assert!(b.push(pkt(50)).is_empty());
+        let closed = b.push(pkt(150));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].len(), 2);
+        assert_eq!(closed[0].bin_index, 0);
+        let last = b.finish();
+        assert_eq!(last.bin_index, 1);
+        assert_eq!(last.len(), 1);
+    }
+
+    #[test]
+    fn builder_emits_empty_bins_for_gaps() {
+        let mut b = BatchBuilder::new(100);
+        b.push(pkt(10));
+        let closed = b.push(pkt(350));
+        assert_eq!(closed.len(), 3);
+        assert_eq!(closed[0].len(), 1);
+        assert!(closed[1].is_empty());
+        assert!(closed[2].is_empty());
+        assert_eq!(closed[2].bin_index, 2);
+    }
+
+    #[test]
+    fn stats_and_load() {
+        let packets = vec![pkt(0), pkt(10), pkt(20)];
+        let batch = Batch::new(0, 0, 100_000, packets);
+        let stats = batch.stats();
+        assert_eq!(stats.packets, 3);
+        assert_eq!(stats.bytes, 300);
+        assert_eq!(stats.tcp_packets, 3);
+        // 300 bytes over 100 ms = 2400 bits / 0.1 s = 24 kbit/s = 0.024 Mbps.
+        assert!((batch.load_mbps() - 0.024).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_preserves_bin_identity() {
+        let packets = vec![pkt(0), pkt(10), pkt(20)];
+        let batch = Batch::new(7, 700_000, 100_000, packets);
+        let half = batch.filtered(|p| p.ts >= 10);
+        assert_eq!(half.bin_index, 7);
+        assert_eq!(half.start_ts, 700_000);
+        assert_eq!(half.len(), 2);
+    }
+
+    #[test]
+    fn measurement_interval_indexing() {
+        let batch = Batch::empty(13, 1_300_000, 100_000);
+        assert_eq!(batch.measurement_interval(1_000_000), 1);
+    }
+}

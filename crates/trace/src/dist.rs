@@ -1,0 +1,164 @@
+//! Small collection of random distributions used by the workload generator.
+//!
+//! Only `rand` is available offline (no `rand_distr`), so the handful of
+//! distributions the generator needs — Poisson, Pareto, Zipf and log-normal —
+//! are implemented here. They favour simplicity over performance; the
+//! generator draws at most a few values per packet.
+
+use rand::Rng;
+
+/// Draws from a Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's multiplication method for small means and a normal
+/// approximation (rounded, clamped at zero) for large means, which is more
+/// than accurate enough for workload generation.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let sample = normal(rng, lambda, lambda.sqrt());
+        sample.round().max(0.0) as u64
+    }
+}
+
+/// Draws from a normal distribution via the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, stdev: f64) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + stdev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws from a log-normal distribution parameterised by the underlying
+/// normal's mean and standard deviation.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws from a Pareto distribution with minimum `scale` and shape `alpha`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, scale: f64, alpha: f64) -> f64 {
+    debug_assert!(scale > 0.0 && alpha > 0.0);
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    scale / u.powf(1.0 / alpha)
+}
+
+/// Zipf sampler over ranks `1..=n` with exponent `s`.
+///
+/// The cumulative distribution is precomputed at construction so sampling is
+/// a binary search, which matters because the generator draws one or two Zipf
+/// values per packet.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (larger `s` means a
+    /// more skewed distribution).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 80.0] {
+            let n = 4000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "lambda {lambda}: got mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_scale_minimum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(pareto(&mut rng, 3.0, 1.2) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zipf = Zipf::new(100, 1.0);
+        let mut rank0 = 0;
+        let mut rank_high = 0;
+        for _ in 0..10_000 {
+            let r = zipf.sample(&mut rng);
+            if r == 0 {
+                rank0 += 1;
+            }
+            if r >= 50 {
+                rank_high += 1;
+            }
+        }
+        assert!(rank0 > rank_high, "rank 0 ({rank0}) should dominate ranks >= 50 ({rank_high})");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+}

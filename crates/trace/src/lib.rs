@@ -1,0 +1,49 @@
+//! Packet, flow and batch model plus synthetic workload generation.
+//!
+//! The load shedding paper evaluates its system against real packet traces
+//! collected at the CESCA and UPC networks plus two NLANR traces (ABILENE,
+//! CENIC) and against live traffic. Those traces are not redistributable, so
+//! this crate provides a *synthetic substitute*: a flow-level workload
+//! generator whose output exercises the same code paths —
+//!
+//! * bursty, heavy-tailed traffic (Pareto flow sizes, log-normal rate
+//!   modulation per time bin),
+//! * Zipf-distributed address and port popularity so that per-aggregate
+//!   feature counters (unique/new/repeated items) behave like real traffic,
+//! * an application mix (web, DNS, P2P, bulk transfer) with optional payloads
+//!   so that signature-matching queries have something to match,
+//! * injectable anomalies (DDoS floods with spoofed sources, SYN floods, worm
+//!   outbreaks, byte bursts) reproducing Section 3.4.3 of the paper.
+//!
+//! The fundamental unit consumed by the monitoring system is the [`Batch`]:
+//! all packets that arrived during one *time bin* (100 ms in the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use netshed_trace::{TraceConfig, TraceGenerator};
+//!
+//! let config = TraceConfig::default().with_seed(7).with_mean_packets_per_batch(500.0);
+//! let mut generator = TraceGenerator::new(config);
+//! let batch = generator.next_batch();
+//! assert!(!batch.packets.is_empty());
+//! ```
+
+pub mod anomaly;
+pub mod batch;
+pub mod dist;
+pub mod generator;
+pub mod packet;
+pub mod profiles;
+
+pub use anomaly::{Anomaly, AnomalyInjector, AnomalyKind};
+pub use batch::{Batch, BatchBuilder, BatchStats};
+pub use generator::{AppProtocol, TraceConfig, TraceGenerator};
+pub use packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
+pub use profiles::TraceProfile;
+
+/// Duration of a time bin in microseconds (100 ms, as in the paper).
+pub const DEFAULT_TIME_BIN_US: u64 = 100_000;
+
+/// Duration of a measurement interval in microseconds (1 s, as in the paper).
+pub const DEFAULT_MEASUREMENT_INTERVAL_US: u64 = 1_000_000;

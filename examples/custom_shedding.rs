@@ -1,0 +1,117 @@
+//! Custom load shedding (Chapter 6).
+//!
+//! The `p2p-detector` query is not robust to packet sampling: dropping the
+//! packets that carry the protocol handshake makes it miss entire flows.
+//! Chapter 6 lets such queries shed load themselves while the system polices
+//! the cycles they use. This example compares three configurations under a
+//! 2x overload:
+//!
+//! 1. the detector under system-side packet sampling,
+//! 2. the detector using its custom shedding method (honest),
+//! 3. a *selfish* detector that ignores the assigned rate — and gets
+//!    penalised by the enforcement policy.
+//!
+//! ```sh
+//! cargo run --release --example custom_shedding
+//! ```
+
+use netshed::monitor::{AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy};
+use netshed::queries::{CustomBehavior, QueryKind, QuerySpec};
+use netshed::trace::{TraceGenerator, TraceProfile};
+
+const BATCHES: usize = 300;
+
+struct Outcome {
+    p2p_accuracy: f64,
+    other_accuracy: f64,
+    p2p_disabled_bins: usize,
+}
+
+fn run(p2p_spec: QuerySpec, capacity: f64, batches: &[netshed::trace::Batch]) -> Outcome {
+    let specs = vec![
+        p2p_spec,
+        QuerySpec::new(QueryKind::Counter),
+        QuerySpec::new(QueryKind::Flows),
+        QuerySpec::new(QueryKind::Application),
+    ];
+    let config = MonitorConfig::default()
+        .with_capacity(capacity)
+        .with_strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt));
+    let mut monitor = Monitor::new(config);
+    for spec in &specs {
+        monitor.add_query(spec);
+    }
+    let mut reference = ReferenceRunner::new(&specs, 1_000_000);
+    let mut p2p_acc = Vec::new();
+    let mut other_acc = Vec::new();
+    let mut disabled = 0usize;
+    for batch in batches {
+        let record = monitor.process_batch(batch);
+        if record.queries.first().is_some_and(|q| q.disabled) {
+            disabled += 1;
+        }
+        let truths = reference.process_batch(batch);
+        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
+            for ((name, output), (_, truth)) in outputs.iter().zip(&truths) {
+                let accuracy = output.accuracy_against(truth);
+                if *name == "p2p-detector" {
+                    p2p_acc.push(accuracy);
+                } else {
+                    other_acc.push(accuracy);
+                }
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Outcome {
+        p2p_accuracy: mean(&p2p_acc),
+        other_accuracy: mean(&other_acc),
+        p2p_disabled_bins: disabled,
+    }
+}
+
+fn main() {
+    let mut generator = TraceGenerator::new(TraceProfile::UpcI.default_config(23));
+    let batches = generator.batches(BATCHES);
+    let base_specs = vec![
+        QuerySpec::new(QueryKind::P2pDetector),
+        QuerySpec::new(QueryKind::Counter),
+        QuerySpec::new(QueryKind::Flows),
+        QuerySpec::new(QueryKind::Application),
+    ];
+    let demand =
+        netshed::monitor::reference::measure_total_demand(&base_specs, &batches[..50]);
+    let capacity = demand * 0.5;
+
+    let sampled = run(QuerySpec::new(QueryKind::P2pDetector), capacity, &batches);
+    let custom = run(
+        QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Honest),
+        capacity,
+        &batches,
+    );
+    let selfish = run(
+        QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Selfish),
+        capacity,
+        &batches,
+    );
+
+    println!("p2p-detector under 2x overload (higher accuracy is better)\n");
+    println!(
+        "{:<28} {:>14} {:>16} {:>16}",
+        "configuration", "p2p accuracy", "other accuracy", "p2p disabled bins"
+    );
+    for (name, outcome) in [
+        ("system packet sampling", &sampled),
+        ("custom shedding (honest)", &custom),
+        ("custom shedding (selfish)", &selfish),
+    ] {
+        println!(
+            "{:<28} {:>13.2}  {:>15.2}  {:>16}",
+            name, outcome.p2p_accuracy, outcome.other_accuracy, outcome.p2p_disabled_bins
+        );
+    }
+    println!(
+        "\nThe honest custom method preserves detection accuracy at the same cost, while the \
+         selfish variant is caught by the enforcement policy and spends bins disabled."
+    );
+}

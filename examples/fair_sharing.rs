@@ -1,0 +1,95 @@
+//! Fairness of service with competing queries (Chapter 5).
+//!
+//! Nine queries with very different costs and minimum sampling-rate
+//! constraints compete for a system that can only serve half of their total
+//! demand (overload factor K = 0.5). The example compares the per-query
+//! accuracy of three allocation strategies — the single global rate of
+//! Chapter 4 (`eq_srates`) and the two max-min fair share flavours of
+//! Chapter 5 (`mmfs_cpu`, `mmfs_pkt`) — and prints a table in the spirit of
+//! Table 5.2, plus a numeric check of the allocation game's Nash equilibrium.
+//!
+//! ```sh
+//! cargo run --release --example fair_sharing
+//! ```
+
+use netshed::fairness::{AllocationGame, FairnessMode};
+use netshed::monitor::{AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy};
+use netshed::queries::{QueryKind, QuerySpec};
+use netshed::trace::{TraceGenerator, TraceProfile};
+use std::collections::HashMap;
+
+const BATCHES: usize = 300;
+
+fn accuracy_per_query(
+    policy: AllocationPolicy,
+    capacity: f64,
+    batches: &[netshed::trace::Batch],
+    specs: &[QuerySpec],
+) -> HashMap<&'static str, f64> {
+    let config = MonitorConfig::default()
+        .with_capacity(capacity)
+        .with_strategy(Strategy::Predictive(policy));
+    let mut monitor = Monitor::new(config);
+    for spec in specs {
+        monitor.add_query(spec);
+    }
+    let mut reference = ReferenceRunner::new(specs, 1_000_000);
+    let mut sums: HashMap<&'static str, (f64, usize)> = HashMap::new();
+    for batch in batches {
+        let record = monitor.process_batch(batch);
+        let truths = reference.process_batch(batch);
+        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
+            for ((name, output), (_, truth)) in outputs.iter().zip(&truths) {
+                let entry = sums.entry(name).or_insert((0.0, 0));
+                entry.0 += output.accuracy_against(truth);
+                entry.1 += 1;
+            }
+        }
+    }
+    sums.into_iter().map(|(name, (sum, count))| (name, sum / count.max(1) as f64)).collect()
+}
+
+fn main() {
+    let mut generator = TraceGenerator::new(TraceProfile::CescaII.default_config(11));
+    let batches = generator.batches(BATCHES);
+    let specs: Vec<QuerySpec> =
+        QueryKind::CHAPTER5_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
+
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..50]);
+    let capacity = demand * 0.5; // K = 0.5: demand is twice the capacity.
+
+    println!("nine competing queries, K = 0.5 (demands are twice the capacity)\n");
+    let eq = accuracy_per_query(AllocationPolicy::EqualRates, capacity, &batches, &specs);
+    let cpu = accuracy_per_query(AllocationPolicy::MmfsCpu, capacity, &batches, &specs);
+    let pkt = accuracy_per_query(AllocationPolicy::MmfsPkt, capacity, &batches, &specs);
+
+    println!("{:<16} {:>10} {:>10} {:>10}", "query", "eq_srates", "mmfs_cpu", "mmfs_pkt");
+    let mut names: Vec<&&'static str> = eq.keys().collect();
+    names.sort();
+    for name in &names {
+        println!(
+            "{:<16} {:>9.2}  {:>9.2}  {:>9.2}",
+            name,
+            eq.get(**name).copied().unwrap_or(0.0),
+            cpu.get(**name).copied().unwrap_or(0.0),
+            pkt.get(**name).copied().unwrap_or(0.0)
+        );
+    }
+    let min = |m: &HashMap<&str, f64>| m.values().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum accuracy:   eq_srates {:.2} | mmfs_cpu {:.2} | mmfs_pkt {:.2}",
+        min(&eq),
+        min(&cpu),
+        min(&pkt)
+    );
+
+    // Nash equilibrium check of Section 5.3: with 9 players and the measured
+    // capacity, demanding exactly C/|Q| is an equilibrium.
+    let game = AllocationGame::new(capacity, specs.len(), FairnessMode::Packet);
+    let actions = vec![game.equilibrium_action(); specs.len()];
+    println!(
+        "\nNash equilibrium check: demanding C/|Q| = {:.0} cycles each is {}",
+        game.equilibrium_action(),
+        if game.is_nash_equilibrium(&actions, 200, 1e-6) { "an equilibrium" } else { "NOT an equilibrium" }
+    );
+}

@@ -1,0 +1,14 @@
+//! `netshed` — predictive load shedding for network monitoring applications.
+//!
+//! This is the facade crate: it re-exports the public API of every sub-crate
+//! in the workspace. See `README.md` for an overview and `DESIGN.md` for the
+//! mapping between the paper's system and the crates.
+
+pub use netshed_fairness as fairness;
+pub use netshed_features as features;
+pub use netshed_linalg as linalg;
+pub use netshed_monitor as monitor;
+pub use netshed_predict as predict;
+pub use netshed_queries as queries;
+pub use netshed_sketch as sketch;
+pub use netshed_trace as trace;

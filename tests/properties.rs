@@ -1,0 +1,126 @@
+//! Property-based tests of the core data structures and invariants.
+
+use netshed::fairness::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
+use netshed::linalg::{ols_solve, Matrix};
+use netshed::sketch::{mix64, BloomFilter, MultiResolutionBitmap};
+use netshed::trace::{BatchBuilder, FiveTuple, Packet};
+use proptest::prelude::*;
+
+proptest! {
+    /// The multi-resolution bitmap estimate stays within a reasonable
+    /// relative error across two orders of magnitude of cardinality.
+    #[test]
+    fn multiresolution_bitmap_estimates_within_bounds(n in 200usize..20_000, salt in 0u64..1000) {
+        let mut bitmap = MultiResolutionBitmap::for_cardinality(50_000);
+        for i in 0..n {
+            bitmap.insert_hash(mix64(i as u64 ^ (salt << 32)));
+        }
+        let estimate = bitmap.estimate();
+        let error = (estimate - n as f64).abs() / n as f64;
+        prop_assert!(error < 0.15, "n={n} estimate={estimate} error={error}");
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_filter_has_no_false_negatives(keys in proptest::collection::hash_set(0u32..1_000_000, 1..500)) {
+        let mut bloom = BloomFilter::with_rate(keys.len().max(8), 0.01);
+        for key in &keys {
+            bloom.insert(&key.to_be_bytes());
+        }
+        for key in &keys {
+            prop_assert!(bloom.contains(&key.to_be_bytes()));
+        }
+    }
+
+    /// Every fairness strategy respects the capacity constraint and the
+    /// minimum sampling rate of every enabled query, and never emits a rate
+    /// outside [0, 1].
+    #[test]
+    fn fair_allocations_respect_capacity_and_minimums(
+        demands in proptest::collection::vec((1.0f64..1e6, 0.0f64..1.0), 1..12),
+        capacity_factor in 0.05f64..1.5,
+    ) {
+        let demands: Vec<QueryDemand> =
+            demands.into_iter().map(|(cycles, min)| QueryDemand::new(cycles, min)).collect();
+        let total: f64 = demands.iter().map(|d| d.predicted_cycles).sum();
+        let capacity = total * capacity_factor;
+        for strategy in [mmfs_cpu, mmfs_pkt, eq_srates] {
+            let allocations = strategy(&demands, capacity);
+            prop_assert_eq!(allocations.len(), demands.len());
+            let used: f64 = demands
+                .iter()
+                .zip(&allocations)
+                .map(|(d, a)| d.predicted_cycles * a.rate())
+                .sum();
+            prop_assert!(used <= capacity * 1.0001 + 1e-6, "used {} > capacity {}", used, capacity);
+            for (demand, allocation) in demands.iter().zip(&allocations) {
+                match allocation {
+                    Allocation::Disabled => {}
+                    Allocation::Rate(rate) => {
+                        prop_assert!((0.0..=1.0).contains(rate));
+                        prop_assert!(*rate >= demand.min_rate - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// With ample capacity no strategy sheds anything.
+    #[test]
+    fn ample_capacity_never_sheds(
+        demands in proptest::collection::vec((1.0f64..1e5, 0.0f64..1.0), 1..10),
+    ) {
+        let demands: Vec<QueryDemand> =
+            demands.into_iter().map(|(cycles, min)| QueryDemand::new(cycles, min)).collect();
+        let total: f64 = demands.iter().map(|d| d.predicted_cycles).sum();
+        for strategy in [mmfs_cpu, mmfs_pkt, eq_srates] {
+            let allocations = strategy(&demands, total * 2.0);
+            for allocation in &allocations {
+                prop_assert!((allocation.rate() - 1.0).abs() < 1e-9, "{:?}", allocation);
+            }
+        }
+    }
+
+    /// The batch builder conserves packets: every pushed packet ends up in
+    /// exactly one emitted batch, and batches are emitted in bin order.
+    #[test]
+    fn batch_builder_conserves_packets(timestamps in proptest::collection::vec(0u64..5_000, 1..300)) {
+        let mut sorted = timestamps.clone();
+        sorted.sort_unstable();
+        let mut builder = BatchBuilder::new(100);
+        let mut batches = Vec::new();
+        for ts in &sorted {
+            let packet = Packet::header_only(*ts, FiveTuple::new(1, 2, 3, 4, 6), 100, 0);
+            batches.extend(builder.push(packet));
+        }
+        batches.push(builder.finish());
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, sorted.len());
+        for window in batches.windows(2) {
+            prop_assert_eq!(window[1].bin_index, window[0].bin_index + 1);
+        }
+        for batch in &batches {
+            for packet in batch.packets.iter() {
+                prop_assert!(packet.ts >= batch.start_ts && packet.ts < batch.end_ts());
+            }
+        }
+    }
+
+    /// OLS through the SVD pseudo-inverse recovers exact linear models.
+    #[test]
+    fn ols_recovers_linear_models(
+        a in -50.0f64..50.0,
+        b in -50.0f64..50.0,
+        xs in proptest::collection::vec(-100.0f64..100.0, 10..60),
+    ) {
+        // Require enough spread in x for the system to be well conditioned.
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1.0);
+        let rows: Vec<Vec<f64>> = xs.iter().map(|x| vec![1.0, *x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let fit = ols_solve(&Matrix::from_rows(&rows), &ys, 1e-12);
+        prop_assert!((fit.coefficients[0] - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((fit.coefficients[1] - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+}
