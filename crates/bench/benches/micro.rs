@@ -16,8 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_feature_extraction(c: &mut Criterion) {
-    let mut generator =
-        TraceGenerator::new(TraceConfig::default().with_seed(1).with_mean_packets_per_batch(1000.0));
+    let mut generator = TraceGenerator::new(
+        TraceConfig::default().with_seed(1).with_mean_packets_per_batch(1000.0),
+    );
     let batch = generator.next_batch();
     c.bench_function("feature_extraction_1000pkt_batch", |b| {
         let mut extractor = FeatureExtractor::with_defaults();
@@ -26,8 +27,9 @@ fn bench_feature_extraction(c: &mut Criterion) {
 }
 
 fn bench_prediction(c: &mut Criterion) {
-    let mut generator =
-        TraceGenerator::new(TraceConfig::default().with_seed(2).with_mean_packets_per_batch(1000.0));
+    let mut generator = TraceGenerator::new(
+        TraceConfig::default().with_seed(2).with_mean_packets_per_batch(1000.0),
+    );
     let batches = generator.batches(80);
     let mut extractor = FeatureExtractor::with_defaults();
     let mut query = build_query(QueryKind::Flows);
@@ -47,8 +49,9 @@ fn bench_prediction(c: &mut Criterion) {
 }
 
 fn bench_sampling(c: &mut Criterion) {
-    let mut generator =
-        TraceGenerator::new(TraceConfig::default().with_seed(3).with_mean_packets_per_batch(1000.0));
+    let mut generator = TraceGenerator::new(
+        TraceConfig::default().with_seed(3).with_mean_packets_per_batch(1000.0),
+    );
     let batch = generator.next_batch();
     c.bench_function("packet_sample_1000pkt_batch", |b| {
         let mut rng = StdRng::seed_from_u64(7);
@@ -75,9 +78,7 @@ fn bench_sketches(c: &mut Criterion) {
 fn bench_pattern_search(c: &mut Criterion) {
     let pattern = BoyerMoore::new(b"BitTorrent protocol");
     let haystack = vec![b'x'; 1460];
-    c.bench_function("boyer_moore_scan_1460B", |b| {
-        b.iter(|| black_box(pattern.find(&haystack)))
-    });
+    c.bench_function("boyer_moore_scan_1460B", |b| b.iter(|| black_box(pattern.find(&haystack))));
 }
 
 fn bench_queries(c: &mut Criterion) {

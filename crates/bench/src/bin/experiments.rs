@@ -22,7 +22,7 @@ use netshed_features::{FeatureExtractor, FeatureId};
 use netshed_linalg::stats::percentile;
 use netshed_monitor::{AllocationPolicy, MonitorConfig, Strategy};
 use netshed_predict::{
-    EwmaPredictor, ErrorStats, FcbfConfig, MlrConfig, MlrPredictor, Predictor, SlrPredictor,
+    ErrorStats, EwmaPredictor, FcbfConfig, MlrConfig, MlrPredictor, Predictor, SlrPredictor,
 };
 use netshed_queries::{
     build_query, CustomBehavior, CycleMeter, MeasurementNoise, QueryKind, QuerySpec,
@@ -51,7 +51,8 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--batches" => {
-                options.batches = iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.batches)
+                options.batches =
+                    iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.batches)
             }
             "--scale" => {
                 options.scale = iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.scale)
@@ -121,9 +122,17 @@ const ALL_EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("fig6_9", "effect of new query arrivals", fig6_9),
     ("fig6_10", "robustness against selfish queries", fig6_10),
     ("fig6_11", "robustness against buggy queries", fig6_11),
-    ("fig6_12_14", "long run: CPU, drops, accuracy and shedding rate over time (Table 6.2)", fig6_12_14),
+    (
+        "fig6_12_14",
+        "long run: CPU, drops, accuracy and shedding rate over time (Table 6.2)",
+        fig6_12_14,
+    ),
     ("ablation_rtthresh", "ablation: buffer discovery on/off", ablation_rtthresh),
-    ("ablation_error_correction", "ablation: EWMA error correction on/off", ablation_error_correction),
+    (
+        "ablation_error_correction",
+        "ablation: EWMA error correction on/off",
+        ablation_error_correction,
+    ),
 ];
 
 fn print_list() {
@@ -235,9 +244,11 @@ fn fig2_2(options: &Options) {
 /// Figure 3.1: cycles of an "unknown" (flows) query under a flood anomaly,
 /// against packets, bytes and 5-tuple flows per batch.
 fn fig3_1(options: &Options) {
-    let mut generator = TraceGenerator::new(TraceProfile::CescaI.config(options.seed, options.scale));
+    let mut generator =
+        TraceGenerator::new(TraceProfile::CescaI.config(options.seed, options.scale));
     generator.add_anomaly(
-        Anomaly::new(AnomalyKind::DdosFlood { target: 0x0a00_0001 }, 40, 60, 1200).with_duty_cycle(20),
+        Anomaly::new(AnomalyKind::DdosFlood { target: 0x0a00_0001 }, 40, 60, 1200)
+            .with_duty_cycle(20),
     );
     let batches = generator.batches(100);
     let series = query_cost_series(QueryKind::Flows, &batches, options.seed);
@@ -272,7 +283,10 @@ fn fig3_4(options: &Options) {
     let series = query_cost_series(QueryKind::Flows, &batches, options.seed);
     let mut slr = SlrPredictor::on_packets();
     let mut mlr = mlr_predictor(60, 0.6);
-    println!("{:>4} {:>12} {:>12} {:>12} {:>10} {:>10}", "bin", "actual", "slr", "mlr", "err_slr", "err_mlr");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "bin", "actual", "slr", "mlr", "err_slr", "err_mlr"
+    );
     for (index, (features, cycles)) in series.iter().enumerate() {
         let slr_prediction = slr.predict(features);
         let mlr_prediction = mlr.predict(features);
@@ -366,7 +380,8 @@ fn fig3_6(options: &Options) {
 /// Figures 3.7 and 3.8: MLR+FCBF prediction error over time on the four
 /// trace profiles (average and maximum across the seven queries).
 fn fig3_7_8(options: &Options) {
-    for profile in [TraceProfile::CescaI, TraceProfile::CescaII, TraceProfile::Abilene, TraceProfile::Cenic]
+    for profile in
+        [TraceProfile::CescaI, TraceProfile::CescaII, TraceProfile::Abilene, TraceProfile::Cenic]
     {
         let batches = profile_trace(profile, options.seed, options.batches.min(400), options.scale);
         let mut per_bin_errors: Vec<Vec<f64>> = vec![Vec::new(); batches.len()];
@@ -427,7 +442,8 @@ fn fig3_10(options: &Options) {
 /// Figures 3.11 and 3.12: error over time of EWMA and SLR, and the maximum /
 /// 95th percentile of the MLR+FCBF error.
 fn fig3_11_12(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
     for name in ["ewma", "slr", "mlr+fcbf"] {
         let mut all = ErrorStats::new();
         for kind in QueryKind::CHAPTER4_SET {
@@ -452,9 +468,11 @@ fn fig3_11_12(options: &Options) {
 /// Figures 3.13–3.15: the three predictors under a DDoS attack that goes
 /// idle every other second (flows query).
 fn fig3_13_15(options: &Options) {
-    let mut generator = TraceGenerator::new(TraceProfile::CescaII.config(options.seed, options.scale));
+    let mut generator =
+        TraceGenerator::new(TraceProfile::CescaII.config(options.seed, options.scale));
     generator.add_anomaly(
-        Anomaly::new(AnomalyKind::DdosFlood { target: 0x0a00_0001 }, 100, 300, 1500).with_duty_cycle(20),
+        Anomaly::new(AnomalyKind::DdosFlood { target: 0x0a00_0001 }, 100, 300, 1500)
+            .with_duty_cycle(20),
     );
     let batches = generator.batches(options.batches.min(300));
     let series = query_cost_series(QueryKind::Flows, &batches, options.seed);
@@ -487,7 +505,7 @@ fn fig3_13_15(options: &Options) {
 fn tab3_2(options: &Options) {
     for profile in [TraceProfile::CescaI, TraceProfile::CescaII] {
         println!("\n{} profile:", profile.name());
-        println!("{:<16} {:>8} {:>8}   {}", "query", "mean", "stdev", "selected features");
+        println!("{:<16} {:>8} {:>8}   selected features", "query", "mean", "stdev");
         let batches = profile_trace(profile, options.seed, options.batches.min(400), options.scale);
         for kind in QueryKind::CHAPTER4_SET {
             let series = query_cost_series(kind, &batches, options.seed);
@@ -508,7 +526,8 @@ fn tab3_2(options: &Options) {
 
 /// Table 3.3: error statistics per query for EWMA, SLR and MLR+FCBF.
 fn tab3_3(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
     println!(
         "{:<16} {:>20} {:>20} {:>20}",
         "query", "EWMA (mean ±sd)", "SLR (mean ±sd)", "MLR+FCBF (mean ±sd)"
@@ -535,7 +554,8 @@ fn tab3_3(options: &Options) {
 /// in feature extraction, feature selection and the regression).
 fn tab3_4(options: &Options) {
     let specs = chapter4_specs();
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(300), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(300), options.scale);
     let config = MonitorConfig::default().with_capacity(1e15).with_strategy(Strategy::NoShedding);
     let result = run_with_reference(config, &specs, &batches, &[]);
     let query_cycles: f64 = result.bins.iter().map(|b| b.query_cycles).sum();
@@ -562,7 +582,8 @@ fn chapter4_runs(options: &Options) -> Vec<(&'static str, RunResult, f64)> {
         .iter()
         .map(|kind| QuerySpec::new(*kind).with_min_rate(0.0))
         .collect();
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches, options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches, options.scale);
     let capacity = capacity_for_overload(&specs, &batches, 0.5);
     [
         ("predictive", Strategy::Predictive(AllocationPolicy::EqualRates)),
@@ -585,7 +606,10 @@ fn fig4_1(options: &Options) {
     let runs = chapter4_runs(options);
     let capacity = runs[0].2;
     println!("capacity per batch: {capacity:.0} cycles");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}", "system", "p10", "p50", "p90", "p99", ">capacity");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "system", "p10", "p50", "p90", "p99", ">capacity"
+    );
     for (name, result, _) in &runs {
         let cycles: Vec<f64> = result.bins.iter().map(|b| b.total_cycles()).collect();
         let above = cycles.iter().filter(|&&c| c > capacity).count() as f64 / cycles.len() as f64;
@@ -610,10 +634,7 @@ fn fig4_2(options: &Options) {
     for (name, result, _) in &runs {
         let total: u64 = result.bins.iter().map(|b| b.incoming_packets).sum();
         let unsampled: u64 = result.bins.iter().map(|b| b.unsampled_packets).sum();
-        println!(
-            "{name:<12} {total:>14} {:>15} {unsampled:>18}",
-            result.uncontrolled_drops
-        );
+        println!("{name:<12} {total:>14} {:>15} {unsampled:>18}", result.uncontrolled_drops);
     }
 }
 
@@ -665,7 +686,8 @@ fn fig4_4(options: &Options) {
 /// Figures 4.5 and 4.6: CPU usage and flows-query error with and without
 /// load shedding during a SYN flood.
 fn fig4_5_6(options: &Options) {
-    let mut generator = TraceGenerator::new(TraceProfile::CescaI.config(options.seed, options.scale));
+    let mut generator =
+        TraceGenerator::new(TraceProfile::CescaI.config(options.seed, options.scale));
     generator.add_anomaly(Anomaly::new(
         AnomalyKind::SynFlood { target: 0x0a00_0001, port: 80 },
         100,
@@ -702,16 +724,13 @@ fn fig4_5_6(options: &Options) {
 /// Table 4.1: accuracy error per query for the three systems.
 fn tab4_1(options: &Options) {
     let runs = chapter4_runs(options);
-    println!(
-        "{:<16} {:>20} {:>20} {:>20}",
-        "query", "predictive", "original", "reactive"
-    );
-    let names: Vec<&'static str> = {
-        let mut n: Vec<&'static str> = runs[0].1.mean_accuracy.keys().copied().collect();
+    println!("{:<16} {:>20} {:>20} {:>20}", "query", "predictive", "original", "reactive");
+    let names: Vec<String> = {
+        let mut n: Vec<String> = runs[0].1.mean_accuracy.keys().cloned().collect();
         n.sort();
         n
     };
-    for query in names {
+    for query in &names {
         // Skip the queries the paper leaves out of Table 4.1 (no standard way
         // to estimate their unsampled output).
         if query == "pattern-search" || query == "trace" {
@@ -777,7 +796,8 @@ fn fig5_1(_options: &Options) {
 
 /// Figure 5.2: the same comparison with real queries (1 trace + 10 counters).
 fn fig5_2(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(300), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(300), options.scale);
     let mut specs = vec![QuerySpec::new(QueryKind::Trace)];
     for _ in 0..10 {
         specs.push(QuerySpec::new(QueryKind::Counter));
@@ -807,7 +827,8 @@ fn fig5_2(options: &Options) {
 /// Figure 5.4: average and minimum accuracy of the strategies as a function
 /// of the overload level.
 fn fig5_4(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
     let specs = chapter5_specs();
     println!(
         "{:>5} {:>22} {:>22} {:>22} {:>22} {:>22}",
@@ -833,7 +854,8 @@ fn fig5_4(options: &Options) {
 
 /// Figure 5.5: autofocus accuracy over time at K=0.2 for four strategies.
 fn fig5_5(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
     let specs = chapter5_specs();
     let capacity = capacity_for_overload(&specs, &batches, 0.2);
     for (name, strategy) in [
@@ -865,7 +887,8 @@ fn fig5_5(options: &Options) {
 /// Table 5.2: minimum sampling rates and per-query accuracy at K = 0.5,
 /// plus the Nash equilibrium check of Section 5.3.
 fn tab5_2(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches.min(400), options.scale);
     let specs = chapter5_specs();
     let capacity = capacity_for_overload(&specs, &batches, 0.5);
     let strategies = [
@@ -905,7 +928,11 @@ fn tab5_2(options: &Options) {
     println!(
         "\nNash equilibrium check (Section 5.3): all queries demanding C/|Q| = {:.0} is {}",
         game.equilibrium_action(),
-        if game.is_nash_equilibrium(&actions, 100, 1e-6) { "a Nash equilibrium" } else { "NOT an equilibrium" }
+        if game.is_nash_equilibrium(&actions, 100, 1e-6) {
+            "a Nash equilibrium"
+        } else {
+            "NOT an equilibrium"
+        }
     );
 }
 
@@ -933,7 +960,8 @@ fn chapter6_specs(behavior: Option<CustomBehavior>) -> Vec<QuerySpec> {
 /// Figures 6.1–6.3: cycles and accuracy of the p2p-detector with system-side
 /// sampling vs its custom method, and the expected-vs-used correction.
 fn fig6_1_3(options: &Options) {
-    let batches = profile_trace(TraceProfile::UpcI, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::UpcI, options.seed, options.batches.min(400), options.scale);
     for (name, behavior) in
         [("packet sampling", None), ("custom shedding", Some(CustomBehavior::Honest))]
     {
@@ -974,7 +1002,8 @@ fn fig6_1_3(options: &Options) {
 /// Figure 6.4: accuracy as a function of the (packet) sampling rate for the
 /// high-watermark, top-k and p2p-detector queries.
 fn fig6_4(options: &Options) {
-    let batches = profile_trace(TraceProfile::UpcI, options.seed, options.batches.min(300), options.scale);
+    let batches =
+        profile_trace(TraceProfile::UpcI, options.seed, options.batches.min(300), options.scale);
     let kinds = [QueryKind::HighWatermark, QueryKind::TopK, QueryKind::P2pDetector];
     print!("{:>6}", "rate");
     for kind in kinds {
@@ -1011,7 +1040,8 @@ fn fig6_4(options: &Options) {
 /// Figure 6.5: average and minimum accuracy at increasing overload levels
 /// with custom load shedding enabled.
 fn fig6_5(options: &Options) {
-    let batches = profile_trace(TraceProfile::UpcI, options.seed, options.batches.min(400), options.scale);
+    let batches =
+        profile_trace(TraceProfile::UpcI, options.seed, options.batches.min(400), options.scale);
     let specs = chapter6_specs(Some(CustomBehavior::Honest));
     println!("{:>5} {:>12} {:>12}", "K", "avg accuracy", "min accuracy");
     for k_step in 0..=4 {
@@ -1105,7 +1135,10 @@ fn fig6_9(options: &Options) {
     let specs = vec![QuerySpec::new(QueryKind::Counter), QuerySpec::new(QueryKind::Flows)];
     let arrivals = vec![
         (options.batches / 4, QuerySpec::new(QueryKind::TopK)),
-        (options.batches / 2, QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Honest)),
+        (
+            options.batches / 2,
+            QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Honest),
+        ),
     ];
     let capacity = capacity_for_overload(&chapter6_specs(None), &batches, 0.3);
     let config = MonitorConfig::default()
@@ -1177,16 +1210,20 @@ fn fig6_12_14(options: &Options) {
     println!("capacity {capacity:.0} cycles/bin, {} bins", result.bins.len());
     println!("\nper-query accuracy (Table 6.2):");
     println!("{:<16} {:>20}", "query", "accuracy (mean ±sd)");
-    let mut names: Vec<&&'static str> = result.mean_accuracy.keys().collect();
+    let mut names: Vec<&String> = result.mean_accuracy.keys().collect();
     names.sort();
     for name in names {
-        let errors = result.error_series.get(*name).cloned().unwrap_or_default();
+        let errors = result.error_series.get(name).cloned().unwrap_or_default();
         let accuracies: Vec<f64> = errors.iter().map(|e| 1.0 - e).collect();
         println!("{name:<16} {:>20}", fmt_pm(mean(&accuracies), stdev(&accuracies)));
     }
     let occupations: Vec<f64> = result.bins.iter().map(|b| b.buffer_occupation).collect();
     let rates: Vec<f64> = result.bins.iter().map(|b| b.mean_sampling_rate()).collect();
-    println!("\nbuffer occupation: mean {:.2}, max {:.2}", mean(&occupations), occupations.iter().copied().fold(0.0f64, f64::max));
+    println!(
+        "\nbuffer occupation: mean {:.2}, max {:.2}",
+        mean(&occupations),
+        occupations.iter().copied().fold(0.0f64, f64::max)
+    );
     println!("average load shedding rate: {:.2}", 1.0 - mean(&rates));
     println!("uncontrolled drops: {}", result.uncontrolled_drops);
 }
@@ -1197,7 +1234,8 @@ fn fig6_12_14(options: &Options) {
 
 /// Ablation: buffer discovery (rtthresh) on/off.
 fn ablation_rtthresh(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches, options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches, options.scale);
     let specs = chapter4_specs();
     let capacity = capacity_for_overload(&specs, &batches, 0.5);
     for (name, discovery) in [("buffer discovery on", true), ("buffer discovery off", false)] {
@@ -1218,7 +1256,8 @@ fn ablation_rtthresh(options: &Options) {
 
 /// Ablation: EWMA prediction-error correction on/off.
 fn ablation_error_correction(options: &Options) {
-    let batches = profile_trace(TraceProfile::CescaII, options.seed, options.batches, options.scale);
+    let batches =
+        profile_trace(TraceProfile::CescaII, options.seed, options.batches, options.scale);
     let specs = chapter4_specs();
     let capacity = capacity_for_overload(&specs, &batches, 0.5);
     for (name, alpha) in [("error correction on (alpha=0.9)", 0.9), ("error correction off", 0.0)] {
@@ -1228,11 +1267,7 @@ fn ablation_error_correction(options: &Options) {
             .with_seed(options.seed);
         config.ewma_alpha = alpha;
         let result = run_with_reference(config, &specs, &batches, &[]);
-        let over = result
-            .bins
-            .iter()
-            .filter(|b| b.total_cycles() > capacity * 1.1)
-            .count() as f64
+        let over = result.bins.iter().filter(|b| b.total_cycles() > capacity * 1.1).count() as f64
             / result.bins.len() as f64;
         println!(
             "{name:<32} avg accuracy {:.3}  drops {}  bins >110% capacity {:.1}%",

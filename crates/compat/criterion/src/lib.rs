@@ -1,0 +1,133 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface `benches/micro.rs` uses: [`Criterion`],
+//! [`Bencher::iter`], [`Criterion::benchmark_group`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a plain
+//! wall-clock mean over an adaptively chosen iteration count — no outlier
+//! rejection or statistical comparison, but plenty to eyeball the relative
+//! costs the benches exist to show.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also sizes the measurement loop so it runs ~200 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let target = (200_000_000u128 / per_iter.max(1)).clamp(10, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target;
+    }
+
+    fn report(&self, name: &str) {
+        let nanos = self.elapsed.as_nanos() as f64 / self.iterations.max(1) as f64;
+        let (value, unit) = if nanos >= 1e6 {
+            (nanos / 1e6, "ms")
+        } else if nanos >= 1e3 {
+            (nanos / 1e3, "µs")
+        } else {
+            (nanos, "ns")
+        };
+        println!("{name:<44} {value:>10.3} {unit}/iter  ({} iterations)", self.iterations);
+    }
+}
+
+/// The benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { iterations: 0, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, group: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (report-only in this implementation).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_without_panicking() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_run_nested_benches() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| black_box(0u64)));
+        group.finish();
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the netshed property tests use: the [`proptest!`]
+//! macro, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, range and
+//! tuple strategies, and `collection::{vec, hash_set}`. Each test runs a
+//! fixed number of randomly generated cases from a seed derived from the test
+//! name, so failures are deterministic and reproducible. Unlike upstream
+//! proptest there is no shrinking: a failing case reports its inputs via the
+//! panic message of the assertion that fired.
+
+use rand::{Rng, SeedableRng, StdRng};
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: usize = 64;
+
+/// Derives a deterministic RNG for a named test.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        seed ^= u64::from(byte);
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// A generator of random values for one test argument.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s of values from an element strategy.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets with target sizes drawn from `size` (the actual
+    /// size can be smaller if the element space is nearly exhausted).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = HashSet::with_capacity(target);
+            // Bounded retries so a small element space cannot loop forever.
+            for _ in 0..target.saturating_mul(20).max(20) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let case = move || $body;
+                    case();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 5usize..50, x in -2.0f64..2.0) {
+            prop_assert!((5..50).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(values in collection::vec(0u32..100, 3..8)) {
+            prop_assert!((3..8).contains(&values.len()));
+            prop_assert!(values.iter().all(|v| *v < 100));
+        }
+
+        #[test]
+        fn hash_set_strategy_is_a_set(keys in collection::hash_set(0u32..1000, 1..20)) {
+            prop_assert!(!keys.is_empty());
+            prop_assert!(keys.len() < 20);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..10) {
+            prop_assume!(n > 3);
+            prop_assert!(n > 3);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let mut a = crate::test_rng("alpha");
+        let mut b = crate::test_rng("alpha");
+        let mut c = crate::test_rng("beta");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = c.next_u64();
+    }
+}

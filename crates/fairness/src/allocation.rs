@@ -52,9 +52,7 @@ impl Allocation {
 fn enabled_after_phase1(demands: &[QueryDemand], capacity: f64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..demands.len()).collect();
     // Sort ascending by minimum demand; we keep a prefix of this order.
-    order.sort_by(|&a, &b| {
-        demands[a].min_cycles().partial_cmp(&demands[b].min_cycles()).unwrap()
-    });
+    order.sort_by(|&a, &b| demands[a].min_cycles().partial_cmp(&demands[b].min_cycles()).unwrap());
     let mut enabled: Vec<usize> = order;
     loop {
         let total: f64 = enabled.iter().map(|&i| demands[i].min_cycles()).sum();
@@ -138,11 +136,7 @@ pub fn mmfs_pkt(demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
     let mut rates = vec![0.0f64; demands.len()];
     loop {
         let total_demand: f64 = remaining.iter().map(|&i| demands[i].predicted_cycles).sum();
-        let r = if total_demand > 0.0 {
-            (remaining_capacity / total_demand).min(1.0)
-        } else {
-            1.0
-        };
+        let r = if total_demand > 0.0 { (remaining_capacity / total_demand).min(1.0) } else { 1.0 };
         let mut pinned = Vec::new();
         for &i in &remaining {
             if demands[i].min_rate > r {
@@ -167,7 +161,8 @@ pub fn mmfs_pkt(demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
     }
 
     for &i in &enabled {
-        allocations[i] = Allocation::Rate(rates[i].clamp(0.0, 1.0).max(demands[i].min_rate).min(1.0));
+        allocations[i] =
+            Allocation::Rate(rates[i].clamp(0.0, 1.0).max(demands[i].min_rate).min(1.0));
     }
     allocations
 }
@@ -183,11 +178,8 @@ pub fn eq_srates(demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
         let total: f64 = active.iter().map(|&i| demands[i].predicted_cycles).sum();
         let rate = if total > 0.0 { (capacity / total).min(1.0) } else { 1.0 };
         // Disable the query with the largest minimum rate above the common rate.
-        let violator = active
-            .iter()
-            .copied()
-            .filter(|&i| demands[i].min_rate > rate)
-            .max_by(|&a, &b| {
+        let violator =
+            active.iter().copied().filter(|&i| demands[i].min_rate > rate).max_by(|&a, &b| {
                 demands[a].min_cycles().partial_cmp(&demands[b].min_cycles()).unwrap()
             });
         match violator {
@@ -212,11 +204,7 @@ mod tests {
     use super::*;
 
     fn total_cycles(demands: &[QueryDemand], allocations: &[Allocation]) -> f64 {
-        demands
-            .iter()
-            .zip(allocations)
-            .map(|(d, a)| d.predicted_cycles * a.rate())
-            .sum()
+        demands.iter().zip(allocations).map(|(d, a)| d.predicted_cycles * a.rate()).sum()
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl AllocationGame {
         for &player in &order {
             // Equation 5.7: player q is served if the sum of all demands not
             // larger than a_q (including ties and itself) fits in C.
-            let not_larger: f64 =
-                actions.iter().filter(|&&a| a <= actions[player]).sum();
+            let not_larger: f64 = actions.iter().filter(|&&a| a <= actions[player]).sum();
             if not_larger <= self.capacity && used + actions[player] <= self.capacity {
                 active[player] = true;
                 used += actions[player];

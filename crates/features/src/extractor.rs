@@ -172,23 +172,19 @@ mod tests {
 
     #[test]
     fn unique_counts_distinct_tuples() {
-        let tuples: Vec<FiveTuple> =
-            (0..100).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
+        let tuples: Vec<FiveTuple> = (0..100).map(|i| FiveTuple::new(i, 2, 3, 4, 6)).collect();
         let mut extractor = FeatureExtractor::with_defaults();
         let (features, _) = extractor.extract(&batch_of(&tuples, 0));
-        let unique_src =
-            features.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::Unique));
+        let unique_src = features.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::Unique));
         assert!((unique_src - 100.0).abs() <= 10.0, "unique src-ip estimate {unique_src}");
         // All packets share the destination IP, so unique dst-ip is ~1.
-        let unique_dst =
-            features.get(FeatureId::Counter(Aggregate::DstIp, CounterKind::Unique));
+        let unique_dst = features.get(FeatureId::Counter(Aggregate::DstIp, CounterKind::Unique));
         assert!(unique_dst <= 3.0, "unique dst-ip estimate {unique_dst}");
     }
 
     #[test]
     fn repeated_is_packets_minus_unique() {
-        let tuples: Vec<FiveTuple> =
-            (0..50).map(|i| FiveTuple::new(i % 10, 2, 3, 4, 6)).collect();
+        let tuples: Vec<FiveTuple> = (0..50).map(|i| FiveTuple::new(i % 10, 2, 3, 4, 6)).collect();
         let mut extractor = FeatureExtractor::with_defaults();
         let (features, _) = extractor.extract(&batch_of(&tuples, 0));
         let unique = features.get(FeatureId::Counter(Aggregate::SrcIp, CounterKind::Unique));

@@ -92,9 +92,8 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for j in 0..self.cols {
+        for (j, &xj) in x.iter().enumerate() {
             let col = self.column(j);
-            let xj = x[j];
             for (o, &c) in out.iter_mut().zip(col) {
                 *o += c * xj;
             }

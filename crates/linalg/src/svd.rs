@@ -189,11 +189,7 @@ mod tests {
 
     #[test]
     fn singular_vectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0],
-            vec![2.0, 3.0],
-            vec![0.0, 5.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![2.0, 3.0], vec![0.0, 5.0]]);
         let d = svd(&a);
         let vtv = d.v.transpose().mul(&d.v);
         assert_close(&vtv, &Matrix::identity(2), 1e-9);

@@ -1,0 +1,220 @@
+//! Fluent construction of a validated [`Monitor`].
+//!
+//! [`MonitorBuilder`] is the front door of the public API: it gathers the
+//! capacity, strategy, predictor, enforcement and seed settings plus the
+//! initial query set, validates everything at once, and returns
+//! `Result<Monitor, NetshedError>` — a monitor that exists is a monitor whose
+//! configuration is sound.
+//!
+//! ```
+//! use netshed_monitor::{AllocationPolicy, Monitor, Strategy};
+//! use netshed_queries::{QueryKind, QuerySpec};
+//!
+//! let monitor = Monitor::builder()
+//!     .capacity(3.0e8)
+//!     .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+//!     .seed(7)
+//!     .query(QuerySpec::new(QueryKind::Counter))
+//!     .query(QuerySpec::new(QueryKind::Flows))
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(monitor.query_names(), vec!["counter", "flows"]);
+//! ```
+
+use crate::config::{EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
+use crate::error::NetshedError;
+use crate::monitor::Monitor;
+use netshed_queries::QuerySpec;
+
+/// Builds a validated [`Monitor`].
+#[derive(Debug, Clone, Default)]
+pub struct MonitorBuilder {
+    config: MonitorConfig,
+    specs: Vec<QuerySpec>,
+}
+
+impl MonitorBuilder {
+    /// Starts from the paper-scale default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing configuration.
+    pub fn from_config(config: MonitorConfig) -> Self {
+        Self { config, specs: Vec::new() }
+    }
+
+    /// Sets the processing capacity in cycles per time bin.
+    pub fn capacity(mut self, cycles_per_bin: f64) -> Self {
+        self.config.capacity_cycles_per_bin = cycles_per_bin;
+        self
+    }
+
+    /// Sets the capture buffer size in time bins of backlog.
+    pub fn buffer_bins(mut self, bins: f64) -> Self {
+        self.config.buffer_capacity_bins = bins;
+        self
+    }
+
+    /// Sets the fixed per-bin platform overhead in cycles.
+    pub fn platform_overhead(mut self, cycles: f64) -> Self {
+        self.config.platform_overhead_cycles = cycles;
+        self
+    }
+
+    /// Sets the load shedding strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the predictor driving the predictive strategy.
+    pub fn predictor(mut self, predictor: PredictorKind) -> Self {
+        self.config.predictor = predictor;
+        self
+    }
+
+    /// Sets the enforcement policy for custom-shedding queries.
+    pub fn enforcement(mut self, enforcement: EnforcementConfig) -> Self {
+        self.config.enforcement = enforcement;
+        self
+    }
+
+    /// Sets the EWMA weight smoothing the prediction error.
+    pub fn ewma_alpha(mut self, alpha: f64) -> Self {
+        self.config.ewma_alpha = alpha;
+        self
+    }
+
+    /// Enables or disables the buffer discovery algorithm of Section 4.1.
+    pub fn buffer_discovery(mut self, enabled: bool) -> Self {
+        self.config.buffer_discovery = enabled;
+        self
+    }
+
+    /// Sets the time bin duration in microseconds.
+    pub fn time_bin_us(mut self, us: u64) -> Self {
+        self.config.time_bin_us = us;
+        self
+    }
+
+    /// Sets the measurement interval duration in microseconds.
+    pub fn measurement_interval_us(mut self, us: u64) -> Self {
+        self.config.measurement_interval_us = us;
+        self
+    }
+
+    /// Sets the measurement noise model parameters.
+    pub fn noise(mut self, jitter: f64, outlier_probability: f64, outlier_cycles: u64) -> Self {
+        self.config.noise_jitter = jitter;
+        self.config.noise_outlier_probability = outlier_probability;
+        self.config.noise_outlier_cycles = outlier_cycles;
+        self
+    }
+
+    /// Disables measurement noise (deterministic runs).
+    pub fn no_noise(self) -> Self {
+        self.noise(0.0, 0.0, 0)
+    }
+
+    /// Sets the PRNG seed for sampling hash functions and noise.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Queues a query to register when the monitor is built.
+    pub fn query(mut self, spec: QuerySpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Queues several queries to register when the monitor is built.
+    pub fn queries(mut self, specs: impl IntoIterator<Item = QuerySpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Read access to the configuration assembled so far.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Validates the configuration and the queued query specs, then builds
+    /// the monitor with every query registered.
+    pub fn build(self) -> Result<Monitor, NetshedError> {
+        self.config.validate()?;
+        let mut monitor = Monitor::new(self.config);
+        for spec in &self.specs {
+            monitor.register(spec)?;
+        }
+        Ok(monitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllocationPolicy;
+    use netshed_queries::QueryKind;
+
+    #[test]
+    fn default_builder_builds() {
+        let monitor = MonitorBuilder::new().build().expect("default config is valid");
+        assert!(monitor.query_names().is_empty());
+    }
+
+    #[test]
+    fn builder_applies_settings_and_registers_queries() {
+        let monitor = Monitor::builder()
+            .capacity(5.0e7)
+            .strategy(Strategy::Predictive(AllocationPolicy::MmfsCpu))
+            .predictor(PredictorKind::Slr)
+            .seed(99)
+            .no_noise()
+            .query(QuerySpec::new(QueryKind::Counter))
+            .query(QuerySpec::new(QueryKind::Flows).with_label("flows-live"))
+            .build()
+            .expect("valid configuration");
+        assert_eq!(monitor.query_names(), vec!["counter", "flows-live"]);
+    }
+
+    #[test]
+    fn non_positive_capacity_is_rejected() {
+        for capacity in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let error = MonitorBuilder::new().capacity(capacity).build().unwrap_err();
+            assert!(
+                matches!(error, NetshedError::InvalidConfig(_)),
+                "capacity {capacity} produced {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_below_overhead_is_an_underflow() {
+        let error =
+            MonitorBuilder::new().capacity(100.0).platform_overhead(1000.0).build().unwrap_err();
+        assert_eq!(error, NetshedError::CapacityUnderflow { capacity: 100.0, required: 1000.0 });
+    }
+
+    #[test]
+    fn out_of_domain_alpha_and_rates_are_rejected() {
+        assert!(MonitorBuilder::new().ewma_alpha(-0.1).build().is_err());
+        assert!(MonitorBuilder::new().ewma_alpha(1.5).build().is_err());
+        // alpha = 0 turns the error correction off — the ablation experiments
+        // rely on it being a valid setting.
+        assert!(MonitorBuilder::new().ewma_alpha(0.0).build().is_ok());
+        assert!(MonitorBuilder::new().noise(-0.1, 0.0, 0).build().is_err());
+        assert!(MonitorBuilder::new().noise(0.0, 1.5, 0).build().is_err());
+        assert!(MonitorBuilder::new().time_bin_us(0).build().is_err());
+    }
+
+    #[test]
+    fn invalid_query_spec_fails_the_build() {
+        let error = MonitorBuilder::new()
+            .query(QuerySpec::new(QueryKind::Counter).with_min_rate(1.5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(error, NetshedError::InvalidConfig(_)));
+    }
+}

@@ -1,5 +1,6 @@
 //! Monitor configuration: capacity, strategy, prediction and enforcement.
 
+use crate::error::NetshedError;
 use netshed_predict::MlrConfig;
 
 /// How sampling rates are assigned to queries when load must be shed.
@@ -179,6 +180,84 @@ impl MonitorConfig {
     /// Number of time bins per measurement interval.
     pub fn bins_per_interval(&self) -> u64 {
         (self.measurement_interval_us / self.time_bin_us).max(1)
+    }
+
+    /// Checks every field against its valid domain.
+    ///
+    /// [`MonitorBuilder`](crate::MonitorBuilder) calls this before
+    /// constructing a monitor; configurations assembled by hand can be
+    /// checked explicitly with the same rules.
+    pub fn validate(&self) -> Result<(), NetshedError> {
+        fn invalid(message: impl Into<String>) -> Result<(), NetshedError> {
+            Err(NetshedError::InvalidConfig(message.into()))
+        }
+
+        if !self.capacity_cycles_per_bin.is_finite() || self.capacity_cycles_per_bin <= 0.0 {
+            return invalid(format!(
+                "capacity_cycles_per_bin must be positive and finite, got {}",
+                self.capacity_cycles_per_bin
+            ));
+        }
+        if !self.buffer_capacity_bins.is_finite() || self.buffer_capacity_bins < 0.0 {
+            return invalid(format!(
+                "buffer_capacity_bins must be non-negative and finite, got {}",
+                self.buffer_capacity_bins
+            ));
+        }
+        if !self.platform_overhead_cycles.is_finite() || self.platform_overhead_cycles < 0.0 {
+            return invalid(format!(
+                "platform_overhead_cycles must be non-negative and finite, got {}",
+                self.platform_overhead_cycles
+            ));
+        }
+        if self.time_bin_us == 0 {
+            return invalid("time_bin_us must be positive");
+        }
+        if self.measurement_interval_us < self.time_bin_us {
+            return invalid(format!(
+                "measurement_interval_us ({}) must be at least one time bin ({} us)",
+                self.measurement_interval_us, self.time_bin_us
+            ));
+        }
+        if !self.ewma_alpha.is_finite() || !(0.0..=1.0).contains(&self.ewma_alpha) {
+            return invalid(format!("ewma_alpha must be in [0, 1], got {}", self.ewma_alpha));
+        }
+        if !self.reactive_min_rate.is_finite() || !(0.0..=1.0).contains(&self.reactive_min_rate) {
+            return invalid(format!(
+                "reactive_min_rate must be in [0, 1], got {}",
+                self.reactive_min_rate
+            ));
+        }
+        if !self.noise_jitter.is_finite() || self.noise_jitter < 0.0 {
+            return invalid(format!(
+                "noise_jitter must be non-negative, got {}",
+                self.noise_jitter
+            ));
+        }
+        if !self.noise_outlier_probability.is_finite()
+            || !(0.0..=1.0).contains(&self.noise_outlier_probability)
+        {
+            return invalid(format!(
+                "noise_outlier_probability must be in [0, 1], got {}",
+                self.noise_outlier_probability
+            ));
+        }
+        if !self.enforcement.tolerance.is_finite() || self.enforcement.tolerance < 0.0 {
+            return invalid(format!(
+                "enforcement.tolerance must be non-negative, got {}",
+                self.enforcement.tolerance
+            ));
+        }
+        if self.enforcement.max_violations == 0 {
+            return invalid("enforcement.max_violations must be at least 1");
+        }
+        if self.capacity_cycles_per_bin <= self.platform_overhead_cycles {
+            return Err(NetshedError::CapacityUnderflow {
+                capacity: self.capacity_cycles_per_bin,
+                required: self.platform_overhead_cycles,
+            });
+        }
+        Ok(())
     }
 }
 

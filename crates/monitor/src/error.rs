@@ -1,0 +1,86 @@
+//! The typed error surface of the public API.
+//!
+//! Every fallible public entry point — building a monitor, registering and
+//! deregistering queries, processing batches, driving a run — returns
+//! [`NetshedError`] instead of panicking or silently correcting bad input.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the netshed public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetshedError {
+    /// A configuration value is out of its valid domain. The message names
+    /// the offending field and constraint.
+    InvalidConfig(String),
+    /// An operation referenced a query that is not registered. The message
+    /// carries the query id or label that failed to resolve.
+    UnknownQuery(String),
+    /// A batch with no packets was submitted for processing.
+    EmptyBatch {
+        /// Index of the offending time bin.
+        bin_index: u64,
+    },
+    /// The configured capacity cannot cover even the fixed per-bin overhead,
+    /// so every query would starve regardless of the shedding strategy.
+    CapacityUnderflow {
+        /// Cycles per bin the configuration provides.
+        capacity: f64,
+        /// Minimum cycles per bin the configuration requires.
+        required: f64,
+    },
+}
+
+impl fmt::Display for NetshedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetshedError::InvalidConfig(message) => {
+                write!(f, "invalid configuration: {message}")
+            }
+            NetshedError::UnknownQuery(query) => {
+                write!(f, "unknown query: {query}")
+            }
+            NetshedError::EmptyBatch { bin_index } => {
+                write!(f, "batch for bin {bin_index} contains no packets")
+            }
+            NetshedError::CapacityUnderflow { capacity, required } => {
+                write!(
+                    f,
+                    "capacity of {capacity:.0} cycles/bin cannot cover the fixed overhead of \
+                     {required:.0} cycles/bin"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NetshedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let invalid = NetshedError::InvalidConfig("ewma_alpha must be in (0, 1]".into());
+        assert!(invalid.to_string().contains("ewma_alpha"));
+        let unknown = NetshedError::UnknownQuery("flows#3".into());
+        assert!(unknown.to_string().contains("flows#3"));
+        let empty = NetshedError::EmptyBatch { bin_index: 17 };
+        assert!(empty.to_string().contains("17"));
+        let underflow = NetshedError::CapacityUnderflow { capacity: 10.0, required: 100.0 };
+        assert!(underflow.to_string().contains("10"));
+    }
+
+    #[test]
+    fn errors_are_comparable_for_tests() {
+        assert_eq!(
+            NetshedError::EmptyBatch { bin_index: 1 },
+            NetshedError::EmptyBatch { bin_index: 1 }
+        );
+        assert_ne!(
+            NetshedError::InvalidConfig("a".into()),
+            NetshedError::InvalidConfig("b".into())
+        );
+    }
+}

@@ -15,13 +15,18 @@
 //!              └──────────────────────────────────────────────────┘
 //! ```
 //!
-//! The central type is [`Monitor`]: it is configured with a
-//! [`MonitorConfig`] (system capacity, buffer size, strategy) and a set of
-//! [`QuerySpec`](netshed_queries::QuerySpec)s, consumes
-//! [`Batch`](netshed_trace::Batch)es and produces per-bin
-//! [`BinRecord`]s and per-interval query outputs. A [`ReferenceRunner`] runs
-//! the same queries without any resource limit to provide the ground truth
-//! against which accuracy is measured.
+//! The central type is [`Monitor`], constructed through the validating
+//! [`MonitorBuilder`] (capacity, strategy, predictor, enforcement, seed,
+//! initial [`QuerySpec`](netshed_queries::QuerySpec)s). Queries are
+//! registered and deregistered at any time through [`QueryId`] handles, so
+//! the same query kind can run several times under distinct labels. A full
+//! experiment is one call: [`Monitor::run`] consumes a
+//! [`PacketSource`](netshed_trace::PacketSource) and reports per-bin
+//! [`BinRecord`]s and per-interval query outputs to a [`RunObserver`]
+//! ([`RunSummary`], [`RecordSink`], [`AccuracyTracker`] ship as built-ins).
+//! Every fallible entry point returns [`NetshedError`]. A
+//! [`ReferenceRunner`] runs the same queries without any resource limit to
+//! provide the ground truth against which accuracy is measured.
 //!
 //! Strategies (Chapters 4–6 of the paper):
 //!
@@ -34,16 +39,22 @@
 //!   allocation policies of Chapter 5 ([`AllocationPolicy::EqualRates`],
 //!   [`AllocationPolicy::MmfsCpu`], [`AllocationPolicy::MmfsPkt`]).
 
+pub mod builder;
 pub mod capture;
 pub mod config;
+pub mod error;
 pub mod monitor;
+pub mod observer;
 pub mod reference;
 pub mod report;
 pub mod shedder;
 
+pub use builder::MonitorBuilder;
 pub use capture::CaptureBuffer;
 pub use config::{AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
-pub use monitor::Monitor;
+pub use error::NetshedError;
+pub use monitor::{Monitor, QueryId};
+pub use observer::{AccuracyTracker, NullObserver, RecordSink, RunObserver};
 pub use reference::ReferenceRunner;
 pub use report::{BinRecord, QueryBinRecord, RunSummary};
 pub use shedder::{flow_sample, packet_sample};

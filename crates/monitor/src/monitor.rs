@@ -2,9 +2,12 @@
 //! queries (Algorithm 1 of the paper plus the Chapter 5 allocation policies
 //! and the Chapter 6 custom-shedding enforcement).
 
+use crate::builder::MonitorBuilder;
 use crate::capture::CaptureBuffer;
 use crate::config::{AllocationPolicy, MonitorConfig, PredictorKind, Strategy};
-use crate::report::{BinRecord, QueryBinRecord};
+use crate::error::NetshedError;
+use crate::observer::RunObserver;
+use crate::report::{BinRecord, QueryBinRecord, RunSummary};
 use crate::shedder::{flow_sample, packet_sample};
 use netshed_fairness::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
 use netshed_features::{ExtractorConfig, FeatureExtractor, FeatureVector};
@@ -14,7 +17,7 @@ use netshed_queries::{
     SheddingMethod,
 };
 use netshed_sketch::H3Hasher;
-use netshed_trace::Batch;
+use netshed_trace::{Batch, PacketSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,9 +41,43 @@ const BUFFER_UNSTABLE_OCCUPATION: f64 = 0.3;
 /// Maximum fraction of the per-bin capacity that `rtthresh` may reach.
 const RTTHRESH_MAX_FRACTION: f64 = 0.25;
 
+/// Stable handle to a query instance registered in a [`Monitor`].
+///
+/// Handles are unique for the lifetime of the monitor: deregistering a query
+/// retires its id, and registering the same [`QuerySpec`] again yields a new
+/// one. Because instances are identified by handle rather than by name, the
+/// same [`QueryKind`](netshed_queries::QueryKind) can run several times
+/// concurrently under distinct labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// The raw registration counter behind the handle.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query#{}", self.0)
+    }
+}
+
+/// Clamp rule of the pre-0.2 API: non-finite rates fall back to "no
+/// constraint", finite ones are clamped into `[0, 1]`.
+fn legacy_clamp_rate(rate: f64) -> f64 {
+    if rate.is_finite() {
+        rate.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
 /// One query registered in the monitor, together with its prediction state.
 struct RegisteredQuery {
-    name: &'static str,
+    id: QueryId,
+    label: String,
     query: Box<dyn Query>,
     predictor: Box<dyn Predictor>,
     shedding: SheddingMethod,
@@ -77,12 +114,26 @@ pub struct Monitor {
     reactive_rate: f64,
     reactive_consumed: f64,
     current_interval: Option<u64>,
+    /// Monotonic registration counter backing [`QueryId`] handles.
+    next_query_id: u64,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("strategy", &self.config.strategy.name())
+            .field("capacity_cycles_per_bin", &self.config.capacity_cycles_per_bin)
+            .field("queries", &self.query_names())
+            .field("error_ewma", &self.error_ewma)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Monitor {
     /// Creates a monitor with no queries registered.
     pub fn new(config: MonitorConfig) -> Self {
-        let buffer = CaptureBuffer::new(config.capacity_cycles_per_bin, config.buffer_capacity_bins);
+        let buffer =
+            CaptureBuffer::new(config.capacity_cycles_per_bin, config.buffer_capacity_bins);
         let noise = MeasurementNoise::new(
             config.seed ^ 0x9e3779b97f4a7c15,
             config.noise_jitter,
@@ -107,35 +158,75 @@ impl Monitor {
             reactive_rate: 1.0,
             reactive_consumed: 0.0,
             current_interval: None,
+            next_query_id: 0,
             config,
         }
     }
 
-    /// Registers a query described by a [`QuerySpec`]. Queries may be added
-    /// at any point during a run (Figure 6.9 studies query arrivals).
-    pub fn add_query(&mut self, spec: &QuerySpec) {
-        let query = build_query_from_spec(spec);
-        self.add_query_instance(query, spec.min_sampling_rate);
+    /// Starts a fluent, validating [`MonitorBuilder`] — the recommended way
+    /// to construct a monitor.
+    pub fn builder() -> MonitorBuilder {
+        MonitorBuilder::new()
     }
 
-    /// Registers an already constructed query instance, optionally overriding
-    /// its minimum sampling rate constraint.
-    pub fn add_query_instance(&mut self, query: Box<dyn Query>, min_rate: Option<f64>) {
+    /// The configuration this monitor runs with. Use it to keep companion
+    /// components in lockstep, e.g.
+    /// `AccuracyTracker::new(&specs, monitor.config().measurement_interval_us)`.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Registers a query described by a [`QuerySpec`] and returns its stable
+    /// handle. Queries may be added at any point during a run (Figure 6.9
+    /// studies query arrivals): the new instance takes part in prediction and
+    /// allocation from the next batch on.
+    pub fn register(&mut self, spec: &QuerySpec) -> Result<QueryId, NetshedError> {
+        if let Some(rate) = spec.min_sampling_rate {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(NetshedError::InvalidConfig(format!(
+                    "min_sampling_rate for '{}' must be in [0, 1], got {rate}",
+                    spec.resolved_label()
+                )));
+            }
+        }
+        let query = build_query_from_spec(spec);
+        self.register_instance(query, Some(spec.resolved_label()), spec.min_sampling_rate)
+    }
+
+    /// Registers an already constructed query instance under an optional
+    /// label (defaults to the query's own name), optionally overriding its
+    /// minimum sampling rate constraint.
+    pub fn register_instance(
+        &mut self,
+        query: Box<dyn Query>,
+        label: Option<String>,
+        min_rate: Option<f64>,
+    ) -> Result<QueryId, NetshedError> {
+        if let Some(rate) = min_rate {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(NetshedError::InvalidConfig(format!(
+                    "min_sampling_rate for '{}' must be in [0, 1], got {rate}",
+                    label.as_deref().unwrap_or(query.name())
+                )));
+            }
+        }
         let predictor: Box<dyn Predictor> = match self.config.predictor {
             PredictorKind::MlrFcbf => Box::new(MlrPredictor::new(self.config.mlr)),
             PredictorKind::Slr => Box::new(SlrPredictor::on_packets()),
             PredictorKind::Ewma => Box::new(EwmaPredictor::default()),
         };
-        let index = self.queries.len() as u64;
+        let id = QueryId(self.next_query_id);
+        self.next_query_id += 1;
         let registered = RegisteredQuery {
-            name: query.name(),
+            id,
+            label: label.unwrap_or_else(|| query.name().to_string()),
             shedding: query.preferred_shedding(),
             min_rate: min_rate.unwrap_or(query.min_sampling_rate()).clamp(0.0, 1.0),
             sampled_extractor: FeatureExtractor::new(ExtractorConfig {
                 measurement_interval_us: self.config.measurement_interval_us,
                 ..ExtractorConfig::default()
             }),
-            flow_hasher: H3Hasher::new(13, self.config.seed ^ (index + 1)),
+            flow_hasher: H3Hasher::new(13, self.config.seed ^ (id.0 + 1)),
             hasher_generation: 0,
             overuse_ratio: 1.0,
             violations: 0,
@@ -144,18 +235,56 @@ impl Monitor {
             query,
         };
         self.queries.push(registered);
+        Ok(id)
     }
 
-    /// Removes a query by name. Returns `true` if a query was removed.
+    /// Deregisters a query instance by handle. The instance's state
+    /// (predictor history, pending interval output) is discarded.
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), NetshedError> {
+        match self.queries.iter().position(|q| q.id == id) {
+            Some(position) => {
+                self.queries.remove(position);
+                Ok(())
+            }
+            None => Err(NetshedError::UnknownQuery(id.to_string())),
+        }
+    }
+
+    /// Registers a query described by a [`QuerySpec`]. Out-of-range minimum
+    /// sampling rates are clamped to `[0, 1]`, exactly as the old API did —
+    /// migrate to [`Monitor::register`] for validation instead.
+    #[deprecated(since = "0.2.0", note = "use `register`, which returns a QueryId handle")]
+    pub fn add_query(&mut self, spec: &QuerySpec) {
+        let mut spec = spec.clone();
+        spec.min_sampling_rate = spec.min_sampling_rate.map(legacy_clamp_rate);
+        self.register(&spec).expect("clamped spec is always valid");
+    }
+
+    /// Registers an already constructed query instance. Out-of-range minimum
+    /// sampling rates are clamped to `[0, 1]`, exactly as the old API did.
+    #[deprecated(since = "0.2.0", note = "use `register_instance`")]
+    pub fn add_query_instance(&mut self, query: Box<dyn Query>, min_rate: Option<f64>) {
+        self.register_instance(query, None, min_rate.map(legacy_clamp_rate))
+            .expect("clamped rate is always valid");
+    }
+
+    /// Removes every query with the given label. Returns `true` if at least
+    /// one instance was removed.
+    #[deprecated(since = "0.2.0", note = "use `deregister` with the QueryId handle")]
     pub fn remove_query(&mut self, name: &str) -> bool {
         let before = self.queries.len();
-        self.queries.retain(|q| q.name != name);
+        self.queries.retain(|q| q.label != name);
         self.queries.len() != before
     }
 
-    /// Names of the registered queries, in registration order.
-    pub fn query_names(&self) -> Vec<&'static str> {
-        self.queries.iter().map(|q| q.name).collect()
+    /// Labels of the registered queries, in registration order.
+    pub fn query_names(&self) -> Vec<String> {
+        self.queries.iter().map(|q| q.label.clone()).collect()
+    }
+
+    /// Handles and labels of the registered queries, in registration order.
+    pub fn query_handles(&self) -> Vec<(QueryId, &str)> {
+        self.queries.iter().map(|q| (q.id, q.label.as_str())).collect()
     }
 
     /// Number of packets dropped without control since the start of the run.
@@ -169,25 +298,89 @@ impl Monitor {
     }
 
     /// Flushes the current measurement interval, returning the per-query
-    /// outputs. Call once after the last batch of a run.
-    pub fn finish_interval(&mut self) -> Vec<(&'static str, QueryOutput)> {
+    /// outputs. Call once after the last batch of a run (or let
+    /// [`Monitor::run`] do it).
+    pub fn finish_interval(&mut self) -> Vec<(String, QueryOutput)> {
+        self.current_interval = None;
         self.close_interval()
     }
 
+    /// Drives the full monitoring pipeline over a batch source until the
+    /// source is exhausted, reporting progress to `observer` and returning
+    /// the aggregated [`RunSummary`].
+    ///
+    /// Per batch, the observer sees `on_batch` (before processing),
+    /// `on_interval` (when the batch closed a measurement interval) and
+    /// `on_bin`; after the last batch the final interval is flushed to
+    /// `on_interval` and `on_end` receives the summary. Empty time bins are
+    /// counted and skipped — a quiet bin mid-stream carries no work and is
+    /// not an error, unlike an empty batch handed directly to
+    /// [`Monitor::process_batch`].
+    ///
+    /// Infinite sources (like a bare
+    /// [`TraceGenerator`](netshed_trace::TraceGenerator)) must be bounded
+    /// first with
+    /// [`take_batches`](netshed_trace::PacketSourceExt::take_batches).
+    pub fn run<S, O>(
+        &mut self,
+        source: &mut S,
+        observer: &mut O,
+    ) -> Result<RunSummary, NetshedError>
+    where
+        S: PacketSource + ?Sized,
+        O: RunObserver + ?Sized,
+    {
+        let mut summary = RunSummary::default();
+        while let Some(batch) = source.next_batch() {
+            if batch.is_empty() {
+                summary.empty_bins += 1;
+                continue;
+            }
+            observer.on_batch(&batch);
+            let record = self.process_batch(&batch)?;
+            if let Some(outputs) = &record.interval_outputs {
+                observer.on_interval(outputs);
+            }
+            summary.absorb(&record);
+            observer.on_bin(&record);
+        }
+        if self.current_interval.is_some() {
+            let outputs = self.finish_interval();
+            observer.on_interval(&outputs);
+        }
+        observer.on_end(&summary);
+        Ok(summary)
+    }
+
     /// Processes one incoming batch and returns the record of what happened.
-    pub fn process_batch(&mut self, batch: &Batch) -> BinRecord {
+    ///
+    /// Returns [`NetshedError::EmptyBatch`] for a batch with no packets and
+    /// [`NetshedError::CapacityUnderflow`] when the configured capacity is
+    /// not positive (possible only for monitors built by [`Monitor::new`]
+    /// from an unvalidated configuration).
+    pub fn process_batch(&mut self, batch: &Batch) -> Result<BinRecord, NetshedError> {
+        if batch.is_empty() {
+            return Err(NetshedError::EmptyBatch { bin_index: batch.bin_index });
+        }
+        if !self.config.capacity_cycles_per_bin.is_finite()
+            || self.config.capacity_cycles_per_bin <= 0.0
+        {
+            return Err(NetshedError::CapacityUnderflow {
+                capacity: self.config.capacity_cycles_per_bin,
+                required: self.config.platform_overhead_cycles.max(f64::MIN_POSITIVE),
+            });
+        }
         let incoming_packets = batch.len() as u64;
 
         // Measurement interval bookkeeping: close the previous interval when
         // the new batch belongs to a different one.
         let interval = batch.measurement_interval(self.config.measurement_interval_us);
-        let interval_outputs = if self.current_interval.is_some()
-            && self.current_interval != Some(interval)
-        {
-            Some(self.close_interval())
-        } else {
-            None
-        };
+        let interval_outputs =
+            if self.current_interval.is_some() && self.current_interval != Some(interval) {
+                Some(self.close_interval())
+            } else {
+                None
+            };
         self.current_interval = Some(interval);
 
         // Capture buffer: drop the overflow fraction without control.
@@ -212,7 +405,8 @@ impl Monitor {
                 0.0
             } else {
                 let p = registered.predictor.predict(&features);
-                prediction_cycles += registered.predictor.last_cost_operations() * PREDICT_OP_CYCLES;
+                prediction_cycles +=
+                    registered.predictor.last_cost_operations() * PREDICT_OP_CYCLES;
                 p
             };
             predictions.push(predicted);
@@ -241,7 +435,8 @@ impl Monitor {
             if registered.penalty_remaining > 0 {
                 registered.penalty_remaining -= 1;
                 query_records.push(QueryBinRecord {
-                    name: registered.name,
+                    id: registered.id,
+                    name: registered.label.clone(),
                     sampling_rate: 0.0,
                     predicted_cycles: predicted,
                     measured_cycles: 0.0,
@@ -252,7 +447,8 @@ impl Monitor {
             }
             if rate <= 0.0 {
                 query_records.push(QueryBinRecord {
-                    name: registered.name,
+                    id: registered.id,
+                    name: registered.label.clone(),
                     sampling_rate: 0.0,
                     predicted_cycles: predicted,
                     measured_cycles: 0.0,
@@ -264,12 +460,14 @@ impl Monitor {
             }
 
             // Refresh the flow-sampling hash function once per interval so
-            // selection cannot be evaded and is unbiased (Section 4.2).
+            // selection cannot be evaded and is unbiased (Section 4.2). Keyed
+            // by the stable handle, not the position, so deregistrations do
+            // not reshuffle the selection of the surviving queries.
             if registered.shedding == SheddingMethod::FlowSampling
                 && registered.hasher_generation != interval
             {
                 registered.flow_hasher =
-                    H3Hasher::new(13, self.config.seed ^ (interval << 8) ^ index as u64);
+                    H3Hasher::new(13, self.config.seed ^ (interval << 8) ^ registered.id.0);
                 registered.hasher_generation = interval;
             }
 
@@ -304,12 +502,10 @@ impl Monitor {
             let measured = measured as f64;
             query_cycles_total += measured;
 
-            // Feed the observation back into the prediction history.
-            let expected = if registered.shedding == SheddingMethod::Custom {
-                predicted * rate
-            } else {
-                predicted * rate
-            };
+            // Feed the observation back into the prediction history. For
+            // custom shedding the assigned rate plays the same role as a
+            // sampling rate: the query is expected to scale its work by it.
+            let expected = predicted * rate;
             let history_features: &FeatureVector = sampled_features.as_ref().unwrap_or(&features);
             if outlier {
                 // Replace corrupted measurements with the prediction
@@ -339,7 +535,8 @@ impl Monitor {
             }
 
             query_records.push(QueryBinRecord {
-                name: registered.name,
+                id: registered.id,
+                name: registered.label.clone(),
                 sampling_rate: rate,
                 predicted_cycles: predicted,
                 measured_cycles: measured,
@@ -354,29 +551,21 @@ impl Monitor {
         let shedding_cycles_f = shedding_cycles as f64;
         let alpha = self.config.ewma_alpha;
         self.shed_cycles_ewma = alpha * shedding_cycles_f + (1.0 - alpha) * self.shed_cycles_ewma;
-        let expected_total: f64 = predictions
-            .iter()
-            .zip(&rates)
-            .map(|(prediction, rate)| prediction * rate)
-            .sum();
+        let expected_total: f64 =
+            predictions.iter().zip(&rates).map(|(prediction, rate)| prediction * rate).sum();
         if query_cycles_total > 0.0 && expected_total > 0.0 {
             let observed_error = (1.0 - expected_total / query_cycles_total).max(0.0);
             self.error_ewma = alpha * observed_error + (1.0 - alpha) * self.error_ewma;
         }
 
-        let total_cycles = query_cycles_total
-            + prediction_cycles as f64
-            + shedding_cycles_f
-            + platform_cycles;
+        let total_cycles =
+            query_cycles_total + prediction_cycles as f64 + shedding_cycles_f + platform_cycles;
         self.buffer.account_bin(total_cycles);
         self.update_buffer_discovery(total_cycles);
 
         // Remember the reactive state for the next bin.
-        let mean_rate = if rates.is_empty() {
-            1.0
-        } else {
-            rates.iter().sum::<f64>() / rates.len() as f64
-        };
+        let mean_rate =
+            if rates.is_empty() { 1.0 } else { rates.iter().sum::<f64>() / rates.len() as f64 };
         self.reactive_rate = mean_rate.max(self.config.reactive_min_rate);
         self.reactive_consumed = total_cycles;
 
@@ -386,7 +575,7 @@ impl Monitor {
             unsampled_accumulator / self.queries.len() as u64
         };
 
-        BinRecord {
+        Ok(BinRecord {
             bin_index: batch.bin_index,
             incoming_packets,
             uncontrolled_drops,
@@ -400,7 +589,7 @@ impl Monitor {
             buffer_occupation: self.buffer.occupation(),
             queries: query_records,
             interval_outputs,
-        }
+        })
     }
 
     /// Computes the per-query sampling rates for this bin.
@@ -426,8 +615,8 @@ impl Monitor {
                 }
                 // Budget for query processing after discounting the cycles the
                 // shedding itself will need, corrected by the prediction error.
-                let budget = ((available_cycles - self.shed_cycles_ewma).max(0.0))
-                    / (1.0 + self.error_ewma);
+                let budget =
+                    ((available_cycles - self.shed_cycles_ewma).max(0.0)) / (1.0 + self.error_ewma);
                 let demands: Vec<QueryDemand> = predictions
                     .iter()
                     .zip(&self.queries)
@@ -477,10 +666,10 @@ impl Monitor {
     }
 
     /// Collects the per-query outputs for the interval that just ended.
-    fn close_interval(&mut self) -> Vec<(&'static str, QueryOutput)> {
+    fn close_interval(&mut self) -> Vec<(String, QueryOutput)> {
         self.queries
             .iter_mut()
-            .map(|registered| (registered.name, registered.query.end_interval()))
+            .map(|registered| (registered.label.clone(), registered.query.end_interval()))
             .collect()
     }
 }
@@ -502,7 +691,7 @@ mod tests {
     fn monitor_with_queries(config: MonitorConfig, kinds: &[QueryKind]) -> Monitor {
         let mut monitor = Monitor::new(config);
         for kind in kinds {
-            monitor.add_query(&QuerySpec::new(*kind));
+            monitor.register(&QuerySpec::new(*kind)).expect("valid spec");
         }
         monitor
     }
@@ -517,7 +706,7 @@ mod tests {
         let mut monitor = monitor_with_queries(config, kinds);
         let mut total = 0.0;
         for batch in batches {
-            total += monitor.process_batch(batch).total_cycles();
+            total += monitor.process_batch(batch).expect("batch").total_cycles();
         }
         total / batches.len() as f64
     }
@@ -526,10 +715,9 @@ mod tests {
     fn no_shedding_with_ample_capacity_processes_everything() {
         let batches = small_trace(20, 200.0);
         let config = MonitorConfig::default().with_capacity(1e12).without_noise();
-        let mut monitor =
-            monitor_with_queries(config, &[QueryKind::Counter, QueryKind::Flows]);
+        let mut monitor = monitor_with_queries(config, &[QueryKind::Counter, QueryKind::Flows]);
         for batch in &batches {
-            let record = monitor.process_batch(batch);
+            let record = monitor.process_batch(batch).expect("batch");
             assert_eq!(record.uncontrolled_drops, 0);
             assert!(record.queries.iter().all(|q| (q.sampling_rate - 1.0).abs() < 1e-9));
         }
@@ -551,7 +739,7 @@ mod tests {
         let mut monitor = monitor_with_queries(config, &kinds);
         let mut steady_state_cycles = Vec::new();
         for (i, batch) in batches.iter().enumerate() {
-            let record = monitor.process_batch(batch);
+            let record = monitor.process_batch(batch).expect("batch");
             // Give the predictor a warm-up period before judging.
             if i > 30 {
                 steady_state_cycles.push(record.total_cycles());
@@ -580,7 +768,7 @@ mod tests {
         let mut monitor =
             monitor_with_queries(config, &[QueryKind::Flows, QueryKind::PatternSearch]);
         for batch in &batches {
-            monitor.process_batch(batch);
+            monitor.process_batch(batch).expect("batch");
         }
         assert!(
             monitor.uncontrolled_drops() > 0,
@@ -595,7 +783,7 @@ mod tests {
         let mut monitor = monitor_with_queries(config, &[QueryKind::Counter]);
         let mut interval_count = 0;
         for batch in &batches {
-            if monitor.process_batch(batch).interval_outputs.is_some() {
+            if monitor.process_batch(batch).expect("batch").interval_outputs.is_some() {
                 interval_count += 1;
             }
         }
@@ -621,7 +809,7 @@ mod tests {
         let mut topk_disabled = 0;
         let mut counter_disabled = 0;
         for (i, batch) in batches.iter().enumerate() {
-            let record = monitor.process_batch(batch);
+            let record = monitor.process_batch(batch).expect("batch");
             if i > 30 {
                 if record.queries[topk_index].disabled {
                     topk_disabled += 1;
@@ -646,17 +834,66 @@ mod tests {
         let batches = small_trace(30, 100.0);
         let config = MonitorConfig::default().with_capacity(1e12).without_noise();
         let mut monitor = monitor_with_queries(config, &[QueryKind::Counter]);
+        let mut flows_id = None;
         for (i, batch) in batches.iter().enumerate() {
             if i == 10 {
-                monitor.add_query(&QuerySpec::new(QueryKind::Flows));
+                flows_id =
+                    Some(monitor.register(&QuerySpec::new(QueryKind::Flows)).expect("valid spec"));
             }
-            let record = monitor.process_batch(batch);
+            let record = monitor.process_batch(batch).expect("batch");
             if i >= 10 {
                 assert_eq!(record.queries.len(), 2);
             }
         }
+        let flows_id = flows_id.expect("registered mid-run");
+        assert!(monitor.deregister(flows_id).is_ok());
+        assert_eq!(
+            monitor.deregister(flows_id),
+            Err(NetshedError::UnknownQuery(flows_id.to_string()))
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let config = MonitorConfig::default().with_capacity(1e12).without_noise();
+        let mut monitor = Monitor::new(config);
+        monitor.add_query(&QuerySpec::new(QueryKind::Counter));
+        monitor.add_query_instance(netshed_queries::build_query(QueryKind::Flows), None);
+        assert_eq!(monitor.query_names(), vec!["counter", "flows"]);
         assert!(monitor.remove_query("flows"));
         assert!(!monitor.remove_query("flows"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_clamp_out_of_range_rates_like_the_old_api() {
+        let config = MonitorConfig::default().with_capacity(1e12).without_noise();
+        let mut monitor = Monitor::new(config);
+        // The pre-0.2 API silently clamped these; the shims must not panic.
+        monitor.add_query(&QuerySpec::new(QueryKind::Counter).with_min_rate(1.5));
+        monitor.add_query(&QuerySpec::new(QueryKind::Flows).with_min_rate(-2.0));
+        monitor.add_query_instance(netshed_queries::build_query(QueryKind::TopK), Some(f64::NAN));
+        assert_eq!(monitor.query_names().len(), 3);
+    }
+
+    #[test]
+    fn empty_batches_and_zero_capacity_are_typed_errors() {
+        let config = MonitorConfig::default().with_capacity(1e12).without_noise();
+        let mut monitor = monitor_with_queries(config, &[QueryKind::Counter]);
+        let empty = Batch::empty(3, 300_000, 100_000);
+        assert!(matches!(
+            monitor.process_batch(&empty),
+            Err(NetshedError::EmptyBatch { bin_index: 3 })
+        ));
+
+        let broken = MonitorConfig::default().with_capacity(0.0).without_noise();
+        let mut broken_monitor = monitor_with_queries(broken, &[QueryKind::Counter]);
+        let batch = &small_trace(1, 50.0)[0];
+        assert!(matches!(
+            broken_monitor.process_batch(batch),
+            Err(NetshedError::CapacityUnderflow { .. })
+        ));
     }
 
     #[test]
@@ -670,7 +907,7 @@ mod tests {
         let mut monitor = monitor_with_queries(config, &[QueryKind::PatternSearch]);
         let mut sampled_bins = 0;
         for batch in &batches {
-            let record = monitor.process_batch(batch);
+            let record = monitor.process_batch(batch).expect("batch");
             if record.mean_sampling_rate() < 0.99 {
                 sampled_bins += 1;
             }

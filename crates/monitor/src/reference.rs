@@ -12,7 +12,7 @@ use netshed_trace::Batch;
 
 /// Unconstrained reference execution used as accuracy ground truth.
 pub struct ReferenceRunner {
-    queries: Vec<Box<dyn Query>>,
+    queries: Vec<(String, Box<dyn Query>)>,
     measurement_interval_us: u64,
     current_interval: Option<u64>,
     /// Total cycles the reference execution would have needed (useful to
@@ -25,7 +25,10 @@ impl ReferenceRunner {
     /// Creates a reference runner for the given query specifications.
     pub fn new(specs: &[QuerySpec], measurement_interval_us: u64) -> Self {
         Self {
-            queries: specs.iter().map(build_query_from_spec).collect(),
+            queries: specs
+                .iter()
+                .map(|spec| (spec.resolved_label(), build_query_from_spec(spec)))
+                .collect(),
             measurement_interval_us,
             current_interval: None,
             total_cycles: 0,
@@ -34,14 +37,20 @@ impl ReferenceRunner {
     }
 
     /// Adds another query instance mid-run (mirrors
-    /// [`Monitor::add_query`](crate::Monitor::add_query)).
-    pub fn add_query(&mut self, spec: &QuerySpec) {
-        self.queries.push(build_query_from_spec(spec));
+    /// [`Monitor::register`](crate::Monitor::register)).
+    pub fn register(&mut self, spec: &QuerySpec) {
+        self.queries.push((spec.resolved_label(), build_query_from_spec(spec)));
     }
 
-    /// Names of the registered queries.
-    pub fn query_names(&self) -> Vec<&'static str> {
-        self.queries.iter().map(|q| q.name()).collect()
+    /// Adds another query instance mid-run.
+    #[deprecated(since = "0.2.0", note = "use `register`")]
+    pub fn add_query(&mut self, spec: &QuerySpec) {
+        self.register(spec);
+    }
+
+    /// Labels of the registered queries.
+    pub fn query_names(&self) -> Vec<String> {
+        self.queries.iter().map(|(label, _)| label.clone()).collect()
     }
 
     /// Mean cycles per bin the unconstrained execution needed so far.
@@ -54,7 +63,7 @@ impl ReferenceRunner {
 
     /// Processes one batch; returns the per-query outputs when the batch
     /// starts a new measurement interval (i.e. the previous one just closed).
-    pub fn process_batch(&mut self, batch: &Batch) -> Option<Vec<(&'static str, QueryOutput)>> {
+    pub fn process_batch(&mut self, batch: &Batch) -> Option<Vec<(String, QueryOutput)>> {
         let interval = batch.measurement_interval(self.measurement_interval_us);
         let outputs = if self.current_interval.is_some() && self.current_interval != Some(interval)
         {
@@ -64,7 +73,7 @@ impl ReferenceRunner {
         };
         self.current_interval = Some(interval);
 
-        for query in &mut self.queries {
+        for (_, query) in &mut self.queries {
             let mut meter = CycleMeter::new();
             query.process_batch(batch, 1.0, &mut meter);
             self.total_cycles += meter.cycles();
@@ -74,12 +83,16 @@ impl ReferenceRunner {
     }
 
     /// Flushes the final interval.
-    pub fn finish_interval(&mut self) -> Vec<(&'static str, QueryOutput)> {
+    pub fn finish_interval(&mut self) -> Vec<(String, QueryOutput)> {
+        self.current_interval = None;
         self.close_interval()
     }
 
-    fn close_interval(&mut self) -> Vec<(&'static str, QueryOutput)> {
-        self.queries.iter_mut().map(|query| (query.name(), query.end_interval())).collect()
+    fn close_interval(&mut self) -> Vec<(String, QueryOutput)> {
+        self.queries
+            .iter_mut()
+            .map(|(label, query)| (label.clone(), query.end_interval()))
+            .collect()
     }
 }
 
@@ -111,13 +124,19 @@ pub fn measure_total_demand(specs: &[QuerySpec], batches: &[Batch]) -> f64 {
         .without_noise();
     let mut monitor = crate::Monitor::new(config);
     for spec in specs {
-        monitor.add_query(spec);
+        monitor.register(spec).expect("valid query spec");
     }
-    if batches.is_empty() {
+    let processed: Vec<f64> = batches
+        .iter()
+        .filter(|batch| !batch.is_empty())
+        .map(|batch| monitor.process_batch(batch).expect("non-empty batch").total_cycles())
+        .collect();
+    if processed.is_empty() {
         return 0.0;
     }
-    let total: f64 = batches.iter().map(|batch| monitor.process_batch(batch).total_cycles()).sum();
-    total / batches.len() as f64
+    // Quiet bins are excluded from the mean: demand is per *active* bin, so a
+    // capacity derived from it errs towards over- rather than under-provision.
+    processed.iter().sum::<f64>() / processed.len() as f64
 }
 
 #[cfg(test)]
@@ -142,7 +161,7 @@ mod tests {
         assert_eq!(closed, 2);
         let final_outputs = runner.finish_interval();
         assert_eq!(final_outputs.len(), 2);
-        assert_eq!(runner.query_names(), vec!["counter", "flows"]);
+        assert_eq!(runner.query_names(), vec!["counter".to_string(), "flows".to_string()]);
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Per-bin and per-run records produced by the monitor.
 
+use crate::monitor::QueryId;
 use netshed_queries::QueryOutput;
 
 /// What happened to one query during one time bin.
 #[derive(Debug, Clone)]
 pub struct QueryBinRecord {
-    /// Query name.
-    pub name: &'static str,
+    /// Handle of the query instance.
+    pub id: QueryId,
+    /// Label of the query instance (the kind's paper name unless the spec
+    /// set an explicit label).
+    pub name: String,
     /// Sampling rate assigned to the query for this bin (0 = disabled).
     pub sampling_rate: f64,
     /// Cycles the prediction subsystem expected the query to need for the
@@ -53,8 +57,8 @@ pub struct BinRecord {
     /// Per-query details.
     pub queries: Vec<QueryBinRecord>,
     /// Query outputs emitted at the end of the measurement interval this bin
-    /// closed, if any (query name → output).
-    pub interval_outputs: Option<Vec<(&'static str, QueryOutput)>>,
+    /// closed, if any (query label → output).
+    pub interval_outputs: Option<Vec<(String, QueryOutput)>>,
 }
 
 impl BinRecord {
@@ -71,13 +75,21 @@ impl BinRecord {
         }
         self.queries.iter().map(|q| q.sampling_rate).sum::<f64>() / self.queries.len() as f64
     }
+
+    /// The record of one query, looked up by handle.
+    pub fn query(&self, id: QueryId) -> Option<&QueryBinRecord> {
+        self.queries.iter().find(|q| q.id == id)
+    }
 }
 
 /// Aggregated statistics over a full run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
     /// Number of bins processed.
     pub bins: u64,
+    /// Empty time bins skipped by [`Monitor::run`](crate::Monitor::run)
+    /// (quiet bins carry no work and are not an error mid-stream).
+    pub empty_bins: u64,
     /// Total packets that arrived.
     pub total_packets: u64,
     /// Total uncontrolled drops.
@@ -107,6 +119,22 @@ impl RunSummary {
             return 0.0;
         }
         self.total_uncontrolled_drops as f64 / self.total_packets as f64
+    }
+
+    /// Mean total cycles per processed bin.
+    pub fn mean_cycles_per_bin(&self) -> f64 {
+        if self.cycles_per_bin.is_empty() {
+            return 0.0;
+        }
+        self.cycles_per_bin.iter().sum::<f64>() / self.cycles_per_bin.len() as f64
+    }
+
+    /// Mean relative prediction error over the run.
+    pub fn mean_prediction_error(&self) -> f64 {
+        if self.prediction_errors.is_empty() {
+            return 0.0;
+        }
+        self.prediction_errors.iter().sum::<f64>() / self.prediction_errors.len() as f64
     }
 }
 
@@ -148,10 +176,23 @@ mod tests {
         assert_eq!(summary.cycles_per_bin.len(), 2);
         assert!((summary.uncontrolled_drop_fraction() - 0.1).abs() < 1e-12);
         assert_eq!(summary.prediction_errors.len(), 2);
+        assert!(summary.mean_cycles_per_bin() > 0.0);
+        assert!(summary.mean_prediction_error() > 0.0);
     }
 
     #[test]
     fn mean_sampling_rate_defaults_to_one() {
         assert_eq!(record(1.0, 1.0).mean_sampling_rate(), 1.0);
+    }
+
+    #[test]
+    fn summaries_compare_for_roundtrip_tests() {
+        let mut a = RunSummary::default();
+        let mut b = RunSummary::default();
+        a.absorb(&record(100.0, 90.0));
+        b.absorb(&record(100.0, 90.0));
+        assert_eq!(a, b);
+        b.absorb(&record(1.0, 1.0));
+        assert_ne!(a, b);
     }
 }

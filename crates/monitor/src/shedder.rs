@@ -16,7 +16,10 @@ pub fn packet_sample(batch: &Batch, rate: f64, rng: &mut StdRng) -> (Batch, u64)
         return (batch.clone(), 0);
     }
     if rate <= 0.0 {
-        return (Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us), batch.len() as u64);
+        return (
+            Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us),
+            batch.len() as u64,
+        );
     }
     let sampled = batch.filtered(|_| rng.gen::<f64>() < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;
@@ -35,7 +38,10 @@ pub fn flow_sample(batch: &Batch, rate: f64, hasher: &H3Hasher) -> (Batch, u64) 
         return (batch.clone(), 0);
     }
     if rate <= 0.0 {
-        return (Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us), batch.len() as u64);
+        return (
+            Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us),
+            batch.len() as u64,
+        );
     }
     let sampled = batch.filtered(|p| hasher.unit_interval(&p.tuple.as_key()) < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;

@@ -138,8 +138,7 @@ mod tests {
             // Response completely independent of the features.
             history.push(f, rng.gen_range(0.0..1000.0));
         }
-        let selected =
-            fcbf_select(&history, &FcbfConfig { threshold: 0.9, max_features: 8 }, 42);
+        let selected = fcbf_select(&history, &FcbfConfig { threshold: 0.9, max_features: 8 }, 42);
         assert!(selected.is_empty());
     }
 

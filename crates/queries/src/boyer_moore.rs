@@ -91,8 +91,8 @@ mod tests {
     #[test]
     fn examined_bytes_grow_with_haystack() {
         let bm = BoyerMoore::new(b"zzz");
-        let small = bm.find(&vec![b'a'; 100]).1;
-        let large = bm.find(&vec![b'a'; 10_000]).1;
+        let small = bm.find(&[b'a'; 100]).1;
+        let large = bm.find(&[b'a'; 10_000]).1;
         assert!(large > small * 50, "examined should scale with input: {small} vs {large}");
     }
 

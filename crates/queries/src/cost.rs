@@ -107,7 +107,12 @@ pub struct MeasurementNoise {
 
 impl MeasurementNoise {
     /// Creates a noise model with the given parameters.
-    pub fn new(seed: u64, jitter_stdev: f64, outlier_probability: f64, outlier_cycles: u64) -> Self {
+    pub fn new(
+        seed: u64,
+        jitter_stdev: f64,
+        outlier_probability: f64,
+        outlier_cycles: u64,
+    ) -> Self {
         Self { rng: StdRng::seed_from_u64(seed), jitter_stdev, outlier_probability, outlier_cycles }
     }
 
@@ -133,7 +138,8 @@ impl MeasurementNoise {
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             measured *= (1.0 + self.jitter_stdev * z).max(0.5);
         }
-        let outlier = self.outlier_probability > 0.0 && self.rng.gen::<f64>() < self.outlier_probability;
+        let outlier =
+            self.outlier_probability > 0.0 && self.rng.gen::<f64>() < self.outlier_probability;
         if outlier {
             measured += self.outlier_cycles as f64;
         }

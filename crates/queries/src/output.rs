@@ -75,11 +75,17 @@ impl QueryOutput {
     /// Panics if the two outputs come from different query types.
     pub fn error_against(&self, truth: &QueryOutput) -> f64 {
         let error = match (self, truth) {
-            (QueryOutput::Counter { packets, bytes }, QueryOutput::Counter { packets: tp, bytes: tb }) => {
+            (
+                QueryOutput::Counter { packets, bytes },
+                QueryOutput::Counter { packets: tp, bytes: tb },
+            ) => {
                 // Mean of the relative errors in packets and bytes.
                 (relative_error(*packets, *tp) + relative_error(*bytes, *tb)) / 2.0
             }
-            (QueryOutput::Application { per_app }, QueryOutput::Application { per_app: truth_apps }) => {
+            (
+                QueryOutput::Application { per_app },
+                QueryOutput::Application { per_app: truth_apps },
+            ) => {
                 // Weighted average of the relative error across applications,
                 // weighted by the true volume of each application.
                 let mut weighted = 0.0;
@@ -100,16 +106,21 @@ impl QueryOutput {
             (QueryOutput::Flows { count }, QueryOutput::Flows { count: truth_count }) => {
                 relative_error(*count, *truth_count)
             }
-            (QueryOutput::HighWatermark { mbps }, QueryOutput::HighWatermark { mbps: truth_mbps }) => {
-                relative_error(*mbps, *truth_mbps)
-            }
+            (
+                QueryOutput::HighWatermark { mbps },
+                QueryOutput::HighWatermark { mbps: truth_mbps },
+            ) => relative_error(*mbps, *truth_mbps),
             (QueryOutput::TopK { ranking }, QueryOutput::TopK { ranking: truth_ranking }) => {
                 misranked_pairs_error(ranking, truth_ranking)
             }
-            (QueryOutput::Autofocus { clusters }, QueryOutput::Autofocus { clusters: truth_clusters }) => {
-                cluster_report_error(clusters, truth_clusters)
-            }
-            (QueryOutput::SuperSources { fanouts }, QueryOutput::SuperSources { fanouts: truth_fanouts }) => {
+            (
+                QueryOutput::Autofocus { clusters },
+                QueryOutput::Autofocus { clusters: truth_clusters },
+            ) => cluster_report_error(clusters, truth_clusters),
+            (
+                QueryOutput::SuperSources { fanouts },
+                QueryOutput::SuperSources { fanouts: truth_fanouts },
+            ) => {
                 // Average relative error in the fan-out estimations of the
                 // true super sources.
                 if truth_fanouts.is_empty() {
@@ -117,7 +128,9 @@ impl QueryOutput {
                 } else {
                     truth_fanouts
                         .iter()
-                        .map(|(src, t)| relative_error(fanouts.get(src).copied().unwrap_or(0.0), *t))
+                        .map(|(src, t)| {
+                            relative_error(fanouts.get(src).copied().unwrap_or(0.0), *t)
+                        })
                         .sum::<f64>()
                         / truth_fanouts.len() as f64
                 }
@@ -238,9 +251,8 @@ mod tests {
 
     #[test]
     fn topk_error_counts_missing_members() {
-        let truth = QueryOutput::TopK {
-            ranking: vec![(1, 100.0), (2, 90.0), (3, 80.0), (4, 70.0)],
-        };
+        let truth =
+            QueryOutput::TopK { ranking: vec![(1, 100.0), (2, 90.0), (3, 80.0), (4, 70.0)] };
         let est = QueryOutput::TopK { ranking: vec![(1, 100.0), (2, 85.0), (9, 60.0), (8, 50.0)] };
         // Two of the four true members are missing.
         assert!((est.error_against(&truth) - 0.5).abs() < 1e-12);

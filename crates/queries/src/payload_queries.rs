@@ -50,11 +50,8 @@ impl Query for TraceQuery {
 
     fn process_batch(&mut self, batch: &Batch, _sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets.iter() {
-            let stored = if packet.payload.is_some() {
-                u64::from(packet.ip_len)
-            } else {
-                HEADER_BYTES
-            };
+            let stored =
+                if packet.payload.is_some() { u64::from(packet.ip_len) } else { HEADER_BYTES };
             meter.charge(costs::PER_PACKET_BASE);
             meter.charge_n(costs::STORE_BYTE, stored);
             self.processed_packets += 1.0;
@@ -287,7 +284,13 @@ mod tests {
     use netshed_trace::{FiveTuple, Packet};
 
     fn payload_packet(ts: u64, tuple: FiveTuple, payload: &'static [u8]) -> Packet {
-        Packet::with_payload(ts, tuple, 40 + payload.len() as u32, 0x10, Bytes::from_static(payload))
+        Packet::with_payload(
+            ts,
+            tuple,
+            40 + payload.len() as u32,
+            0x10,
+            Bytes::from_static(payload),
+        )
     }
 
     fn p2p_batch(flows: u32, packets_per_flow: u32) -> Batch {

@@ -51,9 +51,18 @@ pub trait Query: Send {
 }
 
 /// Blanket helpers shared by query implementations.
+///
+/// Scales a sampled estimate by the inverse of the sampling rate. The result
+/// is guaranteed finite: non-positive, NaN or subnormal rates, non-finite
+/// values, and overflowing divisions all collapse to `0.0` instead of
+/// poisoning downstream aggregates with NaN / infinity.
 pub(crate) fn scale(value: f64, sampling_rate: f64) -> f64 {
-    if sampling_rate > 0.0 {
-        value / sampling_rate
+    if !value.is_finite() || !sampling_rate.is_finite() || sampling_rate <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    let scaled = value / sampling_rate;
+    if scaled.is_finite() {
+        scaled
     } else {
         0.0
     }
@@ -68,5 +77,18 @@ mod tests {
         assert_eq!(scale(10.0, 0.5), 20.0);
         assert_eq!(scale(10.0, 1.0), 10.0);
         assert_eq!(scale(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn scale_never_produces_nan_or_infinity() {
+        for value in [10.0, 0.0, -3.0, f64::NAN, f64::INFINITY, f64::MAX] {
+            for rate in [1.0, 0.5, 0.0, -0.2, f64::NAN, f64::MIN_POSITIVE / 2.0, 1e-320] {
+                let scaled = scale(value, rate);
+                assert!(scaled.is_finite(), "scale({value}, {rate}) = {scaled}");
+            }
+        }
+        assert_eq!(scale(f64::NAN, 0.5), 0.0);
+        assert_eq!(scale(10.0, f64::NAN), 0.0);
+        assert_eq!(scale(f64::MAX, 1e-300), 0.0, "overflowing division collapses to zero");
     }
 }

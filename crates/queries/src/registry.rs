@@ -88,10 +88,14 @@ impl QueryKind {
 }
 
 /// Specification of a query instance to run in the monitoring system.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct QuerySpec {
     /// Which query to instantiate.
     pub kind: QueryKind,
+    /// Label identifying this instance in records and outputs. `None` uses
+    /// the kind's paper name; setting distinct labels lets the same kind be
+    /// registered several times (the Figure 6.9 query-arrival scenario).
+    pub label: Option<String>,
     /// Minimum sampling rate constraint (`m_q` of Chapter 5); `None` uses the
     /// query's built-in default, which matches Table 5.2.
     pub min_sampling_rate: Option<f64>,
@@ -103,7 +107,13 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// A specification with default constraints.
     pub fn new(kind: QueryKind) -> Self {
-        Self { kind, min_sampling_rate: None, custom_behavior: None }
+        Self { kind, label: None, min_sampling_rate: None, custom_behavior: None }
+    }
+
+    /// Overrides the instance label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
     }
 
     /// Overrides the minimum sampling rate constraint.
@@ -116,6 +126,12 @@ impl QuerySpec {
     pub fn with_custom(mut self, behavior: CustomBehavior) -> Self {
         self.custom_behavior = Some(behavior);
         self
+    }
+
+    /// The label this spec resolves to: the explicit label if set, the
+    /// kind's paper name otherwise.
+    pub fn resolved_label(&self) -> String {
+        self.label.clone().unwrap_or_else(|| self.kind.name().to_string())
     }
 }
 

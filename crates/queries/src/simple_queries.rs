@@ -96,7 +96,8 @@ impl Query for ApplicationQuery {
     fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets.iter() {
             meter.charge(costs::PER_PACKET_BASE + costs::PORT_LOOKUP + costs::COUNTER_UPDATE);
-            let app = Self::classify(packet.tuple.src_port, packet.tuple.dst_port, packet.tuple.proto);
+            let app =
+                Self::classify(packet.tuple.src_port, packet.tuple.dst_port, packet.tuple.proto);
             let entry = self.per_app.entry(app).or_insert((0.0, 0.0));
             entry.0 += scale(1.0, sampling_rate);
             entry.1 += scale(f64::from(packet.ip_len), sampling_rate);

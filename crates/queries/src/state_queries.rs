@@ -163,8 +163,7 @@ impl Query for SuperSourcesQuery {
                 meter.charge(costs::HASH_INSERT);
                 // Weight each new (source, destination) pair by the sampling
                 // rate in force when it was discovered.
-                *self.fanout.entry(packet.tuple.src_ip).or_insert(0.0) +=
-                    scale(1.0, sampling_rate);
+                *self.fanout.entry(packet.tuple.src_ip).or_insert(0.0) += scale(1.0, sampling_rate);
             }
         }
     }

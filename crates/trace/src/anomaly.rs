@@ -137,8 +137,13 @@ impl Anomaly {
                 AnomalyKind::ByteBurst => {
                     // A handful of heavy-hitter flows sending MTU packets.
                     let flow = rng.gen_range(0..8u32);
-                    let tuple =
-                        FiveTuple::new(0x0a00_00f0 + flow, 0xc0a8_0001, 40_000 + flow as u16, 80, 6);
+                    let tuple = FiveTuple::new(
+                        0x0a00_00f0 + flow,
+                        0xc0a8_0001,
+                        40_000 + flow as u16,
+                        80,
+                        6,
+                    );
                     Packet::header_only(ts, tuple, 1500, 0)
                 }
             };

@@ -24,7 +24,12 @@ pub struct Batch {
 
 impl Batch {
     /// Creates a batch from a packet vector.
-    pub fn new(bin_index: u64, start_ts: Timestamp, duration_us: u64, packets: Vec<Packet>) -> Self {
+    pub fn new(
+        bin_index: u64,
+        start_ts: Timestamp,
+        duration_us: u64,
+        packets: Vec<Packet>,
+    ) -> Self {
         Self { bin_index, start_ts, duration_us, packets: Arc::new(packets) }
     }
 

@@ -388,7 +388,8 @@ impl TraceGenerator {
                 * (2.0 * std::f64::consts::PI * bin as f64
                     / self.config.diurnal_period_bins.max(1) as f64)
                     .sin();
-        let mean = self.config.mean_packets_per_batch * self.modulation.max(0.05) * diurnal.max(0.1);
+        let mean =
+            self.config.mean_packets_per_batch * self.modulation.max(0.05) * diurnal.max(0.1);
         let target = poisson(&mut self.rng, mean) as usize;
 
         let mut packets = Vec::with_capacity(target + 64);
@@ -563,11 +564,8 @@ mod tests {
         let config = TraceConfig::default().with_seed(3).with_payloads(true);
         let mut g = TraceGenerator::new(config);
         let batches = g.batches(20);
-        let with_payload = batches
-            .iter()
-            .flat_map(|b| b.packets.iter())
-            .filter(|p| p.payload.is_some())
-            .count();
+        let with_payload =
+            batches.iter().flat_map(|b| b.packets.iter()).filter(|p| p.payload.is_some()).count();
         assert!(with_payload > 0, "payload-enabled trace produced no payloads");
         let with_sig = batches
             .iter()

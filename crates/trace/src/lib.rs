@@ -35,12 +35,14 @@ pub mod dist;
 pub mod generator;
 pub mod packet;
 pub mod profiles;
+pub mod source;
 
 pub use anomaly::{Anomaly, AnomalyInjector, AnomalyKind};
 pub use batch::{Batch, BatchBuilder, BatchStats};
 pub use generator::{AppProtocol, TraceConfig, TraceGenerator};
 pub use packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
 pub use profiles::TraceProfile;
+pub use source::{BatchReplay, Interleave, PacketSource, PacketSourceExt, Take};
 
 /// Duration of a time bin in microseconds (100 ms, as in the paper).
 pub const DEFAULT_TIME_BIN_US: u64 = 100_000;

@@ -7,7 +7,6 @@
 //! trace with full payloads does not copy payload bytes per packet.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// TCP SYN flag bit.
@@ -27,7 +26,7 @@ pub type Timestamp = u64;
 /// Addresses are stored as host-order IPv4 addresses; the synthetic workload
 /// generator only produces IPv4 traffic, which matches the traces used in the
 /// paper (2002–2008 ISP traffic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     /// Source IPv4 address.
     pub src_ip: u32,

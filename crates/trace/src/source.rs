@@ -1,0 +1,318 @@
+//! Streaming packet sources.
+//!
+//! The monitoring pipeline consumes batches from a [`PacketSource`]: an
+//! abstraction over "something that produces the next time bin of traffic".
+//! The synthetic [`TraceGenerator`](crate::TraceGenerator) is one (infinite)
+//! source; a recorded batch vector replayed by [`BatchReplay`] is another;
+//! [`Interleave`] merges several sources bin by bin, modelling several links
+//! (or several anomaly generators) feeding one monitor. Finite prefixes of an
+//! infinite source are taken with [`PacketSourceExt::take_batches`].
+//!
+//! Sources deliberately mirror `Iterator` (`next_batch` returning `Option`)
+//! without being one: batch production is stateful and fallible-by-exhaustion
+//! only, and keeping the trait object-safe and free of adapter machinery
+//! keeps `Monitor::run` signatures simple.
+
+use crate::batch::Batch;
+use crate::generator::TraceGenerator;
+
+/// A stream of traffic batches, one per time bin.
+pub trait PacketSource {
+    /// Produces the next batch, or `None` when the source is exhausted.
+    fn next_batch(&mut self) -> Option<Batch>;
+
+    /// Number of batches still to come, when known in advance.
+    ///
+    /// Infinite or data-dependent sources return `None`.
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<S: PacketSource + ?Sized> PacketSource for &mut S {
+    fn next_batch(&mut self) -> Option<Batch> {
+        (**self).next_batch()
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        (**self).remaining_hint()
+    }
+}
+
+impl<S: PacketSource + ?Sized> PacketSource for Box<S> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        (**self).next_batch()
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        (**self).remaining_hint()
+    }
+}
+
+/// The synthetic generator is an infinite source.
+impl PacketSource for TraceGenerator {
+    fn next_batch(&mut self) -> Option<Batch> {
+        Some(TraceGenerator::next_batch(self))
+    }
+}
+
+/// Replays a recorded batch vector, in order.
+///
+/// Batches are shared (`Batch` clones are cheap — the packet vector is
+/// reference-counted), so replaying the same recording through several
+/// monitors never copies packets.
+#[derive(Debug, Clone)]
+pub struct BatchReplay {
+    batches: Vec<Batch>,
+    position: usize,
+}
+
+impl BatchReplay {
+    /// Creates a replay source over a recorded batch vector.
+    pub fn new(batches: Vec<Batch>) -> Self {
+        Self { batches, position: 0 }
+    }
+
+    /// Records `count` batches from another source and returns their replay.
+    pub fn record<S: PacketSource>(source: &mut S, count: usize) -> Self {
+        let mut batches = Vec::with_capacity(count);
+        for _ in 0..count {
+            match source.next_batch() {
+                Some(batch) => batches.push(batch),
+                None => break,
+            }
+        }
+        Self::new(batches)
+    }
+
+    /// Rewinds the replay to the first batch.
+    pub fn reset(&mut self) {
+        self.position = 0;
+    }
+
+    /// The recorded batches.
+    pub fn batches(&self) -> &[Batch] {
+        &self.batches
+    }
+
+    /// Total number of recorded batches (independent of the replay position).
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+}
+
+impl PacketSource for BatchReplay {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let batch = self.batches.get(self.position)?.clone();
+        self.position += 1;
+        Some(batch)
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.batches.len() - self.position)
+    }
+}
+
+/// A slice of batches is a replay source too (clones on demand).
+impl PacketSource for std::vec::IntoIter<Batch> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        self.next()
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.len())
+    }
+}
+
+/// Yields at most a fixed number of batches from an inner source.
+///
+/// Built with [`PacketSourceExt::take_batches`]; this is how a finite
+/// experiment is carved out of the infinite [`TraceGenerator`].
+#[derive(Debug)]
+pub struct Take<S> {
+    inner: S,
+    remaining: usize,
+}
+
+impl<S> Take<S> {
+    /// Consumes the adapter and returns the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PacketSource> PacketSource for Take<S> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let batch = self.inner.next_batch()?;
+        self.remaining -= 1;
+        Some(batch)
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        match self.inner.remaining_hint() {
+            Some(inner) => Some(inner.min(self.remaining)),
+            None => Some(self.remaining),
+        }
+    }
+}
+
+/// Merges several sources bin by bin into one aggregate stream.
+///
+/// Each round pulls one batch from every still-live source and combines their
+/// packets into a single batch (re-sorted by timestamp). Sources are expected
+/// to be bin-aligned — same time-bin duration and same starting bin — which
+/// holds for any set of [`TraceGenerator`]s or replays started together; the
+/// merged batch keeps the bin geometry of the first live source. The stream
+/// ends when every sub-source is exhausted, so a short source simply stops
+/// contributing traffic (a link going quiet).
+pub struct Interleave {
+    sources: Vec<Box<dyn PacketSource>>,
+}
+
+impl Interleave {
+    /// Creates an interleaved source over the given sub-sources.
+    pub fn new(sources: Vec<Box<dyn PacketSource>>) -> Self {
+        Self { sources }
+    }
+
+    /// Number of sub-sources still producing batches.
+    pub fn live_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl PacketSource for Interleave {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let mut merged: Option<(u64, u64, u64, Vec<crate::packet::Packet>)> = None;
+        let mut live = Vec::with_capacity(self.sources.len());
+        for mut source in self.sources.drain(..) {
+            if let Some(batch) = source.next_batch() {
+                let entry = merged.get_or_insert_with(|| {
+                    (batch.bin_index, batch.start_ts, batch.duration_us, Vec::new())
+                });
+                entry.3.extend(batch.packets.iter().cloned());
+                live.push(source);
+            }
+        }
+        self.sources = live;
+        let (bin_index, start_ts, duration_us, mut packets) = merged?;
+        packets.sort_by_key(|p| p.ts);
+        Some(Batch::new(bin_index, start_ts, duration_us, packets))
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        // Known only if every sub-source reports a hint: the interleave runs
+        // until the longest one ends.
+        self.sources
+            .iter()
+            .map(|s| s.remaining_hint())
+            .try_fold(0usize, |acc, hint| hint.map(|h| acc.max(h)))
+    }
+}
+
+/// Adapter constructors for every source.
+pub trait PacketSourceExt: PacketSource + Sized {
+    /// Limits the source to its first `count` batches.
+    fn take_batches(self, count: usize) -> Take<Self> {
+        Take { inner: self, remaining: count }
+    }
+}
+
+impl<S: PacketSource + Sized> PacketSourceExt for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    fn generator(seed: u64) -> TraceGenerator {
+        TraceGenerator::new(
+            TraceConfig::default().with_seed(seed).with_mean_packets_per_batch(50.0),
+        )
+    }
+
+    #[test]
+    fn generator_is_an_infinite_source() {
+        let mut source = generator(1);
+        assert_eq!(PacketSource::remaining_hint(&source), None);
+        for expected_bin in 0..5 {
+            let batch = PacketSource::next_batch(&mut source).expect("infinite source");
+            assert_eq!(batch.bin_index, expected_bin);
+        }
+    }
+
+    #[test]
+    fn take_bounds_an_infinite_source() {
+        let mut source = generator(2).take_batches(7);
+        assert_eq!(source.remaining_hint(), Some(7));
+        let mut produced = 0;
+        while source.next_batch().is_some() {
+            produced += 1;
+        }
+        assert_eq!(produced, 7);
+        assert_eq!(source.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording_and_resets() {
+        let mut recording = BatchReplay::record(&mut generator(3), 6);
+        assert_eq!(recording.len(), 6);
+        let first_pass: Vec<usize> =
+            std::iter::from_fn(|| recording.next_batch()).map(|b| b.len()).collect();
+        assert_eq!(first_pass.len(), 6);
+        assert_eq!(recording.remaining_hint(), Some(0));
+        recording.reset();
+        let second_pass: Vec<usize> =
+            std::iter::from_fn(|| recording.next_batch()).map(|b| b.len()).collect();
+        assert_eq!(first_pass, second_pass);
+    }
+
+    #[test]
+    fn replay_matches_the_generator_it_recorded() {
+        let recording = BatchReplay::record(&mut generator(4), 5);
+        let mut fresh = generator(4);
+        for batch in recording.batches() {
+            let original = TraceGenerator::next_batch(&mut fresh);
+            assert_eq!(batch.bin_index, original.bin_index);
+            assert_eq!(batch.packets.as_ref(), original.packets.as_ref());
+        }
+    }
+
+    #[test]
+    fn interleave_merges_aligned_sources() {
+        let a = BatchReplay::record(&mut generator(5), 4);
+        let b = BatchReplay::record(&mut generator(6), 4);
+        let expected: Vec<usize> =
+            a.batches().iter().zip(b.batches()).map(|(x, y)| x.len() + y.len()).collect();
+        let mut merged = Interleave::new(vec![Box::new(a), Box::new(b)]);
+        assert_eq!(merged.remaining_hint(), Some(4));
+        for (bin, want) in expected.iter().enumerate() {
+            let batch = merged.next_batch().expect("merged batch");
+            assert_eq!(batch.bin_index, bin as u64);
+            assert_eq!(batch.len(), *want);
+            // Merged packets must stay in timestamp order.
+            assert!(batch.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+        assert!(merged.next_batch().is_none());
+    }
+
+    #[test]
+    fn interleave_outlives_its_shortest_source() {
+        let short = BatchReplay::record(&mut generator(7), 2);
+        let long = BatchReplay::record(&mut generator(8), 5);
+        let mut merged = Interleave::new(vec![Box::new(short), Box::new(long)]);
+        let mut produced = 0;
+        while merged.next_batch().is_some() {
+            produced += 1;
+        }
+        assert_eq!(produced, 5, "the interleave runs until the longest source ends");
+    }
+}

@@ -15,9 +15,7 @@
 //! cargo run --release --example custom_shedding
 //! ```
 
-use netshed::monitor::{AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy};
-use netshed::queries::{CustomBehavior, QueryKind, QuerySpec};
-use netshed::trace::{TraceGenerator, TraceProfile};
+use netshed::prelude::*;
 
 const BATCHES: usize = 300;
 
@@ -27,52 +25,66 @@ struct Outcome {
     p2p_disabled_bins: usize,
 }
 
-fn run(p2p_spec: QuerySpec, capacity: f64, batches: &[netshed::trace::Batch]) -> Outcome {
+/// Counts the bins in which one query instance was disabled.
+struct DisabledCounter {
+    id: QueryId,
+    bins: usize,
+}
+
+impl RunObserver for DisabledCounter {
+    fn on_bin(&mut self, record: &BinRecord) {
+        if record.query(self.id).is_some_and(|q| q.disabled) {
+            self.bins += 1;
+        }
+    }
+}
+
+fn run(
+    p2p_spec: QuerySpec,
+    capacity: f64,
+    recording: &BatchReplay,
+) -> Result<Outcome, NetshedError> {
     let specs = vec![
         p2p_spec,
         QuerySpec::new(QueryKind::Counter),
         QuerySpec::new(QueryKind::Flows),
         QuerySpec::new(QueryKind::Application),
     ];
-    let config = MonitorConfig::default()
-        .with_capacity(capacity)
-        .with_strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt));
-    let mut monitor = Monitor::new(config);
-    for spec in &specs {
-        monitor.add_query(spec);
-    }
-    let mut reference = ReferenceRunner::new(&specs, 1_000_000);
-    let mut p2p_acc = Vec::new();
-    let mut other_acc = Vec::new();
-    let mut disabled = 0usize;
-    for batch in batches {
-        let record = monitor.process_batch(batch);
-        if record.queries.first().is_some_and(|q| q.disabled) {
-            disabled += 1;
-        }
-        let truths = reference.process_batch(batch);
-        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
-            for ((name, output), (_, truth)) in outputs.iter().zip(&truths) {
-                let accuracy = output.accuracy_against(truth);
-                if *name == "p2p-detector" {
-                    p2p_acc.push(accuracy);
-                } else {
-                    other_acc.push(accuracy);
-                }
-            }
+    let mut monitor = Monitor::builder()
+        .capacity(capacity)
+        .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+        .queries(specs.clone())
+        .build()?;
+    let p2p_id = monitor.query_handles()[0].0;
+
+    let mut observers = (
+        AccuracyTracker::new(&specs, monitor.config().measurement_interval_us),
+        DisabledCounter { id: p2p_id, bins: 0 },
+    );
+    monitor.run(&mut recording.clone(), &mut observers)?;
+    let (accuracy, disabled) = observers;
+
+    let mut p2p_accuracy = 0.0;
+    let mut other_sum = 0.0;
+    let mut other_count = 0usize;
+    for (name, value) in accuracy.mean_accuracy() {
+        if name == "p2p-detector" {
+            p2p_accuracy = value;
+        } else {
+            other_sum += value;
+            other_count += 1;
         }
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    Outcome {
-        p2p_accuracy: mean(&p2p_acc),
-        other_accuracy: mean(&other_acc),
-        p2p_disabled_bins: disabled,
-    }
+    Ok(Outcome {
+        p2p_accuracy,
+        other_accuracy: other_sum / other_count.max(1) as f64,
+        p2p_disabled_bins: disabled.bins,
+    })
 }
 
-fn main() {
+fn main() -> Result<(), NetshedError> {
     let mut generator = TraceGenerator::new(TraceProfile::UpcI.default_config(23));
-    let batches = generator.batches(BATCHES);
+    let recording = BatchReplay::record(&mut generator, BATCHES);
     let base_specs = vec![
         QuerySpec::new(QueryKind::P2pDetector),
         QuerySpec::new(QueryKind::Counter),
@@ -80,20 +92,20 @@ fn main() {
         QuerySpec::new(QueryKind::Application),
     ];
     let demand =
-        netshed::monitor::reference::measure_total_demand(&base_specs, &batches[..50]);
+        netshed::monitor::reference::measure_total_demand(&base_specs, &recording.batches()[..50]);
     let capacity = demand * 0.5;
 
-    let sampled = run(QuerySpec::new(QueryKind::P2pDetector), capacity, &batches);
+    let sampled = run(QuerySpec::new(QueryKind::P2pDetector), capacity, &recording)?;
     let custom = run(
         QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Honest),
         capacity,
-        &batches,
-    );
+        &recording,
+    )?;
     let selfish = run(
         QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Selfish),
         capacity,
-        &batches,
-    );
+        &recording,
+    )?;
 
     println!("p2p-detector under 2x overload (higher accuracy is better)\n");
     println!(
@@ -114,4 +126,5 @@ fn main() {
         "\nThe honest custom method preserves detection accuracy at the same cost, while the \
          selfish variant is caught by the enforcement policy and spends bins disabled."
     );
+    Ok(())
 }

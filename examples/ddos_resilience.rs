@@ -11,13 +11,11 @@
 //! cargo run --release --example ddos_resilience
 //! ```
 
-use netshed::monitor::{AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy};
-use netshed::queries::{QueryKind, QuerySpec};
-use netshed::trace::{Anomaly, AnomalyKind, TraceGenerator, TraceProfile};
+use netshed::prelude::*;
 
 const BATCHES: usize = 300;
 
-fn build_trace(seed: u64) -> Vec<netshed::trace::Batch> {
+fn attack_trace(seed: u64) -> BatchReplay {
     let mut generator = TraceGenerator::new(TraceProfile::CescaI.default_config(seed));
     // A DDoS flood with spoofed sources between seconds 10 and 20, going idle
     // every other second to make the workload hard to predict (Section 3.4.3).
@@ -25,50 +23,39 @@ fn build_trace(seed: u64) -> Vec<netshed::trace::Batch> {
         Anomaly::new(AnomalyKind::DdosFlood { target: 0x0a00_0001 }, 100, 200, 1500)
             .with_duty_cycle(20),
     );
-    generator.batches(BATCHES)
+    BatchReplay::record(&mut generator, BATCHES)
 }
 
-fn run(strategy: Strategy, capacity: f64, batches: &[netshed::trace::Batch]) -> Vec<f64> {
-    let specs = vec![
+fn specs() -> Vec<QuerySpec> {
+    vec![
         QuerySpec::new(QueryKind::Flows),
         QuerySpec::new(QueryKind::Counter),
         QuerySpec::new(QueryKind::TopK),
-    ];
-    let config = MonitorConfig::default().with_capacity(capacity).with_strategy(strategy);
-    let mut monitor = Monitor::new(config);
-    for spec in &specs {
-        monitor.add_query(spec);
-    }
-    let mut reference = ReferenceRunner::new(&specs, 1_000_000);
-    let mut flows_errors = Vec::new();
-    for batch in batches {
-        let record = monitor.process_batch(batch);
-        let truths = reference.process_batch(batch);
-        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
-            for ((name, output), (_, truth)) in outputs.iter().zip(&truths) {
-                if *name == "flows" {
-                    flows_errors.push(output.error_against(truth));
-                }
-            }
-        }
-    }
-    flows_errors
+    ]
 }
 
-fn main() {
-    let batches = build_trace(7);
-    let specs = vec![
-        QuerySpec::new(QueryKind::Flows),
-        QuerySpec::new(QueryKind::Counter),
-        QuerySpec::new(QueryKind::TopK),
-    ];
+fn flows_errors(
+    strategy: Strategy,
+    capacity: f64,
+    recording: &BatchReplay,
+) -> Result<Vec<f64>, NetshedError> {
+    let specs = specs();
+    let mut monitor =
+        Monitor::builder().capacity(capacity).strategy(strategy).queries(specs.clone()).build()?;
+    let mut accuracy = AccuracyTracker::new(&specs, monitor.config().measurement_interval_us);
+    monitor.run(&mut recording.clone(), &mut accuracy)?;
+    Ok(accuracy.error_series().get("flows").cloned().unwrap_or_default())
+}
+
+fn main() -> Result<(), NetshedError> {
+    let recording = attack_trace(7);
     // Capacity sized for normal traffic: the attack pushes demand well above it.
     let normal_demand =
-        netshed::monitor::reference::measure_total_demand(&specs, &batches[..80]);
+        netshed::monitor::reference::measure_total_demand(&specs(), &recording.batches()[..80]);
     let capacity = normal_demand * 1.1;
 
-    let without = run(Strategy::NoShedding, capacity, &batches);
-    let with = run(Strategy::Predictive(AllocationPolicy::MmfsPkt), capacity, &batches);
+    let without = flows_errors(Strategy::NoShedding, capacity, &recording)?;
+    let with = flows_errors(Strategy::Predictive(AllocationPolicy::MmfsPkt), capacity, &recording)?;
 
     println!("flows query error per 1 s interval (DDoS active from t=10 s to t=20 s)\n");
     println!("{:>4}  {:>12}  {:>12}", "t(s)", "no shedding", "predictive");
@@ -77,4 +64,5 @@ fn main() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
     println!("\nmean error: no shedding {:.1}%  |  predictive {:.1}%", mean(&without), mean(&with));
+    Ok(())
 }

@@ -13,9 +13,7 @@
 //! ```
 
 use netshed::fairness::{AllocationGame, FairnessMode};
-use netshed::monitor::{AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy};
-use netshed::queries::{QueryKind, QuerySpec};
-use netshed::trace::{TraceGenerator, TraceProfile};
+use netshed::prelude::*;
 use std::collections::HashMap;
 
 const BATCHES: usize = 300;
@@ -23,59 +21,47 @@ const BATCHES: usize = 300;
 fn accuracy_per_query(
     policy: AllocationPolicy,
     capacity: f64,
-    batches: &[netshed::trace::Batch],
+    recording: &BatchReplay,
     specs: &[QuerySpec],
-) -> HashMap<&'static str, f64> {
-    let config = MonitorConfig::default()
-        .with_capacity(capacity)
-        .with_strategy(Strategy::Predictive(policy));
-    let mut monitor = Monitor::new(config);
-    for spec in specs {
-        monitor.add_query(spec);
-    }
-    let mut reference = ReferenceRunner::new(specs, 1_000_000);
-    let mut sums: HashMap<&'static str, (f64, usize)> = HashMap::new();
-    for batch in batches {
-        let record = monitor.process_batch(batch);
-        let truths = reference.process_batch(batch);
-        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
-            for ((name, output), (_, truth)) in outputs.iter().zip(&truths) {
-                let entry = sums.entry(name).or_insert((0.0, 0));
-                entry.0 += output.accuracy_against(truth);
-                entry.1 += 1;
-            }
-        }
-    }
-    sums.into_iter().map(|(name, (sum, count))| (name, sum / count.max(1) as f64)).collect()
+) -> Result<HashMap<String, f64>, NetshedError> {
+    let mut monitor = Monitor::builder()
+        .capacity(capacity)
+        .strategy(Strategy::Predictive(policy))
+        .queries(specs.to_vec())
+        .build()?;
+    let mut accuracy = AccuracyTracker::new(specs, monitor.config().measurement_interval_us);
+    monitor.run(&mut recording.clone(), &mut accuracy)?;
+    Ok(accuracy.mean_accuracy())
 }
 
-fn main() {
+fn main() -> Result<(), NetshedError> {
     let mut generator = TraceGenerator::new(TraceProfile::CescaII.default_config(11));
-    let batches = generator.batches(BATCHES);
+    let recording = BatchReplay::record(&mut generator, BATCHES);
     let specs: Vec<QuerySpec> =
         QueryKind::CHAPTER5_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
 
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..50]);
+    let demand =
+        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..50]);
     let capacity = demand * 0.5; // K = 0.5: demand is twice the capacity.
 
     println!("nine competing queries, K = 0.5 (demands are twice the capacity)\n");
-    let eq = accuracy_per_query(AllocationPolicy::EqualRates, capacity, &batches, &specs);
-    let cpu = accuracy_per_query(AllocationPolicy::MmfsCpu, capacity, &batches, &specs);
-    let pkt = accuracy_per_query(AllocationPolicy::MmfsPkt, capacity, &batches, &specs);
+    let eq = accuracy_per_query(AllocationPolicy::EqualRates, capacity, &recording, &specs)?;
+    let cpu = accuracy_per_query(AllocationPolicy::MmfsCpu, capacity, &recording, &specs)?;
+    let pkt = accuracy_per_query(AllocationPolicy::MmfsPkt, capacity, &recording, &specs)?;
 
     println!("{:<16} {:>10} {:>10} {:>10}", "query", "eq_srates", "mmfs_cpu", "mmfs_pkt");
-    let mut names: Vec<&&'static str> = eq.keys().collect();
+    let mut names: Vec<&String> = eq.keys().collect();
     names.sort();
     for name in &names {
         println!(
             "{:<16} {:>9.2}  {:>9.2}  {:>9.2}",
             name,
-            eq.get(**name).copied().unwrap_or(0.0),
-            cpu.get(**name).copied().unwrap_or(0.0),
-            pkt.get(**name).copied().unwrap_or(0.0)
+            eq.get(*name).copied().unwrap_or(0.0),
+            cpu.get(*name).copied().unwrap_or(0.0),
+            pkt.get(*name).copied().unwrap_or(0.0)
         );
     }
-    let min = |m: &HashMap<&str, f64>| m.values().copied().fold(f64::INFINITY, f64::min);
+    let min = |m: &HashMap<String, f64>| m.values().copied().fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum accuracy:   eq_srates {:.2} | mmfs_cpu {:.2} | mmfs_pkt {:.2}",
         min(&eq),
@@ -90,6 +76,11 @@ fn main() {
     println!(
         "\nNash equilibrium check: demanding C/|Q| = {:.0} cycles each is {}",
         game.equilibrium_action(),
-        if game.is_nash_equilibrium(&actions, 200, 1e-6) { "an equilibrium" } else { "NOT an equilibrium" }
+        if game.is_nash_equilibrium(&actions, 200, 1e-6) {
+            "an equilibrium"
+        } else {
+            "NOT an equilibrium"
+        }
     );
+    Ok(())
 }

@@ -1,65 +1,58 @@
 //! Quickstart: run the predictive load shedding monitor over a synthetic
 //! trace with the paper's seven-query set and print what happened.
 //!
+//! The whole experiment is the streaming pipeline in one call: build a
+//! validated monitor, point it at a `PacketSource`, and let observers do the
+//! bookkeeping.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use netshed::monitor::{AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy};
-use netshed::queries::{QueryKind, QuerySpec};
-use netshed::trace::{TraceGenerator, TraceProfile};
+use netshed::prelude::*;
 
-fn main() {
-    // 1. Build a synthetic stand-in for the CESCA-II trace (full payloads).
+fn main() -> Result<(), NetshedError> {
+    // 1. A synthetic stand-in for the CESCA-II trace (full payloads), and the
+    //    seven queries of the Chapter 4 evaluation.
     let trace_config = TraceProfile::CescaII.default_config(42);
-    let mut generator = TraceGenerator::new(trace_config);
-    let batches = generator.batches(300); // 30 seconds of traffic
-
-    // 2. The seven queries of the Chapter 4 evaluation.
     let specs: Vec<QuerySpec> =
         QueryKind::CHAPTER4_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
 
+    // 2. Record 30 s of traffic so the same batches can size the capacity and
+    //    then drive the run.
+    let mut recording = BatchReplay::record(&mut TraceGenerator::new(trace_config), 300);
+
     // 3. Measure the unconstrained demand so we can create a 2x overload.
     let demand =
-        netshed::monitor::reference::measure_total_demand(&specs, &batches[..50]);
+        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..50]);
     let capacity = demand / 2.0;
     println!("unconstrained demand : {demand:>12.0} cycles/bin");
     println!("system capacity      : {capacity:>12.0} cycles/bin (overload factor K = 0.5)\n");
 
-    // 4. Run the predictive load shedding system and, in parallel, a
-    //    reference execution that provides the accuracy ground truth.
-    let config = MonitorConfig::default()
-        .with_capacity(capacity)
-        .with_strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt));
-    let mut monitor = Monitor::new(config);
-    for spec in &specs {
-        monitor.add_query(spec);
-    }
-    let mut reference = ReferenceRunner::new(&specs, 1_000_000);
-
-    let mut errors: std::collections::HashMap<&str, Vec<f64>> = Default::default();
-    let mut cycles_used = Vec::new();
-    for batch in &batches {
-        let record = monitor.process_batch(batch);
-        let truth = reference.process_batch(batch);
-        cycles_used.push(record.total_cycles());
-        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truth) {
-            for ((name, output), (_, truth)) in outputs.iter().zip(&truths) {
-                errors.entry(name).or_default().push(output.error_against(truth));
-            }
-        }
-    }
+    // 4. Build the monitor and drive the full experiment with one call. The
+    //    accuracy tracker runs the reference execution (the ground truth of
+    //    Section 2.3.3) alongside.
+    let mut monitor = Monitor::builder()
+        .capacity(capacity)
+        .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+        .queries(specs.clone())
+        .build()?;
+    let mut accuracy = AccuracyTracker::new(&specs, monitor.config().measurement_interval_us);
+    let summary = monitor.run(&mut recording, &mut accuracy)?;
 
     // 5. Report.
-    let mean_cycles = cycles_used.iter().sum::<f64>() / cycles_used.len() as f64;
-    println!("mean cycles per bin  : {mean_cycles:>12.0} ({:.0}% of capacity)", 100.0 * mean_cycles / capacity);
-    println!("uncontrolled drops   : {:>12}", monitor.uncontrolled_drops());
+    let mean_cycles = summary.mean_cycles_per_bin();
+    println!(
+        "mean cycles per bin  : {mean_cycles:>12.0} ({:.0}% of capacity)",
+        100.0 * mean_cycles / capacity
+    );
+    println!("uncontrolled drops   : {:>12}", summary.total_uncontrolled_drops);
     println!("\nper-query mean error under 2x overload:");
-    let mut names: Vec<&&str> = errors.keys().collect();
+    let errors = accuracy.mean_error();
+    let mut names: Vec<&String> = errors.keys().collect();
     names.sort();
     for name in names {
-        let errs = &errors[*name];
-        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-        println!("  {name:<16} {:>6.2}%", mean * 100.0);
+        println!("  {name:<16} {:>6.2}%", errors[name] * 100.0);
     }
+    Ok(())
 }

@@ -3,6 +3,25 @@
 //! This is the facade crate: it re-exports the public API of every sub-crate
 //! in the workspace. See `README.md` for an overview and `DESIGN.md` for the
 //! mapping between the paper's system and the crates.
+//!
+//! The streaming-first surface lives in [`prelude`]: build a validated
+//! [`Monitor`] with [`Monitor::builder`], register queries dynamically
+//! through [`QueryId`] handles, and drive a whole experiment with one
+//! [`Monitor::run`] call over any [`PacketSource`]:
+//!
+//! ```
+//! use netshed::prelude::*;
+//!
+//! let mut monitor = Monitor::builder()
+//!     .capacity(1e12)
+//!     .no_noise()
+//!     .query(QuerySpec::new(QueryKind::Counter))
+//!     .build()?;
+//! let mut source = TraceGenerator::new(TraceConfig::default()).take_batches(20);
+//! let summary = monitor.run(&mut source, &mut NullObserver)?;
+//! assert_eq!(summary.bins + summary.empty_bins, 20);
+//! # Ok::<(), NetshedError>(())
+//! ```
 
 pub use netshed_fairness as fairness;
 pub use netshed_features as features;
@@ -12,3 +31,28 @@ pub use netshed_predict as predict;
 pub use netshed_queries as queries;
 pub use netshed_sketch as sketch;
 pub use netshed_trace as trace;
+
+pub use netshed_monitor::{
+    AccuracyTracker, AllocationPolicy, BinRecord, EnforcementConfig, Monitor, MonitorBuilder,
+    MonitorConfig, NetshedError, NullObserver, PredictorKind, QueryId, RecordSink, ReferenceRunner,
+    RunObserver, RunSummary, Strategy,
+};
+pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
+pub use netshed_trace::{
+    Batch, BatchReplay, Interleave, PacketSource, PacketSourceExt, TraceConfig, TraceGenerator,
+    TraceProfile,
+};
+
+/// Everything a typical experiment needs, in one import.
+pub mod prelude {
+    pub use netshed_monitor::{
+        AccuracyTracker, AllocationPolicy, BinRecord, EnforcementConfig, Monitor, MonitorBuilder,
+        MonitorConfig, NetshedError, NullObserver, PredictorKind, QueryBinRecord, QueryId,
+        RecordSink, ReferenceRunner, RunObserver, RunSummary, Strategy,
+    };
+    pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
+    pub use netshed_trace::{
+        Anomaly, AnomalyKind, Batch, BatchReplay, Interleave, PacketSource, PacketSourceExt,
+        TraceConfig, TraceGenerator, TraceProfile,
+    };
+}

@@ -1,10 +1,7 @@
-//! Cross-crate integration tests: the full monitoring pipeline, end to end.
+//! Cross-crate integration tests: the full monitoring pipeline, end to end,
+//! driven through the streaming API (builder + `run` + observers).
 
-use netshed::monitor::{
-    AllocationPolicy, Monitor, MonitorConfig, ReferenceRunner, Strategy,
-};
-use netshed::queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
-use netshed::trace::{Anomaly, AnomalyKind, Batch, TraceGenerator, TraceProfile};
+use netshed::prelude::*;
 use std::collections::HashMap;
 
 fn trace(profile: TraceProfile, seed: u64, batches: usize) -> Vec<Batch> {
@@ -22,27 +19,18 @@ fn run_accuracy(
     batches: &[Batch],
     specs: &[QuerySpec],
     seed: u64,
-) -> HashMap<&'static str, f64> {
-    let config = MonitorConfig::default().with_capacity(capacity).with_strategy(strategy).with_seed(seed);
-    let mut monitor = Monitor::new(config);
-    for spec in specs {
-        monitor.add_query(spec);
-    }
-    let mut reference = ReferenceRunner::new(specs, 1_000_000);
-    let mut sums: HashMap<&'static str, (f64, usize)> = HashMap::new();
-    for batch in batches {
-        let record = monitor.process_batch(batch);
-        let truths = reference.process_batch(batch);
-        if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
-            for ((name, output), (truth_name, truth)) in outputs.iter().zip(&truths) {
-                assert_eq!(name, truth_name, "monitor and reference must report the same queries");
-                let entry = sums.entry(name).or_insert((0.0, 0));
-                entry.0 += output.accuracy_against(truth);
-                entry.1 += 1;
-            }
-        }
-    }
-    sums.into_iter().map(|(name, (sum, count))| (name, sum / count.max(1) as f64)).collect()
+) -> HashMap<String, f64> {
+    let mut monitor = Monitor::builder()
+        .capacity(capacity)
+        .strategy(strategy)
+        .seed(seed)
+        .queries(specs.to_vec())
+        .build()
+        .expect("valid configuration");
+    let mut source = BatchReplay::new(batches.to_vec());
+    let mut accuracy = AccuracyTracker::new(specs, monitor.config().measurement_interval_us);
+    monitor.run(&mut source, &mut accuracy).expect("run");
+    accuracy.mean_accuracy()
 }
 
 #[test]
@@ -82,16 +70,15 @@ fn monitor_runs_are_reproducible_for_a_fixed_seed() {
     let specs = vec![QuerySpec::new(QueryKind::Flows), QuerySpec::new(QueryKind::Counter)];
     let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..20]);
 
-    let run = |seed: u64| {
-        let config = MonitorConfig::default()
-            .with_capacity(demand / 2.0)
-            .with_strategy(Strategy::Predictive(AllocationPolicy::EqualRates))
-            .with_seed(seed);
-        let mut monitor = Monitor::new(config);
-        for spec in &specs {
-            monitor.add_query(spec);
-        }
-        batches.iter().map(|b| monitor.process_batch(b).total_cycles()).collect::<Vec<f64>>()
+    let run = |seed: u64| -> RunSummary {
+        let mut monitor = Monitor::builder()
+            .capacity(demand / 2.0)
+            .strategy(Strategy::Predictive(AllocationPolicy::EqualRates))
+            .seed(seed)
+            .queries(specs.clone())
+            .build()
+            .expect("valid configuration");
+        monitor.run(&mut BatchReplay::new(batches.clone()), &mut NullObserver).expect("run")
     };
     assert_eq!(run(3), run(3), "same seed must reproduce the same run");
     assert_ne!(run(3), run(4), "different seeds should differ");
@@ -111,19 +98,15 @@ fn ddos_anomaly_is_handled_without_uncontrolled_drops() {
         QuerySpec::new(QueryKind::TopK),
     ];
     let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..50]);
-    let config = MonitorConfig::default()
-        .with_capacity(demand * 1.2)
-        .with_strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt));
-    let mut monitor = Monitor::new(config);
-    for spec in &specs {
-        monitor.add_query(spec);
-    }
-    for batch in &batches {
-        monitor.process_batch(batch);
-    }
+    let mut monitor = Monitor::builder()
+        .capacity(demand * 1.2)
+        .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+        .queries(specs)
+        .build()
+        .expect("valid configuration");
+    let summary = monitor.run(&mut BatchReplay::new(batches), &mut NullObserver).expect("run");
     assert_eq!(
-        monitor.uncontrolled_drops(),
-        0,
+        summary.total_uncontrolled_drops, 0,
         "the predictive system must absorb the attack without uncontrolled drops"
     );
 }
@@ -163,8 +146,7 @@ fn selfish_custom_query_is_policed_and_does_not_hurt_others() {
         QuerySpec::new(QueryKind::Counter),
         QuerySpec::new(QueryKind::Flows),
     ];
-    let demand =
-        netshed::monitor::reference::measure_total_demand(&honest_specs, &batches[..40]);
+    let demand = netshed::monitor::reference::measure_total_demand(&honest_specs, &batches[..40]);
     let capacity = demand * 0.5;
 
     let honest = run_accuracy(
@@ -198,13 +180,16 @@ fn selfish_custom_query_is_policed_and_does_not_hurt_others() {
 fn interval_outputs_line_up_between_monitor_and_reference() {
     let batches = trace(TraceProfile::CescaI, 41, 45);
     let specs = vec![QuerySpec::new(QueryKind::Counter)];
-    let config = MonitorConfig::default().with_capacity(1e12).without_noise();
-    let mut monitor = Monitor::new(config);
-    monitor.add_query(&specs[0]);
+    let mut monitor = Monitor::builder()
+        .capacity(1e12)
+        .no_noise()
+        .queries(specs.clone())
+        .build()
+        .expect("valid configuration");
     let mut reference = ReferenceRunner::new(&specs, 1_000_000);
     let mut compared = 0;
     for batch in &batches {
-        let record = monitor.process_batch(batch);
+        let record = monitor.process_batch(batch).expect("non-empty batch");
         let truths = reference.process_batch(batch);
         assert_eq!(record.interval_outputs.is_some(), truths.is_some());
         if let (Some(outputs), Some(truths)) = (record.interval_outputs, truths) {
