@@ -1,0 +1,241 @@
+//! Pipeline-level benchmark: quantifies the single-pass data plane and the
+//! end-to-end monitor throughput, and records the numbers in
+//! `BENCH_pipeline.json` (in the working directory, or `$BENCH_OUT` if set)
+//! so the performance trajectory of the repo is tracked PR over PR.
+//!
+//! Three measurements:
+//!
+//! 1. **extract**: fused single-pass feature extraction vs the historical
+//!    ten-pass baseline on a 10k-packet batch — warm (aggregate hashes cached
+//!    on the batch, the steady state for per-query re-extraction) and cold
+//!    (hashes computed as part of the call, the first touch of a batch).
+//! 2. **shedding**: view-based packet/flow sampling vs the clone-based
+//!    baseline, plus a structural check that the view path shares the packet
+//!    store (zero per-packet copies).
+//! 3. **pipeline**: packets/second through `Monitor::run` with the paper's
+//!    Chapter 4 query mix under 2× overload.
+//!
+//! Run with `cargo bench -p netshed-bench --bench pipeline`; pass
+//! `-- --smoke` for a fast CI run (fewer iterations, same JSON shape).
+
+use netshed_bench::baseline::{clone_flow_sample, clone_packet_sample, TenPassExtractor};
+use netshed_features::FeatureExtractor;
+use netshed_monitor::{
+    flow_sample, packet_sample, AllocationPolicy, Monitor, NullObserver, Strategy,
+};
+use netshed_queries::{QueryKind, QuerySpec};
+use netshed_sketch::H3Hasher;
+use netshed_trace::{Batch, BatchReplay, TraceConfig, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean nanoseconds per call of `routine` over `iterations` runs.
+fn time_ns<F: FnMut()>(iterations: u64, mut routine: F) -> f64 {
+    // One untimed call to warm caches and the allocator.
+    routine();
+    let start = Instant::now();
+    for _ in 0..iterations {
+        routine();
+    }
+    start.elapsed().as_nanos() as f64 / iterations as f64
+}
+
+fn ten_k_batch(seed: u64) -> Batch {
+    TraceGenerator::new(TraceConfig::default().with_seed(seed).with_mean_packets_per_batch(1e4))
+        .next_batch()
+}
+
+struct ExtractNumbers {
+    packets: usize,
+    tenpass_ns: f64,
+    fused_warm_ns: f64,
+    fused_cold_ns: f64,
+}
+
+fn bench_extract(iterations: u64) -> ExtractNumbers {
+    let batch = ten_k_batch(11);
+    let packets = batch.len();
+
+    let mut baseline = TenPassExtractor::with_defaults();
+    let tenpass_ns = time_ns(iterations, || {
+        black_box(baseline.extract(&batch));
+    });
+
+    // Warm: the batch's aggregate-hash side array is cached after the first
+    // call, which is exactly the state every per-query re-extraction sees.
+    let mut fused = FeatureExtractor::with_defaults();
+    let fused_warm_ns = time_ns(iterations, || {
+        black_box(fused.extract(&batch));
+    });
+
+    // Cold: a fresh packet store per call, so the hash side array is built
+    // inside the measured region. The packet-vector clone and store
+    // construction are not extraction work, so their cost is measured
+    // separately and subtracted.
+    let cold_iterations = iterations.min(64);
+    let template: Vec<_> = batch.packets.iter().cloned().collect();
+    let construct_ns = time_ns(cold_iterations, || {
+        black_box(Batch::new(batch.bin_index, batch.start_ts, batch.duration_us, template.clone()));
+    });
+    let mut cold = FeatureExtractor::with_defaults();
+    let cold_total_ns = time_ns(cold_iterations, || {
+        let fresh =
+            Batch::new(batch.bin_index, batch.start_ts, batch.duration_us, template.clone());
+        black_box(cold.extract(&fresh));
+    });
+    let fused_cold_ns = (cold_total_ns - construct_ns).max(0.0);
+
+    ExtractNumbers { packets, tenpass_ns, fused_warm_ns, fused_cold_ns }
+}
+
+struct ShedNumbers {
+    packet_view_ns: f64,
+    packet_clone_ns: f64,
+    flow_view_ns: f64,
+    flow_clone_ns: f64,
+    view_shares_store: bool,
+}
+
+fn bench_shedding(iterations: u64) -> ShedNumbers {
+    // Payload-carrying traffic, as on the paper's full-payload traces: the
+    // clone path must copy the payload handles per kept packet, the view
+    // path only records indices.
+    let batch = TraceGenerator::new(
+        TraceConfig::default().with_seed(12).with_mean_packets_per_batch(1e4).with_payloads(true),
+    )
+    .next_batch();
+    let view = batch.view();
+    let rate = 0.37;
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let packet_view_ns = time_ns(iterations, || {
+        black_box(packet_sample(&view, rate, &mut rng));
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let packet_clone_ns = time_ns(iterations, || {
+        black_box(clone_packet_sample(&batch, rate, &mut rng));
+    });
+
+    let hasher = H3Hasher::new(13, 9);
+    let flow_view_ns = time_ns(iterations, || {
+        black_box(flow_sample(&view, rate, &hasher));
+    });
+    let flow_clone_ns = time_ns(iterations, || {
+        black_box(clone_flow_sample(&batch, rate, &hasher));
+    });
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let (sampled, _) = packet_sample(&view, rate, &mut rng);
+    let view_shares_store = sampled.shares_store(&view);
+
+    ShedNumbers { packet_view_ns, packet_clone_ns, flow_view_ns, flow_clone_ns, view_shares_store }
+}
+
+struct PipelineNumbers {
+    batches: usize,
+    packets: u64,
+    elapsed_s: f64,
+    packets_per_sec: f64,
+}
+
+fn bench_pipeline(batches: usize) -> PipelineNumbers {
+    let recorded = TraceGenerator::new(
+        TraceConfig::default().with_seed(21).with_mean_packets_per_batch(2000.0),
+    )
+    .batches(batches);
+    let total_packets: u64 = recorded.iter().map(|b| b.len() as u64).sum();
+    let specs: Vec<QuerySpec> =
+        QueryKind::CHAPTER4_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
+    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4]);
+
+    let mut monitor = Monitor::builder()
+        .capacity(demand / 2.0)
+        .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+        .no_noise()
+        .queries(specs)
+        .build()
+        .expect("valid configuration");
+    let mut source = BatchReplay::new(recorded);
+    let start = Instant::now();
+    let summary = monitor.run(&mut source, &mut NullObserver).expect("run");
+    let elapsed_s = start.elapsed().as_secs_f64();
+    assert_eq!(summary.bins + summary.empty_bins, batches as u64);
+
+    PipelineNumbers {
+        batches,
+        packets: total_packets,
+        elapsed_s,
+        packets_per_sec: total_packets as f64 / elapsed_s,
+    }
+}
+
+fn main() {
+    let smoke = criterion::smoke_mode();
+    let (iterations, pipeline_batches) = if smoke { (10, 100) } else { (200, 600) };
+
+    eprintln!("extract: fused vs ten-pass on a 10k-packet batch ...");
+    let extract = bench_extract(iterations);
+    eprintln!(
+        "  ten-pass {:.0} ns | fused warm {:.0} ns ({:.1}x) | fused cold {:.0} ns ({:.1}x)",
+        extract.tenpass_ns,
+        extract.fused_warm_ns,
+        extract.tenpass_ns / extract.fused_warm_ns,
+        extract.fused_cold_ns,
+        extract.tenpass_ns / extract.fused_cold_ns,
+    );
+
+    eprintln!("shedding: view vs clone at rate 0.37 on a 10k-packet batch ...");
+    let shed = bench_shedding(iterations);
+    eprintln!(
+        "  packet view {:.0} ns vs clone {:.0} ns | flow view {:.0} ns vs clone {:.0} ns | zero-copy: {}",
+        shed.packet_view_ns, shed.packet_clone_ns, shed.flow_view_ns, shed.flow_clone_ns,
+        shed.view_shares_store,
+    );
+
+    eprintln!("pipeline: Monitor::run over {pipeline_batches} batches under 2x overload ...");
+    let pipeline = bench_pipeline(pipeline_batches);
+    eprintln!(
+        "  {} packets in {:.2} s = {:.0} packets/s",
+        pipeline.packets, pipeline.elapsed_s, pipeline.packets_per_sec
+    );
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo bench -p netshed-bench --bench pipeline{}\",\n  \
+         \"smoke\": {},\n  \
+         \"extract_10k_batch\": {{\n    \"packets\": {},\n    \"tenpass_ns\": {:.1},\n    \
+         \"fused_warm_ns\": {:.1},\n    \"fused_cold_ns\": {:.1},\n    \
+         \"speedup_warm\": {:.2},\n    \"speedup_cold\": {:.2}\n  }},\n  \
+         \"shedding_10k_batch_rate_0_37\": {{\n    \"packet_view_ns\": {:.1},\n    \
+         \"packet_clone_ns\": {:.1},\n    \"flow_view_ns\": {:.1},\n    \
+         \"flow_clone_ns\": {:.1},\n    \"view_shares_store\": {},\n    \
+         \"per_packet_copies\": 0\n  }},\n  \
+         \"pipeline_2x_overload\": {{\n    \"batches\": {},\n    \"packets\": {},\n    \
+         \"elapsed_s\": {:.3},\n    \"packets_per_sec\": {:.0}\n  }}\n}}\n",
+        if smoke { " -- --smoke" } else { "" },
+        smoke,
+        extract.packets,
+        extract.tenpass_ns,
+        extract.fused_warm_ns,
+        extract.fused_cold_ns,
+        extract.tenpass_ns / extract.fused_warm_ns,
+        extract.tenpass_ns / extract.fused_cold_ns,
+        shed.packet_view_ns,
+        shed.packet_clone_ns,
+        shed.flow_view_ns,
+        shed.flow_clone_ns,
+        shed.view_shares_store,
+        pipeline.batches,
+        pipeline.packets,
+        pipeline.elapsed_s,
+        pipeline.packets_per_sec,
+    );
+    // Cargo runs bench binaries with the package directory as CWD; default
+    // to the workspace root so the JSON lands in one predictable place.
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

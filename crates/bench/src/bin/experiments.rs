@@ -170,7 +170,7 @@ fn query_cost_series(
     for batch in batches {
         let (features, _) = extractor.extract(batch);
         let mut meter = CycleMeter::new();
-        query.process_batch(batch, 1.0, &mut meter);
+        query.process_batch(&batch.view(), 1.0, &mut meter);
         let (measured, _) = noise.measure(meter.cycles());
         series.push((features, measured as f64));
         if batch.bin_index % 10 == 9 {
@@ -225,7 +225,7 @@ fn fig2_2(options: &Options) {
         let mut total = 0u64;
         for batch in &batches {
             let mut meter = CycleMeter::new();
-            query.process_batch(batch, 1.0, &mut meter);
+            query.process_batch(&batch.view(), 1.0, &mut meter);
             total += meter.cycles();
         }
         let seconds = batches.len() as f64 * 0.1;
@@ -1021,10 +1021,10 @@ fn fig6_4(options: &Options) {
             let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(options.seed);
             let mut errors = Vec::new();
             for (index, batch) in batches.iter().enumerate() {
-                let (sampled, _) = netshed_monitor::packet_sample(batch, rate, &mut rng);
+                let (sampled, _) = netshed_monitor::packet_sample(&batch.view(), rate, &mut rng);
                 let mut meter = CycleMeter::new();
                 sampled_query.process_batch(&sampled, rate, &mut meter);
-                reference_query.process_batch(batch, 1.0, &mut meter);
+                reference_query.process_batch(&batch.view(), 1.0, &mut meter);
                 if index % 10 == 9 {
                     let output = sampled_query.end_interval();
                     let truth = reference_query.end_interval();

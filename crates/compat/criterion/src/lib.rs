@@ -7,11 +7,21 @@
 //! rejection or statistical comparison, but plenty to eyeball the relative
 //! costs the benches exist to show.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting benched code.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// Returns `true` when the benchmark binary was invoked with `--smoke`
+/// (e.g. `cargo bench --bench micro -- --smoke`): measurement windows shrink
+/// from ~200 ms to ~10 ms per benchmark so CI can exercise every bench
+/// cheaply without pretending to produce stable numbers.
+pub fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|arg| arg == "--smoke"))
 }
 
 /// Drives one benchmark's measurement loop.
@@ -23,15 +33,21 @@ pub struct Bencher {
 impl Bencher {
     /// Calls `routine` repeatedly and records the mean wall-clock time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // Warm-up: also sizes the measurement loop so it runs ~200 ms.
+        // Warm-up: also sizes the measurement loop so it runs ~200 ms
+        // (~10 ms under `--smoke`).
+        let (warmup_ms, measure_ns, max_iters) = if smoke_mode() {
+            (5, 10_000_000u128, 10_000)
+        } else {
+            (50, 200_000_000u128, 1_000_000)
+        };
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
-        while warmup_start.elapsed() < Duration::from_millis(50) {
+        while warmup_start.elapsed() < Duration::from_millis(warmup_ms) {
             black_box(routine());
             warmup_iters += 1;
         }
         let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
-        let target = (200_000_000u128 / per_iter.max(1)).clamp(10, 1_000_000) as u64;
+        let target = (measure_ns / per_iter.max(1)).clamp(10, max_iters) as u64;
 
         let start = Instant::now();
         for _ in 0..target {

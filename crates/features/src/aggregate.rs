@@ -1,144 +1,9 @@
 //! The ten traffic aggregates of Table 3.1.
+//!
+//! The aggregate definitions (and the per-packet [`AggregateHashes`] side
+//! array derived from them) moved into `netshed-trace` so that the batch data
+//! plane can cache one hash per aggregate per packet on the shared packet
+//! store. This module re-exports them to keep `netshed_features::Aggregate`
+//! working.
 
-use netshed_trace::FiveTuple;
-
-/// A traffic aggregate: a combination of TCP/IP header fields whose distinct
-/// values are counted by the feature extractor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Aggregate {
-    /// Source IP address.
-    SrcIp,
-    /// Destination IP address.
-    DstIp,
-    /// IP protocol number.
-    Protocol,
-    /// (source IP, destination IP) pair.
-    SrcDstIp,
-    /// (source port, protocol) pair.
-    SrcPortProto,
-    /// (destination port, protocol) pair.
-    DstPortProto,
-    /// (source IP, source port, protocol) triple.
-    SrcIpPortProto,
-    /// (destination IP, destination port, protocol) triple.
-    DstIpPortProto,
-    /// (source port, destination port, protocol) triple.
-    SrcDstPortProto,
-    /// The full 5-tuple.
-    FiveTuple,
-}
-
-impl Aggregate {
-    /// The ten aggregates in the order of Table 3.1.
-    pub const ALL: [Aggregate; 10] = [
-        Aggregate::SrcIp,
-        Aggregate::DstIp,
-        Aggregate::Protocol,
-        Aggregate::SrcDstIp,
-        Aggregate::SrcPortProto,
-        Aggregate::DstPortProto,
-        Aggregate::SrcIpPortProto,
-        Aggregate::DstIpPortProto,
-        Aggregate::SrcDstPortProto,
-        Aggregate::FiveTuple,
-    ];
-
-    /// Short name used when reporting selected features (e.g. Table 3.2).
-    pub fn name(self) -> &'static str {
-        match self {
-            Aggregate::SrcIp => "src-ip",
-            Aggregate::DstIp => "dst-ip",
-            Aggregate::Protocol => "proto",
-            Aggregate::SrcDstIp => "src-dst-ip",
-            Aggregate::SrcPortProto => "src-port-proto",
-            Aggregate::DstPortProto => "dst-port-proto",
-            Aggregate::SrcIpPortProto => "src-ip-port-proto",
-            Aggregate::DstIpPortProto => "dst-ip-port-proto",
-            Aggregate::SrcDstPortProto => "src-dst-port-proto",
-            Aggregate::FiveTuple => "5tuple",
-        }
-    }
-
-    /// Index of the aggregate in [`Aggregate::ALL`].
-    pub fn index(self) -> usize {
-        Aggregate::ALL.iter().position(|a| *a == self).expect("aggregate is in ALL")
-    }
-
-    /// Serialises the aggregate's fields of a 5-tuple into a compact key.
-    ///
-    /// The key length differs per aggregate, which is fine because the key is
-    /// only ever hashed together with the aggregate index as a seed.
-    pub fn key(self, tuple: &FiveTuple) -> [u8; 13] {
-        let mut key = [0u8; 13];
-        match self {
-            Aggregate::SrcIp => key[..4].copy_from_slice(&tuple.src_ip.to_be_bytes()),
-            Aggregate::DstIp => key[..4].copy_from_slice(&tuple.dst_ip.to_be_bytes()),
-            Aggregate::Protocol => key[0] = tuple.proto,
-            Aggregate::SrcDstIp => {
-                key[..4].copy_from_slice(&tuple.src_ip.to_be_bytes());
-                key[4..8].copy_from_slice(&tuple.dst_ip.to_be_bytes());
-            }
-            Aggregate::SrcPortProto => {
-                key[..2].copy_from_slice(&tuple.src_port.to_be_bytes());
-                key[2] = tuple.proto;
-            }
-            Aggregate::DstPortProto => {
-                key[..2].copy_from_slice(&tuple.dst_port.to_be_bytes());
-                key[2] = tuple.proto;
-            }
-            Aggregate::SrcIpPortProto => {
-                key[..4].copy_from_slice(&tuple.src_ip.to_be_bytes());
-                key[4..6].copy_from_slice(&tuple.src_port.to_be_bytes());
-                key[6] = tuple.proto;
-            }
-            Aggregate::DstIpPortProto => {
-                key[..4].copy_from_slice(&tuple.dst_ip.to_be_bytes());
-                key[4..6].copy_from_slice(&tuple.dst_port.to_be_bytes());
-                key[6] = tuple.proto;
-            }
-            Aggregate::SrcDstPortProto => {
-                key[..2].copy_from_slice(&tuple.src_port.to_be_bytes());
-                key[2..4].copy_from_slice(&tuple.dst_port.to_be_bytes());
-                key[4] = tuple.proto;
-            }
-            Aggregate::FiveTuple => key = tuple.as_key(),
-        }
-        key
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn there_are_ten_aggregates_as_in_table_3_1() {
-        assert_eq!(Aggregate::ALL.len(), 10);
-    }
-
-    #[test]
-    fn indices_are_consistent_with_all_order() {
-        for (i, agg) in Aggregate::ALL.iter().enumerate() {
-            assert_eq!(agg.index(), i);
-        }
-    }
-
-    #[test]
-    fn keys_only_depend_on_the_aggregated_fields() {
-        let a = FiveTuple::new(1, 2, 3, 4, 6);
-        let b = FiveTuple::new(1, 9, 8, 7, 6);
-        // Same source IP and protocol, so the src-ip key must match.
-        assert_eq!(Aggregate::SrcIp.key(&a), Aggregate::SrcIp.key(&b));
-        // Destination differs, so the dst-ip key must not match.
-        assert_ne!(Aggregate::DstIp.key(&a), Aggregate::DstIp.key(&b));
-        // Full 5-tuple key differs.
-        assert_ne!(Aggregate::FiveTuple.key(&a), Aggregate::FiveTuple.key(&b));
-    }
-
-    #[test]
-    fn src_port_proto_ignores_addresses() {
-        let a = FiveTuple::new(10, 20, 1234, 80, 6);
-        let b = FiveTuple::new(99, 77, 1234, 443, 6);
-        assert_eq!(Aggregate::SrcPortProto.key(&a), Aggregate::SrcPortProto.key(&b));
-    }
-}
+pub use netshed_trace::{aggregate_hash_seed, Aggregate, AggregateHashes, AGGREGATE_COUNT};

@@ -19,6 +19,6 @@ pub mod aggregate;
 pub mod extractor;
 pub mod vector;
 
-pub use aggregate::Aggregate;
+pub use aggregate::{aggregate_hash_seed, Aggregate, AggregateHashes, AGGREGATE_COUNT};
 pub use extractor::{ExtractorConfig, FeatureExtractor};
-pub use vector::{FeatureId, FeatureVector, FEATURE_COUNT};
+pub use vector::{CounterKind, FeatureId, FeatureVector, FEATURE_COUNT};

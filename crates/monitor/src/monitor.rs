@@ -383,19 +383,27 @@ impl Monitor {
             };
         self.current_interval = Some(interval);
 
-        // Capture buffer: drop the overflow fraction without control.
+        // Capture buffer: drop the overflow fraction without control. From
+        // here on the bin is processed through zero-copy views sharing the
+        // incoming batch's packet store. The overflow path materialises the
+        // admitted packets into a fresh store (one copy, as pre-refactor) so
+        // the per-batch caches built below — aggregate hashes, flow keys —
+        // cover only admitted packets instead of hashing traffic that was
+        // just dropped.
         let drop_fraction = self.buffer.admit(incoming_packets);
         let post_drop = if drop_fraction > 0.0 {
             let keep = 1.0 - drop_fraction;
-            let (kept, _) = packet_sample(batch, keep, &mut self.rng);
-            kept
+            let (kept, _) = packet_sample(&batch.view(), keep, &mut self.rng);
+            kept.materialize().view()
         } else {
-            batch.clone()
+            batch.view()
         };
         let uncontrolled_drops = incoming_packets - post_drop.len() as u64;
 
-        // Feature extraction over the full (post-drop) batch.
-        let (features, extraction_ops) = self.extractor.extract(&post_drop);
+        // Feature extraction over the full (post-drop) batch. This is where
+        // the per-packet aggregate hashes are materialised and cached on the
+        // batch; every per-query re-extraction below reuses them.
+        let (features, extraction_ops) = self.extractor.extract_view(&post_drop);
         let mut prediction_cycles = extraction_ops * FEATURE_OP_CYCLES;
 
         // Per-query predictions of the full-batch cost.
@@ -479,14 +487,14 @@ impl Monitor {
                     SheddingMethod::PacketSampling => {
                         let (sampled, _) = packet_sample(&post_drop, rate, &mut self.rng);
                         shedding_cycles += post_drop.len() as u64 * SAMPLING_TEST_CYCLES;
-                        let (f, ops) = registered.sampled_extractor.extract(&sampled);
+                        let (f, ops) = registered.sampled_extractor.extract_view(&sampled);
                         shedding_cycles += ops * REEXTRACT_OP_CYCLES;
                         (sampled, Some(f))
                     }
                     SheddingMethod::FlowSampling => {
                         let (sampled, _) = flow_sample(&post_drop, rate, &registered.flow_hasher);
                         shedding_cycles += post_drop.len() as u64 * SAMPLING_TEST_CYCLES;
-                        let (f, ops) = registered.sampled_extractor.extract(&sampled);
+                        let (f, ops) = registered.sampled_extractor.extract_view(&sampled);
                         shedding_cycles += ops * REEXTRACT_OP_CYCLES;
                         (sampled, Some(f))
                     }

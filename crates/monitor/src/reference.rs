@@ -73,9 +73,10 @@ impl ReferenceRunner {
         };
         self.current_interval = Some(interval);
 
+        let view = batch.view();
         for (_, query) in &mut self.queries {
             let mut meter = CycleMeter::new();
-            query.process_batch(batch, 1.0, &mut meter);
+            query.process_batch(&view, 1.0, &mut meter);
             self.total_cycles += meter.cycles();
         }
         self.bins += 1;

@@ -1,27 +1,31 @@
 //! The load shedding mechanisms: packet sampling and flow sampling
 //! (Section 4.2).
+//!
+//! Both samplers are zero-copy: they narrow a [`BatchView`] by building a
+//! keep-index list over the batch's shared packet store instead of cloning
+//! packets into a fresh batch. Selection is bit-identical to the historical
+//! clone-based `Batch::filtered` path (same RNG draw order for packet
+//! sampling, same H3 evaluation per packet for flow sampling), which the
+//! shed-equivalence property tests in `tests/properties.rs` pin down.
 
 use netshed_sketch::H3Hasher;
-use netshed_trace::Batch;
+use netshed_trace::BatchView;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Uniform random packet sampling: every packet of the batch is kept
+/// Uniform random packet sampling: every packet of the view is kept
 /// independently with probability `rate`.
 ///
-/// Returns the sampled batch and the number of packets discarded.
-pub fn packet_sample(batch: &Batch, rate: f64, rng: &mut StdRng) -> (Batch, u64) {
+/// Returns the sampled view and the number of packets discarded.
+pub fn packet_sample(batch: &BatchView, rate: f64, rng: &mut StdRng) -> (BatchView, u64) {
     let rate = rate.clamp(0.0, 1.0);
     if rate >= 1.0 {
         return (batch.clone(), 0);
     }
     if rate <= 0.0 {
-        return (
-            Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us),
-            batch.len() as u64,
-        );
+        return (batch.cleared(), batch.len() as u64);
     }
-    let sampled = batch.filtered(|_| rng.gen::<f64>() < rate);
+    let sampled = batch.filter_indexed(|_, _| rng.gen::<f64>() < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;
     (sampled, dropped)
 }
@@ -31,19 +35,22 @@ pub fn packet_sample(batch: &Batch, rate: f64, rng: &mut StdRng) -> (Batch, u64)
 /// and no flow table is needed (the "Flowwise sampling" technique the paper
 /// adopts).
 ///
-/// Returns the sampled batch and the number of packets discarded.
-pub fn flow_sample(batch: &Batch, rate: f64, hasher: &H3Hasher) -> (Batch, u64) {
+/// The serialised 13-byte flow keys are taken from the batch's shared cache,
+/// so with `q` flow-sampled queries each packet's key is built once per batch
+/// rather than once per query; the H3 evaluation itself stays per query
+/// because every query draws its own hash function per measurement interval.
+///
+/// Returns the sampled view and the number of packets discarded.
+pub fn flow_sample(batch: &BatchView, rate: f64, hasher: &H3Hasher) -> (BatchView, u64) {
     let rate = rate.clamp(0.0, 1.0);
     if rate >= 1.0 {
         return (batch.clone(), 0);
     }
     if rate <= 0.0 {
-        return (
-            Batch::empty(batch.bin_index, batch.start_ts, batch.duration_us),
-            batch.len() as u64,
-        );
+        return (batch.cleared(), batch.len() as u64);
     }
-    let sampled = batch.filtered(|p| hasher.unit_interval(&p.tuple.as_key()) < rate);
+    let keys = batch.flow_keys();
+    let sampled = batch.filter_indexed(|index, _| hasher.unit_interval(&keys[index]) < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;
     (sampled, dropped)
 }
@@ -51,7 +58,7 @@ pub fn flow_sample(batch: &Batch, rate: f64, hasher: &H3Hasher) -> (Batch, u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netshed_trace::{FiveTuple, Packet};
+    use netshed_trace::{Batch, FiveTuple, Packet};
     use rand::SeedableRng;
     use std::collections::HashSet;
 
@@ -70,7 +77,7 @@ mod tests {
     fn packet_sampling_keeps_roughly_the_requested_fraction() {
         let batch = test_batch(100, 20);
         let mut rng = StdRng::seed_from_u64(1);
-        let (sampled, dropped) = packet_sample(&batch, 0.3, &mut rng);
+        let (sampled, dropped) = packet_sample(&batch.view(), 0.3, &mut rng);
         let kept_fraction = sampled.len() as f64 / batch.len() as f64;
         assert!((kept_fraction - 0.3).abs() < 0.05, "kept {kept_fraction}");
         assert_eq!(sampled.len() as u64 + dropped, batch.len() as u64);
@@ -80,23 +87,38 @@ mod tests {
     fn rate_one_keeps_everything_rate_zero_drops_everything() {
         let batch = test_batch(10, 5);
         let mut rng = StdRng::seed_from_u64(2);
-        let (all, dropped_none) = packet_sample(&batch, 1.0, &mut rng);
+        let (all, dropped_none) = packet_sample(&batch.view(), 1.0, &mut rng);
         assert_eq!(all.len(), batch.len());
         assert_eq!(dropped_none, 0);
-        let (none, dropped_all) = packet_sample(&batch, 0.0, &mut rng);
+        let (none, dropped_all) = packet_sample(&batch.view(), 0.0, &mut rng);
         assert!(none.is_empty());
         assert_eq!(dropped_all, batch.len() as u64);
+    }
+
+    #[test]
+    fn sampling_is_zero_copy() {
+        let batch = test_batch(50, 4);
+        let view = batch.view();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pkt_sampled, _) = packet_sample(&view, 0.5, &mut rng);
+        assert!(pkt_sampled.shares_store(&view), "packet sampling must not copy packets");
+        let hasher = H3Hasher::new(13, 5);
+        let (flow_sampled, _) = flow_sample(&view, 0.5, &hasher);
+        assert!(flow_sampled.shares_store(&view), "flow sampling must not copy packets");
+        // Composed sampling (per-query sampling of a post-drop view) shares too.
+        let (nested, _) = flow_sample(&pkt_sampled, 0.5, &hasher);
+        assert!(nested.shares_store(&view));
     }
 
     #[test]
     fn flow_sampling_keeps_or_drops_entire_flows() {
         let batch = test_batch(200, 10);
         let hasher = H3Hasher::new(13, 7);
-        let (sampled, _) = flow_sample(&batch, 0.5, &hasher);
+        let (sampled, _) = flow_sample(&batch.view(), 0.5, &hasher);
         // Every flow present in the sampled batch must have all 10 packets.
         let mut per_flow: std::collections::HashMap<FiveTuple, usize> =
             std::collections::HashMap::new();
-        for p in sampled.packets.iter() {
+        for p in sampled.packets() {
             *per_flow.entry(p.tuple).or_insert(0) += 1;
         }
         assert!(per_flow.values().all(|&count| count == 10), "flows must be kept whole");
@@ -108,10 +130,10 @@ mod tests {
     fn flow_sampling_is_deterministic_for_a_given_hash_function() {
         let batch = test_batch(50, 4);
         let hasher = H3Hasher::new(13, 9);
-        let (a, _) = flow_sample(&batch, 0.4, &hasher);
-        let (b, _) = flow_sample(&batch, 0.4, &hasher);
-        let flows_a: HashSet<FiveTuple> = a.packets.iter().map(|p| p.tuple).collect();
-        let flows_b: HashSet<FiveTuple> = b.packets.iter().map(|p| p.tuple).collect();
+        let (a, _) = flow_sample(&batch.view(), 0.4, &hasher);
+        let (b, _) = flow_sample(&batch.view(), 0.4, &hasher);
+        let flows_a: HashSet<FiveTuple> = a.packets().map(|p| p.tuple).collect();
+        let flows_b: HashSet<FiveTuple> = b.packets().map(|p| p.tuple).collect();
         assert_eq!(flows_a, flows_b);
     }
 
@@ -120,10 +142,10 @@ mod tests {
         let batch = test_batch(200, 2);
         let h1 = H3Hasher::new(13, 1);
         let h2 = H3Hasher::new(13, 2);
-        let (a, _) = flow_sample(&batch, 0.5, &h1);
-        let (b, _) = flow_sample(&batch, 0.5, &h2);
-        let flows_a: HashSet<FiveTuple> = a.packets.iter().map(|p| p.tuple).collect();
-        let flows_b: HashSet<FiveTuple> = b.packets.iter().map(|p| p.tuple).collect();
+        let (a, _) = flow_sample(&batch.view(), 0.5, &h1);
+        let (b, _) = flow_sample(&batch.view(), 0.5, &h2);
+        let flows_a: HashSet<FiveTuple> = a.packets().map(|p| p.tuple).collect();
+        let flows_b: HashSet<FiveTuple> = b.packets().map(|p| p.tuple).collect();
         assert_ne!(flows_a, flows_b, "fresh hash functions must change the selection");
     }
 }

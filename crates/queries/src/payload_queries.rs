@@ -14,7 +14,7 @@ use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{Query, SheddingMethod};
 use netshed_sketch::hash_bytes;
-use netshed_trace::Batch;
+use netshed_trace::BatchView;
 use std::collections::{HashMap, HashSet};
 
 /// Number of bytes of a packet that are captured when no payload is present
@@ -48,8 +48,8 @@ impl Query for TraceQuery {
         0.10
     }
 
-    fn process_batch(&mut self, batch: &Batch, _sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, _sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             let stored =
                 if packet.payload.is_some() { u64::from(packet.ip_len) } else { HEADER_BYTES };
             meter.charge(costs::PER_PACKET_BASE);
@@ -110,8 +110,8 @@ impl Query for PatternSearchQuery {
         0.10
     }
 
-    fn process_batch(&mut self, batch: &Batch, _sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, _sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE);
             if let Some(payload) = &packet.payload {
                 let (found, examined) = self.pattern.find(payload);
@@ -230,10 +230,10 @@ impl Query for P2pDetectorQuery {
         0.35
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         let custom = self.shedding == SheddingMethod::Custom;
         let rate = self.effective_rate(sampling_rate);
-        for packet in batch.packets.iter() {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE);
             let key = Self::flow_key(&packet.tuple);
 
@@ -281,7 +281,7 @@ impl Query for P2pDetectorQuery {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use netshed_trace::{FiveTuple, Packet};
+    use netshed_trace::{Batch, FiveTuple, Packet};
 
     fn payload_packet(ts: u64, tuple: FiveTuple, payload: &'static [u8]) -> Packet {
         Packet::with_payload(
@@ -293,7 +293,7 @@ mod tests {
         )
     }
 
-    fn p2p_batch(flows: u32, packets_per_flow: u32) -> Batch {
+    fn p2p_batch(flows: u32, packets_per_flow: u32) -> BatchView {
         // Realistically sized data packets (~1 KiB payload) so that the byte
         // scanning cost dominates, as it does on full-payload traces.
         let mut handshake = vec![b'.'; 1024];
@@ -313,14 +313,14 @@ mod tests {
                 ));
             }
         }
-        Batch::new(0, 0, 100_000, packets)
+        Batch::new(0, 0, 100_000, packets).view()
     }
 
     #[test]
     fn trace_cost_scales_with_bytes_for_payload_traffic() {
         let tuple = FiveTuple::new(1, 2, 3, 4, 6);
-        let small = Batch::new(0, 0, 100_000, vec![payload_packet(0, tuple, &[0u8; 64])]);
-        let large = Batch::new(0, 0, 100_000, vec![payload_packet(0, tuple, &[0u8; 1024])]);
+        let small = Batch::new(0, 0, 100_000, vec![payload_packet(0, tuple, &[0u8; 64])]).view();
+        let large = Batch::new(0, 0, 100_000, vec![payload_packet(0, tuple, &[0u8; 1024])]).view();
         let mut q = TraceQuery::new();
         let mut meter_small = CycleMeter::new();
         let mut meter_large = CycleMeter::new();
@@ -340,7 +340,8 @@ mod tests {
                 payload_packet(0, tuple, b"GET / HTTP/1.1\r\nHost: example.org"),
                 payload_packet(1, tuple, b"POST /upload HTTP/1.1"),
             ],
-        );
+        )
+        .view();
         let mut q = PatternSearchQuery::default();
         let mut meter = CycleMeter::new();
         q.process_batch(&batch, 1.0, &mut meter);
@@ -420,7 +421,8 @@ mod tests {
             0,
             100_000,
             (0..100).map(|i| Packet::header_only(i, tuple, 1500, 0)).collect(),
-        );
+        )
+        .view();
         let mut q = PatternSearchQuery::default();
         let mut meter = CycleMeter::new();
         q.process_batch(&header_batch, 1.0, &mut meter);

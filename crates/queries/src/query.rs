@@ -2,7 +2,7 @@
 
 use crate::cost::CycleMeter;
 use crate::output::QueryOutput;
-use netshed_trace::Batch;
+use netshed_trace::BatchView;
 
 /// How excess load should be shed for a query (Section 4.2 and Chapter 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +40,15 @@ pub trait Query: Send {
 
     /// Processes one (already sampled) batch.
     ///
+    /// The batch arrives as a zero-copy [`BatchView`]: the shedders sample by
+    /// narrowing the view rather than copying packets, and a full batch is
+    /// just the all-packets view. Queries iterate it through
+    /// [`BatchView::packets`].
+    ///
     /// `sampling_rate` is the rate that was applied to produce `batch`
     /// (1.0 = no sampling); queries use it to scale their estimates. All work
     /// performed must be charged to `meter`.
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter);
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter);
 
     /// Closes the current measurement interval and returns its output,
     /// resetting the per-interval state.

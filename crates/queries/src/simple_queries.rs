@@ -8,7 +8,7 @@
 use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{scale, Query, SheddingMethod};
-use netshed_trace::{AppProtocol, Batch};
+use netshed_trace::{AppProtocol, BatchView};
 use std::collections::HashMap;
 
 /// `counter`: traffic load in packets and bytes (Table 2.2).
@@ -38,8 +38,8 @@ impl Query for CounterQuery {
         0.03
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::COUNTER_UPDATE);
             self.packets += scale(1.0, sampling_rate);
             self.bytes += scale(f64::from(packet.ip_len), sampling_rate);
@@ -93,8 +93,8 @@ impl Query for ApplicationQuery {
         0.03
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::PORT_LOOKUP + costs::COUNTER_UPDATE);
             let app =
                 Self::classify(packet.tuple.src_port, packet.tuple.dst_port, packet.tuple.proto);
@@ -138,13 +138,13 @@ impl Query for HighWatermarkQuery {
         0.15
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         let mut batch_bytes = 0.0;
-        for packet in batch.packets.iter() {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::COUNTER_UPDATE);
             batch_bytes += scale(f64::from(packet.ip_len), sampling_rate);
         }
-        let seconds = batch.duration_us as f64 / 1e6;
+        let seconds = batch.duration_us() as f64 / 1e6;
         if seconds > 0.0 {
             let mbps = batch_bytes * 8.0 / seconds / 1e6;
             if mbps > self.peak_mbps {
@@ -165,13 +165,13 @@ mod tests {
     use super::*;
     use netshed_trace::{FiveTuple, Packet};
 
-    fn batch_with_packets(n: usize, size: u32) -> Batch {
+    fn batch_with_packets(n: usize, size: u32) -> BatchView {
         let packets: Vec<Packet> = (0..n)
             .map(|i| {
                 Packet::header_only(i as u64, FiveTuple::new(i as u32, 2, 1024, 80, 6), size, 0)
             })
             .collect();
-        Batch::new(0, 0, 100_000, packets)
+        netshed_trace::Batch::new(0, 0, 100_000, packets).view()
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{scale, Query, SheddingMethod};
 use netshed_sketch::hash_bytes;
-use netshed_trace::Batch;
+use netshed_trace::BatchView;
 use std::collections::{HashMap, HashSet};
 
 /// `flows`: per-flow classification and count of active 5-tuple flows.
@@ -41,8 +41,8 @@ impl Query for FlowsQuery {
         0.05
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP);
             let key = hash_bytes(&packet.tuple.as_key(), 0xf10f);
             if let std::collections::hash_map::Entry::Vacant(vacant) = self.table.entry(key) {
@@ -94,8 +94,8 @@ impl Query for TopKQuery {
         0.57
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP + costs::RANKING_UPDATE);
             let bytes = scale(f64::from(packet.ip_len), sampling_rate);
             let entry = self.bytes_per_dst.entry(packet.tuple.dst_ip);
@@ -152,8 +152,8 @@ impl Query for SuperSourcesQuery {
         0.93
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
-        for packet in batch.packets.iter() {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::DISTINCT_UPDATE);
             let mut key = [0u8; 8];
             key[..4].copy_from_slice(&packet.tuple.src_ip.to_be_bytes());
@@ -224,9 +224,9 @@ impl Query for AutofocusQuery {
         0.69
     }
 
-    fn process_batch(&mut self, batch: &Batch, sampling_rate: f64, meter: &mut CycleMeter) {
+    fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         self.sampling_rate = sampling_rate;
-        for packet in batch.packets.iter() {
+        for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE);
             let bytes = f64::from(packet.ip_len);
             self.total_bytes += scale(bytes, sampling_rate);
@@ -264,13 +264,13 @@ mod tests {
     use super::*;
     use netshed_trace::{FiveTuple, Packet};
 
-    fn batch_of(tuples: &[FiveTuple], size: u32) -> Batch {
+    fn batch_of(tuples: &[FiveTuple], size: u32) -> BatchView {
         let packets: Vec<Packet> = tuples
             .iter()
             .enumerate()
             .map(|(i, t)| Packet::header_only(i as u64, *t, size, 0))
             .collect();
-        Batch::new(0, 0, 100_000, packets)
+        netshed_trace::Batch::new(0, 0, 100_000, packets).view()
     }
 
     #[test]

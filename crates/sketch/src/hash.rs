@@ -17,6 +17,24 @@ pub fn mix64(mut x: u64) -> u64 {
     x
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// `FNV_PRIME^k mod 2^64` for `k` in `0..=16`, so a run of `k` zero bytes can
+/// be absorbed with one multiplication instead of `k` (a zero byte leaves the
+/// XOR untouched, so its whole FNV-1a step collapses to `h *= FNV_PRIME`).
+const FNV_PRIME_POWERS: [u64; 17] = {
+    let mut powers = [1u64; 17];
+    let mut k = 1;
+    while k < powers.len() {
+        powers[k] = powers[k - 1].wrapping_mul(FNV_PRIME);
+        k += 1;
+    }
+    powers
+};
+
 /// Hashes an arbitrary byte slice to 64 bits with a caller-supplied seed.
 ///
 /// This is an FNV-1a pass followed by [`mix64`]; it is not cryptographic but
@@ -24,12 +42,55 @@ pub fn mix64(mut x: u64) -> u64 {
 /// used by the traffic aggregates.
 #[inline]
 pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ seed;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
+    let mut fnv = IncrementalFnv::new(seed);
+    fnv.write(bytes);
+    fnv.finish()
+}
+
+/// An incremental FNV-1a + [`mix64`] hasher producing bit-identical results
+/// to [`hash_bytes`] over the concatenation of everything written.
+///
+/// The batch data plane hashes every packet once against all ten traffic
+/// aggregates; building each aggregate's zero-padded 13-byte key just to feed
+/// it to [`hash_bytes`] would re-serialise the 5-tuple ten times per packet.
+/// This hasher lets the caller stream the relevant header fields directly and
+/// absorb the trailing zero padding in O(1) via [`IncrementalFnv::pad_zeros`].
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalFnv(u64);
+
+impl IncrementalFnv {
+    /// Starts a hash with the given seed (same seeding rule as [`hash_bytes`]).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self(FNV_OFFSET ^ seed)
     }
-    mix64(h)
+
+    /// Absorbs a byte slice.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorbs `count` zero bytes in a single multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds 16 (the aggregate keys pad by at most 12).
+    #[inline]
+    pub fn pad_zeros(&mut self, count: usize) {
+        self.0 = self.0.wrapping_mul(FNV_PRIME_POWERS[count]);
+    }
+
+    /// Finalises the hash with the [`mix64`] avalanche pass.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        mix64(self.0)
+    }
 }
 
 /// An H3-style universal hash over fixed-length keys, realised as tabulation
@@ -96,6 +157,31 @@ mod tests {
         // Nearby inputs should differ in roughly half their bits.
         let distance = (mix64(3) ^ mix64(4)).count_ones();
         assert!(distance > 16, "avalanche too weak: {distance} bits");
+    }
+
+    #[test]
+    fn incremental_fnv_matches_hash_bytes_with_zero_padding() {
+        // A zero-padded key hashed in one go must equal the incremental
+        // version that streams the payload and collapses the padding.
+        let mut key = [0u8; 13];
+        key[..4].copy_from_slice(&0xc0a80001u32.to_be_bytes());
+        key[4..6].copy_from_slice(&443u16.to_be_bytes());
+        key[6] = 6;
+        for seed in [0u64, 1, 0x5eed_f00d, u64::MAX] {
+            let mut fnv = IncrementalFnv::new(seed);
+            fnv.write(&key[..7]);
+            fnv.pad_zeros(6);
+            assert_eq!(fnv.finish(), hash_bytes(&key, seed));
+        }
+    }
+
+    #[test]
+    fn incremental_fnv_split_writes_match_contiguous_write() {
+        let mut split = IncrementalFnv::new(7);
+        split.write(b"abc");
+        split.write(b"def");
+        split.pad_zeros(0);
+        assert_eq!(split.finish(), hash_bytes(b"abcdef", 7));
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod hash;
 
 pub use bitmap::{LinearCounting, MultiResolutionBitmap};
 pub use bloom::BloomFilter;
-pub use hash::{hash_bytes, mix64, H3Hasher};
+pub use hash::{hash_bytes, mix64, H3Hasher, IncrementalFnv};

@@ -2,12 +2,116 @@
 //!
 //! The CoMo-based system of the paper groups every 100 ms of traffic into a
 //! *batch* and runs the prediction / load-shedding / query-execution cycle
-//! once per batch (Section 3.1). A [`Batch`] owns its packets; the load
-//! shedders produce new (sampled) batches rather than mutating in place so
-//! that per-query sampling rates can differ (Chapter 5).
+//! once per batch (Section 3.1). A [`Batch`] owns its packets through a
+//! shared [`PacketStore`]; the load shedders produce [`BatchView`]s — index
+//! lists over the same store — rather than copying packets, so that per-query
+//! sampling rates can differ (Chapter 5) without per-query packet clones.
+//!
+//! The store also memoises the batch-level derived data that the single-pass
+//! data plane computes at most once per batch, regardless of how many queries
+//! and re-extractions consume it afterwards:
+//!
+//! * [`BatchStats`] (packet/byte/flag totals),
+//! * the serialised 13-byte flow keys used by flowwise sampling,
+//! * the per-packet [`AggregateHashes`] side array feeding the fused feature
+//!   extractor (the "hash once" invariant).
 
+use crate::aggregate::AggregateHashes;
 use crate::packet::{Packet, Timestamp};
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// The owning, reference-counted storage behind a [`Batch`].
+///
+/// All derived per-batch data (stats, flow keys, aggregate hashes) is cached
+/// here lazily, so every consumer sharing the store — the batch itself and
+/// every [`BatchView`] carved out of it — pays for each computation at most
+/// once. The store is immutable after construction; the caches are
+/// initialise-once (`OnceLock`) and therefore safe to share across threads.
+pub struct PacketStore {
+    packets: Vec<Packet>,
+    stats: OnceLock<BatchStats>,
+    flow_keys: OnceLock<Arc<[[u8; 13]]>>,
+    /// Aggregate hash rows together with the base seed they were derived
+    /// from. In practice every extractor in a process uses one seed, so the
+    /// first seed seen claims the cache; other seeds are told to hash the
+    /// packets they retain themselves (see [`PacketStore::aggregate_hashes`]).
+    aggregate_hashes: OnceLock<(u64, Arc<[AggregateHashes]>)>,
+}
+
+impl PacketStore {
+    fn new(packets: Vec<Packet>) -> Self {
+        Self {
+            packets,
+            stats: OnceLock::new(),
+            flow_keys: OnceLock::new(),
+            aggregate_hashes: OnceLock::new(),
+        }
+    }
+
+    /// The stored packets, in timestamp order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Summary statistics over all stored packets, computed once and cached.
+    pub fn stats(&self) -> BatchStats {
+        *self.stats.get_or_init(|| BatchStats::over(self.packets.iter()))
+    }
+
+    /// The serialised 13-byte 5-tuple keys of all packets, computed once.
+    ///
+    /// Flowwise sampling hashes these through a per-query H3 function; the
+    /// serialisation itself is query-independent, so it is shared.
+    pub fn flow_keys(&self) -> Arc<[[u8; 13]]> {
+        self.flow_keys
+            .get_or_init(|| self.packets.iter().map(|p| p.tuple.as_key()).collect())
+            .clone()
+    }
+
+    /// The per-packet aggregate hash side array for the given base seed, or
+    /// `None` if the cache was already claimed by a different seed.
+    ///
+    /// Computed in a single pass over the packets the first time it is
+    /// requested and cached for that seed. All in-tree extractors share one
+    /// seed, so in practice every call hits the cache; a consumer running
+    /// with a *different* seed gets `None` and should hash only the packets
+    /// it actually retains (see `FeatureExtractor::extract_view`) rather
+    /// than paying for a full-store array per call.
+    pub fn aggregate_hashes(&self, base_seed: u64) -> Option<Arc<[AggregateHashes]>> {
+        let (cached_seed, rows) = self.aggregate_hashes.get_or_init(|| {
+            let rows = self
+                .packets
+                .iter()
+                .map(|p| AggregateHashes::compute(&p.tuple, base_seed))
+                .collect();
+            (base_seed, rows)
+        });
+        (*cached_seed == base_seed).then(|| rows.clone())
+    }
+}
+
+impl Deref for PacketStore {
+    type Target = [Packet];
+
+    fn deref(&self) -> &[Packet] {
+        &self.packets
+    }
+}
+
+impl PartialEq for PacketStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.packets == other.packets
+    }
+}
+
+impl Eq for PacketStore {}
+
+impl std::fmt::Debug for PacketStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketStore").field("packets", &self.packets.len()).finish_non_exhaustive()
+    }
+}
 
 /// A set of packets collected during one time bin.
 #[derive(Debug, Clone)]
@@ -18,8 +122,10 @@ pub struct Batch {
     pub start_ts: Timestamp,
     /// Duration of the time bin in microseconds.
     pub duration_us: u64,
-    /// Packets captured during the time bin, in timestamp order.
-    pub packets: Arc<Vec<Packet>>,
+    /// Packets captured during the time bin, in timestamp order. Shared with
+    /// every [`BatchView`] derived from this batch (cloning a batch never
+    /// copies packets).
+    pub packets: Arc<PacketStore>,
 }
 
 impl Batch {
@@ -30,7 +136,7 @@ impl Batch {
         duration_us: u64,
         packets: Vec<Packet>,
     ) -> Self {
-        Self { bin_index, start_ts, duration_us, packets: Arc::new(packets) }
+        Self { bin_index, start_ts, duration_us, packets: Arc::new(PacketStore::new(packets)) }
     }
 
     /// Creates an empty batch for the given time bin.
@@ -50,12 +156,12 @@ impl Batch {
 
     /// Total number of IP bytes carried by the batch.
     pub fn total_bytes(&self) -> u64 {
-        self.packets.iter().map(|p| u64::from(p.ip_len)).sum()
+        self.stats().bytes
     }
 
     /// Total number of captured payload bytes in the batch.
     pub fn total_payload_bytes(&self) -> u64 {
-        self.packets.iter().map(|p| p.payload_len() as u64).sum()
+        self.stats().payload_bytes
     }
 
     /// End timestamp of the time bin (exclusive).
@@ -70,7 +176,25 @@ impl Batch {
         self.start_ts / interval_us
     }
 
+    /// A zero-copy view over all packets of this batch.
+    pub fn view(&self) -> BatchView {
+        BatchView {
+            bin_index: self.bin_index,
+            start_ts: self.start_ts,
+            duration_us: self.duration_us,
+            store: Arc::clone(&self.packets),
+            keep: None,
+        }
+    }
+
     /// Returns a new batch containing only the packets for which `keep` is true.
+    ///
+    /// This is the clone-based sampling path the shedders used before
+    /// [`BatchView`] existed; it copies every retained packet into a fresh
+    /// store. It is kept as the reference implementation that the
+    /// shed-equivalence property tests and the view-vs-clone benchmarks
+    /// compare against — hot paths should use [`Batch::view`] +
+    /// [`BatchView::filter_indexed`] instead.
     ///
     /// The bin index, start timestamp and duration are preserved so the result
     /// still identifies the same time bin.
@@ -79,29 +203,9 @@ impl Batch {
         Batch::new(self.bin_index, self.start_ts, self.duration_us, packets)
     }
 
-    /// Computes summary statistics for the batch.
+    /// Summary statistics for the batch, computed once and cached.
     pub fn stats(&self) -> BatchStats {
-        let mut stats = BatchStats {
-            packets: self.packets.len() as u64,
-            bytes: 0,
-            payload_bytes: 0,
-            syn_packets: 0,
-            tcp_packets: 0,
-            udp_packets: 0,
-        };
-        for p in self.packets.iter() {
-            stats.bytes += u64::from(p.ip_len);
-            stats.payload_bytes += p.payload_len() as u64;
-            if p.is_syn() {
-                stats.syn_packets += 1;
-            }
-            match p.tuple.proto {
-                6 => stats.tcp_packets += 1,
-                17 => stats.udp_packets += 1,
-                _ => {}
-            }
-        }
-        stats
+        self.packets.stats()
     }
 
     /// Average bit rate of the batch over the time bin, in megabits per second.
@@ -113,6 +217,217 @@ impl Batch {
         bits / (self.duration_us as f64 / 1e6) / 1e6
     }
 }
+
+/// A zero-copy, possibly-sampled view over a batch's packets.
+///
+/// A view shares the underlying [`PacketStore`] with the batch it was carved
+/// from and records which packets it retains as an index list (`None` meaning
+/// "all of them"). Sampling a view therefore never copies a packet, and all
+/// store-level caches (stats, flow keys, aggregate hashes) remain shared
+/// across every view of the same batch.
+///
+/// Ownership rules: views are cheap to clone (two `Arc` bumps at most) and
+/// immutable; deriving a narrower view with [`BatchView::filter_indexed`]
+/// composes index lists against the *store*, so a view of a view still
+/// resolves packets in one hop.
+#[derive(Debug, Clone)]
+pub struct BatchView {
+    bin_index: u64,
+    start_ts: Timestamp,
+    duration_us: u64,
+    store: Arc<PacketStore>,
+    /// Store indices retained by this view, ascending; `None` = all packets.
+    keep: Option<Arc<Vec<u32>>>,
+}
+
+impl BatchView {
+    /// Index of the time bin this view belongs to.
+    pub fn bin_index(&self) -> u64 {
+        self.bin_index
+    }
+
+    /// Timestamp of the start of the time bin, in microseconds.
+    pub fn start_ts(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// Duration of the time bin in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.duration_us
+    }
+
+    /// End timestamp of the time bin (exclusive).
+    pub fn end_ts(&self) -> Timestamp {
+        self.start_ts + self.duration_us
+    }
+
+    /// Returns the measurement interval index this view belongs to.
+    pub fn measurement_interval(&self, interval_us: u64) -> u64 {
+        debug_assert!(interval_us > 0);
+        self.start_ts / interval_us
+    }
+
+    /// Number of packets retained by the view.
+    pub fn len(&self) -> usize {
+        match &self.keep {
+            Some(keep) => keep.len(),
+            None => self.store.len(),
+        }
+    }
+
+    /// Returns `true` if the view retains no packets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if the view retains every packet of its store.
+    pub fn is_full(&self) -> bool {
+        self.keep.is_none()
+    }
+
+    /// The shared packet store behind this view.
+    pub fn store(&self) -> &Arc<PacketStore> {
+        &self.store
+    }
+
+    /// Returns `true` if `other` shares this view's packet store (i.e. the
+    /// two views were derived from the same batch without copying).
+    pub fn shares_store(&self, other: &BatchView) -> bool {
+        Arc::ptr_eq(&self.store, &other.store)
+    }
+
+    /// Iterates over the retained packets in timestamp order.
+    pub fn packets(&self) -> impl Iterator<Item = &Packet> + '_ {
+        self.indexed_packets().map(|(_, p)| p)
+    }
+
+    /// Iterates over `(store index, packet)` pairs for the retained packets.
+    ///
+    /// The store index addresses per-packet side arrays of the *full* batch —
+    /// in particular the [`AggregateHashes`] rows and the flow keys — which
+    /// is what lets sampled consumers reuse data computed once for the whole
+    /// batch.
+    pub fn indexed_packets(&self) -> IndexedPackets<'_> {
+        match &self.keep {
+            Some(keep) => {
+                IndexedPackets(IndexedPacketsInner::Kept { store: &self.store, keep, position: 0 })
+            }
+            None => IndexedPackets(IndexedPacketsInner::Full(self.store.iter().enumerate())),
+        }
+    }
+
+    /// Summary statistics over the retained packets.
+    ///
+    /// A full view returns the store's cached stats; a sampled view computes
+    /// its stats over the retained packets only.
+    pub fn stats(&self) -> BatchStats {
+        match &self.keep {
+            Some(_) => BatchStats::over(self.packets()),
+            None => self.store.stats(),
+        }
+    }
+
+    /// Total number of IP bytes retained by the view.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats().bytes
+    }
+
+    /// The per-packet aggregate hash side array of the full store, indexed by
+    /// the store indices yielded by [`BatchView::indexed_packets`], or `None`
+    /// if the store's cache is claimed by a different seed.
+    pub fn aggregate_hashes(&self, base_seed: u64) -> Option<Arc<[AggregateHashes]>> {
+        self.store.aggregate_hashes(base_seed)
+    }
+
+    /// The serialised 13-byte flow keys of the full store, indexed by store
+    /// indices.
+    pub fn flow_keys(&self) -> Arc<[[u8; 13]]> {
+        self.store.flow_keys()
+    }
+
+    /// Derives a narrower view retaining the packets for which `keep` returns
+    /// `true`. The closure receives the store index and the packet, in view
+    /// order — no packet is copied.
+    pub fn filter_indexed<F: FnMut(usize, &Packet) -> bool>(&self, mut keep: F) -> BatchView {
+        let mut kept = Vec::with_capacity(self.len());
+        for (index, packet) in self.indexed_packets() {
+            if keep(index, packet) {
+                kept.push(index as u32);
+            }
+        }
+        self.with_keep(kept)
+    }
+
+    /// A view over the same bin retaining no packets.
+    pub fn cleared(&self) -> BatchView {
+        self.with_keep(Vec::new())
+    }
+
+    fn with_keep(&self, kept: Vec<u32>) -> BatchView {
+        BatchView {
+            bin_index: self.bin_index,
+            start_ts: self.start_ts,
+            duration_us: self.duration_us,
+            store: Arc::clone(&self.store),
+            keep: Some(Arc::new(kept)),
+        }
+    }
+
+    /// Copies the retained packets into an owned [`Batch`].
+    ///
+    /// Only for interoperability (tests, recording sampled streams); the
+    /// monitoring hot path never materialises views.
+    pub fn materialize(&self) -> Batch {
+        Batch::new(
+            self.bin_index,
+            self.start_ts,
+            self.duration_us,
+            self.packets().cloned().collect(),
+        )
+    }
+}
+
+/// Iterator over `(store index, packet)` pairs of a [`BatchView`].
+///
+/// Only constructed by [`BatchView::indexed_packets`], which guarantees the
+/// retained indices are in bounds for the shared store.
+#[derive(Debug)]
+pub struct IndexedPackets<'a>(IndexedPacketsInner<'a>);
+
+#[derive(Debug)]
+enum IndexedPacketsInner<'a> {
+    /// Full view: every packet of the store, in order.
+    Full(std::iter::Enumerate<std::slice::Iter<'a, Packet>>),
+    /// Sampled view: the retained store indices, in order.
+    Kept { store: &'a PacketStore, keep: &'a [u32], position: usize },
+}
+
+impl<'a> Iterator for IndexedPackets<'a> {
+    type Item = (usize, &'a Packet);
+
+    fn next(&mut self) -> Option<(usize, &'a Packet)> {
+        match &mut self.0 {
+            IndexedPacketsInner::Full(iter) => iter.next(),
+            IndexedPacketsInner::Kept { store, keep, position } => {
+                let index = *keep.get(*position)? as usize;
+                *position += 1;
+                Some((index, &store.packets()[index]))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            IndexedPacketsInner::Full(iter) => iter.size_hint(),
+            IndexedPacketsInner::Kept { keep, position, .. } => {
+                let remaining = keep.len() - *position;
+                (remaining, Some(remaining))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for IndexedPackets<'_> {}
 
 /// Summary statistics of a batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -131,17 +446,75 @@ pub struct BatchStats {
     pub udp_packets: u64,
 }
 
+impl BatchStats {
+    /// Accumulates statistics over a packet iterator.
+    fn over<'a, I: Iterator<Item = &'a Packet>>(packets: I) -> BatchStats {
+        let mut stats = BatchStats::default();
+        for p in packets {
+            stats.packets += 1;
+            stats.bytes += u64::from(p.ip_len);
+            stats.payload_bytes += p.payload_len() as u64;
+            if p.is_syn() {
+                stats.syn_packets += 1;
+            }
+            match p.tuple.proto {
+                6 => stats.tcp_packets += 1,
+                17 => stats.udp_packets += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+}
+
+/// Error returned by [`BatchBuilder::push_into`] when a packet's timestamp
+/// jumps so far ahead of the current bin that closing the gap would emit an
+/// unbounded run of empty batches (corrupt timestamps, not a quiet link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimestampJumpError {
+    /// The bin the builder was filling when the jump was detected.
+    pub current_bin: u64,
+    /// The bin the offending packet's timestamp falls into.
+    pub packet_bin: u64,
+}
+
+impl std::fmt::Display for TimestampJumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "packet timestamp jumps from bin {} to bin {} (more than {} empty bins)",
+            self.current_bin, self.packet_bin, MAX_GAP_BINS
+        )
+    }
+}
+
+impl std::error::Error for TimestampJumpError {}
+
+/// Maximum number of empty bins a single push may emit to bridge a timestamp
+/// gap. At the paper's 100 ms bins this is about seven minutes of silence —
+/// any larger jump is treated as corrupt input rather than a quiet link.
+pub const MAX_GAP_BINS: u64 = 4096;
+
 /// Accumulates packets into consecutive fixed-duration batches.
 ///
 /// The builder assumes packets are pushed in non-decreasing timestamp order
-/// (as delivered by a capture device). Whenever a packet belongs to a later
-/// time bin than the one currently being filled, the current batch is closed
-/// and returned; empty bins are emitted as empty batches so downstream
-/// consumers see a batch per time bin.
+/// (as delivered by a capture device). The first packet anchors the builder
+/// to its time bin, so absolute timestamps (e.g. epoch microseconds) work
+/// without emitting empty batches for the eons before the capture started.
+/// Whenever a later packet belongs to a later time bin than the one
+/// currently being filled, the current batch is closed and returned; empty
+/// bins are emitted as empty batches so downstream consumers see a batch per
+/// time bin — up to a gap of [`MAX_GAP_BINS`] bins. A larger jump breaks the
+/// contiguous-bin guarantee instead of flooding the consumer with empties:
+/// [`BatchBuilder::push_into`] reports it as a [`TimestampJumpError`], while
+/// the convenience [`BatchBuilder::push`] re-anchors as if the capture had
+/// restarted.
 #[derive(Debug)]
 pub struct BatchBuilder {
     duration_us: u64,
     current_bin: u64,
+    /// `false` until the first packet anchors `current_bin`.
+    anchored: bool,
     pending: Vec<Packet>,
 }
 
@@ -149,20 +522,66 @@ impl BatchBuilder {
     /// Creates a builder producing batches of the given time-bin duration.
     pub fn new(duration_us: u64) -> Self {
         assert!(duration_us > 0, "time bin duration must be positive");
-        Self { duration_us, current_bin: 0, pending: Vec::new() }
+        Self { duration_us, current_bin: 0, anchored: false, pending: Vec::new() }
+    }
+
+    /// Pushes a packet, appending any batches completed by this push to
+    /// `closed`; returns how many batches were appended.
+    ///
+    /// A single push can complete several batches if the packet timestamp
+    /// jumps over one or more empty bins. The caller owns (and can reuse)
+    /// the output buffer, so the common case — the packet lands in the bin
+    /// currently being filled — performs no allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// If the packet's timestamp lies more than [`MAX_GAP_BINS`] bins ahead
+    /// of the bin being filled, the push is rejected with
+    /// [`TimestampJumpError`]: the packet is *not* consumed and the builder
+    /// state is unchanged, so the caller can decide whether to drop the
+    /// packet or reset the builder. The first packet ever pushed cannot
+    /// trigger this — it anchors the builder to its own bin instead.
+    pub fn push_into(
+        &mut self,
+        packet: Packet,
+        closed: &mut Vec<Batch>,
+    ) -> Result<usize, TimestampJumpError> {
+        let bin = packet.ts / self.duration_us;
+        if !self.anchored {
+            self.current_bin = bin;
+            self.anchored = true;
+        }
+        if bin > self.current_bin && bin - self.current_bin > MAX_GAP_BINS {
+            return Err(TimestampJumpError { current_bin: self.current_bin, packet_bin: bin });
+        }
+        let mut count = 0;
+        while bin > self.current_bin {
+            closed.push(self.close_current());
+            count += 1;
+        }
+        self.pending.push(packet);
+        Ok(count)
     }
 
     /// Pushes a packet; returns all batches that were completed by this push.
     ///
-    /// A single push can complete several batches if the packet timestamp
-    /// jumps over one or more empty bins.
+    /// Convenience wrapper over [`BatchBuilder::push_into`] that allocates a
+    /// fresh output vector only when batches actually close. A timestamp
+    /// jump larger than [`MAX_GAP_BINS`] bins is treated as a capture
+    /// restart: the bin being filled is closed and the builder re-anchors at
+    /// the packet's bin, instead of emitting thousands of empty batches or
+    /// failing. Use [`BatchBuilder::push_into`] to detect such jumps
+    /// explicitly.
     pub fn push(&mut self, packet: Packet) -> Vec<Batch> {
-        let bin = packet.ts / self.duration_us;
         let mut closed = Vec::new();
-        while bin > self.current_bin {
+        let bin = packet.ts / self.duration_us;
+        if self.anchored && bin > self.current_bin && bin - self.current_bin > MAX_GAP_BINS {
             closed.push(self.close_current());
+            self.current_bin = bin;
+            self.pending.push(packet);
+        } else {
+            self.push_into(packet, &mut closed).expect("in-range push cannot fail");
         }
-        self.pending.push(packet);
         closed
     }
 
@@ -221,6 +640,65 @@ mod tests {
     }
 
     #[test]
+    fn push_into_reuses_the_caller_buffer() {
+        let mut b = BatchBuilder::new(100);
+        let mut closed = Vec::new();
+        assert_eq!(b.push_into(pkt(10), &mut closed), Ok(0));
+        assert_eq!(b.push_into(pkt(250), &mut closed), Ok(2));
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].len(), 1);
+        assert!(closed[1].is_empty());
+    }
+
+    #[test]
+    fn first_packet_anchors_the_builder_to_absolute_timestamps() {
+        // Epoch-microsecond timestamps: the first packet must not be treated
+        // as a pathological jump, and no leading empty batches are emitted.
+        let epoch_us = 1_700_000_000_000_000u64;
+        let mut b = BatchBuilder::new(100_000);
+        let mut closed = Vec::new();
+        assert_eq!(b.push_into(pkt(epoch_us), &mut closed), Ok(0));
+        assert_eq!(b.push_into(pkt(epoch_us + 150_000), &mut closed), Ok(1));
+        assert_eq!(closed[0].bin_index, epoch_us / 100_000);
+        assert_eq!(closed[0].len(), 1);
+        let last = b.finish();
+        assert_eq!(last.bin_index, epoch_us / 100_000 + 1);
+    }
+
+    #[test]
+    fn push_reanchors_across_a_pathological_gap_instead_of_failing() {
+        // A quiet link (or clock jump) beyond the gap cap: the convenience
+        // `push` closes the bin being filled and re-anchors — no panic, no
+        // flood of empty batches.
+        let mut b = BatchBuilder::new(100);
+        b.push(pkt(10));
+        let jump_ts = (MAX_GAP_BINS + 50) * 100;
+        let closed = b.push(pkt(jump_ts));
+        assert_eq!(closed.len(), 1, "only the pre-gap bin is closed");
+        assert_eq!(closed[0].bin_index, 0);
+        assert_eq!(closed[0].len(), 1);
+        let last = b.finish();
+        assert_eq!(last.bin_index, jump_ts / 100);
+        assert_eq!(last.len(), 1);
+    }
+
+    #[test]
+    fn pathological_timestamp_jump_is_rejected_without_state_change() {
+        let mut b = BatchBuilder::new(100);
+        let mut closed = Vec::new();
+        b.push_into(pkt(10), &mut closed).expect("in-bin push");
+        let jump = pkt((MAX_GAP_BINS + 2) * 100);
+        let err = b.push_into(jump.clone(), &mut closed).expect_err("jump must be rejected");
+        assert_eq!(err, TimestampJumpError { current_bin: 0, packet_bin: MAX_GAP_BINS + 2 });
+        assert!(closed.is_empty(), "no batches may be emitted for a rejected push");
+        // The builder is still on bin 0 and accepts in-range packets.
+        assert_eq!(b.push_into(pkt(50), &mut closed), Ok(0));
+        let last = b.finish();
+        assert_eq!(last.bin_index, 0);
+        assert_eq!(last.len(), 2);
+    }
+
+    #[test]
     fn stats_and_load() {
         let packets = vec![pkt(0), pkt(10), pkt(20)];
         let batch = Batch::new(0, 0, 100_000, packets);
@@ -246,5 +724,74 @@ mod tests {
     fn measurement_interval_indexing() {
         let batch = Batch::empty(13, 1_300_000, 100_000);
         assert_eq!(batch.measurement_interval(1_000_000), 1);
+    }
+
+    #[test]
+    fn views_share_the_store_and_never_copy() {
+        let batch = Batch::new(3, 300_000, 100_000, vec![pkt(0), pkt(10), pkt(20), pkt(30)]);
+        let full = batch.view();
+        assert!(full.is_full());
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.bin_index(), 3);
+
+        let odd = full.filter_indexed(|index, _| index % 2 == 1);
+        assert!(odd.shares_store(&full));
+        assert!(Arc::ptr_eq(odd.store(), &batch.packets));
+        assert_eq!(odd.len(), 2);
+        let timestamps: Vec<u64> = odd.packets().map(|p| p.ts).collect();
+        assert_eq!(timestamps, vec![10, 30]);
+    }
+
+    #[test]
+    fn view_of_view_composes_store_indices() {
+        let batch = Batch::new(0, 0, 100_000, (0..10).map(|i| pkt(i * 10)).collect());
+        let evens = batch.view().filter_indexed(|index, _| index % 2 == 0);
+        // Filter the *view*: keep its 2nd and 4th packets (store indices 2, 6).
+        let mut seen = Vec::new();
+        let narrowed = evens.filter_indexed(|index, _| {
+            seen.push(index);
+            index == 2 || index == 6
+        });
+        assert_eq!(seen, vec![0, 2, 4, 6, 8], "closure sees store indices in view order");
+        let kept: Vec<usize> = narrowed.indexed_packets().map(|(index, _)| index).collect();
+        assert_eq!(kept, vec![2, 6]);
+    }
+
+    #[test]
+    fn view_stats_cover_only_retained_packets() {
+        let batch = Batch::new(0, 0, 100_000, vec![pkt(0), pkt(10), pkt(20)]);
+        let view = batch.view().filter_indexed(|_, p| p.ts >= 10);
+        assert_eq!(view.total_bytes(), 200);
+        assert_eq!(view.stats().packets, 2);
+        assert_eq!(batch.view().total_bytes(), 300);
+        assert_eq!(view.cleared().len(), 0);
+        assert!(view.cleared().is_empty());
+    }
+
+    #[test]
+    fn materialize_round_trips_the_retained_packets() {
+        let batch = Batch::new(5, 500_000, 100_000, vec![pkt(0), pkt(10), pkt(20)]);
+        let owned = batch.view().filter_indexed(|_, p| p.ts != 10).materialize();
+        assert_eq!(owned.bin_index, 5);
+        assert_eq!(owned.len(), 2);
+        assert_eq!(owned.packets[0].ts, 0);
+        assert_eq!(owned.packets[1].ts, 20);
+    }
+
+    #[test]
+    fn store_caches_are_shared_between_batch_and_views() {
+        let batch = Batch::new(0, 0, 100_000, vec![pkt(0), pkt(10)]);
+        let hashes_a = batch.view().aggregate_hashes(42).expect("first seed claims the cache");
+        let hashes_b =
+            batch.view().filter_indexed(|_, _| true).aggregate_hashes(42).expect("cache hit");
+        assert!(Arc::ptr_eq(&hashes_a, &hashes_b), "same seed must hit the cache");
+        // A different seed does not thrash the cache: the caller is told to
+        // hash the packets it retains itself.
+        assert!(batch.view().aggregate_hashes(43).is_none());
+        assert_eq!(hashes_a[0], AggregateHashes::compute(&batch.packets[0].tuple, 42));
+        let keys_a = batch.view().flow_keys();
+        let keys_b = batch.view().flow_keys();
+        assert!(Arc::ptr_eq(&keys_a, &keys_b));
+        assert_eq!(keys_a[1], batch.packets[1].tuple.as_key());
     }
 }

@@ -29,6 +29,7 @@
 //! assert!(!batch.packets.is_empty());
 //! ```
 
+pub mod aggregate;
 pub mod anomaly;
 pub mod batch;
 pub mod dist;
@@ -37,8 +38,11 @@ pub mod packet;
 pub mod profiles;
 pub mod source;
 
+pub use aggregate::{aggregate_hash_seed, Aggregate, AggregateHashes, AGGREGATE_COUNT};
 pub use anomaly::{Anomaly, AnomalyInjector, AnomalyKind};
-pub use batch::{Batch, BatchBuilder, BatchStats};
+pub use batch::{
+    Batch, BatchBuilder, BatchStats, BatchView, PacketStore, TimestampJumpError, MAX_GAP_BINS,
+};
 pub use generator::{AppProtocol, TraceConfig, TraceGenerator};
 pub use packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
 pub use profiles::TraceProfile;

@@ -39,8 +39,8 @@ pub use netshed_monitor::{
 };
 pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
 pub use netshed_trace::{
-    Batch, BatchReplay, Interleave, PacketSource, PacketSourceExt, TraceConfig, TraceGenerator,
-    TraceProfile,
+    Batch, BatchReplay, BatchView, Interleave, PacketSource, PacketSourceExt, TraceConfig,
+    TraceGenerator, TraceProfile,
 };
 
 /// Everything a typical experiment needs, in one import.
@@ -52,7 +52,7 @@ pub mod prelude {
     };
     pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
     pub use netshed_trace::{
-        Anomaly, AnomalyKind, Batch, BatchReplay, Interleave, PacketSource, PacketSourceExt,
-        TraceConfig, TraceGenerator, TraceProfile,
+        Anomaly, AnomalyKind, Batch, BatchReplay, BatchView, Interleave, PacketSource,
+        PacketSourceExt, TraceConfig, TraceGenerator, TraceProfile,
     };
 }

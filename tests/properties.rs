@@ -2,9 +2,20 @@
 
 use netshed::fairness::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
 use netshed::linalg::{ols_solve, Matrix};
-use netshed::sketch::{mix64, BloomFilter, MultiResolutionBitmap};
-use netshed::trace::{BatchBuilder, FiveTuple, Packet};
+use netshed::monitor::{flow_sample, packet_sample};
+use netshed::sketch::{mix64, BloomFilter, H3Hasher, MultiResolutionBitmap};
+use netshed::trace::{Batch, BatchBuilder, FiveTuple, Packet, TraceConfig, TraceGenerator};
+// The historical clone-based samplers, the reference the zero-copy view path
+// must match bit for bit.
+use netshed_bench::baseline::{clone_flow_sample, clone_packet_sample};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shed_test_batch(seed: u64) -> Batch {
+    TraceGenerator::new(TraceConfig::default().with_seed(seed).with_mean_packets_per_batch(300.0))
+        .next_batch()
+}
 
 proptest! {
     /// The multi-resolution bitmap estimate stays within a reasonable
@@ -82,7 +93,8 @@ proptest! {
     }
 
     /// The batch builder conserves packets: every pushed packet ends up in
-    /// exactly one emitted batch, and batches are emitted in bin order.
+    /// exactly one emitted batch, and batches are emitted in bin order. The
+    /// caller-provided output buffer is reused across all pushes.
     #[test]
     fn batch_builder_conserves_packets(timestamps in proptest::collection::vec(0u64..5_000, 1..300)) {
         let mut sorted = timestamps.clone();
@@ -91,7 +103,9 @@ proptest! {
         let mut batches = Vec::new();
         for ts in &sorted {
             let packet = Packet::header_only(*ts, FiveTuple::new(1, 2, 3, 4, 6), 100, 0);
-            batches.extend(builder.push(packet));
+            let before = batches.len();
+            let closed = builder.push_into(packet, &mut batches).expect("bins within gap cap");
+            prop_assert_eq!(batches.len(), before + closed);
         }
         batches.push(builder.finish());
         let total: usize = batches.iter().map(|b| b.len()).sum();
@@ -104,6 +118,56 @@ proptest! {
                 prop_assert!(packet.ts >= batch.start_ts && packet.ts < batch.end_ts());
             }
         }
+    }
+
+    /// Zero-copy packet sampling selects exactly the packets the historical
+    /// clone-based path selected, for the same RNG seed, across the shedding
+    /// rates the monitor actually uses (0, a fractional rate, 1).
+    #[test]
+    fn view_packet_sampling_matches_the_clone_path(
+        trace_seed in 0u64..200,
+        rng_seed in 0u64..200,
+        rate_index in 0usize..3,
+    ) {
+        let rate = [0.0, 0.37, 1.0][rate_index];
+        let batch = shed_test_batch(trace_seed);
+
+        let mut view_rng = StdRng::seed_from_u64(rng_seed);
+        let (view, view_dropped) = packet_sample(&batch.view(), rate, &mut view_rng);
+        let mut clone_rng = StdRng::seed_from_u64(rng_seed);
+        let (cloned, clone_dropped) = clone_packet_sample(&batch, rate, &mut clone_rng);
+
+        prop_assert_eq!(view_dropped, clone_dropped);
+        let from_view: Vec<Packet> = view.packets().cloned().collect();
+        let from_clone: Vec<Packet> = cloned.packets.iter().cloned().collect();
+        prop_assert_eq!(from_view, from_clone);
+        // Both RNGs must have consumed the same number of draws.
+        prop_assert_eq!(view_rng.gen::<u64>(), clone_rng.gen::<u64>());
+        // And the view must actually be zero-copy.
+        prop_assert!(std::sync::Arc::ptr_eq(view.store(), &batch.packets));
+    }
+
+    /// Zero-copy flow sampling selects exactly the flows the clone-based
+    /// path selected for the same H3 hash function, so query outputs are
+    /// unchanged by the refactor.
+    #[test]
+    fn view_flow_sampling_matches_the_clone_path(
+        trace_seed in 0u64..200,
+        hash_seed in 0u64..200,
+        rate_index in 0usize..3,
+    ) {
+        let rate = [0.0, 0.37, 1.0][rate_index];
+        let batch = shed_test_batch(trace_seed);
+        let hasher = H3Hasher::new(13, hash_seed);
+
+        let (view, view_dropped) = flow_sample(&batch.view(), rate, &hasher);
+        let (cloned, clone_dropped) = clone_flow_sample(&batch, rate, &hasher);
+
+        prop_assert_eq!(view_dropped, clone_dropped);
+        let from_view: Vec<Packet> = view.packets().cloned().collect();
+        let from_clone: Vec<Packet> = cloned.packets.iter().cloned().collect();
+        prop_assert_eq!(from_view, from_clone);
+        prop_assert!(std::sync::Arc::ptr_eq(view.store(), &batch.packets));
     }
 
     /// OLS through the SVD pseudo-inverse recovers exact linear models.
