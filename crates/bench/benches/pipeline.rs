@@ -14,6 +14,10 @@
 //!    store (zero per-packet copies).
 //! 3. **pipeline**: packets/second through `Monitor::run` with the paper's
 //!    Chapter 4 query mix under 2× overload.
+//! 4. **control plane**: the same overloaded run with the strategy built
+//!    through the `Strategy` enum vs an explicitly constructed
+//!    `ControlPolicy` trait object — the dispatch overhead of the open
+//!    control plane must stay within noise of the enum baseline.
 //!
 //! Run with `cargo bench -p netshed-bench --bench pipeline`; pass
 //! `-- --smoke` for a fast CI run (fewer iterations, same JSON shape).
@@ -21,7 +25,7 @@
 use netshed_bench::baseline::{clone_flow_sample, clone_packet_sample, TenPassExtractor};
 use netshed_features::FeatureExtractor;
 use netshed_monitor::{
-    flow_sample, packet_sample, AllocationPolicy, Monitor, NullObserver, Strategy,
+    flow_sample, packet_sample, AllocationPolicy, Monitor, NullObserver, PredictivePolicy, Strategy,
 };
 use netshed_queries::{QueryKind, QuerySpec};
 use netshed_sketch::H3Hasher;
@@ -171,6 +175,56 @@ fn bench_pipeline(batches: usize) -> PipelineNumbers {
     }
 }
 
+struct ControlPlaneNumbers {
+    batches: usize,
+    enum_ns_per_batch: f64,
+    trait_ns_per_batch: f64,
+    overhead: f64,
+}
+
+/// Times the full overloaded pipeline with the built-in strategy constructed
+/// through the enum vs through an explicit `ControlPolicy` trait object.
+/// Both paths run the same policy code, so the difference is pure
+/// construction/dispatch noise — recorded to keep it that way.
+fn bench_control_plane(batches: usize, repeats: u32) -> ControlPlaneNumbers {
+    let recorded = TraceGenerator::new(
+        TraceConfig::default().with_seed(33).with_mean_packets_per_batch(1000.0),
+    )
+    .batches(batches);
+    let specs: Vec<QuerySpec> =
+        QueryKind::CHAPTER4_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
+    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4]);
+    let capacity = demand / 2.0;
+
+    let time_path = |use_trait: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let mut builder =
+                Monitor::builder().capacity(capacity).no_noise().queries(specs.clone());
+            builder = if use_trait {
+                builder.with_policy(PredictivePolicy::new(netshed_fairness::MmfsPkt))
+            } else {
+                builder.strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+            };
+            let mut monitor = builder.build().expect("valid configuration");
+            let mut source = BatchReplay::new(recorded.clone());
+            let start = Instant::now();
+            black_box(monitor.run(&mut source, &mut NullObserver).expect("run"));
+            best = best.min(start.elapsed().as_nanos() as f64 / batches as f64);
+        }
+        best
+    };
+
+    let enum_ns_per_batch = time_path(false);
+    let trait_ns_per_batch = time_path(true);
+    ControlPlaneNumbers {
+        batches,
+        enum_ns_per_batch,
+        trait_ns_per_batch,
+        overhead: trait_ns_per_batch / enum_ns_per_batch - 1.0,
+    }
+}
+
 fn main() {
     let smoke = criterion::smoke_mode();
     let (iterations, pipeline_batches) = if smoke { (10, 100) } else { (200, 600) };
@@ -201,6 +255,15 @@ fn main() {
         pipeline.packets, pipeline.elapsed_s, pipeline.packets_per_sec
     );
 
+    eprintln!("control plane: enum-constructed vs trait-constructed policy ...");
+    let control = bench_control_plane(pipeline_batches.min(200), if smoke { 2 } else { 5 });
+    eprintln!(
+        "  enum {:.0} ns/batch | trait {:.0} ns/batch | overhead {:+.1}%",
+        control.enum_ns_per_batch,
+        control.trait_ns_per_batch,
+        control.overhead * 100.0
+    );
+
     let json = format!(
         "{{\n  \"generated_by\": \"cargo bench -p netshed-bench --bench pipeline{}\",\n  \
          \"smoke\": {},\n  \
@@ -212,7 +275,10 @@ fn main() {
          \"flow_clone_ns\": {:.1},\n    \"view_shares_store\": {},\n    \
          \"per_packet_copies\": 0\n  }},\n  \
          \"pipeline_2x_overload\": {{\n    \"batches\": {},\n    \"packets\": {},\n    \
-         \"elapsed_s\": {:.3},\n    \"packets_per_sec\": {:.0}\n  }}\n}}\n",
+         \"elapsed_s\": {:.3},\n    \"packets_per_sec\": {:.0}\n  }},\n  \
+         \"control_plane_dispatch\": {{\n    \"batches\": {},\n    \
+         \"enum_ns_per_batch\": {:.0},\n    \"trait_ns_per_batch\": {:.0},\n    \
+         \"overhead_fraction\": {:.4}\n  }}\n}}\n",
         if smoke { " -- --smoke" } else { "" },
         smoke,
         extract.packets,
@@ -230,6 +296,10 @@ fn main() {
         pipeline.packets,
         pipeline.elapsed_s,
         pipeline.packets_per_sec,
+        control.batches,
+        control.enum_ns_per_batch,
+        control.trait_ns_per_batch,
+        control.overhead,
     );
     // Cargo runs bench binaries with the package directory as CWD; default
     // to the workspace root so the JSON lands in one predictable place.

@@ -1,4 +1,81 @@
 //! Sampling-rate allocation strategies (Section 5.2).
+//!
+//! Each strategy answers one question: given per-query demands (predicted
+//! cycles plus a minimum sampling rate) and a cycle budget, what sampling
+//! rate does every query get? The three schemes of the paper ship as free
+//! functions ([`eq_srates`], [`mmfs_cpu`], [`mmfs_pkt`]) and, for callers
+//! that need to choose a scheme at runtime or plug in their own, as unit
+//! structs ([`EqualRates`], [`MmfsCpu`], [`MmfsPkt`]) implementing the
+//! object-safe [`AllocationStrategy`] trait.
+
+/// A pluggable sampling-rate allocation scheme.
+///
+/// Implementations are pure functions of their inputs: the same demands and
+/// capacity must always produce the same allocations (the monitor's
+/// replay-equivalence guarantees depend on it). Stateful schemes belong at
+/// the control-policy layer, which owns the per-bin feedback loop.
+pub trait AllocationStrategy: Send + Sync {
+    /// Computes one [`Allocation`] per demand under the given cycle budget.
+    fn allocate(&self, demands: &[QueryDemand], capacity: f64) -> Vec<Allocation>;
+
+    /// Short name used in reports and composed strategy names.
+    fn name(&self) -> &'static str;
+}
+
+/// [`eq_srates`] as a pluggable strategy: one common sampling rate for every
+/// query (Chapter 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualRates;
+
+impl AllocationStrategy for EqualRates {
+    fn allocate(&self, demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
+        eq_srates(demands, capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "eq_srates"
+    }
+}
+
+/// [`mmfs_cpu`] as a pluggable strategy: max-min fairness in allocated CPU
+/// cycles (Section 5.2.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmfsCpu;
+
+impl AllocationStrategy for MmfsCpu {
+    fn allocate(&self, demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
+        mmfs_cpu(demands, capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "mmfs_cpu"
+    }
+}
+
+/// [`mmfs_pkt`] as a pluggable strategy: max-min fairness in access to the
+/// packet stream (Section 5.2.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmfsPkt;
+
+impl AllocationStrategy for MmfsPkt {
+    fn allocate(&self, demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
+        mmfs_pkt(demands, capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "mmfs_pkt"
+    }
+}
+
+impl AllocationStrategy for Box<dyn AllocationStrategy> {
+    fn allocate(&self, demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
+        self.as_ref().allocate(demands, capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+}
 
 /// A query's resource demand for the next batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -324,5 +401,31 @@ mod tests {
         assert!(mmfs_cpu(&[], 100.0).is_empty());
         assert!(mmfs_pkt(&[], 100.0).is_empty());
         assert!(eq_srates(&[], 100.0).is_empty());
+    }
+
+    #[test]
+    fn trait_objects_match_the_free_functions() {
+        let demands = vec![
+            QueryDemand::new(1000.0, 0.1),
+            QueryDemand::new(500.0, 0.2),
+            QueryDemand::new(2000.0, 0.05),
+        ];
+        let capacity = 1200.0;
+        type FreeFn = fn(&[QueryDemand], f64) -> Vec<Allocation>;
+        let pairs: [(Box<dyn AllocationStrategy>, FreeFn); 3] = [
+            (Box::new(EqualRates), eq_srates),
+            (Box::new(MmfsCpu), mmfs_cpu),
+            (Box::new(MmfsPkt), mmfs_pkt),
+        ];
+        for (strategy, free_fn) in pairs {
+            assert_eq!(strategy.allocate(&demands, capacity), free_fn(&demands, capacity));
+        }
+    }
+
+    #[test]
+    fn strategy_names_match_the_report_names() {
+        assert_eq!(EqualRates.name(), "eq_srates");
+        assert_eq!(MmfsCpu.name(), "mmfs_cpu");
+        assert_eq!(MmfsPkt.name(), "mmfs_pkt");
     }
 }

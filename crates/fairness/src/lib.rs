@@ -16,8 +16,17 @@
 //! the allocation game its unique Nash equilibrium at demand `C/|Q|`
 //! (Section 5.3), modelled in the [`game`] module.
 
+//!
+//! All three schemes are also available behind the object-safe
+//! [`AllocationStrategy`] trait ([`EqualRates`], [`MmfsCpu`], [`MmfsPkt`]),
+//! so the control plane can swap allocators at runtime and users can plug in
+//! their own.
+
 pub mod allocation;
 pub mod game;
 
-pub use allocation::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
+pub use allocation::{
+    eq_srates, mmfs_cpu, mmfs_pkt, Allocation, AllocationStrategy, EqualRates, MmfsCpu, MmfsPkt,
+    QueryDemand,
+};
 pub use game::{AllocationGame, FairnessMode};

@@ -24,13 +24,33 @@
 use crate::config::{EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
 use crate::error::NetshedError;
 use crate::monitor::Monitor;
+use crate::policy::ControlPolicy;
+use netshed_predict::PredictorFactory;
 use netshed_queries::QuerySpec;
 
 /// Builds a validated [`Monitor`].
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct MonitorBuilder {
     config: MonitorConfig,
     specs: Vec<QuerySpec>,
+    /// Custom control policy overriding the configured strategy, if any.
+    policy: Option<Box<dyn ControlPolicy>>,
+    /// Custom predictor factory overriding the configured kind, if any.
+    predictor_factory: Option<Box<dyn PredictorFactory>>,
+}
+
+impl std::fmt::Debug for MonitorBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorBuilder")
+            .field("config", &self.config)
+            .field("specs", &self.specs)
+            .field("policy", &self.policy.as_ref().map(|policy| policy.name()))
+            .field(
+                "predictor_factory",
+                &self.predictor_factory.as_ref().map(|factory| factory.name()),
+            )
+            .finish()
+    }
 }
 
 impl MonitorBuilder {
@@ -41,7 +61,7 @@ impl MonitorBuilder {
 
     /// Starts from an existing configuration.
     pub fn from_config(config: MonitorConfig) -> Self {
-        Self { config, specs: Vec::new() }
+        Self { config, ..Self::default() }
     }
 
     /// Sets the processing capacity in cycles per time bin.
@@ -62,15 +82,40 @@ impl MonitorBuilder {
         self
     }
 
-    /// Sets the load shedding strategy.
+    /// Sets the load shedding strategy — the validated constructor for the
+    /// built-in control policies. Cleared by a later
+    /// [`with_policy`](Self::with_policy) call.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.config.strategy = strategy;
+        self.policy = None;
         self
     }
 
-    /// Sets the predictor driving the predictive strategy.
+    /// Installs a custom [`ControlPolicy`], overriding the configured
+    /// [`Strategy`]. This is the open end of the control plane: anything
+    /// implementing the trait — the extra built-ins
+    /// ([`OraclePolicy`](crate::policy::OraclePolicy),
+    /// [`HysteresisReactivePolicy`](crate::policy::HysteresisReactivePolicy))
+    /// or a user-defined policy — plugs in here.
+    pub fn with_policy(mut self, policy: impl ControlPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Sets the predictor driving the predictive strategy — the validated
+    /// constructor for the built-in predictors. Cleared by a later
+    /// [`with_predictor`](Self::with_predictor) call.
     pub fn predictor(mut self, predictor: PredictorKind) -> Self {
         self.config.predictor = predictor;
+        self.predictor_factory = None;
+        self
+    }
+
+    /// Installs a custom [`PredictorFactory`], overriding the configured
+    /// [`PredictorKind`]. Any `Fn() -> Box<dyn Predictor>` closure qualifies;
+    /// one fresh predictor is built per registered query.
+    pub fn with_predictor(mut self, factory: impl PredictorFactory + 'static) -> Self {
+        self.predictor_factory = Some(Box::new(factory));
         self
     }
 
@@ -141,10 +186,18 @@ impl MonitorBuilder {
     }
 
     /// Validates the configuration and the queued query specs, then builds
-    /// the monitor with every query registered.
+    /// the monitor with every query registered. Custom policy / predictor
+    /// overrides are installed before registration so oracle-style policies
+    /// get their shadow executions from the first query on.
     pub fn build(self) -> Result<Monitor, NetshedError> {
         self.config.validate()?;
         let mut monitor = Monitor::new(self.config);
+        if let Some(factory) = self.predictor_factory {
+            monitor.set_predictor_factory(factory);
+        }
+        if let Some(policy) = self.policy {
+            monitor.set_policy(policy);
+        }
         for spec in &self.specs {
             monitor.register(spec)?;
         }
@@ -207,6 +260,31 @@ mod tests {
         assert!(MonitorBuilder::new().noise(-0.1, 0.0, 0).build().is_err());
         assert!(MonitorBuilder::new().noise(0.0, 1.5, 0).build().is_err());
         assert!(MonitorBuilder::new().time_bin_us(0).build().is_err());
+    }
+
+    #[test]
+    fn custom_policy_and_predictor_override_the_enums() {
+        use crate::policy::HysteresisReactivePolicy;
+        use netshed_fairness::MmfsPkt;
+        use netshed_predict::{EwmaPredictor, Predictor};
+
+        let monitor = Monitor::builder()
+            .capacity(1e9)
+            .strategy(Strategy::Predictive(AllocationPolicy::EqualRates))
+            .with_policy(HysteresisReactivePolicy::new(MmfsPkt))
+            .with_predictor(|| Box::new(EwmaPredictor::new(0.5)) as Box<dyn Predictor>)
+            .query(QuerySpec::new(QueryKind::Counter))
+            .build()
+            .expect("valid configuration");
+        assert_eq!(monitor.policy_name(), "reactive_hysteresis_mmfs_pkt");
+
+        // A later `strategy()` call clears a pending custom policy.
+        let monitor = Monitor::builder()
+            .with_policy(HysteresisReactivePolicy::new(MmfsPkt))
+            .strategy(Strategy::NoShedding)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(monitor.policy_name(), "no_lshed");
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! Monitor configuration: capacity, strategy, prediction and enforcement.
+//!
+//! The [`Strategy`] and [`PredictorKind`] enums are the *validated
+//! constructors* for the built-in control-plane components: each variant
+//! names exactly one [`ControlPolicy`](crate::policy::ControlPolicy) /
+//! [`PredictorFactory`](netshed_predict::PredictorFactory) configuration the
+//! paper evaluates. Components outside the enums plug in through
+//! [`MonitorBuilder::with_policy`](crate::MonitorBuilder::with_policy) and
+//! [`MonitorBuilder::with_predictor`](crate::MonitorBuilder::with_predictor).
 
 use crate::error::NetshedError;
-use netshed_predict::MlrConfig;
+use crate::policy::{ControlPolicy, NoSheddingPolicy, PredictivePolicy, ReactivePolicy};
+use netshed_fairness::{AllocationStrategy, EqualRates, MmfsCpu, MmfsPkt};
+use netshed_predict::{
+    EwmaPredictor, MlrConfig, MlrPredictor, Predictor, PredictorFactory, SlrPredictor,
+};
 
 /// How sampling rates are assigned to queries when load must be shed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +25,22 @@ pub enum AllocationPolicy {
     MmfsCpu,
     /// Max-min fair share in terms of packet access (Section 5.2.2).
     MmfsPkt,
+}
+
+impl AllocationPolicy {
+    /// Short name used in reports and composed strategy names.
+    pub fn name(&self) -> &'static str {
+        self.allocator().name()
+    }
+
+    /// The built-in [`AllocationStrategy`] this variant constructs.
+    pub fn allocator(&self) -> Box<dyn AllocationStrategy> {
+        match self {
+            AllocationPolicy::EqualRates => Box::new(EqualRates),
+            AllocationPolicy::MmfsCpu => Box::new(MmfsCpu),
+            AllocationPolicy::MmfsPkt => Box::new(MmfsPkt),
+        }
+    }
 }
 
 /// The load shedding strategy of the monitoring system.
@@ -29,16 +57,20 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    /// Short name used in reports and experiment output.
-    pub fn name(&self) -> &'static str {
+    /// Short name used in reports and experiment output, composed from the
+    /// strategy family and the allocation policy it carries.
+    pub fn name(&self) -> String {
+        self.control_policy().name()
+    }
+
+    /// The built-in [`ControlPolicy`] this variant constructs — the single
+    /// source of truth for what each enum value means. The enum path and the
+    /// trait path are bit-identical because they are the same code.
+    pub fn control_policy(&self) -> Box<dyn ControlPolicy> {
         match self {
-            Strategy::NoShedding => "no_lshed",
-            Strategy::Reactive(AllocationPolicy::EqualRates) => "reactive",
-            Strategy::Reactive(AllocationPolicy::MmfsCpu) => "reactive_mmfs_cpu",
-            Strategy::Reactive(AllocationPolicy::MmfsPkt) => "reactive_mmfs_pkt",
-            Strategy::Predictive(AllocationPolicy::EqualRates) => "eq_srates",
-            Strategy::Predictive(AllocationPolicy::MmfsCpu) => "mmfs_cpu",
-            Strategy::Predictive(AllocationPolicy::MmfsPkt) => "mmfs_pkt",
+            Strategy::NoShedding => Box::new(NoSheddingPolicy),
+            Strategy::Reactive(policy) => Box::new(ReactivePolicy::new(policy.allocator())),
+            Strategy::Predictive(policy) => Box::new(PredictivePolicy::new(policy.allocator())),
         }
     }
 
@@ -60,6 +92,25 @@ pub enum PredictorKind {
     Slr,
     /// Exponentially weighted moving average of past cycles.
     Ewma,
+}
+
+impl PredictorKind {
+    /// The built-in [`PredictorFactory`] this variant constructs. `mlr` is
+    /// captured for the [`PredictorKind::MlrFcbf`] configuration and ignored
+    /// by the baselines.
+    pub fn factory(self, mlr: MlrConfig) -> Box<dyn PredictorFactory> {
+        match self {
+            PredictorKind::MlrFcbf => {
+                Box::new(move || Box::new(MlrPredictor::new(mlr)) as Box<dyn Predictor>)
+            }
+            PredictorKind::Slr => {
+                Box::new(|| Box::new(SlrPredictor::on_packets()) as Box<dyn Predictor>)
+            }
+            PredictorKind::Ewma => {
+                Box::new(|| Box::new(EwmaPredictor::default()) as Box<dyn Predictor>)
+            }
+        }
+    }
 }
 
 /// Policing of custom-load-shedding queries (Section 6.1.1).
@@ -270,6 +321,23 @@ mod tests {
         assert_eq!(Strategy::NoShedding.name(), "no_lshed");
         assert_eq!(Strategy::Predictive(AllocationPolicy::MmfsPkt).name(), "mmfs_pkt");
         assert_eq!(Strategy::Reactive(AllocationPolicy::EqualRates).name(), "reactive");
+    }
+
+    #[test]
+    fn all_seven_composed_names_match_the_historical_strings() {
+        let expected = [
+            (Strategy::NoShedding, "no_lshed"),
+            (Strategy::Reactive(AllocationPolicy::EqualRates), "reactive"),
+            (Strategy::Reactive(AllocationPolicy::MmfsCpu), "reactive_mmfs_cpu"),
+            (Strategy::Reactive(AllocationPolicy::MmfsPkt), "reactive_mmfs_pkt"),
+            (Strategy::Predictive(AllocationPolicy::EqualRates), "eq_srates"),
+            (Strategy::Predictive(AllocationPolicy::MmfsCpu), "mmfs_cpu"),
+            (Strategy::Predictive(AllocationPolicy::MmfsPkt), "mmfs_pkt"),
+        ];
+        for (strategy, name) in expected {
+            assert_eq!(strategy.name(), name);
+            assert_eq!(strategy.control_policy().name(), name);
+        }
     }
 
     #[test]

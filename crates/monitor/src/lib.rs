@@ -28,16 +28,29 @@
 //! [`ReferenceRunner`] runs the same queries without any resource limit to
 //! provide the ground truth against which accuracy is measured.
 //!
-//! Strategies (Chapters 4–6 of the paper):
+//! The control plane is open: a [`ControlPolicy`] decides every bin's
+//! per-query sampling rates from a [`ControlContext`] (predictions, demands,
+//! available cycles, EWMA error, previous-bin feedback) and returns an
+//! introspectable [`ControlDecision`] that flows into each [`BinRecord`] and
+//! the [`RunObserver::on_decision`] hook. The [`Strategy`] enum remains the
+//! validated constructor for the built-ins (Chapters 4–6 of the paper):
 //!
 //! * [`Strategy::NoShedding`] — the original CoMo behaviour: drop packets at
 //!   the capture buffer when overloaded.
 //! * [`Strategy::Reactive`] — adjust the sampling rate from the previous
-//!   batch's measured cycles (SEDA-style).
+//!   batch's measured cycles (Eq. 4.1), resolving minimum-rate conflicts
+//!   through its allocation policy.
 //! * [`Strategy::Predictive`] — the paper's scheme (Algorithm 1): MLR+FCBF
 //!   prediction, buffer discovery, EWMA error correction, and one of the
 //!   allocation policies of Chapter 5 ([`AllocationPolicy::EqualRates`],
 //!   [`AllocationPolicy::MmfsCpu`], [`AllocationPolicy::MmfsPkt`]).
+//!
+//! Beyond the enum, [`policy::OraclePolicy`] allocates from the bin's actual
+//! measured cycles (the upper bound on every predictor),
+//! [`policy::HysteresisReactivePolicy`] sheds immediately but recovers
+//! slowly, and user-defined policies plug in through
+//! [`MonitorBuilder::with_policy`]. Predictors follow the same registration
+//! pattern through [`MonitorBuilder::with_predictor`].
 
 pub mod builder;
 pub mod capture;
@@ -45,6 +58,7 @@ pub mod config;
 pub mod error;
 pub mod monitor;
 pub mod observer;
+pub mod policy;
 pub mod reference;
 pub mod report;
 pub mod shedder;
@@ -55,6 +69,10 @@ pub use config::{AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKi
 pub use error::NetshedError;
 pub use monitor::{Monitor, QueryId};
 pub use observer::{AccuracyTracker, NullObserver, RecordSink, RunObserver};
+pub use policy::{
+    ControlContext, ControlDecision, ControlPolicy, DecisionReason, HysteresisReactivePolicy,
+    NoSheddingPolicy, OraclePolicy, PredictivePolicy, ReactivePolicy,
+};
 pub use reference::ReferenceRunner;
 pub use report::{BinRecord, QueryBinRecord, RunSummary};
 pub use shedder::{flow_sample, packet_sample};

@@ -4,14 +4,15 @@
 
 use crate::builder::MonitorBuilder;
 use crate::capture::CaptureBuffer;
-use crate::config::{AllocationPolicy, MonitorConfig, PredictorKind, Strategy};
+use crate::config::MonitorConfig;
 use crate::error::NetshedError;
 use crate::observer::RunObserver;
+use crate::policy::{ControlContext, ControlPolicy};
 use crate::report::{BinRecord, QueryBinRecord, RunSummary};
 use crate::shedder::{flow_sample, packet_sample};
-use netshed_fairness::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
+use netshed_fairness::QueryDemand;
 use netshed_features::{ExtractorConfig, FeatureExtractor, FeatureVector};
-use netshed_predict::{EwmaPredictor, MlrPredictor, Predictor, SlrPredictor};
+use netshed_predict::{Predictor, PredictorFactory};
 use netshed_queries::{
     build_query_from_spec, CycleMeter, MeasurementNoise, Query, QueryOutput, QuerySpec,
     SheddingMethod,
@@ -64,16 +65,6 @@ impl std::fmt::Display for QueryId {
     }
 }
 
-/// Clamp rule of the pre-0.2 API: non-finite rates fall back to "no
-/// constraint", finite ones are clamped into `[0, 1]`.
-fn legacy_clamp_rate(rate: f64) -> f64 {
-    if rate.is_finite() {
-        rate.clamp(0.0, 1.0)
-    } else {
-        0.0
-    }
-}
-
 /// One query registered in the monitor, together with its prediction state.
 struct RegisteredQuery {
     id: QueryId,
@@ -82,6 +73,14 @@ struct RegisteredQuery {
     predictor: Box<dyn Predictor>,
     shedding: SheddingMethod,
     min_rate: f64,
+    /// The spec this instance was built from, when registered through
+    /// [`Monitor::register`]; lets the monitor build a shadow twin for
+    /// policies that need the true full-batch cycles.
+    spec: Option<QuerySpec>,
+    /// Shadow twin fed the full (unsampled) stream to measure the bin's
+    /// actual cycles for oracle-style policies. Its work is not charged
+    /// against the capacity.
+    shadow: Option<Box<dyn Query>>,
     /// Extractor used to recompute features over this query's sampled stream
     /// (needed to keep the MLR history consistent, Section 4.3).
     sampled_extractor: FeatureExtractor,
@@ -97,6 +96,12 @@ struct RegisteredQuery {
 /// The load-shedding monitoring system.
 pub struct Monitor {
     config: MonitorConfig,
+    /// The control-plane policy deciding per-bin sampling rates. Defaults to
+    /// the built-in the configured [`Strategy`](crate::Strategy) names.
+    policy: Box<dyn ControlPolicy>,
+    /// Builds one predictor per registered query. Defaults to the built-in
+    /// the configured [`PredictorKind`](crate::PredictorKind) names.
+    predictor_factory: Box<dyn PredictorFactory>,
     extractor: FeatureExtractor,
     queries: Vec<RegisteredQuery>,
     buffer: CaptureBuffer,
@@ -121,7 +126,7 @@ pub struct Monitor {
 impl std::fmt::Debug for Monitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Monitor")
-            .field("strategy", &self.config.strategy.name())
+            .field("policy", &self.policy.name())
             .field("capacity_cycles_per_bin", &self.config.capacity_cycles_per_bin)
             .field("queries", &self.query_names())
             .field("error_ewma", &self.error_ewma)
@@ -130,7 +135,9 @@ impl std::fmt::Debug for Monitor {
 }
 
 impl Monitor {
-    /// Creates a monitor with no queries registered.
+    /// Creates a monitor with no queries registered, running the built-in
+    /// policy and predictor the configuration's [`Strategy`](crate::Strategy)
+    /// and [`PredictorKind`](crate::PredictorKind) name.
     pub fn new(config: MonitorConfig) -> Self {
         let buffer =
             CaptureBuffer::new(config.capacity_cycles_per_bin, config.buffer_capacity_bins);
@@ -146,6 +153,8 @@ impl Monitor {
         });
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
+            policy: config.strategy.control_policy(),
+            predictor_factory: config.predictor.factory(config.mlr),
             extractor,
             queries: Vec::new(),
             buffer,
@@ -176,6 +185,38 @@ impl Monitor {
         &self.config
     }
 
+    /// Name of the control-plane policy currently installed (the configured
+    /// strategy's name unless a custom policy was plugged in).
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Installs a control-plane policy, replacing the current one.
+    ///
+    /// Intended for construction time (the builder's
+    /// [`with_policy`](crate::MonitorBuilder::with_policy) calls this);
+    /// swapping mid-run is allowed but any shadow executions the new policy
+    /// needs start from empty state, so their first measurement interval
+    /// under-reports stateful queries.
+    pub fn set_policy(&mut self, policy: Box<dyn ControlPolicy>) {
+        self.policy = policy;
+        let needs_shadow = self.policy.needs_measured_cycles();
+        for registered in &mut self.queries {
+            registered.shadow = if needs_shadow {
+                registered.spec.as_ref().map(|spec| build_query_from_spec(spec))
+            } else {
+                None
+            };
+        }
+    }
+
+    /// Installs a predictor factory, replacing the current one. Only queries
+    /// registered *after* the call use the new factory; existing predictors
+    /// keep their history.
+    pub fn set_predictor_factory(&mut self, factory: Box<dyn PredictorFactory>) {
+        self.predictor_factory = factory;
+    }
+
     /// Registers a query described by a [`QuerySpec`] and returns its stable
     /// handle. Queries may be added at any point during a run (Figure 6.9
     /// studies query arrivals): the new instance takes part in prediction and
@@ -190,15 +231,34 @@ impl Monitor {
             }
         }
         let query = build_query_from_spec(spec);
-        self.register_instance(query, Some(spec.resolved_label()), spec.min_sampling_rate)
+        self.register_inner(
+            query,
+            Some(spec.clone()),
+            Some(spec.resolved_label()),
+            spec.min_sampling_rate,
+        )
     }
 
     /// Registers an already constructed query instance under an optional
     /// label (defaults to the query's own name), optionally overriding its
     /// minimum sampling rate constraint.
+    ///
+    /// Instances registered this way carry no [`QuerySpec`], so oracle-style
+    /// policies cannot build a shadow twin for them and fall back to the
+    /// predicted cycles.
     pub fn register_instance(
         &mut self,
         query: Box<dyn Query>,
+        label: Option<String>,
+        min_rate: Option<f64>,
+    ) -> Result<QueryId, NetshedError> {
+        self.register_inner(query, None, label, min_rate)
+    }
+
+    fn register_inner(
+        &mut self,
+        query: Box<dyn Query>,
+        spec: Option<QuerySpec>,
         label: Option<String>,
         min_rate: Option<f64>,
     ) -> Result<QueryId, NetshedError> {
@@ -210,10 +270,11 @@ impl Monitor {
                 )));
             }
         }
-        let predictor: Box<dyn Predictor> = match self.config.predictor {
-            PredictorKind::MlrFcbf => Box::new(MlrPredictor::new(self.config.mlr)),
-            PredictorKind::Slr => Box::new(SlrPredictor::on_packets()),
-            PredictorKind::Ewma => Box::new(EwmaPredictor::default()),
+        let predictor = self.predictor_factory.make();
+        let shadow = if self.policy.needs_measured_cycles() {
+            spec.as_ref().map(|spec| build_query_from_spec(spec))
+        } else {
+            None
         };
         let id = QueryId(self.next_query_id);
         self.next_query_id += 1;
@@ -222,6 +283,8 @@ impl Monitor {
             label: label.unwrap_or_else(|| query.name().to_string()),
             shedding: query.preferred_shedding(),
             min_rate: min_rate.unwrap_or(query.min_sampling_rate()).clamp(0.0, 1.0),
+            spec,
+            shadow,
             sampled_extractor: FeatureExtractor::new(ExtractorConfig {
                 measurement_interval_us: self.config.measurement_interval_us,
                 ..ExtractorConfig::default()
@@ -250,33 +313,6 @@ impl Monitor {
         }
     }
 
-    /// Registers a query described by a [`QuerySpec`]. Out-of-range minimum
-    /// sampling rates are clamped to `[0, 1]`, exactly as the old API did —
-    /// migrate to [`Monitor::register`] for validation instead.
-    #[deprecated(since = "0.2.0", note = "use `register`, which returns a QueryId handle")]
-    pub fn add_query(&mut self, spec: &QuerySpec) {
-        let mut spec = spec.clone();
-        spec.min_sampling_rate = spec.min_sampling_rate.map(legacy_clamp_rate);
-        self.register(&spec).expect("clamped spec is always valid");
-    }
-
-    /// Registers an already constructed query instance. Out-of-range minimum
-    /// sampling rates are clamped to `[0, 1]`, exactly as the old API did.
-    #[deprecated(since = "0.2.0", note = "use `register_instance`")]
-    pub fn add_query_instance(&mut self, query: Box<dyn Query>, min_rate: Option<f64>) {
-        self.register_instance(query, None, min_rate.map(legacy_clamp_rate))
-            .expect("clamped rate is always valid");
-    }
-
-    /// Removes every query with the given label. Returns `true` if at least
-    /// one instance was removed.
-    #[deprecated(since = "0.2.0", note = "use `deregister` with the QueryId handle")]
-    pub fn remove_query(&mut self, name: &str) -> bool {
-        let before = self.queries.len();
-        self.queries.retain(|q| q.label != name);
-        self.queries.len() != before
-    }
-
     /// Labels of the registered queries, in registration order.
     pub fn query_names(&self) -> Vec<String> {
         self.queries.iter().map(|q| q.label.clone()).collect()
@@ -297,6 +333,11 @@ impl Monitor {
         self.error_ewma
     }
 
+    /// Current buffer-discovery threshold (`rtthresh` of Section 4.1).
+    pub fn rtthresh(&self) -> f64 {
+        self.rtthresh
+    }
+
     /// Flushes the current measurement interval, returning the per-query
     /// outputs. Call once after the last batch of a run (or let
     /// [`Monitor::run`] do it).
@@ -310,12 +351,12 @@ impl Monitor {
     /// the aggregated [`RunSummary`].
     ///
     /// Per batch, the observer sees `on_batch` (before processing),
-    /// `on_interval` (when the batch closed a measurement interval) and
-    /// `on_bin`; after the last batch the final interval is flushed to
-    /// `on_interval` and `on_end` receives the summary. Empty time bins are
-    /// counted and skipped — a quiet bin mid-stream carries no work and is
-    /// not an error, unlike an empty batch handed directly to
-    /// [`Monitor::process_batch`].
+    /// `on_interval` (when the batch closed a measurement interval),
+    /// `on_decision` (the control-plane decision for the bin) and `on_bin`;
+    /// after the last batch the final interval is flushed to `on_interval`
+    /// and `on_end` receives the summary. Empty time bins are counted and
+    /// skipped — a quiet bin mid-stream carries no work and is not an error,
+    /// unlike an empty batch handed directly to [`Monitor::process_batch`].
     ///
     /// Infinite sources (like a bare
     /// [`TraceGenerator`](netshed_trace::TraceGenerator)) must be bounded
@@ -341,6 +382,7 @@ impl Monitor {
             if let Some(outputs) = &record.interval_outputs {
                 observer.on_interval(outputs);
             }
+            observer.on_decision(record.bin_index, &record.decision);
             summary.absorb(&record);
             observer.on_bin(&record);
         }
@@ -421,14 +463,64 @@ impl Monitor {
         }
         let predicted_total: f64 = predictions.iter().sum();
 
-        // Decide the per-query sampling rates.
+        // For oracle-style policies: measure each query's true full-batch
+        // cycles on a shadow twin fed the unsampled stream. The shadow work
+        // models an idealised upper bound and is not charged to the bin.
+        let measured_full: Option<Vec<f64>> = if self.policy.needs_measured_cycles() {
+            Some(
+                self.queries
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(index, registered)| match registered.shadow.as_mut() {
+                        Some(shadow) => {
+                            let mut meter = CycleMeter::new();
+                            shadow.process_batch(&post_drop, 1.0, &mut meter);
+                            meter.cycles() as f64
+                        }
+                        None => predictions[index],
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        // Decide the per-query sampling rates: hand the control policy
+        // everything the monitor knows about the bin.
         let platform_cycles = self.config.platform_overhead_cycles;
         let delay = self.buffer.delay_cycles();
         let rtthresh = if self.config.buffer_discovery { self.rtthresh } else { 0.0 };
         let available_cycles = self.config.capacity_cycles_per_bin
             - (platform_cycles + prediction_cycles as f64)
             + (rtthresh - delay);
-        let rates = self.assign_rates(&predictions, available_cycles);
+        let demands: Vec<QueryDemand> = predictions
+            .iter()
+            .zip(&self.queries)
+            .map(|(&prediction, registered)| {
+                // Chapter 6 correction: custom queries that habitually
+                // overuse their allocation are charged for it.
+                let corrected = if registered.shedding == SheddingMethod::Custom {
+                    prediction * registered.overuse_ratio.max(1.0)
+                } else {
+                    prediction
+                };
+                QueryDemand::new(corrected, registered.min_rate)
+            })
+            .collect();
+        let context = ControlContext {
+            bin_index: batch.bin_index,
+            predictions: &predictions,
+            demands: &demands,
+            available_cycles,
+            error_ewma: self.error_ewma,
+            shed_cycles_ewma: self.shed_cycles_ewma,
+            prev_mean_rate: self.reactive_rate,
+            prev_total_cycles: self.reactive_consumed,
+            rate_floor: self.config.reactive_min_rate,
+            measured_cycles: measured_full.as_deref(),
+        };
+        let decision = self.policy.decide(&context).sanitized(&demands);
+        let rates = &decision.rates;
 
         // Run every query on its (possibly sampled) share of the batch.
         let mut query_cycles_total = 0.0;
@@ -560,7 +652,7 @@ impl Monitor {
         let alpha = self.config.ewma_alpha;
         self.shed_cycles_ewma = alpha * shedding_cycles_f + (1.0 - alpha) * self.shed_cycles_ewma;
         let expected_total: f64 =
-            predictions.iter().zip(&rates).map(|(prediction, rate)| prediction * rate).sum();
+            predictions.iter().zip(rates.iter()).map(|(prediction, rate)| prediction * rate).sum();
         if query_cycles_total > 0.0 && expected_total > 0.0 {
             let observed_error = (1.0 - expected_total / query_cycles_total).max(0.0);
             self.error_ewma = alpha * observed_error + (1.0 - alpha) * self.error_ewma;
@@ -597,56 +689,8 @@ impl Monitor {
             buffer_occupation: self.buffer.occupation(),
             queries: query_records,
             interval_outputs,
+            decision,
         })
-    }
-
-    /// Computes the per-query sampling rates for this bin.
-    fn assign_rates(&mut self, predictions: &[f64], available_cycles: f64) -> Vec<f64> {
-        match self.config.strategy {
-            Strategy::NoShedding => vec![1.0; predictions.len()],
-            Strategy::Reactive(_) => {
-                // Equation 4.1: scale the previous rate by how far the
-                // previous bin's consumption was from the budget.
-                let rate = if self.reactive_consumed > 0.0 {
-                    (self.reactive_rate * available_cycles.max(0.0) / self.reactive_consumed)
-                        .clamp(self.config.reactive_min_rate, 1.0)
-                } else {
-                    1.0
-                };
-                vec![rate; predictions.len()]
-            }
-            Strategy::Predictive(policy) => {
-                let predicted_total: f64 = predictions.iter().sum();
-                let inflated = predicted_total * (1.0 + self.error_ewma);
-                if inflated <= available_cycles || predicted_total <= 0.0 {
-                    return vec![1.0; predictions.len()];
-                }
-                // Budget for query processing after discounting the cycles the
-                // shedding itself will need, corrected by the prediction error.
-                let budget =
-                    ((available_cycles - self.shed_cycles_ewma).max(0.0)) / (1.0 + self.error_ewma);
-                let demands: Vec<QueryDemand> = predictions
-                    .iter()
-                    .zip(&self.queries)
-                    .map(|(&prediction, registered)| {
-                        // Chapter 6 correction: custom queries that habitually
-                        // overuse their allocation are charged for it.
-                        let corrected = if registered.shedding == SheddingMethod::Custom {
-                            prediction * registered.overuse_ratio.max(1.0)
-                        } else {
-                            prediction
-                        };
-                        QueryDemand::new(corrected, registered.min_rate)
-                    })
-                    .collect();
-                let allocations: Vec<Allocation> = match policy {
-                    AllocationPolicy::EqualRates => eq_srates(&demands, budget),
-                    AllocationPolicy::MmfsCpu => mmfs_cpu(&demands, budget),
-                    AllocationPolicy::MmfsPkt => mmfs_pkt(&demands, budget),
-                };
-                allocations.iter().map(Allocation::rate).collect()
-            }
-        }
     }
 
     /// Slow-start-like buffer discovery (Section 4.1).
@@ -677,7 +721,15 @@ impl Monitor {
     fn close_interval(&mut self) -> Vec<(String, QueryOutput)> {
         self.queries
             .iter_mut()
-            .map(|registered| (registered.label.clone(), registered.query.end_interval()))
+            .map(|registered| {
+                // Shadow twins close intervals on the same boundaries so
+                // their per-interval state cannot grow without bound; their
+                // outputs are discarded (only their cycles matter).
+                if let Some(shadow) = registered.shadow.as_mut() {
+                    let _ = shadow.end_interval();
+                }
+                (registered.label.clone(), registered.query.end_interval())
+            })
             .collect()
     }
 }
@@ -685,6 +737,7 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{AllocationPolicy, Strategy};
     use netshed_queries::QueryKind;
     use netshed_trace::{TraceConfig, TraceGenerator};
 
@@ -862,30 +915,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let config = MonitorConfig::default().with_capacity(1e12).without_noise();
-        let mut monitor = Monitor::new(config);
-        monitor.add_query(&QuerySpec::new(QueryKind::Counter));
-        monitor.add_query_instance(netshed_queries::build_query(QueryKind::Flows), None);
-        assert_eq!(monitor.query_names(), vec!["counter", "flows"]);
-        assert!(monitor.remove_query("flows"));
-        assert!(!monitor.remove_query("flows"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_clamp_out_of_range_rates_like_the_old_api() {
-        let config = MonitorConfig::default().with_capacity(1e12).without_noise();
-        let mut monitor = Monitor::new(config);
-        // The pre-0.2 API silently clamped these; the shims must not panic.
-        monitor.add_query(&QuerySpec::new(QueryKind::Counter).with_min_rate(1.5));
-        monitor.add_query(&QuerySpec::new(QueryKind::Flows).with_min_rate(-2.0));
-        monitor.add_query_instance(netshed_queries::build_query(QueryKind::TopK), Some(f64::NAN));
-        assert_eq!(monitor.query_names().len(), 3);
-    }
-
-    #[test]
     fn empty_batches_and_zero_capacity_are_typed_errors() {
         let config = MonitorConfig::default().with_capacity(1e12).without_noise();
         let mut monitor = monitor_with_queries(config, &[QueryKind::Counter]);
@@ -921,5 +950,244 @@ mod tests {
             }
         }
         assert!(sampled_bins > 20, "reactive shedding should sample most bins: {sampled_bins}");
+    }
+
+    /// Pins the reactive/allocator decision (see DESIGN.md, "Control plane"):
+    /// the reactive family honours per-query minimum sampling rates by
+    /// routing the Eq. 4.1 global rate through its allocation policy, so the
+    /// three `reactive*` variants genuinely differ once a minimum binds —
+    /// `eq_srates` disables the violator, the max-min schemes pin it at its
+    /// minimum — and stay identical to the historical behaviour otherwise.
+    #[test]
+    fn reactive_allocation_policy_resolves_binding_minimums() {
+        let batches = small_trace(60, 400.0);
+        // top-k demands at least 57% sampling; under mild overload the
+        // reactive global rate settles below that, so its minimum binds.
+        let kinds = [QueryKind::TopK, QueryKind::Counter, QueryKind::PatternSearch];
+        let demand = measure_demand(&kinds, &batches[..20]);
+
+        let run = |strategy: Strategy| -> Vec<BinRecord> {
+            let config = MonitorConfig::default()
+                .with_capacity(demand * 0.8)
+                .with_strategy(strategy)
+                .without_noise();
+            let mut monitor = monitor_with_queries(config, &kinds);
+            batches.iter().map(|batch| monitor.process_batch(batch).expect("batch")).collect()
+        };
+
+        let eq = run(Strategy::Reactive(AllocationPolicy::EqualRates));
+        let pkt = run(Strategy::Reactive(AllocationPolicy::MmfsPkt));
+
+        // eq_srates disables top-k in the bins where its minimum binds ...
+        let eq_disabled = eq.iter().filter(|record| record.queries[0].disabled).count();
+        assert!(eq_disabled > 5, "eq_srates should disable top-k often ({eq_disabled} bins)");
+        // ... while mmfs_pkt pins it at its 0.57 minimum instead.
+        let pkt_pinned = pkt
+            .iter()
+            .filter(|record| {
+                !record.queries[0].disabled && (record.queries[0].sampling_rate - 0.57).abs() < 1e-9
+            })
+            .count();
+        assert!(pkt_pinned > 5, "mmfs_pkt should pin top-k at its minimum ({pkt_pinned} bins)");
+
+        // With no binding minimums all reactive variants are bit-identical.
+        let free_specs: Vec<QuerySpec> =
+            kinds.iter().map(|kind| QuerySpec::new(*kind).with_min_rate(0.0)).collect();
+        let run_free = |strategy: Strategy| -> Vec<f64> {
+            let config = MonitorConfig::default()
+                .with_capacity(demand * 0.8)
+                .with_strategy(strategy)
+                .without_noise();
+            let mut monitor = Monitor::new(config);
+            for spec in &free_specs {
+                monitor.register(spec).expect("valid spec");
+            }
+            batches
+                .iter()
+                .map(|batch| monitor.process_batch(batch).expect("batch").mean_sampling_rate())
+                .collect()
+        };
+        assert_eq!(
+            run_free(Strategy::Reactive(AllocationPolicy::EqualRates)),
+            run_free(Strategy::Reactive(AllocationPolicy::MmfsPkt)),
+            "without binding minimums the reactive variants must not diverge"
+        );
+    }
+
+    #[test]
+    fn oracle_policy_controls_load_without_drops() {
+        use crate::policy::OraclePolicy;
+        use netshed_fairness::MmfsPkt;
+
+        let batches = small_trace(120, 400.0);
+        let kinds = QueryKind::CHAPTER4_SET;
+        let demand = measure_demand(&kinds, &batches[..20]);
+        let capacity = demand / 2.0;
+        let config = MonitorConfig::default().with_capacity(capacity).without_noise();
+        let mut monitor = monitor_with_queries(config, &kinds);
+        monitor.set_policy(Box::new(OraclePolicy::new(MmfsPkt)));
+        assert_eq!(monitor.policy_name(), "oracle_mmfs_pkt");
+
+        let mut steady_state_cycles = Vec::new();
+        for (i, batch) in batches.iter().enumerate() {
+            let record = monitor.process_batch(batch).expect("batch");
+            if i > 30 {
+                steady_state_cycles.push(record.total_cycles());
+            }
+        }
+        let mean = steady_state_cycles.iter().sum::<f64>() / steady_state_cycles.len() as f64;
+        assert!(
+            mean <= capacity * 1.25,
+            "oracle shedding must keep usage near capacity (mean {mean:.0}, capacity {capacity:.0})"
+        );
+        assert_eq!(monitor.uncontrolled_drops(), 0, "the oracle must avoid drops");
+    }
+
+    #[test]
+    fn hysteresis_recovers_more_slowly_than_plain_reactive() {
+        use crate::policy::HysteresisReactivePolicy;
+        use netshed_fairness::EqualRates;
+        use netshed_trace::{Anomaly, AnomalyKind};
+
+        // Normal traffic with a flood between bins 20 and 40: both policies
+        // shed hard during the flood; the difference is how fast the rate
+        // springs back once it ends.
+        let mut generator = TraceGenerator::new(
+            TraceConfig::default().with_seed(7).with_mean_packets_per_batch(200.0),
+        );
+        generator.add_anomaly(Anomaly::new(
+            AnomalyKind::DdosFlood { target: 0x0a00_0001 },
+            20,
+            40,
+            2000,
+        ));
+        let batches = generator.batches(80);
+        let spec = QuerySpec::new(QueryKind::Flows).with_min_rate(0.0);
+        let demand = measure_demand(&[QueryKind::Flows], &batches[..15]);
+
+        let recovery = 0.2;
+        let run = |hysteresis: bool| -> Vec<f64> {
+            let config = MonitorConfig::default()
+                .with_capacity(demand * 1.5)
+                .with_strategy(Strategy::Reactive(AllocationPolicy::EqualRates))
+                .without_noise();
+            let mut monitor = Monitor::new(config);
+            monitor.register(&spec).expect("valid spec");
+            if hysteresis {
+                monitor.set_policy(Box::new(
+                    HysteresisReactivePolicy::new(EqualRates).with_recovery(recovery),
+                ));
+            }
+            batches
+                .iter()
+                .map(|batch| monitor.process_batch(batch).expect("batch").mean_sampling_rate())
+                .collect()
+        };
+        let plain = run(false);
+        let damped = run(true);
+        let upswing = |rates: &[f64]| -> f64 {
+            rates.windows(2).map(|w| (w[1] - w[0]).max(0.0)).fold(0.0f64, f64::max)
+        };
+        assert!(
+            plain.iter().any(|rate| *rate < 0.6),
+            "the flood must force plain reactive to shed ({plain:?})"
+        );
+        // With no binding minimums the damped global rate moves up by at most
+        // `recovery × gap ≤ recovery` per bin; plain snaps back in one bin.
+        assert!(
+            upswing(&damped) <= recovery + 1e-9,
+            "hysteresis must cap the per-bin recovery at {recovery} (saw {:.3})",
+            upswing(&damped)
+        );
+        assert!(
+            upswing(&plain) > upswing(&damped),
+            "plain reactive should rebound faster ({:.3} vs {:.3})",
+            upswing(&plain),
+            upswing(&damped)
+        );
+    }
+
+    /// Properties of the slow-start-like buffer discovery (Section 4.1),
+    /// exercised directly against `update_buffer_discovery`.
+    mod buffer_discovery {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn quiet_monitor(capacity: f64) -> Monitor {
+            Monitor::new(MonitorConfig::default().with_capacity(capacity).without_noise())
+        }
+
+        proptest! {
+            /// `rtthresh` never exceeds `capacity × RTTHRESH_MAX_FRACTION`,
+            /// whatever load sequence drives it.
+            #[test]
+            fn rtthresh_never_exceeds_the_capacity_fraction(
+                capacity in 1e6f64..1e10,
+                loads in proptest::collection::vec(0.0f64..2.0, 1..300),
+            ) {
+                let mut monitor = quiet_monitor(capacity);
+                for load_factor in loads {
+                    monitor.buffer.account_bin(capacity * load_factor);
+                    monitor.update_buffer_discovery(capacity * load_factor);
+                    prop_assert!(monitor.rtthresh <= capacity * RTTHRESH_MAX_FRACTION + 1e-9);
+                    prop_assert!(monitor.rtthresh >= 0.0);
+                }
+            }
+
+            /// When the buffer occupation crosses the instability threshold,
+            /// `rtthresh` resets to zero and the slow-start threshold halves.
+            #[test]
+            fn instability_resets_rtthresh_and_halves_ssthresh(
+                capacity in 1e6f64..1e10,
+                underloaded_bins in 1usize..200,
+            ) {
+                let mut monitor = quiet_monitor(capacity);
+                for _ in 0..underloaded_bins {
+                    monitor.update_buffer_discovery(capacity * 0.5);
+                }
+                let grown = monitor.rtthresh;
+                prop_assert!(grown > 0.0);
+
+                // Push the buffer past the instability occupation.
+                let bins = monitor.config.buffer_capacity_bins;
+                monitor.buffer.account_bin(capacity * (1.0 + bins * (BUFFER_UNSTABLE_OCCUPATION + 0.1)));
+                monitor.update_buffer_discovery(capacity * 2.0);
+                prop_assert_eq!(monitor.rtthresh, 0.0);
+                prop_assert!(monitor.rtthresh_ssthresh >= capacity * 0.01 - 1e-9);
+                prop_assert!(monitor.rtthresh_ssthresh <= (grown / 2.0).max(capacity * 0.01) + 1e-9);
+            }
+
+            /// Below the slow-start threshold growth is exponential
+            /// (doubling per underloaded bin); above it, linear.
+            #[test]
+            fn growth_doubles_below_ssthresh_and_is_linear_above(
+                capacity in 1e6f64..1e10,
+            ) {
+                let mut monitor = quiet_monitor(capacity);
+                let increment = capacity * 0.01;
+
+                // Slow-start phase: ssthresh is infinite, growth must double.
+                monitor.update_buffer_discovery(capacity * 0.5);
+                prop_assert!((monitor.rtthresh - increment).abs() < 1e-9);
+                let mut previous = monitor.rtthresh;
+                for _ in 0..3 {
+                    monitor.update_buffer_discovery(capacity * 0.5);
+                    prop_assert!((monitor.rtthresh - 2.0 * previous).abs() < 1e-6 * capacity);
+                    previous = monitor.rtthresh;
+                }
+
+                // Force congestion avoidance: drop ssthresh below rtthresh.
+                monitor.rtthresh_ssthresh = monitor.rtthresh / 2.0;
+                let before = monitor.rtthresh;
+                monitor.update_buffer_discovery(capacity * 0.5);
+                let expected = (before + increment).min(capacity * RTTHRESH_MAX_FRACTION);
+                prop_assert!((monitor.rtthresh - expected).abs() < 1e-9 * capacity.max(1.0));
+
+                // Overloaded bins leave the threshold untouched (no growth).
+                let held = monitor.rtthresh;
+                monitor.update_buffer_discovery(capacity * 1.5);
+                prop_assert_eq!(monitor.rtthresh, held);
+            }
+        }
     }
 }

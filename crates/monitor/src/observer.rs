@@ -21,6 +21,7 @@
 //! assert!(accuracy.mean_accuracy().values().all(|a| *a > 0.99));
 //! ```
 
+use crate::policy::ControlDecision;
 use crate::reference::ReferenceRunner;
 use crate::report::{BinRecord, RunSummary};
 use netshed_queries::{QueryOutput, QuerySpec};
@@ -33,12 +34,19 @@ use std::io::Write;
 /// All methods default to no-ops, so implementations override only the
 /// events they care about. Per processed batch the order is `on_batch` →
 /// `on_interval` (only when that batch closed a measurement interval) →
-/// `on_bin`; after the source is exhausted the final interval flush arrives
-/// via `on_interval` and `on_end` closes the run.
+/// `on_decision` → `on_bin`; after the source is exhausted the final
+/// interval flush arrives via `on_interval` and `on_end` closes the run.
 pub trait RunObserver {
     /// Called with every non-empty batch before the monitor processes it.
     fn on_batch(&mut self, batch: &Batch) {
         let _ = batch;
+    }
+
+    /// Called after each processed bin with the control-plane decision that
+    /// set its sampling rates — why the bin was (or was not) shed. The same
+    /// decision also rides on the subsequent `on_bin` record.
+    fn on_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+        let _ = (bin_index, decision);
     }
 
     /// Called after each processed bin with its full record.
@@ -82,6 +90,11 @@ impl<A: RunObserver, B: RunObserver> RunObserver for (A, B) {
     fn on_batch(&mut self, batch: &Batch) {
         self.0.on_batch(batch);
         self.1.on_batch(batch);
+    }
+
+    fn on_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+        self.0.on_decision(bin_index, decision);
+        self.1.on_decision(bin_index, decision);
     }
 
     fn on_bin(&mut self, record: &BinRecord) {
@@ -396,6 +409,28 @@ mod tests {
         let returned = monitor.run(&mut BatchReplay::new(batches), &mut observed).expect("run");
         assert_eq!(returned.empty_bins, 1);
         assert_eq!(observed, returned, "the observing summary must match the returned one");
+    }
+
+    #[test]
+    fn decisions_are_observed_once_per_bin() {
+        use crate::policy::DecisionReason;
+        struct Decisions {
+            bins: Vec<u64>,
+            all_full: bool,
+        }
+        impl RunObserver for Decisions {
+            fn on_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+                self.bins.push(bin_index);
+                self.all_full &= decision.reason == DecisionReason::FitsInBudget
+                    && decision.rates.iter().all(|rate| (*rate - 1.0).abs() < 1e-12);
+            }
+        }
+        let specs = vec![QuerySpec::new(QueryKind::Counter)];
+        let mut monitor = test_monitor(&specs);
+        let mut decisions = Decisions { bins: Vec::new(), all_full: true };
+        let summary = monitor.run(&mut test_source(10), &mut decisions).expect("run");
+        assert_eq!(decisions.bins.len() as u64, summary.bins);
+        assert!(decisions.all_full, "ample capacity must never shed");
     }
 
     #[test]

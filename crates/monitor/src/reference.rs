@@ -42,12 +42,6 @@ impl ReferenceRunner {
         self.queries.push((spec.resolved_label(), build_query_from_spec(spec)));
     }
 
-    /// Adds another query instance mid-run.
-    #[deprecated(since = "0.2.0", note = "use `register`")]
-    pub fn add_query(&mut self, spec: &QuerySpec) {
-        self.register(spec);
-    }
-
     /// Labels of the registered queries.
     pub fn query_names(&self) -> Vec<String> {
         self.queries.iter().map(|(label, _)| label.clone()).collect()

@@ -1,6 +1,7 @@
 //! Per-bin and per-run records produced by the monitor.
 
 use crate::monitor::QueryId;
+use crate::policy::ControlDecision;
 use netshed_queries::QueryOutput;
 
 /// What happened to one query during one time bin.
@@ -59,6 +60,10 @@ pub struct BinRecord {
     /// Query outputs emitted at the end of the measurement interval this bin
     /// closed, if any (query label → output).
     pub interval_outputs: Option<Vec<(String, QueryOutput)>>,
+    /// The control-plane decision that produced the sampling rates of this
+    /// bin: chosen rates, allocator budget, inflation factor, per-query
+    /// allocation detail and the reason the policy gives for them.
+    pub decision: ControlDecision,
 }
 
 impl BinRecord {
@@ -157,6 +162,7 @@ mod tests {
             buffer_occupation: 0.5,
             queries: vec![],
             interval_outputs: None,
+            decision: ControlDecision::default(),
         }
     }
 

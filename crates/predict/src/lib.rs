@@ -17,7 +17,11 @@
 //!   CPU usage, ignoring the traffic entirely (Section 3.4.1).
 //!
 //! All predictors implement the [`Predictor`] trait so the load shedding
-//! system and the experiment harness can swap them freely.
+//! system and the experiment harness can swap them freely. Because the
+//! prediction history is per query, the monitoring system instantiates one
+//! predictor per registration through a [`PredictorFactory`] (any
+//! `Fn() -> Box<dyn Predictor>` closure qualifies), which is also how
+//! user-defined predictors plug in.
 
 pub mod error;
 pub mod fcbf;
@@ -27,4 +31,6 @@ pub mod predictor;
 pub use error::ErrorStats;
 pub use fcbf::{fcbf_select, FcbfConfig};
 pub use history::History;
-pub use predictor::{EwmaPredictor, MlrConfig, MlrPredictor, Predictor, SlrPredictor};
+pub use predictor::{
+    EwmaPredictor, MlrConfig, MlrPredictor, Predictor, PredictorFactory, SlrPredictor,
+};

@@ -17,7 +17,10 @@
 
 use netshed::prelude::*;
 
-const BATCHES: usize = 300;
+/// Batch count, overridable for quick CI runs (`NETSHED_BATCHES=60`).
+fn batch_count(default: usize) -> usize {
+    std::env::var("NETSHED_BATCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 struct Outcome {
     p2p_accuracy: f64,
@@ -84,15 +87,18 @@ fn run(
 
 fn main() -> Result<(), NetshedError> {
     let mut generator = TraceGenerator::new(TraceProfile::UpcI.default_config(23));
-    let recording = BatchReplay::record(&mut generator, BATCHES);
+    let recording = BatchReplay::record(&mut generator, batch_count(300));
     let base_specs = vec![
         QuerySpec::new(QueryKind::P2pDetector),
         QuerySpec::new(QueryKind::Counter),
         QuerySpec::new(QueryKind::Flows),
         QuerySpec::new(QueryKind::Application),
     ];
-    let demand =
-        netshed::monitor::reference::measure_total_demand(&base_specs, &recording.batches()[..50]);
+    let warmup = recording.batches().len().min(50);
+    let demand = netshed::monitor::reference::measure_total_demand(
+        &base_specs,
+        &recording.batches()[..warmup],
+    );
     let capacity = demand * 0.5;
 
     let sampled = run(QuerySpec::new(QueryKind::P2pDetector), capacity, &recording)?;

@@ -16,7 +16,10 @@ use netshed::fairness::{AllocationGame, FairnessMode};
 use netshed::prelude::*;
 use std::collections::HashMap;
 
-const BATCHES: usize = 300;
+/// Batch count, overridable for quick CI runs (`NETSHED_BATCHES=60`).
+fn batch_count(default: usize) -> usize {
+    std::env::var("NETSHED_BATCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn accuracy_per_query(
     policy: AllocationPolicy,
@@ -36,12 +39,13 @@ fn accuracy_per_query(
 
 fn main() -> Result<(), NetshedError> {
     let mut generator = TraceGenerator::new(TraceProfile::CescaII.default_config(11));
-    let recording = BatchReplay::record(&mut generator, BATCHES);
+    let recording = BatchReplay::record(&mut generator, batch_count(300));
     let specs: Vec<QuerySpec> =
         QueryKind::CHAPTER5_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
 
+    let warmup = recording.batches().len().min(50);
     let demand =
-        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..50]);
+        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..warmup]);
     let capacity = demand * 0.5; // K = 0.5: demand is twice the capacity.
 
     println!("nine competing queries, K = 0.5 (demands are twice the capacity)\n");

@@ -11,6 +11,28 @@
 
 use netshed::prelude::*;
 
+/// Batch count, overridable for quick CI runs (`NETSHED_BATCHES=60`).
+fn batch_count(default: usize) -> usize {
+    std::env::var("NETSHED_BATCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Counts how often the control plane decided to shed (and why not, when it
+/// did not) — the per-bin `ControlDecision` makes the loop introspectable.
+#[derive(Default)]
+struct ShedStats {
+    overloaded_bins: u64,
+    total_bins: u64,
+}
+
+impl RunObserver for ShedStats {
+    fn on_decision(&mut self, _bin_index: u64, decision: &ControlDecision) {
+        self.total_bins += 1;
+        if decision.reason == DecisionReason::Overload {
+            self.overloaded_bins += 1;
+        }
+    }
+}
+
 fn main() -> Result<(), NetshedError> {
     // 1. A synthetic stand-in for the CESCA-II trace (full payloads), and the
     //    seven queries of the Chapter 4 evaluation.
@@ -20,11 +42,13 @@ fn main() -> Result<(), NetshedError> {
 
     // 2. Record 30 s of traffic so the same batches can size the capacity and
     //    then drive the run.
-    let mut recording = BatchReplay::record(&mut TraceGenerator::new(trace_config), 300);
+    let batches = batch_count(300);
+    let mut recording = BatchReplay::record(&mut TraceGenerator::new(trace_config), batches);
 
     // 3. Measure the unconstrained demand so we can create a 2x overload.
+    let warmup = recording.batches().len().min(50);
     let demand =
-        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..50]);
+        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..warmup]);
     let capacity = demand / 2.0;
     println!("unconstrained demand : {demand:>12.0} cycles/bin");
     println!("system capacity      : {capacity:>12.0} cycles/bin (overload factor K = 0.5)\n");
@@ -37,8 +61,12 @@ fn main() -> Result<(), NetshedError> {
         .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
         .queries(specs.clone())
         .build()?;
-    let mut accuracy = AccuracyTracker::new(&specs, monitor.config().measurement_interval_us);
-    let summary = monitor.run(&mut recording, &mut accuracy)?;
+    let mut observers = (
+        AccuracyTracker::new(&specs, monitor.config().measurement_interval_us),
+        ShedStats::default(),
+    );
+    let summary = monitor.run(&mut recording, &mut observers)?;
+    let (accuracy, decisions) = observers;
 
     // 5. Report.
     let mean_cycles = summary.mean_cycles_per_bin();
@@ -47,6 +75,10 @@ fn main() -> Result<(), NetshedError> {
         100.0 * mean_cycles / capacity
     );
     println!("uncontrolled drops   : {:>12}", summary.total_uncontrolled_drops);
+    println!(
+        "bins shed            : {:>12} (of {}, per the control-plane decisions)",
+        decisions.overloaded_bins, decisions.total_bins
+    );
     println!("\nper-query mean error under 2x overload:");
     let errors = accuracy.mean_error();
     let mut names: Vec<&String> = errors.keys().collect();

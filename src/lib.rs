@@ -32,11 +32,15 @@ pub use netshed_queries as queries;
 pub use netshed_sketch as sketch;
 pub use netshed_trace as trace;
 
+pub use netshed_fairness::{AllocationStrategy, QueryDemand};
 pub use netshed_monitor::{
-    AccuracyTracker, AllocationPolicy, BinRecord, EnforcementConfig, Monitor, MonitorBuilder,
-    MonitorConfig, NetshedError, NullObserver, PredictorKind, QueryId, RecordSink, ReferenceRunner,
-    RunObserver, RunSummary, Strategy,
+    AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision, ControlPolicy,
+    DecisionReason, EnforcementConfig, HysteresisReactivePolicy, Monitor, MonitorBuilder,
+    MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy, PredictivePolicy,
+    PredictorKind, QueryId, ReactivePolicy, RecordSink, ReferenceRunner, RunObserver, RunSummary,
+    Strategy,
 };
+pub use netshed_predict::{Predictor, PredictorFactory};
 pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
 pub use netshed_trace::{
     Batch, BatchReplay, BatchView, Interleave, PacketSource, PacketSourceExt, TraceConfig,
@@ -45,11 +49,15 @@ pub use netshed_trace::{
 
 /// Everything a typical experiment needs, in one import.
 pub mod prelude {
+    pub use netshed_fairness::{Allocation, AllocationStrategy, QueryDemand};
     pub use netshed_monitor::{
-        AccuracyTracker, AllocationPolicy, BinRecord, EnforcementConfig, Monitor, MonitorBuilder,
-        MonitorConfig, NetshedError, NullObserver, PredictorKind, QueryBinRecord, QueryId,
-        RecordSink, ReferenceRunner, RunObserver, RunSummary, Strategy,
+        AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision,
+        ControlPolicy, DecisionReason, EnforcementConfig, HysteresisReactivePolicy, Monitor,
+        MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
+        PredictivePolicy, PredictorKind, QueryBinRecord, QueryId, ReactivePolicy, RecordSink,
+        ReferenceRunner, RunObserver, RunSummary, Strategy,
     };
+    pub use netshed_predict::{Predictor, PredictorFactory};
     pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
     pub use netshed_trace::{
         Anomaly, AnomalyKind, Batch, BatchReplay, BatchView, Interleave, PacketSource,

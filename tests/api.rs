@@ -195,6 +195,84 @@ fn interleaved_sources_aggregate_their_traffic() {
     );
 }
 
+/// A user-defined `ControlPolicy`, written entirely outside the monitor
+/// crate, compiles, runs, and shows up in the per-bin decisions.
+#[test]
+fn custom_policy_from_outside_the_monitor_crate_runs() {
+    /// Sheds every query to a fixed rate whenever the predicted demand
+    /// exceeds the budget.
+    struct PanicButton {
+        rate: f64,
+        triggered: u64,
+    }
+
+    impl ControlPolicy for PanicButton {
+        fn decide(&mut self, ctx: &ControlContext<'_>) -> ControlDecision {
+            let demand: f64 = ctx.predictions.iter().sum();
+            if demand <= ctx.available_cycles {
+                return ControlDecision::full_rates(ctx.predictions.len());
+            }
+            self.triggered += 1;
+            ControlDecision {
+                rates: vec![self.rate; ctx.predictions.len()],
+                budget: Some(ctx.available_cycles),
+                inflation: 1.0,
+                allocations: None,
+                reason: DecisionReason::Custom,
+            }
+        }
+
+        fn name(&self) -> String {
+            format!("panic_button_{:.2}", self.rate)
+        }
+    }
+
+    let batches = TraceGenerator::new(
+        TraceConfig::default().with_seed(17).with_mean_packets_per_batch(300.0).with_payloads(true),
+    )
+    .batches(60);
+    let specs = vec![
+        QuerySpec::new(QueryKind::Counter),
+        QuerySpec::new(QueryKind::Flows),
+        QuerySpec::new(QueryKind::PatternSearch),
+    ];
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..20]);
+    let mut monitor = Monitor::builder()
+        .capacity(demand / 2.0)
+        .seed(5)
+        .no_noise()
+        .with_policy(PanicButton { rate: 0.25, triggered: 0 })
+        .queries(specs)
+        .build()
+        .expect("valid configuration");
+    assert_eq!(monitor.policy_name(), "panic_button_0.25");
+
+    struct DecisionStats {
+        custom_bins: u64,
+        quarter_rate_bins: u64,
+    }
+    impl RunObserver for DecisionStats {
+        fn on_decision(&mut self, _bin_index: u64, decision: &ControlDecision) {
+            if decision.reason == DecisionReason::Custom {
+                self.custom_bins += 1;
+                if decision.rates.iter().all(|rate| (*rate - 0.25).abs() < 1e-12) {
+                    self.quarter_rate_bins += 1;
+                }
+            }
+        }
+    }
+    let mut stats = DecisionStats { custom_bins: 0, quarter_rate_bins: 0 };
+    let summary = monitor.run(&mut BatchReplay::new(batches), &mut stats).expect("run");
+    assert!(summary.bins > 0);
+    assert!(
+        stats.custom_bins > summary.bins / 2,
+        "a 2x-overloaded system should trip the panic button most bins ({} of {})",
+        stats.custom_bins,
+        summary.bins
+    );
+    assert_eq!(stats.custom_bins, stats.quarter_rate_bins, "every custom decision sheds to 0.25");
+}
+
 #[test]
 fn run_flushes_the_final_interval_exactly_once() {
     struct CountIntervals(usize);
