@@ -84,7 +84,7 @@ fn bench_prediction(c: &mut Criterion) {
         predictor.observe(&features, meter.cycles() as f64);
         history.push(features);
     }
-    let last = history.last().unwrap().clone();
+    let last = *history.last().unwrap();
     c.bench_function("mlr_fcbf_predict_60_history", |b| {
         b.iter(|| black_box(predictor.predict(&last)))
     });

@@ -3,7 +3,7 @@
 //! `BENCH_pipeline.json` (in the working directory, or `$BENCH_OUT` if set)
 //! so the performance trajectory of the repo is tracked PR over PR.
 //!
-//! Three measurements:
+//! Six measurements:
 //!
 //! 1. **extract**: fused single-pass feature extraction vs the historical
 //!    ten-pass baseline on a 10k-packet batch — warm (aggregate hashes cached
@@ -18,20 +18,31 @@
 //!    through the `Strategy` enum vs an explicitly constructed
 //!    `ControlPolicy` trait object — the dispatch overhead of the open
 //!    control plane must stay within noise of the enum baseline.
+//! 5. **prediction plane**: ns per bin of the MLR predict/observe cycle,
+//!    before (per-call allocations) vs after (reused scratch buffers), plus
+//!    the FCBF amortisation of `reselect_every`.
+//! 6. **parallel scaling**: the 2× overload pipeline at 1/2/4 workers —
+//!    measured wall-clock throughput, and the execution-plane projection
+//!    (measured per-task costs under the pool's list schedule) for hosts
+//!    with fewer cores than workers.
 //!
 //! Run with `cargo bench -p netshed-bench --bench pipeline`; pass
 //! `-- --smoke` for a fast CI run (fewer iterations, same JSON shape).
 
-use netshed_bench::baseline::{clone_flow_sample, clone_packet_sample, TenPassExtractor};
-use netshed_features::FeatureExtractor;
-use netshed_monitor::{
-    flow_sample, packet_sample, AllocationPolicy, Monitor, NullObserver, PredictivePolicy, Strategy,
+use netshed_bench::baseline::{
+    clone_flow_sample, clone_packet_sample, AllocMlrPredictor, TenPassExtractor,
 };
+use netshed_features::{FeatureExtractor, FeatureId, FeatureVector};
+use netshed_monitor::{
+    flow_sample, packet_sample, AllocationPolicy, ExecStats, Monitor, NullObserver,
+    PredictivePolicy, Strategy,
+};
+use netshed_predict::{MlrConfig, MlrPredictor, Predictor};
 use netshed_queries::{QueryKind, QuerySpec};
 use netshed_sketch::H3Hasher;
 use netshed_trace::{Batch, BatchReplay, TraceConfig, TraceGenerator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -142,9 +153,13 @@ struct PipelineNumbers {
     packets: u64,
     elapsed_s: f64,
     packets_per_sec: f64,
+    exec_stats: ExecStats,
 }
 
-fn bench_pipeline(batches: usize) -> PipelineNumbers {
+/// Runs the 2× overload pipeline (Chapter 4 query mix, MmfsPkt) at the given
+/// worker count and reports wall-clock throughput plus the monitor's
+/// execution-plane telemetry.
+fn bench_pipeline_at(batches: usize, workers: usize) -> PipelineNumbers {
     let recorded = TraceGenerator::new(
         TraceConfig::default().with_seed(21).with_mean_packets_per_batch(2000.0),
     )
@@ -158,6 +173,7 @@ fn bench_pipeline(batches: usize) -> PipelineNumbers {
         .capacity(demand / 2.0)
         .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
         .no_noise()
+        .with_workers(workers)
         .queries(specs)
         .build()
         .expect("valid configuration");
@@ -172,6 +188,133 @@ fn bench_pipeline(batches: usize) -> PipelineNumbers {
         packets: total_packets,
         elapsed_s,
         packets_per_sec: total_packets as f64 / elapsed_s,
+        exec_stats: monitor.exec_stats(),
+    }
+}
+
+fn bench_pipeline(batches: usize) -> PipelineNumbers {
+    bench_pipeline_at(batches, 1)
+}
+
+struct PredictionPlaneNumbers {
+    bins: usize,
+    alloc_ns_per_bin: f64,
+    reuse_ns_per_bin: f64,
+    reuse_reselect10_ns_per_bin: f64,
+}
+
+/// Times one predict+observe cycle per bin over a synthetic feature stream:
+/// the historical allocating MLR path vs the buffer-reusing predictor (both
+/// reselecting every bin, as the paper does), plus the reusing predictor with
+/// `reselect_every = 10` to show the FCBF amortisation.
+fn bench_prediction_plane(bins: usize) -> PredictionPlaneNumbers {
+    fn feature_stream(bins: usize) -> Vec<(FeatureVector, f64)> {
+        let mut rng = StdRng::seed_from_u64(77);
+        (0..bins)
+            .map(|_| {
+                let mut features = FeatureVector::zeros();
+                features.set(FeatureId::Packets, rng.gen_range(500.0..2500.0));
+                features.set(FeatureId::Bytes, rng.gen_range(1e5..1.5e6));
+                features.set(FeatureId::from_index(6), rng.gen_range(50.0..400.0));
+                features.set(FeatureId::from_index(11), rng.gen_range(10.0..900.0));
+                let cycles = 1800.0 * features.packets() + 0.4 * features.bytes() + 3e5;
+                (features, cycles)
+            })
+            .collect()
+    }
+    let stream = feature_stream(bins);
+
+    /// One predict+observe step of whichever predictor variant is measured.
+    type PredictCycle<'a> = Box<dyn FnMut(&FeatureVector, f64) + 'a>;
+
+    // Best of three repeats per variant: one predict+observe cycle is a few
+    // microseconds, so a single pass is at the mercy of scheduler noise.
+    let best_ns_per_bin = |mut cycle: PredictCycle<'_>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for (features, cycles) in &stream {
+                cycle(features, *cycles);
+            }
+            best = best.min(start.elapsed().as_nanos() as f64 / bins as f64);
+        }
+        best
+    };
+
+    let mut alloc = AllocMlrPredictor::new(MlrConfig::default());
+    let alloc_ns_per_bin = best_ns_per_bin(Box::new(move |features, cycles| {
+        black_box(alloc.predict(features));
+        alloc.observe(features, cycles);
+    }));
+
+    let mut reuse = MlrPredictor::new(MlrConfig::default());
+    let reuse_ns_per_bin = best_ns_per_bin(Box::new(move |features, cycles| {
+        black_box(reuse.predict(features));
+        reuse.observe(features, cycles);
+    }));
+
+    let mut amortised = MlrPredictor::new(MlrConfig { reselect_every: 10, ..MlrConfig::default() });
+    let reuse_reselect10_ns_per_bin = best_ns_per_bin(Box::new(move |features, cycles| {
+        black_box(amortised.predict(features));
+        amortised.observe(features, cycles);
+    }));
+
+    PredictionPlaneNumbers { bins, alloc_ns_per_bin, reuse_ns_per_bin, reuse_reselect10_ns_per_bin }
+}
+
+struct ScalingPoint {
+    workers: usize,
+    packets_per_sec: f64,
+    measured_speedup: f64,
+    projected_speedup: f64,
+}
+
+struct ScalingNumbers {
+    batches: usize,
+    host_cores: usize,
+    parallel_fraction: f64,
+    points: Vec<ScalingPoint>,
+    speedup_4w: f64,
+    speedup_4w_basis: &'static str,
+}
+
+/// The 2× overload pipeline at 1/2/4 workers. Measured wall-clock speedups
+/// are only meaningful when the host has that many cores; the projection —
+/// per-task costs measured on the 1-worker run, scheduled by the same greedy
+/// list discipline the pool uses — says what an N-core host would get, and is
+/// the reported basis whenever the host cannot run N workers for real.
+fn bench_parallel_scaling(batches: usize) -> ScalingNumbers {
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let baseline = bench_pipeline_at(batches, 1);
+    let stats = baseline.exec_stats;
+    let mut points = vec![ScalingPoint {
+        workers: 1,
+        packets_per_sec: baseline.packets_per_sec,
+        measured_speedup: 1.0,
+        projected_speedup: 1.0,
+    }];
+    for workers in [2usize, 4] {
+        let run = bench_pipeline_at(batches, workers);
+        points.push(ScalingPoint {
+            workers,
+            packets_per_sec: run.packets_per_sec,
+            measured_speedup: run.packets_per_sec / baseline.packets_per_sec,
+            projected_speedup: stats.projected_speedup(workers).unwrap_or(1.0),
+        });
+    }
+    let four = points.last().expect("4-worker point");
+    let (speedup_4w, speedup_4w_basis) = if host_cores >= 4 {
+        (four.measured_speedup, "measured")
+    } else {
+        (four.projected_speedup, "projected_list_schedule_single_core_host")
+    };
+    ScalingNumbers {
+        batches,
+        host_cores,
+        parallel_fraction: stats.parallel_fraction(),
+        points,
+        speedup_4w,
+        speedup_4w_basis,
     }
 }
 
@@ -264,6 +407,45 @@ fn main() {
         control.overhead * 100.0
     );
 
+    eprintln!("prediction plane: MLR predict+observe, alloc-per-call vs reused buffers ...");
+    let prediction = bench_prediction_plane(if smoke { 200 } else { 600 });
+    eprintln!(
+        "  alloc {:.0} ns/bin | reuse {:.0} ns/bin ({:.2}x) | reuse+reselect10 {:.0} ns/bin ({:.2}x)",
+        prediction.alloc_ns_per_bin,
+        prediction.reuse_ns_per_bin,
+        prediction.alloc_ns_per_bin / prediction.reuse_ns_per_bin,
+        prediction.reuse_reselect10_ns_per_bin,
+        prediction.alloc_ns_per_bin / prediction.reuse_reselect10_ns_per_bin,
+    );
+
+    eprintln!("parallel scaling: 2x overload pipeline at 1/2/4 workers ...");
+    let scaling = bench_parallel_scaling(pipeline_batches);
+    for point in &scaling.points {
+        eprintln!(
+            "  {} worker(s): {:.0} packets/s | measured {:.2}x | projected {:.2}x",
+            point.workers, point.packets_per_sec, point.measured_speedup, point.projected_speedup
+        );
+    }
+    eprintln!(
+        "  host cores: {} | parallel fraction {:.2} | 4-worker speedup {:.2}x ({})",
+        scaling.host_cores, scaling.parallel_fraction, scaling.speedup_4w, scaling.speedup_4w_basis
+    );
+
+    let scaling_points_json: String = scaling
+        .points
+        .iter()
+        .map(|point| {
+            format!(
+                "      {{ \"workers\": {}, \"packets_per_sec\": {:.0}, \
+                 \"measured_speedup\": {:.3}, \"projected_speedup\": {:.3} }}",
+                point.workers,
+                point.packets_per_sec,
+                point.measured_speedup,
+                point.projected_speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"generated_by\": \"cargo bench -p netshed-bench --bench pipeline{}\",\n  \
          \"smoke\": {},\n  \
@@ -278,7 +460,14 @@ fn main() {
          \"elapsed_s\": {:.3},\n    \"packets_per_sec\": {:.0}\n  }},\n  \
          \"control_plane_dispatch\": {{\n    \"batches\": {},\n    \
          \"enum_ns_per_batch\": {:.0},\n    \"trait_ns_per_batch\": {:.0},\n    \
-         \"overhead_fraction\": {:.4}\n  }}\n}}\n",
+         \"overhead_fraction\": {:.4}\n  }},\n  \
+         \"prediction_plane\": {{\n    \"bins\": {},\n    \
+         \"alloc_ns_per_bin\": {:.0},\n    \"reuse_ns_per_bin\": {:.0},\n    \
+         \"reuse_reselect10_ns_per_bin\": {:.0},\n    \"speedup_reuse\": {:.2},\n    \
+         \"speedup_reuse_reselect10\": {:.2}\n  }},\n  \
+         \"parallel_scaling\": {{\n    \"batches\": {},\n    \"host_cores\": {},\n    \
+         \"parallel_fraction\": {:.3},\n    \"workers\": [\n{}\n    ],\n    \
+         \"speedup_4w\": {:.3},\n    \"speedup_4w_basis\": \"{}\"\n  }}\n}}\n",
         if smoke { " -- --smoke" } else { "" },
         smoke,
         extract.packets,
@@ -300,6 +489,18 @@ fn main() {
         control.enum_ns_per_batch,
         control.trait_ns_per_batch,
         control.overhead,
+        prediction.bins,
+        prediction.alloc_ns_per_bin,
+        prediction.reuse_ns_per_bin,
+        prediction.reuse_reselect10_ns_per_bin,
+        prediction.alloc_ns_per_bin / prediction.reuse_ns_per_bin,
+        prediction.alloc_ns_per_bin / prediction.reuse_reselect10_ns_per_bin,
+        scaling.batches,
+        scaling.host_cores,
+        scaling.parallel_fraction,
+        scaling_points_json,
+        scaling.speedup_4w,
+        scaling.speedup_4w_basis,
     );
     // Cargo runs bench binaries with the package directory as CWD; default
     // to the workspace root so the JSON lands in one predictable place.

@@ -43,6 +43,23 @@ struct AggregateState {
     interval_seen: MultiResolutionBitmap,
 }
 
+impl AggregateState {
+    /// Folds the filled per-batch bitmap into the interval state and returns
+    /// the four counters, in vector order: unique, new (derived from the
+    /// interval-estimate difference around a single merge per batch, as in
+    /// the paper), repeated and batch-repeated.
+    fn interval_counters(&mut self, packets: f64) -> [f64; 4] {
+        let unique = self.batch_unique.estimate().min(packets).round();
+        let before = self.interval_seen.estimate();
+        self.interval_seen.merge(&self.batch_unique);
+        let after = self.interval_seen.estimate();
+        let new = (after - before).clamp(0.0, unique).round();
+        let repeated = (packets - unique).max(0.0);
+        let batch_repeated = (packets - new).max(0.0);
+        [unique, new, repeated, batch_repeated]
+    }
+}
+
 /// Extracts the 42-feature vector from every batch.
 ///
 /// The extractor is stateful: the "new items" counters compare each batch
@@ -54,6 +71,16 @@ pub struct FeatureExtractor {
     current_interval: Option<u64>,
     batches_processed: u64,
 }
+
+// Per-query extractors are handed to execution-plane workers (`&mut` moves
+// across the scoped-thread boundary), so the extractor — owned bitmap state
+// only — must stay `Send`, and the vectors it produces `Send + Sync`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<FeatureExtractor>();
+    assert_send_sync::<FeatureVector>();
+};
 
 impl std::fmt::Debug for FeatureExtractor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -111,8 +138,11 @@ impl FeatureExtractor {
     /// zero-copy [`BatchView`] the shedders produce; the per-packet aggregate
     /// hashes are shared with every other consumer of the same batch.
     pub fn extract_view(&mut self, view: &BatchView) -> (FeatureVector, u64) {
-        // Reset the per-interval state when the batch crosses into a new
-        // measurement interval.
+        // Fused single pass, packet-major: each packet's ten precomputed
+        // hashes update the ten per-batch bitmaps before the next packet is
+        // touched — the cache-friendly shape for a single thread. The
+        // sharded path ([`FeatureExtractor::shard`]) trades that row locality
+        // for per-aggregate independence; both produce identical vectors.
         let interval = view.measurement_interval(self.config.measurement_interval_us);
         if self.current_interval != Some(interval) {
             for state in &mut self.aggregates {
@@ -120,28 +150,17 @@ impl FeatureExtractor {
             }
             self.current_interval = Some(interval);
         }
-
-        let mut vector = FeatureVector::zeros();
-        vector.set(FeatureId::Packets, view.len() as f64);
-        vector.set(FeatureId::Bytes, view.total_bytes() as f64);
+        self.batches_processed += 1;
 
         let packets = view.len() as f64;
-        // One hash + one bitmap update per aggregate per packet; the hash is
-        // amortised through the side-array cache but still accounted here so
-        // the overhead model of Table 3.4 is unchanged.
-        let operations = view.len() as u64 * Aggregate::ALL.len() as u64;
-
-        // Fused single pass, packet-major: each packet's ten precomputed
-        // hashes update the ten per-batch bitmaps before the next packet is
-        // touched. When another extractor's seed claimed the batch's hash
-        // cache, hash only the packets this view retains instead of
-        // recomputing the full store's side array per call.
         for state in &mut self.aggregates {
             state.batch_unique.clear();
         }
         match view.aggregate_hashes(self.config.hash_seed) {
             Some(hashes) => {
-                for (store_index, _) in view.indexed_packets() {
+                // Walk the hash side array by store index only: no packet
+                // memory is touched on the cached path.
+                for store_index in view.store_indices() {
                     let row = hashes[store_index].as_array();
                     for (state, &hash) in self.aggregates.iter_mut().zip(row) {
                         state.batch_unique.insert_hash(hash);
@@ -158,30 +177,119 @@ impl FeatureExtractor {
             }
         }
 
+        let mut vector = FeatureVector::zeros();
+        vector.set(FeatureId::Packets, packets);
+        vector.set(FeatureId::Bytes, view.total_bytes() as f64);
         for (agg_idx, aggregate) in Aggregate::ALL.iter().enumerate() {
-            let state = &mut self.aggregates[agg_idx];
-            let unique = state.batch_unique.estimate().min(packets).round();
-            // Update the per-interval bitmap with a single merge per batch, as
-            // in the paper, and derive the new-item count from the estimate
-            // difference.
-            let before = state.interval_seen.estimate();
-            state.interval_seen.merge(&state.batch_unique);
-            let after = state.interval_seen.estimate();
-            let new = (after - before).clamp(0.0, unique).round();
-
-            let repeated = (packets - unique).max(0.0);
-            let batch_repeated = (packets - new).max(0.0);
-
+            let [unique, new, repeated, batch_repeated] =
+                self.aggregates[agg_idx].interval_counters(packets);
             vector.set(FeatureId::Counter(*aggregate, CounterKind::Unique), unique);
             vector.set(FeatureId::Counter(*aggregate, CounterKind::New), new);
             vector.set(FeatureId::Counter(*aggregate, CounterKind::Repeated), repeated);
             vector.set(FeatureId::Counter(*aggregate, CounterKind::BatchRepeated), batch_repeated);
         }
+        let operations = view.len() as u64 * Aggregate::ALL.len() as u64;
+        (vector, operations)
+    }
 
+    /// Starts a sharded extraction: performs the order-sensitive interval
+    /// bookkeeping on the calling thread and returns one [`ExtractorShard`]
+    /// per aggregate. Each shard touches only its own aggregate's bitmaps,
+    /// so the shards may be processed concurrently on different threads;
+    /// assemble the result with [`FeatureExtractor::finish_shards`]. The
+    /// outcome is bit-identical to [`FeatureExtractor::extract_view`] — set
+    /// semantics make per-bitmap insert order irrelevant, and every other
+    /// operation is confined to one shard.
+    pub fn shard(&mut self, view: &BatchView) -> Vec<ExtractorShard<'_>> {
+        // Reset the per-interval state when the batch crosses into a new
+        // measurement interval.
+        let interval = view.measurement_interval(self.config.measurement_interval_us);
+        if self.current_interval != Some(interval) {
+            for state in &mut self.aggregates {
+                state.interval_seen.clear();
+            }
+            self.current_interval = Some(interval);
+        }
         self.batches_processed += 1;
+
+        let hash_seed = self.config.hash_seed;
+        self.aggregates
+            .iter_mut()
+            .enumerate()
+            .map(|(aggregate_index, state)| ExtractorShard {
+                state,
+                aggregate_index,
+                hash_seed,
+                counters: [0.0; 4],
+            })
+            .collect()
+    }
+
+    /// Assembles the feature vector from processed shards, together with the
+    /// estimated elementary-operation count (one hash + one bitmap update per
+    /// aggregate per packet, exactly as the fused path accounts it).
+    pub fn finish_shards(view: &BatchView, shards: &[ExtractorShard<'_>]) -> (FeatureVector, u64) {
+        let mut vector = FeatureVector::zeros();
+        vector.set(FeatureId::Packets, view.len() as f64);
+        vector.set(FeatureId::Bytes, view.total_bytes() as f64);
+        for shard in shards {
+            let aggregate = Aggregate::ALL[shard.aggregate_index];
+            let [unique, new, repeated, batch_repeated] = shard.counters;
+            vector.set(FeatureId::Counter(aggregate, CounterKind::Unique), unique);
+            vector.set(FeatureId::Counter(aggregate, CounterKind::New), new);
+            vector.set(FeatureId::Counter(aggregate, CounterKind::Repeated), repeated);
+            vector.set(FeatureId::Counter(aggregate, CounterKind::BatchRepeated), batch_repeated);
+        }
+        let operations = view.len() as u64 * Aggregate::ALL.len() as u64;
         (vector, operations)
     }
 }
+
+/// One aggregate's independently processable slice of a feature extraction
+/// (see [`FeatureExtractor::shard`]).
+pub struct ExtractorShard<'a> {
+    state: &'a mut AggregateState,
+    aggregate_index: usize,
+    hash_seed: u64,
+    /// Unique / new / repeated / batch-repeated, in vector order.
+    counters: [f64; 4],
+}
+
+impl ExtractorShard<'_> {
+    /// Processes the view for this shard's aggregate: per-packet bitmap
+    /// inserts (from the batch's cached hash rows when this extractor's seed
+    /// owns them), the per-interval merge, and the four counter features.
+    pub fn process(&mut self, view: &BatchView) {
+        let packets = view.len() as f64;
+        self.state.batch_unique.clear();
+        match view.aggregate_hashes(self.hash_seed) {
+            Some(hashes) => {
+                for store_index in view.store_indices() {
+                    self.state
+                        .batch_unique
+                        .insert_hash(hashes[store_index].as_array()[self.aggregate_index]);
+                }
+            }
+            None => {
+                // A foreign seed owns the batch's cache: hash the retained
+                // packets for this aggregate only.
+                for (_, packet) in view.indexed_packets() {
+                    let row = AggregateHashes::compute(&packet.tuple, self.hash_seed);
+                    self.state.batch_unique.insert_hash(row.as_array()[self.aggregate_index]);
+                }
+            }
+        }
+
+        self.counters = self.state.interval_counters(packets);
+    }
+}
+
+// Shards cross the scoped-thread boundary; their only state is a `&mut` into
+// this extractor's bitmaps.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ExtractorShard<'_>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -311,6 +419,38 @@ mod tests {
         assert_eq!(ops_a, ops_b);
         for id in FeatureId::all() {
             assert_eq!(a.get(id), b.get(id), "feature {} differs on the fallback path", id.name());
+        }
+    }
+
+    #[test]
+    fn sharded_extraction_is_bit_identical_to_the_fused_pass() {
+        let tuples: Vec<FiveTuple> =
+            (0..400).map(|i| FiveTuple::new(i % 53, i % 11, (i % 29) as u16, 80, 6)).collect();
+        // Two bins in the same interval plus one in a fresh interval, so the
+        // interval bookkeeping is exercised on both paths.
+        for bins in [[0u64, 1, 10], [0, 10, 20]] {
+            let mut fused = FeatureExtractor::with_defaults();
+            let mut sharded = FeatureExtractor::with_defaults();
+            for bin in bins {
+                let batch = batch_of(&tuples, bin);
+                let (expected, expected_ops) = fused.extract(&batch);
+                let view = batch_of(&tuples, bin).view();
+                let mut shards = sharded.shard(&view);
+                for shard in shards.iter_mut().rev() {
+                    // Reverse order: shard processing order must not matter.
+                    shard.process(&view);
+                }
+                let (actual, actual_ops) = FeatureExtractor::finish_shards(&view, &shards);
+                assert_eq!(expected_ops, actual_ops);
+                for id in FeatureId::all() {
+                    assert_eq!(
+                        expected.get(id),
+                        actual.get(id),
+                        "feature {} diverged on bin {bin}",
+                        id.name()
+                    );
+                }
+            }
         }
     }
 

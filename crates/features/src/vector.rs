@@ -97,7 +97,12 @@ impl FeatureId {
 }
 
 /// The values of all features for one batch.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The vector is a plain `[f64; 42]` and therefore `Copy`: storing an
+/// observation in a prediction history is a fixed-size memcpy, not an
+/// allocation, which is why the observe path can take features by reference
+/// and dereference at the last moment instead of cloning per query per bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureVector {
     values: [f64; FEATURE_COUNT],
 }

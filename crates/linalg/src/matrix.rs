@@ -30,6 +30,19 @@ impl Matrix {
         m
     }
 
+    /// Resizes the matrix in place to `rows x cols`, reusing the backing
+    /// allocation when it is large enough, and fills it with zeros.
+    ///
+    /// This is the allocation-reusing sibling of [`Matrix::zeros`] for hot
+    /// paths that rebuild a matrix of similar shape every iteration (e.g. a
+    /// sliding-window regression design matrix).
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Creates a matrix from a row-major nested slice (convenient in tests).
     ///
     /// # Panics

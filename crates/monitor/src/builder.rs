@@ -168,6 +168,18 @@ impl MonitorBuilder {
         self
     }
 
+    /// Sets how many workers the execution plane dispatches the per-bin
+    /// query tail to (validated into `[1, MAX_WORKERS]` at build time).
+    ///
+    /// 1 — the default, unless `NETSHED_THREADS` says otherwise — runs
+    /// everything inline on the calling thread. Any worker count produces
+    /// bit-identical records, observer callbacks and interval outputs; the
+    /// knob only trades wall-clock time (see DESIGN.md, "Execution plane").
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
     /// Queues a query to register when the monitor is built.
     pub fn query(mut self, spec: QuerySpec) -> Self {
         self.specs.push(spec);

@@ -171,6 +171,12 @@ pub struct MonitorConfig {
     pub reactive_min_rate: f64,
     /// Seed for sampling hash functions and noise.
     pub seed: u64,
+    /// Workers the execution plane dispatches the per-bin query tail to.
+    /// 1 (the default) runs everything inline on the calling thread — the
+    /// historical sequential path; any value produces bit-identical output
+    /// (see DESIGN.md, "Execution plane"). The default honours the
+    /// `NETSHED_THREADS` environment variable when it holds a valid count.
+    pub workers: usize,
 }
 
 impl Default for MonitorConfig {
@@ -192,6 +198,7 @@ impl Default for MonitorConfig {
             enforcement: EnforcementConfig::default(),
             reactive_min_rate: 0.05,
             seed: 1,
+            workers: crate::exec::workers_from_env(),
         }
     }
 }
@@ -218,6 +225,12 @@ impl MonitorConfig {
     /// Sets the PRNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the execution-plane worker count (1 = sequential).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -301,6 +314,13 @@ impl MonitorConfig {
         }
         if self.enforcement.max_violations == 0 {
             return invalid("enforcement.max_violations must be at least 1");
+        }
+        if !(1..=crate::exec::MAX_WORKERS).contains(&self.workers) {
+            return invalid(format!(
+                "workers must be in [1, {}], got {}",
+                crate::exec::MAX_WORKERS,
+                self.workers
+            ));
         }
         if self.capacity_cycles_per_bin <= self.platform_overhead_cycles {
             return Err(NetshedError::CapacityUnderflow {

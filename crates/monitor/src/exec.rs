@@ -1,0 +1,252 @@
+//! The parallel execution plane: scoped worker dispatch for the per-bin
+//! query tail.
+//!
+//! After the control-plane decision, the per-query work of a bin — sampled
+//! feature re-extraction, `Query::process_batch`, noise application and
+//! `Predictor::observe`, plus the uncharged shadow-twin measurements of
+//! oracle-style policies — is embarrassingly parallel: every task touches
+//! only its own query's state plus shared read-only data (the post-drop
+//! [`BatchView`](netshed_trace::BatchView), the full-batch feature vector).
+//! [`run_tasks`] fans those tasks out over a scoped pool of `std::thread`
+//! workers and returns per-task wall-clock timings; the monitor merges the
+//! results back in registration order, so the output stream is bit-identical
+//! whatever the worker count (see DESIGN.md, "Execution plane").
+//!
+//! Everything order-sensitive — capture-buffer accounting, full-batch
+//! feature extraction, predictions, the policy decision, the RNG-driven
+//! construction of each query's shed view and the measurement-noise draws —
+//! stays on the caller's thread; a task receives its inputs (including its
+//! pre-drawn [`NoiseDraw`](netshed_queries::NoiseDraw)) fully determined.
+//!
+//! With `workers == 1` (the default) no thread is ever spawned: tasks run
+//! inline on the caller's thread in task order, which *is* the historical
+//! sequential path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Highest accepted worker count (a sanity cap, not a tuning hint).
+pub const MAX_WORKERS: usize = 256;
+
+/// Worker counts the execution plane simulates makespans for (the points the
+/// scaling benchmark reports).
+pub const SIMULATED_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs every task exactly once across `workers` scoped threads and returns
+/// the per-task wall-clock nanoseconds, indexed like `tasks`.
+///
+/// Tasks are pulled from a shared queue in order, so an expensive task never
+/// serialises the cheap ones behind it. The call returns when all tasks have
+/// completed. With `workers <= 1` (or fewer than two tasks) the tasks run
+/// inline on the caller's thread — no thread is spawned, no synchronisation
+/// is touched.
+///
+/// Determinism: the function imposes no ordering on *effects* because each
+/// task may only touch state it exclusively owns (`&mut T`) plus `Sync`
+/// shared inputs; result placement is by task index, so callers merging in
+/// index order observe the same stream regardless of `workers`.
+pub(crate) fn run_tasks<T, F>(workers: usize, tasks: &mut [T], run: F) -> Vec<u64>
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let worker_count = workers.clamp(1, MAX_WORKERS).min(tasks.len());
+    if worker_count <= 1 {
+        return tasks
+            .iter_mut()
+            .map(|task| {
+                let start = Instant::now();
+                run(task);
+                start.elapsed().as_nanos() as u64
+            })
+            .collect();
+    }
+
+    let task_ns: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
+    let queue = Mutex::new(tasks.iter_mut().enumerate());
+    let drain = || loop {
+        // Hold the queue lock only for the pop, never across a task.
+        let next = queue.lock().expect("task queue poisoned").next();
+        let Some((index, task)) = next else { break };
+        let start = Instant::now();
+        run(task);
+        task_ns[index].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    };
+    std::thread::scope(|scope| {
+        // The caller participates, so a dispatch spawns only `workers - 1`
+        // threads — at four workers that is three spawns, not four, and the
+        // pool is never idle waiting for the calling thread.
+        // `drain` captures only shared references, so it is `Copy` and each
+        // spawn gets its own handle onto the same queue.
+        for _ in 1..worker_count {
+            scope.spawn(drain);
+        }
+        drain();
+    });
+    task_ns.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Greedy list-scheduling makespan: assigns each task, in queue order, to the
+/// worker that frees up first — the same discipline the shared-queue pool
+/// follows — and returns the busiest worker's total nanoseconds.
+pub fn simulated_makespan(task_ns: &[u64], workers: usize) -> u64 {
+    let mut loads = vec![0u64; workers.max(1)];
+    for &ns in task_ns {
+        let earliest = loads.iter_mut().min().expect("at least one worker");
+        *earliest += ns;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Cumulative execution-plane telemetry of a [`Monitor`](crate::Monitor).
+///
+/// Every processed bin contributes its sequential nanoseconds (everything on
+/// the caller's thread) and its dispatched task nanoseconds; from the
+/// per-task durations the plane also accumulates simulated makespans at the
+/// [`SIMULATED_WORKERS`] points. [`ExecStats::projected_speedup`] turns those
+/// into the throughput scaling an `N`-core host would see — measured task
+/// costs, modelled schedule — which is what the scaling benchmark reports on
+/// hosts with fewer cores than workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Bins processed.
+    pub bins: u64,
+    /// Nanoseconds spent on the caller's thread (admission, extraction,
+    /// prediction, decision, shed-view construction, merge).
+    pub sequential_ns: u64,
+    /// Total nanoseconds of dispatched tasks (summed over tasks).
+    pub task_ns: u64,
+    /// Tasks dispatched to the execution plane.
+    pub dispatched_tasks: u64,
+    /// Simulated makespans at the [`SIMULATED_WORKERS`] points.
+    makespan_ns: [u64; SIMULATED_WORKERS.len()],
+}
+
+impl ExecStats {
+    /// Folds one bin: its sequential time and the task durations of each of
+    /// its dispatches (a bin has one dispatch for the query tail, plus one
+    /// for shadow twins under oracle-style policies).
+    pub(crate) fn fold_bin(&mut self, sequential_ns: u64, dispatches: &[&[u64]]) {
+        self.bins += 1;
+        self.sequential_ns += sequential_ns;
+        for task_ns in dispatches {
+            self.dispatched_tasks += task_ns.len() as u64;
+            self.task_ns += task_ns.iter().sum::<u64>();
+            for (slot, &workers) in self.makespan_ns.iter_mut().zip(&SIMULATED_WORKERS) {
+                *slot += simulated_makespan(task_ns, workers);
+            }
+        }
+    }
+
+    /// Fraction of the total per-bin time spent in dispatchable tasks — the
+    /// Amdahl ceiling of the execution plane.
+    pub fn parallel_fraction(&self) -> f64 {
+        let total = self.sequential_ns + self.task_ns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.task_ns as f64 / total as f64
+    }
+
+    /// Projected throughput speedup at `workers` workers relative to one,
+    /// from the measured task costs under the pool's list schedule. Returns
+    /// `None` for worker counts outside [`SIMULATED_WORKERS`] or before any
+    /// bin was processed.
+    pub fn projected_speedup(&self, workers: usize) -> Option<f64> {
+        let index = SIMULATED_WORKERS.iter().position(|&w| w == workers)?;
+        let one = self.sequential_ns + self.makespan_ns[0];
+        let at = self.sequential_ns + self.makespan_ns[index];
+        (at > 0).then(|| one as f64 / at as f64)
+    }
+}
+
+/// Parses the `NETSHED_THREADS` environment override: a worker count in
+/// `[1, MAX_WORKERS]`. Unset, empty or out-of-domain values fall back to 1
+/// (the sequential path) rather than failing construction, so an exported
+/// stray value cannot break unrelated runs.
+pub(crate) fn workers_from_env() -> usize {
+    parse_workers(std::env::var("NETSHED_THREADS").ok().as_deref())
+}
+
+/// The pure parsing rule behind [`workers_from_env`].
+fn parse_workers(raw: Option<&str>) -> usize {
+    raw.and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&workers| (1..=MAX_WORKERS).contains(&workers))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tasks_runs_every_task_exactly_once_at_any_worker_count() {
+        for workers in [1, 2, 4, 9] {
+            let mut tasks: Vec<u32> = vec![0; 7];
+            let timings = run_tasks(workers, &mut tasks, |task| *task += 1);
+            assert_eq!(tasks, vec![1; 7], "workers = {workers}");
+            assert_eq!(timings.len(), 7);
+        }
+    }
+
+    #[test]
+    fn run_tasks_handles_empty_and_single_task_sets() {
+        let mut none: Vec<u32> = Vec::new();
+        assert!(run_tasks(4, &mut none, |_| unreachable!()).is_empty());
+        let mut one = vec![10u32];
+        run_tasks(4, &mut one, |task| *task *= 2);
+        assert_eq!(one, vec![20]);
+    }
+
+    #[test]
+    fn parallel_workers_really_run_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        // Two tasks that can only finish if two workers run them at once.
+        let barrier = Barrier::new(2);
+        let hits = AtomicUsize::new(0);
+        let mut tasks = vec![(); 2];
+        run_tasks(2, &mut tasks, |_| {
+            barrier.wait();
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn simulated_makespan_models_list_scheduling() {
+        // Tasks 6,4,3,3 on two workers: 6|4+3 → second worker gets 4 then 3,
+        // first gets 6 then 3 → loads 9 and 7.
+        assert_eq!(simulated_makespan(&[6, 4, 3, 3], 2), 9);
+        assert_eq!(simulated_makespan(&[6, 4, 3, 3], 1), 16);
+        assert_eq!(simulated_makespan(&[6, 4, 3, 3], 4), 6);
+        assert_eq!(simulated_makespan(&[], 4), 0);
+    }
+
+    #[test]
+    fn exec_stats_accumulate_and_project() {
+        let mut stats = ExecStats::default();
+        stats.fold_bin(100, &[&[50, 50, 50, 50]]);
+        assert_eq!(stats.bins, 1);
+        assert_eq!(stats.sequential_ns, 100);
+        assert_eq!(stats.task_ns, 200);
+        assert_eq!(stats.dispatched_tasks, 4);
+        assert!((stats.parallel_fraction() - 200.0 / 300.0).abs() < 1e-12);
+        // 1 worker: 100 + 200 = 300; 4 workers: 100 + 50 = 150 → 2×.
+        assert_eq!(stats.projected_speedup(1), Some(1.0));
+        assert_eq!(stats.projected_speedup(4), Some(2.0));
+        assert_eq!(stats.projected_speedup(3), None);
+    }
+
+    #[test]
+    fn env_override_accepts_counts_and_rejects_junk() {
+        assert_eq!(parse_workers(None), 1, "unset falls back to sequential");
+        assert_eq!(parse_workers(Some("4")), 4);
+        assert_eq!(parse_workers(Some("  8 ")), 8, "surrounding whitespace is tolerated");
+        assert_eq!(parse_workers(Some(&MAX_WORKERS.to_string())), MAX_WORKERS);
+        for junk in ["0", "-3", "1.5", "many", "", &format!("{}", MAX_WORKERS + 1)] {
+            assert_eq!(parse_workers(Some(junk)), 1, "junk value {junk:?} must fall back to 1");
+        }
+    }
+}

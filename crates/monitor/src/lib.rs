@@ -56,6 +56,7 @@ pub mod builder;
 pub mod capture;
 pub mod config;
 pub mod error;
+pub mod exec;
 pub mod monitor;
 pub mod observer;
 pub mod policy;
@@ -67,6 +68,7 @@ pub use builder::MonitorBuilder;
 pub use capture::CaptureBuffer;
 pub use config::{AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
 pub use error::NetshedError;
+pub use exec::{simulated_makespan, ExecStats, MAX_WORKERS};
 pub use monitor::{Monitor, QueryId};
 pub use observer::{AccuracyTracker, NullObserver, RecordSink, RunObserver};
 pub use policy::{

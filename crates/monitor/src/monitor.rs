@@ -6,6 +6,7 @@ use crate::builder::MonitorBuilder;
 use crate::capture::CaptureBuffer;
 use crate::config::MonitorConfig;
 use crate::error::NetshedError;
+use crate::exec::{self, ExecStats};
 use crate::observer::RunObserver;
 use crate::policy::{ControlContext, ControlPolicy};
 use crate::report::{BinRecord, QueryBinRecord, RunSummary};
@@ -14,13 +15,14 @@ use netshed_fairness::QueryDemand;
 use netshed_features::{ExtractorConfig, FeatureExtractor, FeatureVector};
 use netshed_predict::{Predictor, PredictorFactory};
 use netshed_queries::{
-    build_query_from_spec, CycleMeter, MeasurementNoise, Query, QueryOutput, QuerySpec,
+    build_query_from_spec, CycleMeter, MeasurementNoise, NoiseDraw, Query, QueryOutput, QuerySpec,
     SheddingMethod,
 };
 use netshed_sketch::H3Hasher;
-use netshed_trace::{Batch, PacketSource};
+use netshed_trace::{Batch, BatchView, PacketSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Cycles charged per feature-extraction elementary operation (one hash plus
 /// one bitmap update). Keeps the prediction overhead in the ~10% range of
@@ -65,25 +67,44 @@ impl std::fmt::Display for QueryId {
     }
 }
 
+/// The per-query state an execution-plane worker mutates while processing a
+/// bin: the query itself, its oracle shadow twin, its predictor and the
+/// extractor that recomputes features over its sampled stream.
+///
+/// Split out of [`RegisteredQuery`] so a dispatched task can borrow one
+/// query's execution state `&mut` while the monitor keeps the control-plane
+/// fields (label, enforcement counters, flow hasher) to itself — the borrow
+/// boundary that makes the scoped-worker dispatch safe.
+struct QueryExecState {
+    query: Box<dyn Query>,
+    /// Shadow twin fed the full (unsampled) stream to measure the bin's
+    /// actual cycles for oracle-style policies. Its work is not charged
+    /// against the capacity.
+    shadow: Option<Box<dyn Query>>,
+    predictor: Box<dyn Predictor>,
+    /// Extractor used to recompute features over this query's sampled stream
+    /// (needed to keep the MLR history consistent, Section 4.3).
+    sampled_extractor: FeatureExtractor,
+}
+
+// Execution states cross the scoped-thread boundary as `&mut` borrows;
+// `Query`, `Predictor` and the extractor are all `Send` by bound or by
+// construction. Compile-time proof:
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<QueryExecState>();
+};
+
 /// One query registered in the monitor, together with its prediction state.
 struct RegisteredQuery {
     id: QueryId,
     label: String,
-    query: Box<dyn Query>,
-    predictor: Box<dyn Predictor>,
     shedding: SheddingMethod,
     min_rate: f64,
     /// The spec this instance was built from, when registered through
     /// [`Monitor::register`]; lets the monitor build a shadow twin for
     /// policies that need the true full-batch cycles.
     spec: Option<QuerySpec>,
-    /// Shadow twin fed the full (unsampled) stream to measure the bin's
-    /// actual cycles for oracle-style policies. Its work is not charged
-    /// against the capacity.
-    shadow: Option<Box<dyn Query>>,
-    /// Extractor used to recompute features over this query's sampled stream
-    /// (needed to keep the MLR history consistent, Section 4.3).
-    sampled_extractor: FeatureExtractor,
     /// Flow-sampling hash function, redrawn every measurement interval.
     flow_hasher: H3Hasher,
     hasher_generation: u64,
@@ -91,6 +112,8 @@ struct RegisteredQuery {
     overuse_ratio: f64,
     violations: u32,
     penalty_remaining: u32,
+    /// The state a dispatched worker borrows while processing a bin.
+    exec: QueryExecState,
 }
 
 /// The load-shedding monitoring system.
@@ -121,6 +144,8 @@ pub struct Monitor {
     current_interval: Option<u64>,
     /// Monotonic registration counter backing [`QueryId`] handles.
     next_query_id: u64,
+    /// Cumulative execution-plane telemetry (sequential vs dispatched time).
+    exec_stats: ExecStats,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -168,6 +193,7 @@ impl Monitor {
             reactive_consumed: 0.0,
             current_interval: None,
             next_query_id: 0,
+            exec_stats: ExecStats::default(),
             config,
         }
     }
@@ -202,7 +228,7 @@ impl Monitor {
         self.policy = policy;
         let needs_shadow = self.policy.needs_measured_cycles();
         for registered in &mut self.queries {
-            registered.shadow = if needs_shadow {
+            registered.exec.shadow = if needs_shadow {
                 registered.spec.as_ref().map(|spec| build_query_from_spec(spec))
             } else {
                 None
@@ -284,18 +310,20 @@ impl Monitor {
             shedding: query.preferred_shedding(),
             min_rate: min_rate.unwrap_or(query.min_sampling_rate()).clamp(0.0, 1.0),
             spec,
-            shadow,
-            sampled_extractor: FeatureExtractor::new(ExtractorConfig {
-                measurement_interval_us: self.config.measurement_interval_us,
-                ..ExtractorConfig::default()
-            }),
             flow_hasher: H3Hasher::new(13, self.config.seed ^ (id.0 + 1)),
             hasher_generation: 0,
             overuse_ratio: 1.0,
             violations: 0,
             penalty_remaining: 0,
-            predictor,
-            query,
+            exec: QueryExecState {
+                query,
+                shadow,
+                predictor,
+                sampled_extractor: FeatureExtractor::new(ExtractorConfig {
+                    measurement_interval_us: self.config.measurement_interval_us,
+                    ..ExtractorConfig::default()
+                }),
+            },
         };
         self.queries.push(registered);
         Ok(id)
@@ -336,6 +364,19 @@ impl Monitor {
     /// Current buffer-discovery threshold (`rtthresh` of Section 4.1).
     pub fn rtthresh(&self) -> f64 {
         self.rtthresh
+    }
+
+    /// Number of workers the execution plane dispatches the per-bin query
+    /// tail to (1 = everything runs inline on the calling thread).
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Cumulative execution-plane telemetry: time spent on the sequential
+    /// control path vs in dispatchable tasks, and the makespans a 1/2/4/8
+    /// worker pool would need for the measured task costs. See [`ExecStats`].
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec_stats
     }
 
     /// Flushes the current measurement interval, returning the per-query
@@ -401,6 +442,7 @@ impl Monitor {
     /// not positive (possible only for monitors built by [`Monitor::new`]
     /// from an unvalidated configuration).
     pub fn process_batch(&mut self, batch: &Batch) -> Result<BinRecord, NetshedError> {
+        let bin_start = Instant::now();
         if batch.is_empty() {
             return Err(NetshedError::EmptyBatch { bin_index: batch.bin_index });
         }
@@ -444,43 +486,100 @@ impl Monitor {
 
         // Feature extraction over the full (post-drop) batch. This is where
         // the per-packet aggregate hashes are materialised and cached on the
-        // batch; every per-query re-extraction below reuses them.
-        let (features, extraction_ops) = self.extractor.extract_view(&post_drop);
+        // batch; every per-query re-extraction below reuses them. The ten
+        // aggregates are independent bitmap sets, so the extraction is
+        // sharded per aggregate across the execution plane (bit-identical to
+        // the fused pass — inserts into one bitmap commute).
+        let workers = self.config.workers;
+        let mut dispatch_wall_ns = 0u64;
+        let dispatch_start = Instant::now();
+        let mut shards = self.extractor.shard(&post_drop);
+        let extract_task_ns = exec::run_tasks(workers, &mut shards, |shard| {
+            // The first shard to touch the batch builds the shared hash cache
+            // inside its `OnceLock` init; late shards block on it briefly and
+            // then read, so the single-pass build still happens exactly once.
+            shard.process(&post_drop);
+        });
+        let (features, extraction_ops) = FeatureExtractor::finish_shards(&post_drop, &shards);
+        drop(shards);
+        dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
         let mut prediction_cycles = extraction_ops * FEATURE_OP_CYCLES;
 
-        // Per-query predictions of the full-batch cost.
-        let mut predictions = Vec::with_capacity(self.queries.len());
-        for registered in &mut self.queries {
-            let predicted = if registered.penalty_remaining > 0 {
-                0.0
-            } else {
-                let p = registered.predictor.predict(&features);
-                prediction_cycles +=
-                    registered.predictor.last_cost_operations() * PREDICT_OP_CYCLES;
-                p
-            };
-            predictions.push(predicted);
+        // Per-query predictions of the full-batch cost. Every predictor owns
+        // its history and reads only the shared feature vector, so the
+        // predictions — FCBF selection plus an OLS solve each under the
+        // default MLR — are fanned out across the execution plane; the merge
+        // below collects values and cost accounting in registration order,
+        // so the result is bit-identical to the sequential loop.
+        let mut shadow_task_ns: Vec<u64> = Vec::new();
+        struct PredictTask<'a> {
+            predictor: &'a mut Box<dyn Predictor>,
+            penalized: bool,
+            features: &'a FeatureVector,
+            predicted: f64,
+            cost_operations: u64,
         }
+        let mut predict_tasks: Vec<PredictTask> = self
+            .queries
+            .iter_mut()
+            .map(|registered| PredictTask {
+                predictor: &mut registered.exec.predictor,
+                penalized: registered.penalty_remaining > 0,
+                features: &features,
+                predicted: 0.0,
+                cost_operations: 0,
+            })
+            .collect();
+        let dispatch_start = Instant::now();
+        let predict_task_ns = exec::run_tasks(workers, &mut predict_tasks, |task| {
+            if !task.penalized {
+                task.predicted = task.predictor.predict(task.features);
+                task.cost_operations = task.predictor.last_cost_operations();
+            }
+        });
+        dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
+        let mut predictions = Vec::with_capacity(predict_tasks.len());
+        for task in &predict_tasks {
+            prediction_cycles += task.cost_operations * PREDICT_OP_CYCLES;
+            predictions.push(task.predicted);
+        }
+        drop(predict_tasks);
         let predicted_total: f64 = predictions.iter().sum();
 
         // For oracle-style policies: measure each query's true full-batch
         // cycles on a shadow twin fed the unsampled stream. The shadow work
         // models an idealised upper bound and is not charged to the bin.
+        // Every twin is independent deterministic state, so the measurements
+        // are fanned out across the execution plane and collected by index.
         let measured_full: Option<Vec<f64>> = if self.policy.needs_measured_cycles() {
-            Some(
-                self.queries
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(index, registered)| match registered.shadow.as_mut() {
-                        Some(shadow) => {
-                            let mut meter = CycleMeter::new();
-                            shadow.process_batch(&post_drop, 1.0, &mut meter);
-                            meter.cycles() as f64
-                        }
-                        None => predictions[index],
-                    })
-                    .collect(),
-            )
+            struct ShadowTask<'a> {
+                shadow: Option<&'a mut Box<dyn Query>>,
+                fallback: f64,
+                cycles: f64,
+            }
+            let mut tasks: Vec<ShadowTask> = self
+                .queries
+                .iter_mut()
+                .zip(&predictions)
+                .map(|(registered, &fallback)| ShadowTask {
+                    shadow: registered.exec.shadow.as_mut(),
+                    fallback,
+                    cycles: 0.0,
+                })
+                .collect();
+            let dispatch_start = Instant::now();
+            shadow_task_ns = exec::run_tasks(workers, &mut tasks, |task| {
+                task.cycles = match task.shadow.as_mut() {
+                    Some(shadow) => {
+                        let mut meter = CycleMeter::new();
+                        shadow.process_batch(&post_drop, 1.0, &mut meter);
+                        meter.cycles() as f64
+                    }
+                    None => task.fallback,
+                };
+            });
+            dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
+            Some(tasks.into_iter().map(|task| task.cycles).collect())
         } else {
             None
         };
@@ -522,19 +621,76 @@ impl Monitor {
         let decision = self.policy.decide(&context).sanitized(&demands);
         let rates = &decision.rates;
 
-        // Run every query on its (possibly sampled) share of the batch.
-        let mut query_cycles_total = 0.0;
+        // Run every query on its (possibly sampled) share of the batch, in
+        // three phases (see DESIGN.md, "Execution plane"):
+        //
+        // 1. *Plan* (sequential, registration order): penalty accounting,
+        //    flow-hasher refresh, RNG-driven shed-view construction and the
+        //    measurement-noise pre-draw — everything whose stream order the
+        //    sequential path fixed.
+        // 2. *Dispatch* (parallel): per-query sampled re-extraction, the
+        //    query run, noise application and the predictor feedback, each
+        //    task confined to its own query's execution state.
+        // 3. *Merge* (sequential, registration order): cycle sums, Chapter 6
+        //    enforcement and the per-query records.
+        //
+        // Because phase 2 receives fully determined inputs and only writes
+        // per-task state, the merged output is bit-identical to the
+        // sequential path for any worker count.
+        /// How a task obtains the (possibly sampled) view it processes.
+        enum ShedView<'a> {
+            /// Fully determined in the plan phase: the full batch, a custom
+            /// query's full batch, or an RNG-driven packet sample whose draws
+            /// had to stay in plan order.
+            Ready(BatchView),
+            /// Flow-sample the post-drop view inside the worker: H3 hashing
+            /// over the shared flow keys is deterministic per query, so it
+            /// consumes no plan-ordered resource.
+            FlowSampled(&'a H3Hasher),
+        }
+        struct RunTask<'a> {
+            exec: &'a mut QueryExecState,
+            shedding: SheddingMethod,
+            post_drop: &'a BatchView,
+            view: ShedView<'a>,
+            needs_reextract: bool,
+            rate: f64,
+            predicted: f64,
+            noise: NoiseDraw,
+            features: &'a FeatureVector,
+            // Outputs, filled by the worker.
+            measured: f64,
+            outlier: bool,
+            delivered_packets: u64,
+            reextract_ops: u64,
+        }
+        /// What the plan decided for one query, in registration order.
+        enum Planned {
+            /// Not run this bin; the record is already complete.
+            Skip(QueryBinRecord),
+            /// Run as the task at this index of the dispatch set.
+            Run(usize),
+        }
+
+        let mut planned: Vec<Planned> = Vec::with_capacity(self.queries.len());
+        let mut tasks: Vec<RunTask> = Vec::with_capacity(self.queries.len());
         let mut shedding_cycles = 0u64;
         let mut unsampled_accumulator = 0u64;
-        let mut query_records = Vec::with_capacity(self.queries.len());
+        let seed = self.config.seed;
+        // Split the monitor's fields so the per-query execution states can be
+        // borrowed into tasks while the plan keeps using the RNG and noise
+        // streams.
+        let queries = &mut self.queries;
+        let rng = &mut self.rng;
+        let noise = &mut self.noise;
 
-        for (index, registered) in self.queries.iter_mut().enumerate() {
+        for (index, registered) in queries.iter_mut().enumerate() {
             let rate = rates[index];
             let predicted = predictions[index];
 
             if registered.penalty_remaining > 0 {
                 registered.penalty_remaining -= 1;
-                query_records.push(QueryBinRecord {
+                planned.push(Planned::Skip(QueryBinRecord {
                     id: registered.id,
                     name: registered.label.clone(),
                     sampling_rate: 0.0,
@@ -542,11 +698,11 @@ impl Monitor {
                     measured_cycles: 0.0,
                     delivered_packets: 0,
                     disabled: true,
-                });
+                }));
                 continue;
             }
             if rate <= 0.0 {
-                query_records.push(QueryBinRecord {
+                planned.push(Planned::Skip(QueryBinRecord {
                     id: registered.id,
                     name: registered.label.clone(),
                     sampling_rate: 0.0,
@@ -554,7 +710,7 @@ impl Monitor {
                     measured_cycles: 0.0,
                     delivered_packets: 0,
                     disabled: true,
-                });
+                }));
                 unsampled_accumulator += post_drop.len() as u64;
                 continue;
             }
@@ -567,61 +723,143 @@ impl Monitor {
                 && registered.hasher_generation != interval
             {
                 registered.flow_hasher =
-                    H3Hasher::new(13, self.config.seed ^ (interval << 8) ^ registered.id.0);
+                    H3Hasher::new(13, seed ^ (interval << 8) ^ registered.id.0);
                 registered.hasher_generation = interval;
             }
 
-            // Apply the load shedding mechanism.
-            let (delivered, sampled_features) = if rate >= 1.0 {
-                (post_drop.clone(), None)
+            // Construct the shed view. Packet sampling draws from the shared
+            // RNG, so it stays on the plan phase in registration order — the
+            // stream is consumed exactly as the sequential path does; flow
+            // sampling is deterministic per query and is deferred into the
+            // worker task.
+            let (view, needs_reextract) = if rate >= 1.0 {
+                (ShedView::Ready(post_drop.clone()), false)
             } else {
                 match registered.shedding {
                     SheddingMethod::PacketSampling => {
-                        let (sampled, _) = packet_sample(&post_drop, rate, &mut self.rng);
+                        let (sampled, _) = packet_sample(&post_drop, rate, rng);
                         shedding_cycles += post_drop.len() as u64 * SAMPLING_TEST_CYCLES;
-                        let (f, ops) = registered.sampled_extractor.extract_view(&sampled);
-                        shedding_cycles += ops * REEXTRACT_OP_CYCLES;
-                        (sampled, Some(f))
+                        (ShedView::Ready(sampled), true)
                     }
                     SheddingMethod::FlowSampling => {
-                        let (sampled, _) = flow_sample(&post_drop, rate, &registered.flow_hasher);
                         shedding_cycles += post_drop.len() as u64 * SAMPLING_TEST_CYCLES;
-                        let (f, ops) = registered.sampled_extractor.extract_view(&sampled);
-                        shedding_cycles += ops * REEXTRACT_OP_CYCLES;
-                        (sampled, Some(f))
+                        (ShedView::FlowSampled(&registered.flow_hasher), true)
                     }
-                    SheddingMethod::Custom => (post_drop.clone(), None),
+                    SheddingMethod::Custom => (ShedView::Ready(post_drop.clone()), false),
                 }
             };
-            unsampled_accumulator += post_drop.len() as u64 - delivered.len() as u64;
+
+            planned.push(Planned::Run(tasks.len()));
+            tasks.push(RunTask {
+                exec: &mut registered.exec,
+                shedding: registered.shedding,
+                post_drop: &post_drop,
+                view,
+                needs_reextract,
+                rate,
+                predicted,
+                // Pre-drawn in registration order: the noise RNG consumes a
+                // configuration-fixed number of samples per running query, so
+                // the stream matches the sequential path bit for bit.
+                noise: noise.draw(),
+                features: &features,
+                measured: 0.0,
+                outlier: false,
+                delivered_packets: 0,
+                reextract_ops: 0,
+            });
+        }
+
+        // Dispatch the expensive tail across the execution plane.
+        let dispatch_start = Instant::now();
+        let tail_task_ns = exec::run_tasks(workers, &mut tasks, |task| {
+            let delivered = match &task.view {
+                ShedView::Ready(view) => view.clone(),
+                ShedView::FlowSampled(hasher) => flow_sample(task.post_drop, task.rate, hasher).0,
+            };
+            task.delivered_packets = delivered.len() as u64;
+
+            // Recompute the features over the sampled stream so the MLR
+            // history stays consistent (Section 4.3); the per-query extractor
+            // belongs to this task alone.
+            let sampled_features = if task.needs_reextract {
+                let (extracted, ops) = task.exec.sampled_extractor.extract_view(&delivered);
+                task.reextract_ops = ops;
+                Some(extracted)
+            } else {
+                None
+            };
 
             // Run the query and measure its cycles.
             let mut meter = CycleMeter::new();
-            registered.query.process_batch(&delivered, rate, &mut meter);
-            let (measured, outlier) = self.noise.measure(meter.cycles());
+            task.exec.query.process_batch(&delivered, task.rate, &mut meter);
+            let (measured, outlier) = task.noise.apply(meter.cycles());
             let measured = measured as f64;
-            query_cycles_total += measured;
 
             // Feed the observation back into the prediction history. For
             // custom shedding the assigned rate plays the same role as a
             // sampling rate: the query is expected to scale its work by it.
-            let expected = predicted * rate;
-            let history_features: &FeatureVector = sampled_features.as_ref().unwrap_or(&features);
+            let expected = task.predicted * task.rate;
+            let history_features: &FeatureVector =
+                sampled_features.as_ref().unwrap_or(task.features);
             if outlier {
                 // Replace corrupted measurements with the prediction
                 // (Section 3.2.4 / 4.4).
-                registered.predictor.observe_corrupted(history_features, expected.max(0.0));
-            } else if registered.shedding == SheddingMethod::Custom && rate < 1.0 {
+                task.exec.predictor.observe_corrupted(history_features, expected.max(0.0));
+            } else if task.shedding == SheddingMethod::Custom && task.rate < 1.0 {
                 // Custom shedding: the history models the full-batch cost, so
                 // scale the measurement by the requested rate.
-                registered.predictor.observe(&features, measured / rate.max(1e-6));
+                task.exec.predictor.observe(task.features, measured / task.rate.max(1e-6));
             } else {
-                registered.predictor.observe(history_features, measured);
+                task.exec.predictor.observe(history_features, measured);
             }
+            task.measured = measured;
+            task.outlier = outlier;
+        });
+        dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
+
+        // Collect the task outputs, releasing the borrows on the query states.
+        struct TaskOutput {
+            rate: f64,
+            predicted: f64,
+            measured: f64,
+            outlier: bool,
+            delivered_packets: u64,
+            reextract_ops: u64,
+        }
+        let outputs: Vec<TaskOutput> = tasks
+            .into_iter()
+            .map(|task| TaskOutput {
+                rate: task.rate,
+                predicted: task.predicted,
+                measured: task.measured,
+                outlier: task.outlier,
+                delivered_packets: task.delivered_packets,
+                reextract_ops: task.reextract_ops,
+            })
+            .collect();
+
+        // Merge in registration order: every sum below folds in exactly the
+        // sequence the sequential path used.
+        let mut query_cycles_total = 0.0;
+        let mut query_records = Vec::with_capacity(self.queries.len());
+        for (registered, entry) in self.queries.iter_mut().zip(planned) {
+            let task_index = match entry {
+                Planned::Skip(record) => {
+                    query_records.push(record);
+                    continue;
+                }
+                Planned::Run(task_index) => task_index,
+            };
+            let output = &outputs[task_index];
+            shedding_cycles += output.reextract_ops * REEXTRACT_OP_CYCLES;
+            unsampled_accumulator += post_drop.len() as u64 - output.delivered_packets;
+            query_cycles_total += output.measured;
 
             // Chapter 6 enforcement for custom load shedding queries.
-            if registered.shedding == SheddingMethod::Custom && expected > 0.0 && !outlier {
-                let overuse = measured / expected;
+            let expected = output.predicted * output.rate;
+            if registered.shedding == SheddingMethod::Custom && expected > 0.0 && !output.outlier {
+                let overuse = output.measured / expected;
                 registered.overuse_ratio = 0.3 * overuse + 0.7 * registered.overuse_ratio;
                 if overuse > 1.0 + self.config.enforcement.tolerance {
                     registered.violations += 1;
@@ -637,10 +875,10 @@ impl Monitor {
             query_records.push(QueryBinRecord {
                 id: registered.id,
                 name: registered.label.clone(),
-                sampling_rate: rate,
-                predicted_cycles: predicted,
-                measured_cycles: measured,
-                delivered_packets: delivered.len() as u64,
+                sampling_rate: output.rate,
+                predicted_cycles: output.predicted,
+                measured_cycles: output.measured,
+                delivered_packets: output.delivered_packets,
                 disabled: false,
             });
         }
@@ -674,6 +912,14 @@ impl Monitor {
         } else {
             unsampled_accumulator / self.queries.len() as u64
         };
+
+        // Execution-plane telemetry: sequential time is everything this call
+        // spent outside its dispatches.
+        let total_bin_ns = bin_start.elapsed().as_nanos() as u64;
+        self.exec_stats.fold_bin(
+            total_bin_ns.saturating_sub(dispatch_wall_ns),
+            &[&extract_task_ns, &predict_task_ns, &shadow_task_ns, &tail_task_ns],
+        );
 
         Ok(BinRecord {
             bin_index: batch.bin_index,
@@ -725,10 +971,10 @@ impl Monitor {
                 // Shadow twins close intervals on the same boundaries so
                 // their per-interval state cannot grow without bound; their
                 // outputs are discarded (only their cycles matter).
-                if let Some(shadow) = registered.shadow.as_mut() {
+                if let Some(shadow) = registered.exec.shadow.as_mut() {
                     let _ = shadow.end_interval();
                 }
-                (registered.label.clone(), registered.query.end_interval())
+                (registered.label.clone(), registered.exec.query.end_interval())
             })
             .collect()
     }

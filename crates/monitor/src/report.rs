@@ -5,7 +5,7 @@ use crate::policy::ControlDecision;
 use netshed_queries::QueryOutput;
 
 /// What happened to one query during one time bin.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryBinRecord {
     /// Handle of the query instance.
     pub id: QueryId,
@@ -27,7 +27,10 @@ pub struct QueryBinRecord {
 }
 
 /// Everything that happened during one time bin.
-#[derive(Debug, Clone)]
+///
+/// Records compare with `==` so replay tests can pin bit-identical streams
+/// (the execution-plane determinism contract relies on this).
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinRecord {
     /// Index of the time bin.
     pub bin_index: u64,

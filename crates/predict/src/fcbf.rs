@@ -32,6 +32,17 @@ impl Default for FcbfConfig {
     }
 }
 
+/// Reusable working memory for [`fcbf_select_with`]: the response column and
+/// the probe buffer each relevance test streams a feature into. One scratch
+/// lives per predictor, so the 42-feature relevance pass performs no
+/// allocation at all except for the (few) candidates that clear the
+/// threshold.
+#[derive(Debug, Default)]
+pub struct FcbfScratch {
+    responses: Vec<f64>,
+    column: Vec<f64>,
+}
+
 /// Selects predictor feature indices from the history using FCBF.
 ///
 /// Returns the indices (into the feature vector) of the selected features,
@@ -39,18 +50,33 @@ impl Default for FcbfConfig {
 /// be empty if no feature clears the threshold; callers are expected to fall
 /// back to a sensible default (the `packets` feature) in that case.
 pub fn fcbf_select(history: &History, config: &FcbfConfig, feature_count: usize) -> Vec<usize> {
+    fcbf_select_with(history, config, feature_count, &mut FcbfScratch::default())
+}
+
+/// [`fcbf_select`] with caller-owned scratch buffers — the allocation-free
+/// variant the per-bin prediction hot path uses. Bit-identical to
+/// [`fcbf_select`]: the correlation tests see exactly the same values.
+pub fn fcbf_select_with(
+    history: &History,
+    config: &FcbfConfig,
+    feature_count: usize,
+    scratch: &mut FcbfScratch,
+) -> Vec<usize> {
     if history.len() < 2 {
         return Vec::new();
     }
-    let responses = history.responses();
+    history.fill_responses(&mut scratch.responses);
+    let responses = &scratch.responses;
 
     // Phase 1: relevance.
     let mut candidates: Vec<(usize, f64, Vec<f64>)> = Vec::new();
+    scratch.column.clear();
+    scratch.column.resize(history.len(), 0.0);
     for index in 0..feature_count {
-        let column = history.feature_column(index);
-        let correlation = pearson(&column, &responses).abs();
+        history.fill_feature_column(index, &mut scratch.column);
+        let correlation = pearson(&scratch.column, responses).abs();
         if correlation >= config.threshold {
-            candidates.push((index, correlation, column));
+            candidates.push((index, correlation, scratch.column.clone()));
         }
     }
     candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());

@@ -55,9 +55,31 @@ impl History {
         self.entries.iter().map(|(_, y)| *y).collect()
     }
 
+    /// Writes the response column into `out`, reusing its allocation.
+    ///
+    /// The allocation-free sibling of [`History::responses`], used by the
+    /// per-bin prediction hot path.
+    pub fn fill_responses(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.entries.iter().map(|(_, y)| *y));
+    }
+
     /// Returns the values of the feature at `feature_index` across the history.
     pub fn feature_column(&self, feature_index: usize) -> Vec<f64> {
         self.entries.iter().map(|(f, _)| f.get_index(feature_index)).collect()
+    }
+
+    /// Writes the values of the feature at `feature_index` into `out`, which
+    /// must already have `len()` elements (one slot per observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn fill_feature_column(&self, feature_index: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len(), "column buffer must match the history length");
+        for (slot, (features, _)) in out.iter_mut().zip(self.entries.iter()) {
+            *slot = features.get_index(feature_index);
+        }
     }
 
     /// Discards all observations.

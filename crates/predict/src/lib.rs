@@ -29,7 +29,7 @@ pub mod history;
 pub mod predictor;
 
 pub use error::ErrorStats;
-pub use fcbf::{fcbf_select, FcbfConfig};
+pub use fcbf::{fcbf_select, fcbf_select_with, FcbfConfig, FcbfScratch};
 pub use history::History;
 pub use predictor::{
     EwmaPredictor, MlrConfig, MlrPredictor, Predictor, PredictorFactory, SlrPredictor,

@@ -1,6 +1,6 @@
 //! The three CPU-usage predictors: MLR+FCBF, SLR and EWMA.
 
-use crate::fcbf::{fcbf_select, FcbfConfig};
+use crate::fcbf::{fcbf_select_with, FcbfConfig, FcbfScratch};
 use crate::history::History;
 use netshed_features::{FeatureId, FeatureVector, FEATURE_COUNT};
 use netshed_linalg::stats::Ewma;
@@ -102,6 +102,11 @@ impl Default for MlrConfig {
 
 /// The paper's predictor: FCBF feature selection + multiple linear regression
 /// over a sliding window of observations.
+///
+/// The per-bin cost is kept down two ways: the FCBF-selected feature set is
+/// cached between reselections (`reselect_every`), and the design-matrix,
+/// response and probe-row buffers are owned by the predictor and refilled in
+/// place every bin instead of being reallocated per `predict` call.
 #[derive(Debug)]
 pub struct MlrPredictor {
     config: MlrConfig,
@@ -109,6 +114,14 @@ pub struct MlrPredictor {
     selected: Vec<usize>,
     batches_since_selection: usize,
     last_cost: u64,
+    /// Scratch design matrix (intercept + selected features), reused per bin.
+    design: Matrix,
+    /// Scratch response column, reused per bin.
+    responses: Vec<f64>,
+    /// Scratch probe row for the prediction, reused per bin.
+    row: Vec<f64>,
+    /// Scratch buffers for the FCBF relevance pass, reused per reselection.
+    fcbf_scratch: FcbfScratch,
 }
 
 impl MlrPredictor {
@@ -120,6 +133,10 @@ impl MlrPredictor {
             selected: Vec::new(),
             batches_since_selection: 0,
             last_cost: 0,
+            design: Matrix::zeros(0, 0),
+            responses: Vec::new(),
+            row: Vec::new(),
+            fcbf_scratch: FcbfScratch::default(),
         }
     }
 
@@ -132,17 +149,6 @@ impl MlrPredictor {
     pub fn history(&self) -> &History {
         &self.history
     }
-
-    /// Builds the design matrix (intercept + selected features) over the history.
-    fn design_matrix(&self, selected: &[usize]) -> (Matrix, Vec<f64>) {
-        let n = self.history.len();
-        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(selected.len() + 1);
-        columns.push(vec![1.0; n]);
-        for &feature in selected {
-            columns.push(self.history.feature_column(feature));
-        }
-        (Matrix::from_columns(&columns), self.history.responses())
-    }
 }
 
 impl Predictor for MlrPredictor {
@@ -151,13 +157,22 @@ impl Predictor for MlrPredictor {
         if n < 3 {
             // Not enough history to regress; fall back to the mean of what we
             // have seen (or zero for a cold start).
-            let responses = self.history.responses();
-            return netshed_linalg::stats::mean(&responses);
+            self.history.fill_responses(&mut self.responses);
+            return netshed_linalg::stats::mean(&self.responses);
         }
 
-        // Re-run feature selection periodically (every batch by default).
-        if self.selected.is_empty() || self.batches_since_selection >= self.config.reselect_every {
-            self.selected = fcbf_select(&self.history, &self.config.fcbf, FEATURE_COUNT);
+        // Re-run feature selection periodically (every batch by default); in
+        // between, the cached selection is reused so the 42-column FCBF
+        // correlation pass is paid once per `reselect_every` bins.
+        let reselected =
+            self.selected.is_empty() || self.batches_since_selection >= self.config.reselect_every;
+        if reselected {
+            self.selected = fcbf_select_with(
+                &self.history,
+                &self.config.fcbf,
+                FEATURE_COUNT,
+                &mut self.fcbf_scratch,
+            );
             if self.selected.is_empty() {
                 // Nothing cleared the threshold: fall back to the packet count,
                 // which the paper reports as the most broadly useful feature.
@@ -167,26 +182,35 @@ impl Predictor for MlrPredictor {
         }
         self.batches_since_selection += 1;
 
-        let (design, responses) = self.design_matrix(&self.selected);
-        let fit = ols_solve(&design, &responses, self.config.rcond);
+        // Refill the scratch design matrix (intercept + selected features)
+        // and response column in place.
+        self.design.reshape_zeroed(n, self.selected.len() + 1);
+        self.design.column_mut(0).fill(1.0);
+        for (j, &feature) in self.selected.iter().enumerate() {
+            self.history.fill_feature_column(feature, self.design.column_mut(j + 1));
+        }
+        self.history.fill_responses(&mut self.responses);
+        let fit = ols_solve(&self.design, &self.responses, self.config.rcond);
 
-        // Cost accounting: correlation pass (n * p) + OLS (~ n * k^2).
-        let p = FEATURE_COUNT as u64;
+        // Cost accounting: the FCBF correlation pass (n * p) is charged only
+        // on bins that actually reselected — cached bins skip it — plus the
+        // OLS solve (~ n * k^2) every bin.
+        let correlation_cost = if reselected { n as u64 * FEATURE_COUNT as u64 } else { 0 };
         let k = self.selected.len() as u64 + 1;
-        self.last_cost = n as u64 * p + n as u64 * k * k;
+        self.last_cost = correlation_cost + n as u64 * k * k;
 
-        let mut row = Vec::with_capacity(self.selected.len() + 1);
-        row.push(1.0);
-        row.extend(self.selected.iter().map(|&i| features.get_index(i)));
-        fit.predict(&row).max(0.0)
+        self.row.clear();
+        self.row.push(1.0);
+        self.row.extend(self.selected.iter().map(|&i| features.get_index(i)));
+        fit.predict(&self.row).max(0.0)
     }
 
     fn observe(&mut self, features: &FeatureVector, actual_cycles: f64) {
-        self.history.push(features.clone(), actual_cycles);
+        self.history.push(*features, actual_cycles);
     }
 
     fn observe_corrupted(&mut self, features: &FeatureVector, predicted_cycles: f64) {
-        self.history.push(features.clone(), predicted_cycles);
+        self.history.push(*features, predicted_cycles);
     }
 
     fn name(&self) -> &'static str {
@@ -238,7 +262,7 @@ impl Predictor for SlrPredictor {
     }
 
     fn observe(&mut self, features: &FeatureVector, actual_cycles: f64) {
-        self.history.push(features.clone(), actual_cycles);
+        self.history.push(*features, actual_cycles);
     }
 
     fn name(&self) -> &'static str {
@@ -380,6 +404,30 @@ mod tests {
         let prediction = p.predict(&f);
         assert!(prediction.is_finite());
         assert!(prediction >= 0.0);
+    }
+
+    /// Pins the observe path after the per-bin `features.clone()` was
+    /// replaced by a `Copy` dereference: the history must store exactly the
+    /// vectors that were observed, value for value, in observation order.
+    #[test]
+    fn observe_stores_the_exact_feature_vectors() {
+        let mut mlr = MlrPredictor::with_defaults();
+        let mut slr = SlrPredictor::on_packets();
+        let mut expected = Vec::new();
+        for i in 0..5 {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, 100.0 + f64::from(i));
+            f.set(FeatureId::Bytes, 1e4 * f64::from(i + 1));
+            f.set(FeatureId::from_index(9), 3.5 * f64::from(i));
+            let y = 7.0 * f64::from(i);
+            mlr.observe(&f, y);
+            slr.observe(&f, y);
+            expected.push((f, y));
+        }
+        for history in [mlr.history(), &slr.history] {
+            let stored: Vec<(FeatureVector, f64)> = history.iter().cloned().collect();
+            assert_eq!(stored, expected, "history must hold the observed vectors unchanged");
+        }
     }
 
     #[test]

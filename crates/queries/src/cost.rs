@@ -130,20 +130,54 @@ impl MeasurementNoise {
     /// Applies the noise model to a deterministic cycle count and reports
     /// whether this measurement was disturbed by a context switch.
     pub fn measure(&mut self, cycles: u64) -> (u64, bool) {
-        let mut measured = cycles as f64;
-        if self.jitter_stdev > 0.0 {
+        self.draw().apply(cycles)
+    }
+
+    /// Draws the disturbances for one measurement *without* applying them.
+    ///
+    /// The number of RNG samples consumed per draw depends only on the model
+    /// configuration, never on the measured value, so a caller may pre-draw
+    /// the noise for a set of measurements in a fixed order and apply each
+    /// [`NoiseDraw`] later (possibly on another thread) — the RNG stream, and
+    /// therefore every disturbed value, is bit-identical to calling
+    /// [`MeasurementNoise::measure`] in that same order.
+    pub fn draw(&mut self) -> NoiseDraw {
+        let jitter_factor = if self.jitter_stdev > 0.0 {
             // Box–Muller normal sample.
             let u1: f64 = 1.0 - self.rng.gen::<f64>();
             let u2: f64 = self.rng.gen();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            measured *= (1.0 + self.jitter_stdev * z).max(0.5);
-        }
+            (1.0 + self.jitter_stdev * z).max(0.5)
+        } else {
+            1.0
+        };
         let outlier =
             self.outlier_probability > 0.0 && self.rng.gen::<f64>() < self.outlier_probability;
-        if outlier {
+        NoiseDraw { jitter_factor, outlier, outlier_cycles: self.outlier_cycles }
+    }
+}
+
+/// The disturbances [`MeasurementNoise`] drew for one measurement, decoupled
+/// from the value they disturb (see [`MeasurementNoise::draw`]).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseDraw {
+    /// Multiplicative cache/bus-contention jitter (1.0 when disabled).
+    jitter_factor: f64,
+    /// Whether a context switch hit this measurement.
+    outlier: bool,
+    /// Cycles a context switch adds.
+    outlier_cycles: u64,
+}
+
+impl NoiseDraw {
+    /// Applies the drawn disturbances to a deterministic cycle count,
+    /// returning the disturbed value and whether it was hit by an outlier.
+    pub fn apply(&self, cycles: u64) -> (u64, bool) {
+        let mut measured = cycles as f64 * self.jitter_factor;
+        if self.outlier {
             measured += self.outlier_cycles as f64;
         }
-        (measured.max(0.0) as u64, outlier)
+        (measured.max(0.0) as u64, self.outlier)
     }
 }
 

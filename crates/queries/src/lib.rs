@@ -39,7 +39,7 @@ pub mod simple_queries;
 pub mod state_queries;
 
 pub use boyer_moore::BoyerMoore;
-pub use cost::{costs, CycleMeter, MeasurementNoise};
+pub use cost::{costs, CycleMeter, MeasurementNoise, NoiseDraw};
 pub use output::QueryOutput;
 pub use query::{Query, SheddingMethod};
 pub use registry::{build_query, build_query_from_spec, QueryKind, QuerySpec};

@@ -8,9 +8,8 @@
 use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{scale, Query, SheddingMethod};
-use netshed_sketch::hash_bytes;
+use netshed_sketch::{hash_bytes, DetHashMap, DetHashSet};
 use netshed_trace::BatchView;
-use std::collections::{HashMap, HashSet};
 
 /// `flows`: per-flow classification and count of active 5-tuple flows.
 ///
@@ -18,13 +17,13 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug, Default)]
 pub struct FlowsQuery {
     /// Flow key → Horvitz–Thompson weight (1 / sampling rate at insertion).
-    table: HashMap<u64, f64>,
+    table: DetHashMap<u64, f64>,
 }
 
 impl FlowsQuery {
     /// Creates the query.
     pub fn new() -> Self {
-        Self { table: HashMap::new() }
+        Self { table: DetHashMap::default() }
     }
 }
 
@@ -65,13 +64,13 @@ impl Query for FlowsQuery {
 #[derive(Debug)]
 pub struct TopKQuery {
     k: usize,
-    bytes_per_dst: HashMap<u32, f64>,
+    bytes_per_dst: DetHashMap<u32, f64>,
 }
 
 impl TopKQuery {
     /// Creates a query reporting the top `k` destinations.
     pub fn new(k: usize) -> Self {
-        Self { k: k.max(1), bytes_per_dst: HashMap::new() }
+        Self { k: k.max(1), bytes_per_dst: DetHashMap::default() }
     }
 }
 
@@ -122,14 +121,14 @@ impl Query for TopKQuery {
 pub struct SuperSourcesQuery {
     /// Number of sources reported.
     top: usize,
-    pairs_seen: HashSet<u64>,
-    fanout: HashMap<u32, f64>,
+    pairs_seen: DetHashSet<u64>,
+    fanout: DetHashMap<u32, f64>,
 }
 
 impl SuperSourcesQuery {
     /// Creates a query reporting the `top` sources by fan-out.
     pub fn new(top: usize) -> Self {
-        Self { top: top.max(1), pairs_seen: HashSet::new(), fanout: HashMap::new() }
+        Self { top: top.max(1), pairs_seen: DetHashSet::default(), fanout: DetHashMap::default() }
     }
 }
 
@@ -184,7 +183,7 @@ pub struct AutofocusQuery {
     /// Report threshold as a fraction of the interval's total bytes.
     threshold_fraction: f64,
     /// Bytes per (prefix value, prefix length).
-    prefixes: HashMap<(u32, u8), f64>,
+    prefixes: DetHashMap<(u32, u8), f64>,
     total_bytes: f64,
     sampling_rate: f64,
 }
@@ -195,7 +194,7 @@ impl AutofocusQuery {
     pub fn new(threshold_fraction: f64) -> Self {
         Self {
             threshold_fraction: threshold_fraction.clamp(0.0001, 1.0),
-            prefixes: HashMap::new(),
+            prefixes: DetHashMap::default(),
             total_bytes: 0.0,
             sampling_rate: 1.0,
         }

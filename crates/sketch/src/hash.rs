@@ -93,6 +93,45 @@ impl IncrementalFnv {
     }
 }
 
+/// A deterministic [`std::hash::Hasher`] (FNV-1a + [`mix64`]) for hash-table
+/// state that must iterate in a replay-stable order.
+///
+/// `std::collections::HashMap`'s default `RandomState` draws a fresh seed per
+/// map instance, so two bit-identical runs iterate — and therefore fold
+/// floating-point aggregates — in different orders, diverging in the last
+/// ulp. Query state tables that are summed or ranked at interval boundaries
+/// use [`DetHashMap`] / [`DetHashSet`] instead: same insertion history, same
+/// iteration order, bit-identical outputs. (HashDoS resistance is not a
+/// concern for these tables: keys are already 64-bit hashes of attacker-
+/// invisible seeds, or bounded enumerations.)
+#[derive(Debug, Clone, Copy)]
+pub struct DetHasher(IncrementalFnv);
+
+impl Default for DetHasher {
+    fn default() -> Self {
+        Self(IncrementalFnv::new(0))
+    }
+}
+
+impl std::hash::Hasher for DetHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
+/// Deterministic build-hasher for replay-stable maps.
+pub type DetBuildHasher = std::hash::BuildHasherDefault<DetHasher>;
+/// A `HashMap` with replay-stable iteration order (see [`DetHasher`]).
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetBuildHasher>;
+/// A `HashSet` with replay-stable iteration order (see [`DetHasher`]).
+pub type DetHashSet<T> = std::collections::HashSet<T, DetBuildHasher>;
+
 /// An H3-style universal hash over fixed-length keys, realised as tabulation
 /// hashing: one 256-entry table of random 64-bit words per key byte, XORed
 /// together.

@@ -25,4 +25,6 @@ pub mod hash;
 
 pub use bitmap::{LinearCounting, MultiResolutionBitmap};
 pub use bloom::BloomFilter;
-pub use hash::{hash_bytes, mix64, H3Hasher, IncrementalFnv};
+pub use hash::{
+    hash_bytes, mix64, DetBuildHasher, DetHashMap, DetHashSet, DetHasher, H3Hasher, IncrementalFnv,
+};

@@ -91,6 +91,17 @@ impl PacketStore {
     }
 }
 
+// The execution plane shares one `PacketStore` (through `Batch` and
+// `BatchView` clones) across worker threads; the store is immutable after
+// construction and its lazy caches are `OnceLock`-guarded, so all three types
+// must stay `Send + Sync`. Compile-time proof:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PacketStore>();
+    assert_send_sync::<Batch>();
+    assert_send_sync::<BatchView>();
+};
+
 impl Deref for PacketStore {
     type Target = [Packet];
 
@@ -316,6 +327,21 @@ impl BatchView {
         }
     }
 
+    /// Iterates over the retained packets' *store indices* without touching
+    /// the packets themselves.
+    ///
+    /// Consumers that only address per-packet side arrays (the aggregate-hash
+    /// rows, the flow keys) should prefer this over
+    /// [`BatchView::indexed_packets`]: a full view yields `0..len` and a
+    /// sampled view walks its keep-list, so no packet memory is pulled
+    /// through the cache just to be ignored.
+    pub fn store_indices(&self) -> StoreIndices<'_> {
+        StoreIndices(match &self.keep {
+            Some(keep) => StoreIndicesInner::Kept(keep.iter()),
+            None => StoreIndicesInner::Full(0..self.store.len()),
+        })
+    }
+
     /// Summary statistics over the retained packets.
     ///
     /// A full view returns the store's cached stats; a sampled view computes
@@ -386,6 +412,38 @@ impl BatchView {
         )
     }
 }
+
+/// Iterator over the retained store indices of a [`BatchView`]
+/// (see [`BatchView::store_indices`]).
+#[derive(Debug)]
+pub struct StoreIndices<'a>(StoreIndicesInner<'a>);
+
+#[derive(Debug)]
+enum StoreIndicesInner<'a> {
+    Full(std::ops::Range<usize>),
+    Kept(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for StoreIndices<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.0 {
+            StoreIndicesInner::Full(range) => range.next(),
+            StoreIndicesInner::Kept(iter) => iter.next().map(|&index| index as usize),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            StoreIndicesInner::Full(range) => range.size_hint(),
+            StoreIndicesInner::Kept(iter) => iter.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for StoreIndices<'_> {}
 
 /// Iterator over `(store index, packet)` pairs of a [`BatchView`].
 ///

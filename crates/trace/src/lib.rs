@@ -41,7 +41,8 @@ pub mod source;
 pub use aggregate::{aggregate_hash_seed, Aggregate, AggregateHashes, AGGREGATE_COUNT};
 pub use anomaly::{Anomaly, AnomalyInjector, AnomalyKind};
 pub use batch::{
-    Batch, BatchBuilder, BatchStats, BatchView, PacketStore, TimestampJumpError, MAX_GAP_BINS,
+    Batch, BatchBuilder, BatchStats, BatchView, PacketStore, StoreIndices, TimestampJumpError,
+    MAX_GAP_BINS,
 };
 pub use generator::{AppProtocol, TraceConfig, TraceGenerator};
 pub use packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};

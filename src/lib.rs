@@ -35,10 +35,10 @@ pub use netshed_trace as trace;
 pub use netshed_fairness::{AllocationStrategy, QueryDemand};
 pub use netshed_monitor::{
     AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision, ControlPolicy,
-    DecisionReason, EnforcementConfig, HysteresisReactivePolicy, Monitor, MonitorBuilder,
-    MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy, PredictivePolicy,
-    PredictorKind, QueryId, ReactivePolicy, RecordSink, ReferenceRunner, RunObserver, RunSummary,
-    Strategy,
+    DecisionReason, EnforcementConfig, ExecStats, HysteresisReactivePolicy, Monitor,
+    MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
+    PredictivePolicy, PredictorKind, QueryId, ReactivePolicy, RecordSink, ReferenceRunner,
+    RunObserver, RunSummary, Strategy,
 };
 pub use netshed_predict::{Predictor, PredictorFactory};
 pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
@@ -52,10 +52,10 @@ pub mod prelude {
     pub use netshed_fairness::{Allocation, AllocationStrategy, QueryDemand};
     pub use netshed_monitor::{
         AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision,
-        ControlPolicy, DecisionReason, EnforcementConfig, HysteresisReactivePolicy, Monitor,
-        MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
-        PredictivePolicy, PredictorKind, QueryBinRecord, QueryId, ReactivePolicy, RecordSink,
-        ReferenceRunner, RunObserver, RunSummary, Strategy,
+        ControlPolicy, DecisionReason, EnforcementConfig, ExecStats, HysteresisReactivePolicy,
+        Monitor, MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver,
+        OraclePolicy, PredictivePolicy, PredictorKind, QueryBinRecord, QueryId, ReactivePolicy,
+        RecordSink, ReferenceRunner, RunObserver, RunSummary, Strategy,
     };
     pub use netshed_predict::{Predictor, PredictorFactory};
     pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};

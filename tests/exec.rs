@@ -1,0 +1,163 @@
+//! Execution-plane determinism tests: for any worker count, the monitor must
+//! produce **bit-identical** per-bin records, decisions and interval outputs
+//! — the contract that makes `with_workers` a pure wall-clock knob.
+//!
+//! The runs deliberately keep measurement noise *enabled*: the noise RNG is
+//! the easiest place for a parallel dispatch to reorder draws, so the replay
+//! must prove the pre-draw discipline holds, not sidestep it.
+
+use netshed::fairness::MmfsPkt;
+use netshed::prelude::*;
+
+/// Payload-carrying traffic so packet-, flow- and custom-shedding queries all
+/// do real work.
+fn recorded_batches(batches: usize) -> Vec<Batch> {
+    TraceGenerator::new(
+        TraceConfig::default().with_seed(41).with_mean_packets_per_batch(300.0).with_payloads(true),
+    )
+    .batches(batches)
+}
+
+/// One query per shedding method, plus top-k whose 0.57 minimum rate forces
+/// the disabled path under overload: packet sampling (counter,
+/// pattern-search), flow sampling (flows), custom shedding (p2p-detector).
+fn specs() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::new(QueryKind::Counter),
+        QuerySpec::new(QueryKind::Flows),
+        QuerySpec::new(QueryKind::TopK),
+        QuerySpec::new(QueryKind::PatternSearch),
+        QuerySpec::new(QueryKind::P2pDetector).with_custom(CustomBehavior::Honest),
+    ]
+}
+
+/// Collects everything the monitor emits, for exact comparison.
+#[derive(Default)]
+struct FullTape {
+    records: Vec<BinRecord>,
+    intervals: Vec<Vec<(String, QueryOutput)>>,
+    decisions: Vec<(u64, ControlDecision)>,
+}
+
+impl RunObserver for FullTape {
+    fn on_bin(&mut self, record: &BinRecord) {
+        self.records.push(record.clone());
+    }
+
+    fn on_interval(&mut self, outputs: &[(String, QueryOutput)]) {
+        self.intervals.push(outputs.to_vec());
+    }
+
+    fn on_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+        self.decisions.push((bin_index, decision.clone()));
+    }
+}
+
+fn replay(
+    batches: &[Batch],
+    capacity: f64,
+    strategy: Option<Strategy>,
+    workers: usize,
+) -> (FullTape, RunSummary) {
+    // Noise stays on (the builder default) — determinism must survive it.
+    let mut builder =
+        Monitor::builder().capacity(capacity).seed(23).with_workers(workers).queries(specs());
+    builder = match strategy {
+        Some(strategy) => builder.strategy(strategy),
+        None => builder.with_policy(OraclePolicy::new(MmfsPkt)),
+    };
+    let mut monitor = builder.build().expect("valid configuration");
+    let mut tape = FullTape::default();
+    let summary =
+        monitor.run(&mut BatchReplay::new(batches.to_vec()), &mut tape).expect("run succeeds");
+    (tape, summary)
+}
+
+/// The acceptance criterion of the execution plane: replaying the same trace
+/// with 1, 2 and 4 workers yields bit-identical `BinRecord` streams,
+/// control decisions and interval outputs for all seven built-in strategy
+/// names plus the oracle policy (which adds the shadow-twin dispatch).
+#[test]
+fn worker_count_never_changes_the_output_stream() {
+    let batches = recorded_batches(50);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20]);
+    let capacity = demand / 2.0;
+
+    let configurations: Vec<(String, Option<Strategy>)> = [
+        Strategy::NoShedding,
+        Strategy::Reactive(AllocationPolicy::EqualRates),
+        Strategy::Reactive(AllocationPolicy::MmfsCpu),
+        Strategy::Reactive(AllocationPolicy::MmfsPkt),
+        Strategy::Predictive(AllocationPolicy::EqualRates),
+        Strategy::Predictive(AllocationPolicy::MmfsCpu),
+        Strategy::Predictive(AllocationPolicy::MmfsPkt),
+    ]
+    .into_iter()
+    .map(|strategy| (strategy.name(), Some(strategy)))
+    .chain([("oracle_mmfs_pkt".to_string(), None)])
+    .collect();
+
+    for (name, strategy) in configurations {
+        let (sequential, sequential_summary) = replay(&batches, capacity, strategy, 1);
+        assert!(!sequential.records.is_empty(), "{name}: the replay must process bins");
+        for workers in [2, 4] {
+            let (parallel, parallel_summary) = replay(&batches, capacity, strategy, workers);
+            assert_eq!(
+                sequential.records, parallel.records,
+                "{name}: BinRecord stream diverged at {workers} workers"
+            );
+            assert_eq!(
+                sequential.decisions, parallel.decisions,
+                "{name}: decision stream diverged at {workers} workers"
+            );
+            assert_eq!(
+                sequential.intervals, parallel.intervals,
+                "{name}: interval outputs diverged at {workers} workers"
+            );
+            assert_eq!(
+                sequential_summary, parallel_summary,
+                "{name}: run summary diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// The dispatch telemetry must account for the tasks the plane actually ran.
+#[test]
+fn exec_stats_track_the_dispatched_tail() {
+    let batches = recorded_batches(20);
+    let mut monitor = Monitor::builder()
+        .capacity(1e12)
+        .seed(5)
+        .with_workers(2)
+        .queries(specs())
+        .build()
+        .expect("valid configuration");
+    monitor.run(&mut BatchReplay::new(batches), &mut NullObserver).expect("run succeeds");
+    let stats = monitor.exec_stats();
+    assert_eq!(monitor.workers(), 2);
+    assert!(stats.bins > 0, "bins must be folded into the telemetry");
+    // Per bin: ten extraction shards, five prediction tasks and five query
+    // tasks (all five queries run at full rate).
+    assert_eq!(stats.dispatched_tasks, stats.bins * 20);
+    assert!(stats.task_ns > 0);
+    assert!(stats.parallel_fraction() > 0.0 && stats.parallel_fraction() < 1.0);
+    assert_eq!(stats.projected_speedup(1), Some(1.0));
+    assert!(stats.projected_speedup(4).expect("simulated point") >= 1.0);
+}
+
+/// `with_workers` is validated like every other builder knob.
+#[test]
+fn worker_counts_outside_the_domain_are_rejected() {
+    for workers in [0, netshed::monitor::MAX_WORKERS + 1] {
+        let error = Monitor::builder().with_workers(workers).build().unwrap_err();
+        assert!(
+            matches!(error, NetshedError::InvalidConfig(_)),
+            "workers = {workers} produced {error:?}"
+        );
+    }
+    let monitor =
+        Monitor::builder().with_workers(4).build().expect("in-domain worker count builds");
+    assert_eq!(monitor.workers(), 4);
+    assert_eq!(monitor.config().workers, 4);
+}
