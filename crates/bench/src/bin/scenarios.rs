@@ -1,0 +1,318 @@
+//! Manage the golden-replay conformance corpus.
+//!
+//! ```sh
+//! cargo run -p netshed-bench --release --bin scenarios -- list
+//! cargo run -p netshed-bench --release --bin scenarios -- record [--dir corpus]
+//! cargo run -p netshed-bench --release --bin scenarios -- verify [--dir corpus] [--workers N]
+//! cargo run -p netshed-bench --release --bin scenarios -- run <name> [--strategy mmfs_pkt] [--workers N]
+//! ```
+//!
+//! `record` regenerates every built-in scenario, writes the `.nstr`
+//! recordings and pins the per-strategy digests into `GOLDEN.digests` —
+//! run it (and commit the result) only when an intentional change moves the
+//! golden outputs. `verify` replays the committed corpus and fails loudly,
+//! naming each drifted stream, when any digest moved; this is what the CI
+//! golden-corpus job runs.
+
+use netshed_bench::corpus::{
+    all_strategies, compute_golden, corpus_capacity, diff_digests, digest_run, format_manifest,
+    parse_manifest, strategy_by_name, GoldenEntry, MANIFEST_NAME, TRACE_EXTENSION,
+};
+use netshed_trace::scenario::{builtin, builtins};
+use netshed_trace::{decode_batches, encode_batches, Batch};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut strategy_name: Option<String> = None;
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        // Flags fail loudly on missing or unparseable values: a typo like
+        // `--workers two` must not silently verify at the default count.
+        match arg.as_str() {
+            "--dir" => match iter.next() {
+                Some(value) => dir = Some(PathBuf::from(value)),
+                None => {
+                    eprintln!("--dir requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match iter.next() {
+                Some(value) => match value.parse::<usize>() {
+                    Ok(count) if count >= 1 => workers = Some(count),
+                    _ => {
+                        eprintln!("--workers requires a count >= 1, got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--workers requires a count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--strategy" => match iter.next() {
+                Some(value) => strategy_name = Some(value.clone()),
+                None => {
+                    eprintln!("--strategy requires a name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => positional.push(other.to_string()),
+        }
+    }
+    let command = positional.first().map(String::as_str).unwrap_or("list");
+    // Flags a command ignores are rejected, not silently dropped — a caller
+    // passing `run … --workers 4` must not believe the parallel plane ran
+    // when it did not.
+    let applicable: &[&str] = match command {
+        "list" => &[],
+        "record" => &["--dir"],
+        "verify" => &["--dir", "--workers"],
+        "run" => &["--workers", "--strategy"],
+        _ => &["--dir", "--workers", "--strategy"],
+    };
+    for (flag, set) in [
+        ("--dir", dir.is_some()),
+        ("--workers", workers.is_some()),
+        ("--strategy", strategy_name.is_some()),
+    ] {
+        if set && !applicable.contains(&flag) {
+            eprintln!("{flag} does not apply to `{command}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let dir = dir.unwrap_or_else(|| PathBuf::from("corpus"));
+    let workers = workers.unwrap_or(1);
+    match command {
+        "list" => list(),
+        "record" => record(&dir),
+        "verify" => verify(&dir, workers),
+        "run" => match positional.get(1) {
+            Some(name) => run_one(name, strategy_name.as_deref(), workers),
+            None => {
+                eprintln!("usage: scenarios run <name> [--strategy <name>] [--workers N]");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("unknown command {other:?} (use list | record | verify | run)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() -> ExitCode {
+    println!("{:<16} {:>5} {:>6} {:>7}  phases", "scenario", "bins", "links", "pkts");
+    for scenario in builtins() {
+        let batches = scenario.generate().expect("builtins are valid");
+        let packets: usize = batches.iter().map(Batch::len).sum();
+        let phases: Vec<String> = scenario
+            .links()
+            .iter()
+            .flat_map(|link| link.phases())
+            .map(|p| format!("{}({})", p.name(), p.duration_bins()))
+            .collect();
+        println!(
+            "{:<16} {:>5} {:>6} {:>7}  {}",
+            scenario.name(),
+            scenario.total_bins(),
+            scenario.links().len(),
+            packets,
+            phases.join(" → ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn record(dir: &Path) -> ExitCode {
+    if let Err(error) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {error}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut manifest = Vec::new();
+    for scenario in builtins() {
+        let batches = scenario.generate().expect("builtins are valid");
+        let bytes = match encode_batches(&batches, scenario.bin_duration_us()) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                eprintln!("{}: encode failed: {error}", scenario.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = dir.join(format!("{}.{TRACE_EXTENSION}", scenario.name()));
+        if let Err(error) = std::fs::write(&path, &bytes) {
+            eprintln!("cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let entries = match compute_golden(&scenario, &batches) {
+            Ok(entries) => entries,
+            Err(error) => {
+                eprintln!("{}: digest run failed: {error}", scenario.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "recorded {:<16} {:>3} bins, {:>7} bytes, {} strategies pinned",
+            scenario.name(),
+            batches.len(),
+            bytes.len(),
+            entries.len()
+        );
+        manifest.extend(entries);
+    }
+    let manifest_path = dir.join(MANIFEST_NAME);
+    if let Err(error) = std::fs::write(&manifest_path, format_manifest(&manifest)) {
+        eprintln!("cannot write {}: {error}", manifest_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("pinned {} digests into {}", manifest.len(), manifest_path.display());
+    ExitCode::SUCCESS
+}
+
+fn verify(dir: &Path, workers: usize) -> ExitCode {
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "cannot read {}: {error} (run `scenarios record` first)",
+                manifest_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let pinned = match parse_manifest(&text) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("{}: {error}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut drift: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for scenario in builtins() {
+        let path = dir.join(format!("{}.{TRACE_EXTENSION}", scenario.name()));
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                drift.push(format!("{}: missing recording ({error})", scenario.name()));
+                continue;
+            }
+        };
+        let recorded = match decode_batches(&bytes) {
+            Ok(batches) => batches,
+            Err(error) => {
+                drift.push(format!("{}: recording does not decode: {error}", scenario.name()));
+                continue;
+            }
+        };
+        // The recording must still equal what the generator produces today —
+        // otherwise the digests below would silently pin drifted traffic.
+        let generated = scenario.generate().expect("builtins are valid");
+        if recorded != generated {
+            drift.push(format!(
+                "{}: generator output no longer matches the committed recording \
+                 (re-record the corpus if this change is intentional)",
+                scenario.name()
+            ));
+            continue;
+        }
+        let capacity = corpus_capacity(&recorded);
+        for (name, strategy) in all_strategies() {
+            let pinned_entry: Option<&GoldenEntry> =
+                pinned.iter().find(|e| e.scenario == scenario.name() && e.strategy == name);
+            let Some(entry) = pinned_entry else {
+                drift.push(format!(
+                    "{} / {name}: no pinned digest in the manifest",
+                    scenario.name()
+                ));
+                continue;
+            };
+            match digest_run(&recorded, strategy, capacity, workers) {
+                Ok(fresh) => {
+                    drift.extend(diff_digests(scenario.name(), &name, entry.digest, fresh));
+                    checked += 1;
+                }
+                Err(error) => {
+                    drift.push(format!("{} / {name}: run failed: {error}", scenario.name()))
+                }
+            }
+        }
+    }
+    // Stale rows cut the other way: a manifest entry for a renamed or
+    // removed scenario (or strategy) would otherwise pass unnoticed.
+    let scenario_names: Vec<String> = builtins().iter().map(|s| s.name().to_string()).collect();
+    let strategy_names: Vec<String> = all_strategies().into_iter().map(|(n, _)| n).collect();
+    for entry in &pinned {
+        if !scenario_names.contains(&entry.scenario) {
+            drift.push(format!(
+                "{} / {}: manifest row for a scenario that no longer exists",
+                entry.scenario, entry.strategy
+            ));
+        } else if !strategy_names.contains(&entry.strategy) {
+            drift.push(format!(
+                "{} / {}: manifest row for a strategy that no longer exists",
+                entry.scenario, entry.strategy
+            ));
+        }
+    }
+    if drift.is_empty() {
+        println!(
+            "golden corpus conformant: {checked} (scenario, strategy) digests verified at \
+             {workers} worker(s)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("golden corpus DRIFT ({} problems):", drift.len());
+        for line in &drift {
+            eprintln!("  {line}");
+        }
+        eprintln!(
+            "if the drift is an intentional output change, regenerate with \
+             `cargo run -p netshed-bench --release --bin scenarios -- record` and commit"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_one(name: &str, strategy_name: Option<&str>, workers: usize) -> ExitCode {
+    let Some(scenario) = builtin(name) else {
+        eprintln!("unknown scenario {name:?} (see `scenarios list`)");
+        return ExitCode::FAILURE;
+    };
+    let strategy = match strategy_name {
+        None => netshed_monitor::Strategy::Predictive(netshed_monitor::AllocationPolicy::MmfsPkt),
+        Some(requested) => match strategy_by_name(requested) {
+            Some(strategy) => strategy,
+            None => {
+                eprintln!("unknown strategy {requested:?}; known:");
+                for (known, _) in all_strategies() {
+                    eprintln!("  {known}");
+                }
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let batches = scenario.generate().expect("builtins are valid");
+    let capacity = corpus_capacity(&batches);
+    match digest_run(&batches, strategy, capacity, workers) {
+        Ok(digest) => {
+            println!(
+                "{name} / {}: capacity {capacity:.0} cycles/bin over {} bins at {workers} \
+                 worker(s)",
+                strategy.name(),
+                batches.len()
+            );
+            println!("{digest}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("{name}: run failed: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Replay digests: a compact, stable fingerprint of everything a run emits.
+//!
+//! The execution-plane determinism contract says a replayed trace produces
+//! **bit-identical** [`BinRecord`] streams, control decisions and interval
+//! outputs regardless of worker count. Pinning whole tapes in a golden
+//! corpus would be huge and unreadable; a [`DigestObserver`] instead folds
+//! each of the three event streams into a 64-bit FNV-1a digest over a
+//! *canonical* byte encoding — floats by `to_bits`, hash-map-backed query
+//! outputs sorted by key — so the digest depends only on the emitted values,
+//! never on process-local hash seeds or iteration order. Equal digests ⇔
+//! equal streams (up to hash collisions), which is what `tests/golden.rs`
+//! and the `netshed-bench` `scenarios verify` subcommand compare against the
+//! committed corpus manifest.
+
+use crate::policy::{ControlDecision, DecisionReason};
+use crate::report::{BinRecord, RunSummary};
+use netshed_queries::QueryOutput;
+use netshed_sketch::IncrementalFnv;
+
+/// Seed of the digest FNV chains (any fixed value works; this one spells
+/// "bins").
+const DIGEST_SEED: u64 = 0x6269_6e73;
+
+/// Folds canonically-encoded values into one 64-bit FNV-1a digest.
+///
+/// The encoding is part of the corpus format: changing it invalidates every
+/// pinned digest, so extend it only together with a corpus regeneration
+/// (see `corpus/README.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamDigest {
+    fnv: IncrementalFnv,
+    items: u64,
+}
+
+impl Default for StreamDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self { fnv: IncrementalFnv::new(DIGEST_SEED), items: 0 }
+    }
+
+    /// Number of items absorbed.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The digest value over everything absorbed so far.
+    pub fn value(&self) -> u64 {
+        self.fnv.finish()
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.fnv.write(&[v]);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.fnv.write(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // `to_bits` keeps the digest bit-exact; bit-identical replay is the
+        // contract being checked, so no epsilon is wanted here.
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.fnv.write(v.as_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Absorbs one bin record (including its per-query rows, its decision
+    /// and any interval outputs riding on it).
+    pub fn absorb_record(&mut self, record: &BinRecord) {
+        self.items += 1;
+        self.u64(record.bin_index);
+        self.u64(record.incoming_packets);
+        self.u64(record.uncontrolled_drops);
+        self.u64(record.unsampled_packets);
+        self.f64(record.available_cycles);
+        self.f64(record.predicted_cycles);
+        self.f64(record.query_cycles);
+        self.f64(record.prediction_cycles);
+        self.f64(record.shedding_cycles);
+        self.f64(record.platform_cycles);
+        self.f64(record.buffer_occupation);
+        self.u64(record.queries.len() as u64);
+        for query in &record.queries {
+            self.u64(query.id.index());
+            self.str(&query.name);
+            self.f64(query.sampling_rate);
+            self.f64(query.predicted_cycles);
+            self.f64(query.measured_cycles);
+            self.u64(query.delivered_packets);
+            self.bool(query.disabled);
+        }
+        match &record.interval_outputs {
+            None => self.u8(0),
+            Some(outputs) => {
+                self.u8(1);
+                self.absorb_outputs_body(outputs);
+            }
+        }
+        self.absorb_decision_body(record.decision.rates.len() as u64, &record.decision);
+    }
+
+    /// Absorbs one control decision, prefixed by its bin index.
+    pub fn absorb_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+        self.items += 1;
+        self.u64(bin_index);
+        self.absorb_decision_body(decision.rates.len() as u64, decision);
+    }
+
+    /// Absorbs one interval's query outputs.
+    pub fn absorb_outputs(&mut self, outputs: &[(String, QueryOutput)]) {
+        self.items += 1;
+        self.absorb_outputs_body(outputs);
+    }
+
+    fn absorb_decision_body(&mut self, len: u64, decision: &ControlDecision) {
+        self.u64(len);
+        for rate in &decision.rates {
+            self.f64(*rate);
+        }
+        match decision.budget {
+            None => self.u8(0),
+            Some(budget) => {
+                self.u8(1);
+                self.f64(budget);
+            }
+        }
+        self.f64(decision.inflation);
+        match &decision.allocations {
+            None => self.u8(0),
+            Some(allocations) => {
+                self.u8(1);
+                self.u64(allocations.len() as u64);
+                for allocation in allocations {
+                    self.bool(allocation.is_disabled());
+                    self.f64(allocation.rate());
+                }
+            }
+        }
+        self.u8(match decision.reason {
+            DecisionReason::FitsInBudget => 0,
+            DecisionReason::ReactiveFeedback => 1,
+            DecisionReason::Overload => 2,
+            DecisionReason::Custom => 3,
+        });
+    }
+
+    fn absorb_outputs_body(&mut self, outputs: &[(String, QueryOutput)]) {
+        self.u64(outputs.len() as u64);
+        for (name, output) in outputs {
+            self.str(name);
+            self.absorb_output(output);
+        }
+    }
+
+    /// Absorbs one query output in canonical form (map- and set-backed
+    /// variants are sorted by key so the digest is independent of the
+    /// process's hash seeds).
+    fn absorb_output(&mut self, output: &QueryOutput) {
+        match output {
+            QueryOutput::Counter { packets, bytes } => {
+                self.u8(0);
+                self.f64(*packets);
+                self.f64(*bytes);
+            }
+            QueryOutput::Application { per_app } => {
+                self.u8(1);
+                let mut entries: Vec<_> = per_app.iter().collect();
+                entries.sort_by_key(|(app, _)| **app);
+                self.u64(entries.len() as u64);
+                for (app, (packets, bytes)) in entries {
+                    self.str(app);
+                    self.f64(*packets);
+                    self.f64(*bytes);
+                }
+            }
+            QueryOutput::Flows { count } => {
+                self.u8(2);
+                self.f64(*count);
+            }
+            QueryOutput::HighWatermark { mbps } => {
+                self.u8(3);
+                self.f64(*mbps);
+            }
+            QueryOutput::TopK { ranking } => {
+                self.u8(4);
+                self.u64(ranking.len() as u64);
+                for (ip, bytes) in ranking {
+                    self.u64(u64::from(*ip));
+                    self.f64(*bytes);
+                }
+            }
+            QueryOutput::Autofocus { clusters } => {
+                self.u8(5);
+                self.u64(clusters.len() as u64);
+                for (prefix, len, bytes) in clusters {
+                    self.u64(u64::from(*prefix));
+                    self.u8(*len);
+                    self.f64(*bytes);
+                }
+            }
+            QueryOutput::SuperSources { fanouts } => {
+                self.u8(6);
+                let mut entries: Vec<_> = fanouts.iter().collect();
+                entries.sort_by_key(|(src, _)| **src);
+                self.u64(entries.len() as u64);
+                for (src, fanout) in entries {
+                    self.u64(u64::from(*src));
+                    self.f64(*fanout);
+                }
+            }
+            QueryOutput::P2pFlows { flows } => {
+                self.u8(7);
+                let mut keys: Vec<u64> = flows.iter().copied().collect();
+                keys.sort_unstable();
+                self.u64(keys.len() as u64);
+                for key in keys {
+                    self.u64(key);
+                }
+            }
+            QueryOutput::Coverage { processed_packets, total_packets } => {
+                self.u8(8);
+                self.f64(*processed_packets);
+                self.f64(*total_packets);
+            }
+        }
+    }
+}
+
+/// The fingerprint of one run: per-stream digests plus the bin count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Bins that produced a [`BinRecord`].
+    pub bins: u64,
+    /// Digest over the `BinRecord` stream.
+    pub records: u64,
+    /// Digest over the `(bin_index, ControlDecision)` stream.
+    pub decisions: u64,
+    /// Digest over the interval-output stream (including the final flush).
+    pub intervals: u64,
+}
+
+impl std::fmt::Display for RunDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bins={} records={:016x} decisions={:016x} intervals={:016x}",
+            self.bins, self.records, self.decisions, self.intervals
+        )
+    }
+}
+
+/// A [`RunObserver`](crate::RunObserver) that fingerprints the run.
+///
+/// ```
+/// use netshed_monitor::{DigestObserver, Monitor};
+/// use netshed_queries::{QueryKind, QuerySpec};
+/// use netshed_trace::{PacketSourceExt, TraceConfig, TraceGenerator};
+///
+/// let mut monitor = Monitor::builder()
+///     .capacity(1e12)
+///     .queries(vec![QuerySpec::new(QueryKind::Counter)])
+///     .build()
+///     .unwrap();
+/// let mut source = TraceGenerator::new(TraceConfig::default()).take_batches(8);
+/// let mut digest = DigestObserver::default();
+/// monitor.run(&mut source, &mut digest).unwrap();
+/// let fingerprint = digest.digest();
+/// assert_eq!(fingerprint.bins, 8);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DigestObserver {
+    records: StreamDigest,
+    decisions: StreamDigest,
+    intervals: StreamDigest,
+}
+
+impl DigestObserver {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The run fingerprint accumulated so far.
+    pub fn digest(&self) -> RunDigest {
+        RunDigest {
+            bins: self.records.items(),
+            records: self.records.value(),
+            decisions: self.decisions.value(),
+            intervals: self.intervals.value(),
+        }
+    }
+}
+
+impl crate::observer::RunObserver for DigestObserver {
+    fn on_bin(&mut self, record: &BinRecord) {
+        self.records.absorb_record(record);
+    }
+
+    fn on_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+        self.decisions.absorb_decision(bin_index, decision);
+    }
+
+    fn on_interval(&mut self, outputs: &[(String, QueryOutput)]) {
+        self.intervals.absorb_outputs(outputs);
+    }
+
+    fn on_end(&mut self, _summary: &RunSummary) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonitorConfig;
+    use crate::monitor::Monitor;
+    use crate::observer::RunObserver;
+    use netshed_queries::{QueryKind, QuerySpec};
+    use netshed_trace::{BatchReplay, TraceConfig, TraceGenerator};
+    use std::collections::{HashMap, HashSet};
+
+    fn run_digest(seed: u64, capacity: f64) -> RunDigest {
+        let mut monitor = Monitor::new(
+            MonitorConfig::default().with_capacity(capacity).with_seed(7).with_workers(1),
+        );
+        for kind in [QueryKind::Counter, QueryKind::Flows, QueryKind::Application] {
+            monitor.register(&QuerySpec::new(kind)).expect("valid spec");
+        }
+        let batches = TraceGenerator::new(
+            TraceConfig::default().with_seed(seed).with_mean_packets_per_batch(80.0),
+        )
+        .batches(15);
+        let mut observer = DigestObserver::new();
+        monitor.run(&mut BatchReplay::new(batches), &mut observer).expect("run");
+        observer.digest()
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_digests() {
+        let a = run_digest(3, 1e12);
+        let b = run_digest(3, 1e12);
+        assert_eq!(a, b);
+        assert_eq!(a.bins, 15);
+    }
+
+    #[test]
+    fn different_traffic_or_capacity_changes_the_digest() {
+        let base = run_digest(3, 1e12);
+        let other_trace = run_digest(4, 1e12);
+        assert_ne!(base.records, other_trace.records);
+        assert_ne!(base.intervals, other_trace.intervals);
+        let constrained = run_digest(3, 2e6);
+        assert_ne!(base.records, constrained.records, "shedding must change the record stream");
+    }
+
+    #[test]
+    fn map_backed_outputs_digest_independently_of_insertion_order() {
+        let forward: Vec<(&'static str, (f64, f64))> =
+            vec![("http", (1.0, 2.0)), ("dns", (3.0, 4.0)), ("smtp", (5.0, 6.0))];
+        let mut a_map = HashMap::new();
+        let mut b_map = HashMap::new();
+        for (k, v) in &forward {
+            a_map.insert(*k, *v);
+        }
+        for (k, v) in forward.iter().rev() {
+            b_map.insert(*k, *v);
+        }
+        let mut a = StreamDigest::new();
+        a.absorb_outputs(&[("app".into(), QueryOutput::Application { per_app: a_map })]);
+        let mut b = StreamDigest::new();
+        b.absorb_outputs(&[("app".into(), QueryOutput::Application { per_app: b_map })]);
+        assert_eq!(a.value(), b.value());
+
+        let set_a: HashSet<u64> = [9, 1, 5].into_iter().collect();
+        let set_b: HashSet<u64> = [5, 9, 1].into_iter().collect();
+        let mut da = StreamDigest::new();
+        da.absorb_outputs(&[("p2p".into(), QueryOutput::P2pFlows { flows: set_a })]);
+        let mut db = StreamDigest::new();
+        db.absorb_outputs(&[("p2p".into(), QueryOutput::P2pFlows { flows: set_b })]);
+        assert_eq!(da.value(), db.value());
+    }
+
+    #[test]
+    fn digest_distinguishes_nearby_float_streams() {
+        let mut a = StreamDigest::new();
+        let mut b = StreamDigest::new();
+        a.absorb_outputs(&[("flows".into(), QueryOutput::Flows { count: 100.0 })]);
+        b.absorb_outputs(&[(
+            "flows".into(),
+            QueryOutput::Flows { count: 100.0 + f64::EPSILON * 100.0 },
+        )]);
+        assert_ne!(a.value(), b.value(), "the digest must be bit-exact, not epsilon-tolerant");
+    }
+
+    #[test]
+    fn display_is_stable_and_parsable() {
+        let digest = RunDigest { bins: 3, records: 0xabc, decisions: 0, intervals: u64::MAX };
+        let text = digest.to_string();
+        assert!(text.contains("bins=3"));
+        assert!(text.contains("records=0000000000000abc"));
+        assert!(text.contains("intervals=ffffffffffffffff"));
+    }
+
+    #[test]
+    fn observer_streams_count_their_items() {
+        let mut observer = DigestObserver::new();
+        let empty = StreamDigest::new();
+        assert_eq!(observer.digest().records, empty.value());
+        observer.on_interval(&[]);
+        assert_eq!(observer.digest().bins, 0, "intervals do not count as bins");
+        assert_ne!(observer.digest().intervals, empty.value());
+    }
+}

@@ -29,6 +29,25 @@ pub enum NetshedError {
         /// Minimum cycles per bin the configuration requires.
         required: f64,
     },
+    /// A workload scenario failed validation (converted from
+    /// [`netshed_trace::ScenarioError`], which carries the structured
+    /// detail; the message here is its rendering).
+    InvalidScenario(String),
+    /// A recorded binary trace could not be decoded (converted from
+    /// [`netshed_trace::FormatError`]).
+    TraceFormat(String),
+}
+
+impl From<netshed_trace::ScenarioError> for NetshedError {
+    fn from(error: netshed_trace::ScenarioError) -> Self {
+        NetshedError::InvalidScenario(error.to_string())
+    }
+}
+
+impl From<netshed_trace::FormatError> for NetshedError {
+    fn from(error: netshed_trace::FormatError) -> Self {
+        NetshedError::TraceFormat(error.to_string())
+    }
 }
 
 impl fmt::Display for NetshedError {
@@ -50,6 +69,12 @@ impl fmt::Display for NetshedError {
                      {required:.0} cycles/bin"
                 )
             }
+            NetshedError::InvalidScenario(message) => {
+                write!(f, "invalid scenario: {message}")
+            }
+            NetshedError::TraceFormat(message) => {
+                write!(f, "trace decode failed: {message}")
+            }
         }
     }
 }
@@ -70,6 +95,20 @@ mod tests {
         assert!(empty.to_string().contains("17"));
         let underflow = NetshedError::CapacityUnderflow { capacity: 10.0, required: 100.0 };
         assert!(underflow.to_string().contains("10"));
+    }
+
+    #[test]
+    fn scenario_and_format_errors_convert_with_their_detail() {
+        let scenario_error = netshed_trace::ScenarioError::EmptyLink { link: "backbone".into() };
+        let converted = NetshedError::from(scenario_error.clone());
+        assert!(matches!(converted, NetshedError::InvalidScenario(_)));
+        assert!(converted.to_string().contains("backbone"));
+        assert!(converted.to_string().contains(&scenario_error.to_string()));
+
+        let format_error = netshed_trace::FormatError::Truncated;
+        let converted = NetshedError::from(format_error);
+        assert!(matches!(converted, NetshedError::TraceFormat(_)));
+        assert!(converted.to_string().contains("end frame"));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 pub mod builder;
 pub mod capture;
 pub mod config;
+pub mod digest;
 pub mod error;
 pub mod exec;
 pub mod monitor;
@@ -67,6 +68,7 @@ pub mod shedder;
 pub use builder::MonitorBuilder;
 pub use capture::CaptureBuffer;
 pub use config::{AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
+pub use digest::{DigestObserver, RunDigest, StreamDigest};
 pub use error::NetshedError;
 pub use exec::{simulated_makespan, ExecStats, MAX_WORKERS};
 pub use monitor::{Monitor, QueryId};

@@ -7,7 +7,7 @@
 //! idle every other second). The same four shapes are reproduced here as
 //! packet injectors that add packets to the bins they are active in.
 
-use crate::packet::{FiveTuple, Packet, TCP_SYN};
+use crate::packet::{FiveTuple, Packet, TCP_ACK, TCP_SYN};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -38,6 +38,24 @@ pub enum AnomalyKind {
     /// Burst of MTU-sized packets on a handful of flows; stresses queries
     /// whose cost depends on the number of bytes (trace, pattern-search).
     ByteBurst,
+    /// Port scan: a single source probing randomly drawn well-known ports
+    /// (1–1024) across many hosts with bare 40-byte SYNs. Drives up the
+    /// number of new flows per source (the scan signature the paper's
+    /// feature set reacts to — it keys on flow churn, not port order).
+    PortScan {
+        /// Scanning host.
+        source: u32,
+    },
+    /// Flash crowd: a surge of *legitimate-looking* clients opening normal
+    /// HTTP-sized flows towards one server. Unlike a DDoS flood the packets
+    /// are full-sized and carry realistic flag sequences, so the byte load
+    /// rises with the flow count.
+    FlashCrowd {
+        /// The suddenly-popular server.
+        target: u32,
+        /// Server port the crowd connects to.
+        port: u16,
+    },
 }
 
 /// An anomaly active over a range of time bins.
@@ -146,6 +164,29 @@ impl Anomaly {
                     );
                     Packet::header_only(ts, tuple, 1500, 0)
                 }
+                AnomalyKind::PortScan { source } => {
+                    // One scanner sweeping ports on a /16 worth of targets.
+                    let target = 0x0a00_0000 | (rng.gen::<u32>() & 0xffff);
+                    let tuple = FiveTuple::new(
+                        source,
+                        target,
+                        rng.gen_range(32768..=65535u16),
+                        rng.gen_range(1..=1024u16),
+                        6,
+                    );
+                    Packet::header_only(ts, tuple, 40, TCP_SYN)
+                }
+                AnomalyKind::FlashCrowd { target, port } => {
+                    // Distinct but *plausible* clients (bounded pool, not
+                    // spoofed-random) sending data-sized packets to one
+                    // server port.
+                    let client = 0x8000_0000 | (rng.gen::<u32>() & 0x000f_ffff);
+                    let tuple =
+                        FiveTuple::new(client, target, rng.gen_range(1024..=65535u16), port, 6);
+                    let flags = if rng.gen::<f64>() < 0.1 { TCP_SYN } else { TCP_ACK };
+                    let size = if flags == TCP_SYN { 40 } else { rng.gen_range(200..1400u32) };
+                    Packet::header_only(ts, tuple, size, flags)
+                }
             };
             out.push(packet);
         }
@@ -224,6 +265,36 @@ mod tests {
         a.inject(0, 0, 100_000, &mut rng, &mut out);
         let distinct: std::collections::HashSet<u32> = out.iter().map(|p| p.tuple.src_ip).collect();
         assert!(distinct.len() > 150, "spoofed sources should be mostly unique");
+    }
+
+    #[test]
+    fn port_scan_sweeps_low_ports_from_one_source() {
+        let a = Anomaly::new(AnomalyKind::PortScan { source: 0xdead_beef }, 0, 1, 100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        a.inject(0, 0, 100_000, &mut rng, &mut out);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|p| p.tuple.src_ip == 0xdead_beef
+            && p.tuple.dst_port <= 1024
+            && p.is_syn()
+            && p.ip_len == 40));
+        let targets: std::collections::HashSet<u32> = out.iter().map(|p| p.tuple.dst_ip).collect();
+        assert!(targets.len() > 50, "a scan probes many hosts");
+    }
+
+    #[test]
+    fn flash_crowd_sends_data_sized_packets_to_one_server() {
+        let a = Anomaly::new(AnomalyKind::FlashCrowd { target: 0x0a00_0042, port: 80 }, 0, 1, 200);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        a.inject(0, 0, 100_000, &mut rng, &mut out);
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().all(|p| p.tuple.dst_ip == 0x0a00_0042 && p.tuple.dst_port == 80));
+        let bytes: u64 = out.iter().map(|p| u64::from(p.ip_len)).sum();
+        assert!(
+            bytes > 200 * 100,
+            "a flash crowd carries real byte load, unlike a SYN flood ({bytes} bytes)"
+        );
     }
 
     #[test]

@@ -125,7 +125,11 @@ impl std::fmt::Debug for PacketStore {
 }
 
 /// A set of packets collected during one time bin.
-#[derive(Debug, Clone)]
+///
+/// Batches compare with `==` by bin geometry and packet contents (the
+/// shared store's caches are excluded), so replay and format round-trip
+/// tests can pin streams directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Batch {
     /// Index of the time bin this batch belongs to (0-based).
     pub bin_index: u64,

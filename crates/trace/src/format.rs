@@ -1,0 +1,647 @@
+//! The `.nstr` binary trace format: record any batch stream to disk and
+//! replay it bit-identically.
+//!
+//! The golden-replay conformance corpus (see `corpus/` at the repository
+//! root) pins the output of every control/data/exec-plane refactor against
+//! recorded scenarios, which requires a trace container whose decode is
+//! *exactly* the batch stream that was encoded — packet timestamps, flow
+//! tuples, flags and payload bytes included. The format is deliberately
+//! simple and fully self-checking:
+//!
+//! ```text
+//! header   magic "NSTR" · version u16 · flags u16 · time_bin_us u64
+//!          · FNV-64 checksum over the preceding bytes
+//! frame*   kind=1 · bin_index u64 · start_ts u64 · duration_us u64
+//!          · packet_count u32 · body_len u32 · packets · body checksum u64
+//! end      kind=0 · total_batches u64 · checksum u64
+//! ```
+//!
+//! Every multi-byte value is little-endian. Each packet is encoded as
+//! `ts u64 · src u32 · dst u32 · sport u16 · dport u16 · proto u8 ·
+//! tcp_flags u8 · ip_len u32 · payload_len u32 (+ payload bytes)`, with
+//! `u32::MAX` as the *no payload captured* sentinel (distinct from an empty
+//! payload). [`TraceWriter`] streams frames to any [`Write`]; [`TraceReader`]
+//! validates magic, version and every checksum while decoding from any
+//! [`Read`], and plugs straight into the pipeline — either through
+//! [`TraceReader::read_all`] + [`BatchReplay`], the [`TraceReader::into_replay`]
+//! shortcut, or directly as a streaming [`PacketSource`].
+
+use crate::batch::Batch;
+use crate::packet::{FiveTuple, Packet};
+use crate::source::{BatchReplay, PacketSource};
+use bytes::Bytes;
+use netshed_sketch::IncrementalFnv;
+use std::io::{Read, Write};
+
+/// File magic: "NSTR" (netshed trace).
+pub const TRACE_MAGIC: [u8; 4] = *b"NSTR";
+
+/// Current format version. Readers reject anything newer.
+pub const TRACE_FORMAT_VERSION: u16 = 1;
+
+/// Seed of the FNV-64 checksums (header and per-frame).
+const CHECKSUM_SEED: u64 = 0x6e73_7472; // "nstr"
+
+const FRAME_END: u8 = 0;
+const FRAME_BATCH: u8 = 1;
+
+/// Sentinel for "no payload captured" (`Packet.payload == None`).
+const NO_PAYLOAD: u32 = u32::MAX;
+
+/// Errors produced while encoding or decoding a binary trace.
+#[derive(Debug)]
+pub enum FormatError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The stream does not start with the `NSTR` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The trace was written by a newer format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// A checksum did not match: the file is corrupt or was truncated and
+    /// re-extended.
+    ChecksumMismatch {
+        /// What failed the check ("header", or the 0-based frame index).
+        location: String,
+    },
+    /// The stream ended before the end frame (a partial write).
+    Truncated,
+    /// The end frame's batch count disagrees with the frames actually read.
+    CountMismatch {
+        /// Batch count declared by the end frame.
+        declared: u64,
+        /// Frames actually decoded.
+        decoded: u64,
+    },
+    /// A frame carries an unknown kind byte.
+    UnknownFrame {
+        /// The offending kind byte.
+        kind: u8,
+    },
+    /// A payload longer than the format can represent (4 GiB) was submitted
+    /// for encoding.
+    PayloadTooLarge {
+        /// Length of the offending payload.
+        len: usize,
+    },
+    /// A batch whose encoded frame body exceeds the format's 4 GiB frame
+    /// limit was submitted for encoding.
+    FrameTooLarge {
+        /// Encoded body length of the offending batch.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(error) => write!(f, "trace i/o error: {error}"),
+            FormatError::BadMagic { found } => {
+                write!(f, "not a netshed trace (magic {found:02x?}, expected \"NSTR\")")
+            }
+            FormatError::UnsupportedVersion { found } => write!(
+                f,
+                "trace format version {found} is newer than the supported {TRACE_FORMAT_VERSION}"
+            ),
+            FormatError::ChecksumMismatch { location } => {
+                write!(f, "trace checksum mismatch at {location}: file is corrupt")
+            }
+            FormatError::Truncated => write!(f, "trace ends before its end frame (partial write)"),
+            FormatError::CountMismatch { declared, decoded } => {
+                write!(f, "trace end frame declares {declared} batches but {decoded} were decoded")
+            }
+            FormatError::UnknownFrame { kind } => write!(f, "unknown trace frame kind {kind}"),
+            FormatError::PayloadTooLarge { len } => {
+                write!(f, "packet payload of {len} bytes exceeds the format limit")
+            }
+            FormatError::FrameTooLarge { len } => {
+                write!(f, "batch frame of {len} bytes exceeds the format's 4 GiB limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(error: std::io::Error) -> Self {
+        FormatError::Io(error)
+    }
+}
+
+/// Byte sink that feeds the frame checksum while buffering the frame body.
+struct FrameBuf {
+    bytes: Vec<u8>,
+}
+
+impl FrameBuf {
+    fn new() -> Self {
+        Self { bytes: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn raw(&mut self, v: &[u8]) {
+        self.bytes.extend_from_slice(v);
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+        fnv.write(&self.bytes);
+        fnv.finish()
+    }
+}
+
+/// Streams batches into the `.nstr` container.
+///
+/// The writer emits the header on construction and one frame per
+/// [`TraceWriter::write_batch`]; [`TraceWriter::finish`] appends the end
+/// frame (with the total batch count) and flushes. A trace without an end
+/// frame is rejected by the reader as [`FormatError::Truncated`], so a
+/// crashed recording can never masquerade as a short one.
+pub struct TraceWriter<W: Write> {
+    writer: W,
+    batches: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the container header and returns the writer.
+    pub fn new(mut writer: W, time_bin_us: u64) -> Result<Self, FormatError> {
+        let mut header = FrameBuf::new();
+        header.raw(&TRACE_MAGIC);
+        header.u16(TRACE_FORMAT_VERSION);
+        header.u16(0); // flags, reserved
+        header.u64(time_bin_us);
+        let checksum = header.checksum();
+        header.u64(checksum);
+        writer.write_all(&header.bytes)?;
+        Ok(Self { writer, batches: 0 })
+    }
+
+    /// Appends one batch frame.
+    pub fn write_batch(&mut self, batch: &Batch) -> Result<(), FormatError> {
+        let mut body = FrameBuf::new();
+        for packet in batch.packets.iter() {
+            body.u64(packet.ts);
+            body.u32(packet.tuple.src_ip);
+            body.u32(packet.tuple.dst_ip);
+            body.u16(packet.tuple.src_port);
+            body.u16(packet.tuple.dst_port);
+            body.u8(packet.tuple.proto);
+            body.u8(packet.tcp_flags);
+            body.u32(packet.ip_len);
+            match &packet.payload {
+                None => body.u32(NO_PAYLOAD),
+                Some(payload) => {
+                    let len = u32::try_from(payload.len())
+                        .ok()
+                        .filter(|&l| l != NO_PAYLOAD)
+                        .ok_or(FormatError::PayloadTooLarge { len: payload.len() })?;
+                    body.u32(len);
+                    body.raw(payload);
+                }
+            }
+        }
+        // The per-payload guard above bounds each packet, not the frame: a
+        // body past u32 would otherwise wrap `body_len` and write a file
+        // that can never decode.
+        let body_len = u32::try_from(body.bytes.len())
+            .map_err(|_| FormatError::FrameTooLarge { len: body.bytes.len() })?;
+        let packet_count = u32::try_from(batch.len())
+            .map_err(|_| FormatError::FrameTooLarge { len: body.bytes.len() })?;
+        let mut frame = FrameBuf::new();
+        frame.u8(FRAME_BATCH);
+        frame.u64(batch.bin_index);
+        frame.u64(batch.start_ts);
+        frame.u64(batch.duration_us);
+        frame.u32(packet_count);
+        frame.u32(body_len);
+        frame.raw(&body.bytes);
+        let checksum = frame.checksum();
+        frame.u64(checksum);
+        self.writer.write_all(&frame.bytes)?;
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Appends every batch of a slice, in order.
+    pub fn write_all(&mut self, batches: &[Batch]) -> Result<(), FormatError> {
+        for batch in batches {
+            self.write_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the end frame, flushes, and returns the destination.
+    pub fn finish(mut self) -> Result<W, FormatError> {
+        let mut frame = FrameBuf::new();
+        frame.u8(FRAME_END);
+        frame.u64(self.batches);
+        let checksum = frame.checksum();
+        frame.u64(checksum);
+        self.writer.write_all(&frame.bytes)?;
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    /// Number of batches written so far.
+    pub fn batches_written(&self) -> u64 {
+        self.batches
+    }
+}
+
+/// Encodes a batch slice into an in-memory `.nstr` container.
+pub fn encode_batches(batches: &[Batch], time_bin_us: u64) -> Result<Vec<u8>, FormatError> {
+    let mut writer = TraceWriter::new(Vec::new(), time_bin_us)?;
+    writer.write_all(batches)?;
+    writer.finish()
+}
+
+/// Decodes every batch of an in-memory `.nstr` container.
+pub fn decode_batches(bytes: &[u8]) -> Result<Vec<Batch>, FormatError> {
+    TraceReader::new(bytes)?.read_all()
+}
+
+/// Decodes `.nstr` frames from any [`Read`], verifying every checksum.
+pub struct TraceReader<R: Read> {
+    reader: R,
+    time_bin_us: u64,
+    decoded: u64,
+    /// Set once the end frame was seen (further reads return `None`).
+    finished: bool,
+    /// First decode error, latched for the `PacketSource` adapter.
+    error: Option<FormatError>,
+    frame: Vec<u8>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the container header.
+    pub fn new(mut reader: R) -> Result<Self, FormatError> {
+        let mut fixed = [0u8; 16];
+        read_exact_or_truncated(&mut reader, &mut fixed)?;
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&fixed[..4]);
+        if magic != TRACE_MAGIC {
+            return Err(FormatError::BadMagic { found: magic });
+        }
+        let version = u16::from_le_bytes([fixed[4], fixed[5]]);
+        if version > TRACE_FORMAT_VERSION {
+            return Err(FormatError::UnsupportedVersion { found: version });
+        }
+        let time_bin_us = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes"));
+        let mut declared = [0u8; 8];
+        read_exact_or_truncated(&mut reader, &mut declared)?;
+        let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+        fnv.write(&fixed);
+        if fnv.finish() != u64::from_le_bytes(declared) {
+            return Err(FormatError::ChecksumMismatch { location: "header".into() });
+        }
+        Ok(Self {
+            reader,
+            time_bin_us,
+            decoded: 0,
+            finished: false,
+            error: None,
+            frame: Vec::new(),
+        })
+    }
+
+    /// The time-bin duration recorded in the header.
+    pub fn time_bin_us(&self) -> u64 {
+        self.time_bin_us
+    }
+
+    /// The first decode error hit by the [`PacketSource`] adapter, if any.
+    ///
+    /// `next_batch` has no error channel, so a corrupt tail latches here and
+    /// the stream ends early; callers that must distinguish "clean end" from
+    /// "corrupt end" check this after the run.
+    pub fn error(&self) -> Option<&FormatError> {
+        self.error.as_ref()
+    }
+
+    /// Decodes the next batch, `Ok(None)` at the (validated) end frame.
+    pub fn read_batch(&mut self) -> Result<Option<Batch>, FormatError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let mut kind = [0u8; 1];
+        read_exact_or_truncated(&mut self.reader, &mut kind)?;
+        match kind[0] {
+            FRAME_END => {
+                let mut rest = [0u8; 16];
+                read_exact_or_truncated(&mut self.reader, &mut rest)?;
+                let declared_count = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+                let declared_sum = u64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
+                let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+                fnv.write(&kind);
+                fnv.write(&rest[..8]);
+                if fnv.finish() != declared_sum {
+                    return Err(FormatError::ChecksumMismatch { location: "end frame".into() });
+                }
+                if declared_count != self.decoded {
+                    return Err(FormatError::CountMismatch {
+                        declared: declared_count,
+                        decoded: self.decoded,
+                    });
+                }
+                self.finished = true;
+                Ok(None)
+            }
+            FRAME_BATCH => {
+                let mut head = [0u8; 32];
+                read_exact_or_truncated(&mut self.reader, &mut head)?;
+                let bin_index = u64::from_le_bytes(head[0..8].try_into().expect("8 bytes"));
+                let start_ts = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+                let duration_us = u64::from_le_bytes(head[16..24].try_into().expect("8 bytes"));
+                let packet_count = u32::from_le_bytes(head[24..28].try_into().expect("4 bytes"));
+                let body_len = u32::from_le_bytes(head[28..32].try_into().expect("4 bytes"));
+                // `body_len` comes from a not-yet-verified header, so grow
+                // the buffer only as bytes actually arrive: a corrupt
+                // length on a short file fails as `Truncated` instead of
+                // allocating gigabytes up front.
+                self.frame.clear();
+                let read = (&mut self.reader)
+                    .take(u64::from(body_len))
+                    .read_to_end(&mut self.frame)
+                    .map_err(FormatError::Io)?;
+                if read != body_len as usize {
+                    return Err(FormatError::Truncated);
+                }
+                let mut declared = [0u8; 8];
+                read_exact_or_truncated(&mut self.reader, &mut declared)?;
+                let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+                fnv.write(&kind);
+                fnv.write(&head);
+                fnv.write(&self.frame);
+                if fnv.finish() != u64::from_le_bytes(declared) {
+                    return Err(FormatError::ChecksumMismatch {
+                        location: format!("frame {}", self.decoded),
+                    });
+                }
+                let packets = decode_packets(&self.frame, packet_count, self.decoded)?;
+                self.decoded += 1;
+                Ok(Some(Batch::new(bin_index, start_ts, duration_us, packets)))
+            }
+            kind => Err(FormatError::UnknownFrame { kind }),
+        }
+    }
+
+    /// Decodes the whole trace into a batch vector.
+    pub fn read_all(mut self) -> Result<Vec<Batch>, FormatError> {
+        let mut batches = Vec::new();
+        while let Some(batch) = self.read_batch()? {
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+
+    /// Decodes the whole trace into a rewindable [`BatchReplay`].
+    pub fn into_replay(self) -> Result<BatchReplay, FormatError> {
+        Ok(BatchReplay::new(self.read_all()?))
+    }
+}
+
+/// A reader is a streaming [`PacketSource`]: decode errors end the stream
+/// and latch in [`TraceReader::error`].
+impl<R: Read> PacketSource for TraceReader<R> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.read_batch() {
+            Ok(batch) => batch,
+            Err(error) => {
+                self.error = Some(error);
+                None
+            }
+        }
+    }
+}
+
+fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), FormatError> {
+    reader.read_exact(buf).map_err(|error| {
+        if error.kind() == std::io::ErrorKind::UnexpectedEof {
+            FormatError::Truncated
+        } else {
+            FormatError::Io(error)
+        }
+    })
+}
+
+fn decode_packets(body: &[u8], count: u32, frame: u64) -> Result<Vec<Packet>, FormatError> {
+    let corrupt = || FormatError::ChecksumMismatch { location: format!("frame {frame} body") };
+    let mut packets = Vec::with_capacity(count as usize);
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], FormatError> {
+        let slice = body.get(at..at + n).ok_or_else(corrupt)?;
+        at += n;
+        Ok(slice)
+    };
+    for _ in 0..count {
+        let ts = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let src_ip = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        let dst_ip = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        let src_port = u16::from_le_bytes(take(2)?.try_into().expect("2 bytes"));
+        let dst_port = u16::from_le_bytes(take(2)?.try_into().expect("2 bytes"));
+        let proto = take(1)?[0];
+        let tcp_flags = take(1)?[0];
+        let ip_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        let payload = if payload_len == NO_PAYLOAD {
+            None
+        } else {
+            Some(Bytes::copy_from_slice(take(payload_len as usize)?))
+        };
+        packets.push(Packet {
+            ts,
+            tuple: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto),
+            ip_len,
+            tcp_flags,
+            payload,
+        });
+    }
+    if at != body.len() {
+        return Err(corrupt());
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+    use crate::source::PacketSourceExt;
+
+    fn sample_batches(payloads: bool) -> Vec<Batch> {
+        TraceGenerator::new(
+            TraceConfig::default()
+                .with_seed(17)
+                .with_mean_packets_per_batch(40.0)
+                .with_payloads(payloads),
+        )
+        .batches(5)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical_with_and_without_payloads() {
+        for payloads in [false, true] {
+            let batches = sample_batches(payloads);
+            let bytes = encode_batches(&batches, 100_000).expect("encode");
+            let decoded = decode_batches(&bytes).expect("decode");
+            assert_eq!(batches, decoded, "payloads={payloads}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_and_no_payload_stay_distinct() {
+        let tuple = FiveTuple::new(1, 2, 3, 4, 6);
+        let batch = Batch::new(
+            0,
+            0,
+            100_000,
+            vec![
+                Packet::header_only(1, tuple, 40, 0),
+                Packet::with_payload(2, tuple, 40, 0, Bytes::new()),
+            ],
+        );
+        let decoded =
+            decode_batches(&encode_batches(&[batch], 100_000).expect("encode")).expect("decode");
+        assert_eq!(decoded[0].packets[0].payload, None);
+        assert_eq!(decoded[0].packets[1].payload, Some(Bytes::new()));
+    }
+
+    #[test]
+    fn empty_batches_survive_the_container() {
+        let batches = vec![Batch::empty(3, 300_000, 100_000), Batch::empty(4, 400_000, 100_000)];
+        let decoded =
+            decode_batches(&encode_batches(&batches, 100_000).expect("encode")).expect("decode");
+        assert_eq!(batches, decoded);
+    }
+
+    #[test]
+    fn reader_reports_the_header_time_bin() {
+        let bytes = encode_batches(&[], 250_000).expect("encode");
+        let reader = TraceReader::new(&bytes[..]).expect("header");
+        assert_eq!(reader.time_bin_us(), 250_000);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_batches(&sample_batches(false), 100_000).expect("encode");
+        bytes[0] = b'X';
+        assert!(matches!(
+            TraceReader::new(&bytes[..]).err().expect("must fail"),
+            FormatError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let mut bytes = encode_batches(&[], 100_000).expect("encode");
+        bytes[4..6].copy_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            TraceReader::new(&bytes[..]).err().expect("must fail"),
+            FormatError::UnsupportedVersion { .. }
+        ));
+    }
+
+    #[test]
+    fn header_corruption_fails_the_header_checksum() {
+        let mut bytes = encode_batches(&[], 100_000).expect("encode");
+        bytes[9] ^= 0xff; // inside time_bin_us
+        assert!(matches!(
+            TraceReader::new(&bytes[..]).err().expect("must fail"),
+            FormatError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn flipping_any_frame_byte_is_detected() {
+        let batches = sample_batches(false);
+        let clean = encode_batches(&batches, 100_000).expect("encode");
+        // Flip a byte inside the first frame body (past the 24-byte header).
+        let mut corrupt = clean.clone();
+        corrupt[24 + 40] ^= 0x01;
+        let error = decode_batches(&corrupt).expect_err("corruption must be detected");
+        assert!(
+            matches!(error, FormatError::ChecksumMismatch { .. }),
+            "got {error:?} instead of a checksum mismatch"
+        );
+    }
+
+    #[test]
+    fn truncated_traces_are_detected() {
+        let bytes = encode_batches(&sample_batches(false), 100_000).expect("encode");
+        // Drop the end frame (and a bit more).
+        let cut = &bytes[..bytes.len() - 20];
+        assert!(matches!(
+            decode_batches(cut).expect_err("must fail"),
+            FormatError::Truncated | FormatError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn reader_is_a_packet_source_and_latches_errors() {
+        let batches = sample_batches(true);
+        let bytes = encode_batches(&batches, 100_000).expect("encode");
+        let mut source = TraceReader::new(&bytes[..]).expect("header").take_batches(3);
+        let mut produced = 0;
+        while source.next_batch().is_some() {
+            produced += 1;
+        }
+        assert_eq!(produced, 3);
+
+        // A truncated stream ends early and reports why. Cut past the end
+        // frame (17 bytes) and into the last batch frame's checksum.
+        let cut = &bytes[..bytes.len() - 25];
+        let mut reader = TraceReader::new(cut).expect("header survives");
+        let mut decoded = 0;
+        while PacketSource::next_batch(&mut reader).is_some() {
+            decoded += 1;
+        }
+        assert!(decoded < batches.len());
+        assert!(reader.error().is_some(), "the decode error must be latched");
+    }
+
+    #[test]
+    fn into_replay_rewinds_the_recording() {
+        let batches = sample_batches(false);
+        let bytes = encode_batches(&batches, 100_000).expect("encode");
+        let mut replay =
+            TraceReader::new(&bytes[..]).expect("header").into_replay().expect("decode");
+        assert_eq!(replay.len(), batches.len());
+        let first: Vec<u64> =
+            std::iter::from_fn(|| replay.next_batch()).map(|b| b.bin_index).collect();
+        replay.reset();
+        let second: Vec<u64> =
+            std::iter::from_fn(|| replay.next_batch()).map(|b| b.bin_index).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -33,9 +33,11 @@ pub mod aggregate;
 pub mod anomaly;
 pub mod batch;
 pub mod dist;
+pub mod format;
 pub mod generator;
 pub mod packet;
 pub mod profiles;
+pub mod scenario;
 pub mod source;
 
 pub use aggregate::{aggregate_hash_seed, Aggregate, AggregateHashes, AGGREGATE_COUNT};
@@ -44,9 +46,17 @@ pub use batch::{
     Batch, BatchBuilder, BatchStats, BatchView, PacketStore, StoreIndices, TimestampJumpError,
     MAX_GAP_BINS,
 };
+pub use format::{
+    decode_batches, encode_batches, FormatError, TraceReader, TraceWriter, TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+};
 pub use generator::{AppProtocol, TraceConfig, TraceGenerator};
 pub use packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
 pub use profiles::TraceProfile;
+pub use scenario::{
+    AnomalyEvent, Link, Phase, Scenario, ScenarioAnomaly, ScenarioError, ScenarioSource,
+    TrafficSpec,
+};
 pub use source::{BatchReplay, Interleave, PacketSource, PacketSourceExt, Take};
 
 /// Duration of a time bin in microseconds (100 ms, as in the paper).

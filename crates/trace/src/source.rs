@@ -164,23 +164,35 @@ impl<S: PacketSource> PacketSource for Take<S> {
     }
 }
 
-/// Merges several sources bin by bin into one aggregate stream.
+/// Merges several sources into one aggregate stream, *by bin index*.
 ///
-/// Each round pulls one batch from every still-live source and combines their
-/// packets into a single batch (re-sorted by timestamp). Sources are expected
-/// to be bin-aligned — same time-bin duration and same starting bin — which
-/// holds for any set of [`TraceGenerator`]s or replays started together; the
-/// merged batch keeps the bin geometry of the first live source. The stream
-/// ends when every sub-source is exhausted, so a short source simply stops
-/// contributing traffic (a link going quiet).
+/// Each merged batch combines the packets of every sub-source batch carrying
+/// the same `bin_index` (the smallest index any sub-source has pending),
+/// re-sorted by timestamp; sub-source order is preserved for equal
+/// timestamps, so the merge is deterministic. Batches from later bins are
+/// held back until their bin comes up, which makes the merge correct even
+/// for sources that do not start at the same bin or that skip bins — such
+/// batches are no longer silently folded into the wrong time bin.
+///
+/// # Tail semantics
+///
+/// Sources may end at different lengths. The merged stream runs until the
+/// **longest** source is exhausted; once a sub-source ends it simply stops
+/// contributing (a link going quiet), and the tail bins carry exactly the
+/// surviving sources' packets with their original bin indices and
+/// timestamps. Symmetrically, a source that starts at a later bin
+/// contributes nothing to the head bins. [`Interleave::live_sources`]
+/// reports how many sub-sources can still produce batches.
 pub struct Interleave {
-    sources: Vec<Box<dyn PacketSource>>,
+    /// Each sub-source with its look-ahead batch (`None` = nothing buffered
+    /// yet). Exhausted sources are removed.
+    sources: Vec<(Box<dyn PacketSource>, Option<Batch>)>,
 }
 
 impl Interleave {
     /// Creates an interleaved source over the given sub-sources.
     pub fn new(sources: Vec<Box<dyn PacketSource>>) -> Self {
-        Self { sources }
+        Self { sources: sources.into_iter().map(|s| (s, None)).collect() }
     }
 
     /// Number of sub-sources still producing batches.
@@ -191,29 +203,50 @@ impl Interleave {
 
 impl PacketSource for Interleave {
     fn next_batch(&mut self) -> Option<Batch> {
-        let mut merged: Option<(u64, u64, u64, Vec<crate::packet::Packet>)> = None;
+        // Fill every empty look-ahead slot, dropping exhausted sources.
         let mut live = Vec::with_capacity(self.sources.len());
-        for mut source in self.sources.drain(..) {
-            if let Some(batch) = source.next_batch() {
-                let entry = merged.get_or_insert_with(|| {
-                    (batch.bin_index, batch.start_ts, batch.duration_us, Vec::new())
-                });
-                entry.3.extend(batch.packets.iter().cloned());
-                live.push(source);
+        for (mut source, pending) in self.sources.drain(..) {
+            let pending = pending.or_else(|| source.next_batch());
+            if pending.is_some() {
+                live.push((source, pending));
             }
         }
         self.sources = live;
-        let (bin_index, start_ts, duration_us, mut packets) = merged?;
+
+        // The next merged bin is the smallest pending bin index.
+        let target = self
+            .sources
+            .iter()
+            .filter_map(|(_, pending)| pending.as_ref().map(|b| b.bin_index))
+            .min()?;
+        let mut geometry: Option<(u64, u64)> = None;
+        let mut packets: Vec<crate::packet::Packet> = Vec::new();
+        for (_, pending) in &mut self.sources {
+            if pending.as_ref().is_some_and(|b| b.bin_index == target) {
+                let batch = pending.take().expect("checked above");
+                geometry.get_or_insert((batch.start_ts, batch.duration_us));
+                packets.extend(batch.packets.iter().cloned());
+            }
+        }
+        let (start_ts, duration_us) = geometry.expect("at least one batch matched the min bin");
+        // Stable sort: equal timestamps keep sub-source registration order,
+        // so the merged stream is reproducible.
         packets.sort_by_key(|p| p.ts);
-        Some(Batch::new(bin_index, start_ts, duration_us, packets))
+        Some(Batch::new(target, start_ts, duration_us, packets))
     }
 
     fn remaining_hint(&self) -> Option<usize> {
         // Known only if every sub-source reports a hint: the interleave runs
-        // until the longest one ends.
+        // until the longest one ends (buffered batches count as remaining).
+        // Exact for bin-aligned sources (the common case: generators or
+        // replays started together, scenario links). Sources with disjoint
+        // bin gaps merge into *more* distinct bins than any one source
+        // contributes, so there the hint is a lower bound.
         self.sources
             .iter()
-            .map(|s| s.remaining_hint())
+            .map(|(source, pending)| {
+                source.remaining_hint().map(|h| h + usize::from(pending.is_some()))
+            })
             .try_fold(0usize, |acc, hint| hint.map(|h| acc.max(h)))
     }
 }
@@ -314,5 +347,86 @@ mod tests {
             produced += 1;
         }
         assert_eq!(produced, 5, "the interleave runs until the longest source ends");
+    }
+
+    #[test]
+    fn interleave_tail_carries_exactly_the_surviving_sources() {
+        // The documented tail semantics: once the short source ends, every
+        // later bin equals the long source's own batch — same bin index,
+        // same packets, no geometry drift.
+        let short = BatchReplay::record(&mut generator(9), 2);
+        let long = BatchReplay::record(&mut generator(10), 5);
+        let long_batches: Vec<_> = long.batches().to_vec();
+        let mut merged = Interleave::new(vec![Box::new(short), Box::new(long)]);
+        for bin in 0..5u64 {
+            let batch = merged.next_batch().expect("five bins");
+            assert_eq!(batch.bin_index, bin);
+            if bin >= 2 {
+                assert_eq!(
+                    batch.packets.as_ref(),
+                    long_batches[bin as usize].packets.as_ref(),
+                    "tail bin {bin} must be the long source's batch verbatim"
+                );
+            }
+        }
+        assert!(merged.next_batch().is_none());
+        assert_eq!(merged.live_sources(), 0);
+    }
+
+    #[test]
+    fn interleave_holds_back_batches_from_future_bins() {
+        // A source that starts at a later bin must not have its batches
+        // folded into earlier bins (the pre-fix behaviour): bins are merged
+        // by index, so the late starter joins when its bin comes up.
+        use crate::packet::{FiveTuple, Packet};
+        let pkt =
+            |ts: u64, src: u32| Packet::header_only(ts, FiveTuple::new(src, 2, 3, 4, 6), 100, 0);
+        let early = vec![
+            Batch::new(0, 0, 100, vec![pkt(10, 1)]),
+            Batch::new(1, 100, 100, vec![pkt(110, 1)]),
+            Batch::new(2, 200, 100, vec![pkt(210, 1)]),
+        ];
+        let late = vec![
+            Batch::new(1, 100, 100, vec![pkt(120, 2)]),
+            Batch::new(3, 300, 100, vec![pkt(310, 2)]),
+        ];
+        let mut merged = Interleave::new(vec![
+            Box::new(BatchReplay::new(early)),
+            Box::new(BatchReplay::new(late)),
+        ]);
+
+        let bin0 = merged.next_batch().expect("bin 0");
+        assert_eq!(bin0.bin_index, 0);
+        assert_eq!(bin0.len(), 1, "the late source contributes nothing to bin 0");
+
+        let bin1 = merged.next_batch().expect("bin 1");
+        assert_eq!(bin1.bin_index, 1);
+        assert_eq!(bin1.len(), 2, "both sources land in bin 1");
+        assert!(bin1.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+
+        let bin2 = merged.next_batch().expect("bin 2");
+        assert_eq!((bin2.bin_index, bin2.len()), (2, 1));
+
+        // The late source skipped bin 2; its bin 3 is emitted as bin 3, not
+        // merged into an earlier one.
+        let bin3 = merged.next_batch().expect("bin 3");
+        assert_eq!((bin3.bin_index, bin3.len()), (3, 1));
+        assert_eq!(bin3.packets[0].tuple.src_ip, 2);
+        assert_eq!(bin3.start_ts, 300);
+        assert!(merged.next_batch().is_none());
+    }
+
+    #[test]
+    fn interleave_hint_counts_buffered_batches() {
+        let a = BatchReplay::record(&mut generator(11), 3);
+        let b = BatchReplay::record(&mut generator(12), 1);
+        let mut merged = Interleave::new(vec![Box::new(a), Box::new(b)]);
+        assert_eq!(merged.remaining_hint(), Some(3));
+        merged.next_batch().expect("bin 0");
+        assert_eq!(merged.remaining_hint(), Some(2));
+        merged.next_batch().expect("bin 1");
+        merged.next_batch().expect("bin 2");
+        assert_eq!(merged.remaining_hint(), Some(0));
+        assert!(merged.next_batch().is_none());
     }
 }

@@ -35,16 +35,17 @@ pub use netshed_trace as trace;
 pub use netshed_fairness::{AllocationStrategy, QueryDemand};
 pub use netshed_monitor::{
     AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision, ControlPolicy,
-    DecisionReason, EnforcementConfig, ExecStats, HysteresisReactivePolicy, Monitor,
-    MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
-    PredictivePolicy, PredictorKind, QueryId, ReactivePolicy, RecordSink, ReferenceRunner,
-    RunObserver, RunSummary, Strategy,
+    DecisionReason, DigestObserver, EnforcementConfig, ExecStats, HysteresisReactivePolicy,
+    Monitor, MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver,
+    OraclePolicy, PredictivePolicy, PredictorKind, QueryId, ReactivePolicy, RecordSink,
+    ReferenceRunner, RunDigest, RunObserver, RunSummary, Strategy, StreamDigest,
 };
 pub use netshed_predict::{Predictor, PredictorFactory};
 pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
 pub use netshed_trace::{
-    Batch, BatchReplay, BatchView, Interleave, PacketSource, PacketSourceExt, TraceConfig,
-    TraceGenerator, TraceProfile,
+    AnomalyEvent, Batch, BatchReplay, BatchView, FormatError, Interleave, Link, PacketSource,
+    PacketSourceExt, Phase, Scenario, ScenarioAnomaly, ScenarioError, ScenarioSource, TraceConfig,
+    TraceGenerator, TraceProfile, TraceReader, TraceWriter,
 };
 
 /// Everything a typical experiment needs, in one import.
@@ -52,15 +53,17 @@ pub mod prelude {
     pub use netshed_fairness::{Allocation, AllocationStrategy, QueryDemand};
     pub use netshed_monitor::{
         AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision,
-        ControlPolicy, DecisionReason, EnforcementConfig, ExecStats, HysteresisReactivePolicy,
-        Monitor, MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver,
-        OraclePolicy, PredictivePolicy, PredictorKind, QueryBinRecord, QueryId, ReactivePolicy,
-        RecordSink, ReferenceRunner, RunObserver, RunSummary, Strategy,
+        ControlPolicy, DecisionReason, DigestObserver, EnforcementConfig, ExecStats,
+        HysteresisReactivePolicy, Monitor, MonitorBuilder, MonitorConfig, NetshedError,
+        NoSheddingPolicy, NullObserver, OraclePolicy, PredictivePolicy, PredictorKind,
+        QueryBinRecord, QueryId, ReactivePolicy, RecordSink, ReferenceRunner, RunDigest,
+        RunObserver, RunSummary, Strategy, StreamDigest,
     };
     pub use netshed_predict::{Predictor, PredictorFactory};
     pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
     pub use netshed_trace::{
-        Anomaly, AnomalyKind, Batch, BatchReplay, BatchView, Interleave, PacketSource,
-        PacketSourceExt, TraceConfig, TraceGenerator, TraceProfile,
+        Anomaly, AnomalyEvent, AnomalyKind, Batch, BatchReplay, BatchView, FormatError, Interleave,
+        Link, PacketSource, PacketSourceExt, Phase, Scenario, ScenarioAnomaly, ScenarioError,
+        ScenarioSource, TraceConfig, TraceGenerator, TraceProfile, TraceReader, TraceWriter,
     };
 }

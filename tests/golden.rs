@@ -1,0 +1,240 @@
+//! Golden-replay conformance: every built-in scenario, recorded to the
+//! binary trace format and replayed through all seven strategies, must
+//! produce exactly the output streams pinned in `corpus/GOLDEN.digests`.
+//!
+//! Three invariants are pinned per scenario:
+//!
+//! 1. **Generator + format stability** — the committed `.nstr` recording
+//!    still decodes to exactly the batches the scenario generates today (a
+//!    format change that round-trips in memory but breaks old files, or a
+//!    silent generator change, fails here first).
+//! 2. **Round-trip replay equivalence** (the acceptance criterion) —
+//!    generate → write → read → run produces bit-identical `BinRecord`
+//!    streams to running the generator's batches directly, at 1 and 4
+//!    workers, for all seven strategies.
+//! 3. **Golden digests** — the per-strategy record/decision/interval
+//!    digests equal the committed manifest, with a readable report naming
+//!    the drifted stream otherwise.
+//!
+//! The CI golden-corpus job runs this file under `NETSHED_THREADS=1` and
+//! `=4`. Most runs below pin their worker counts explicitly (so the digests
+//! cannot depend on the env knob); the ambient-config test at the bottom
+//! deliberately leaves the worker count to the environment, which is what
+//! makes the `=4` CI pass exercise the parallel plane against the manifest
+//! for real.
+
+use netshed::prelude::*;
+use netshed_bench::corpus::{
+    all_strategies, corpus_capacity, corpus_specs, diff_digests, digest_run, parse_manifest,
+    GoldenEntry, MANIFEST_NAME, TRACE_EXTENSION,
+};
+use netshed_trace::scenario::builtins;
+use netshed_trace::{decode_batches, encode_batches};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Collects the full output tape of one run for exact comparison.
+#[derive(Default)]
+struct FullTape {
+    records: Vec<BinRecord>,
+    decisions: Vec<(u64, ControlDecision)>,
+    intervals: Vec<Vec<(String, QueryOutput)>>,
+}
+
+impl RunObserver for FullTape {
+    fn on_bin(&mut self, record: &BinRecord) {
+        self.records.push(record.clone());
+    }
+
+    fn on_decision(&mut self, bin_index: u64, decision: &ControlDecision) {
+        self.decisions.push((bin_index, decision.clone()));
+    }
+
+    fn on_interval(&mut self, outputs: &[(String, QueryOutput)]) {
+        self.intervals.push(outputs.to_vec());
+    }
+}
+
+fn tape_run(batches: &[Batch], strategy: Strategy, capacity: f64, workers: usize) -> FullTape {
+    let mut monitor = Monitor::builder()
+        .capacity(capacity)
+        .seed(netshed_bench::corpus::CORPUS_SEED)
+        .strategy(strategy)
+        .with_workers(workers)
+        .queries(corpus_specs())
+        .build()
+        .expect("valid corpus configuration");
+    let mut tape = FullTape::default();
+    monitor.run(&mut BatchReplay::new(batches.to_vec()), &mut tape).expect("corpus run");
+    tape
+}
+
+/// Invariant 1: committed recordings decode to today's generator output.
+#[test]
+fn committed_recordings_match_the_generators() {
+    for scenario in builtins() {
+        let path = corpus_dir().join(format!("{}.{TRACE_EXTENSION}", scenario.name()));
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: cannot read committed recording {} ({e}); regenerate the corpus with \
+                 `cargo run -p netshed-bench --release --bin scenarios -- record`",
+                scenario.name(),
+                path.display()
+            )
+        });
+        let recorded = decode_batches(&bytes).unwrap_or_else(|e| {
+            panic!("{}: committed recording does not decode: {e}", scenario.name())
+        });
+        let generated = scenario.generate().expect("builtins are valid");
+        assert!(
+            recorded == generated,
+            "{}: the generator no longer reproduces the committed recording — either the \
+             traffic model or the trace format changed; if intentional, re-record the corpus",
+            scenario.name()
+        );
+    }
+}
+
+/// Invariant 2 (the acceptance criterion): generate → write → read → run is
+/// bit-identical to running the generated batches directly, at 1 and 4
+/// workers, for all seven strategies.
+#[test]
+fn roundtrip_replay_is_bit_identical_for_every_strategy_and_worker_count() {
+    for scenario in builtins() {
+        let generated = scenario.generate().expect("builtins are valid");
+        let replayed = decode_batches(
+            &encode_batches(&generated, scenario.bin_duration_us()).expect("encode"),
+        )
+        .expect("decode");
+        assert_eq!(generated, replayed, "{}: packet round-trip", scenario.name());
+
+        let capacity = corpus_capacity(&generated);
+        for (name, strategy) in all_strategies() {
+            let direct = tape_run(&generated, strategy, capacity, 1);
+            assert!(
+                !direct.records.is_empty(),
+                "{}/{name}: the corpus run must process bins",
+                scenario.name()
+            );
+            for workers in [1usize, 4] {
+                let roundtripped = tape_run(&replayed, strategy, capacity, workers);
+                assert_eq!(
+                    direct.records,
+                    roundtripped.records,
+                    "{}/{name}: BinRecord stream diverged after write→read at {workers} workers",
+                    scenario.name()
+                );
+                assert_eq!(
+                    direct.decisions,
+                    roundtripped.decisions,
+                    "{}/{name}: decision stream diverged after write→read at {workers} workers",
+                    scenario.name()
+                );
+                assert_eq!(
+                    direct.intervals,
+                    roundtripped.intervals,
+                    "{}/{name}: interval outputs diverged after write→read at {workers} workers",
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
+/// Invariant 3: the per-strategy digests equal the committed manifest.
+#[test]
+fn digests_match_the_committed_golden_manifest() {
+    let manifest_path = corpus_dir().join(MANIFEST_NAME);
+    let text = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest_path.display()));
+    let pinned = parse_manifest(&text).expect("committed manifest parses");
+    assert_eq!(
+        pinned.len(),
+        builtins().len() * all_strategies().len(),
+        "the manifest must pin every (scenario, strategy) pair"
+    );
+
+    let mut drift: Vec<String> = Vec::new();
+    for scenario in builtins() {
+        let batches = scenario.generate().expect("builtins are valid");
+        let capacity = corpus_capacity(&batches);
+        for (name, strategy) in all_strategies() {
+            let entry: &GoldenEntry = pinned
+                .iter()
+                .find(|e| e.scenario == scenario.name() && e.strategy == name)
+                .unwrap_or_else(|| {
+                    panic!("{} / {name}: missing from the golden manifest", scenario.name())
+                });
+            let fresh = digest_run(&batches, strategy, capacity, 1).expect("corpus run");
+            drift.extend(diff_digests(scenario.name(), &name, entry.digest, fresh));
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "golden corpus drift — an output stream changed; if intentional, re-record with \
+         `cargo run -p netshed-bench --release --bin scenarios -- record` and commit:\n  {}",
+        drift.join("\n  ")
+    );
+}
+
+/// The digests the manifest pins are worker-count invariant (spot-checked
+/// exhaustively in the round-trip test above via full tapes; this pins the
+/// digest path itself at 4 workers for every scenario).
+#[test]
+fn manifest_digests_are_worker_invariant() {
+    for scenario in builtins() {
+        let batches = scenario.generate().expect("builtins are valid");
+        let capacity = corpus_capacity(&batches);
+        let (name, strategy) = all_strategies().into_iter().last().expect("seven strategies");
+        let sequential = digest_run(&batches, strategy, capacity, 1).expect("run");
+        let parallel = digest_run(&batches, strategy, capacity, 4).expect("run");
+        assert_eq!(
+            sequential,
+            parallel,
+            "{} / {name}: digest changed with the worker count",
+            scenario.name()
+        );
+    }
+}
+
+/// Monitors built *without* an explicit worker count inherit
+/// `NETSHED_THREADS`; their digests must still match the manifest. This is
+/// the test that makes the CI job's `NETSHED_THREADS=4` pass genuinely
+/// different from the sequential one — every other run here pins its
+/// workers explicitly.
+#[test]
+fn ambient_worker_config_matches_the_manifest() {
+    let manifest_path = corpus_dir().join(MANIFEST_NAME);
+    let text = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest_path.display()));
+    let pinned = parse_manifest(&text).expect("committed manifest parses");
+    for scenario in builtins() {
+        let batches = scenario.generate().expect("builtins are valid");
+        let capacity = corpus_capacity(&batches);
+        let (name, strategy) = all_strategies().into_iter().last().expect("seven strategies");
+        let mut monitor = Monitor::builder()
+            .capacity(capacity)
+            .seed(netshed_bench::corpus::CORPUS_SEED)
+            .strategy(strategy)
+            // No .with_workers(): the count comes from NETSHED_THREADS.
+            .queries(corpus_specs())
+            .build()
+            .expect("valid corpus configuration");
+        let mut digest = DigestObserver::new();
+        monitor.run(&mut BatchReplay::new(batches), &mut digest).expect("corpus run");
+        let entry = pinned
+            .iter()
+            .find(|e| e.scenario == scenario.name() && e.strategy == name)
+            .unwrap_or_else(|| panic!("{} / {name}: missing from manifest", scenario.name()));
+        let drift = diff_digests(scenario.name(), &name, entry.digest, digest.digest());
+        assert!(
+            drift.is_empty(),
+            "ambient-worker run drifted from the manifest (workers from NETSHED_THREADS={:?}):\n  {}",
+            std::env::var("NETSHED_THREADS").ok(),
+            drift.join("\n  ")
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Observer composition: sinks must round-trip the records they stream, and
+//! tuple composition must deliver every event, in document order, to both
+//! members.
+
+use netshed::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_with<O: RunObserver>(observer: &mut O, batches: usize) -> RunSummary {
+    let mut monitor = Monitor::builder()
+        .capacity(1e12)
+        .no_noise()
+        .seed(2)
+        .queries(vec![QuerySpec::new(QueryKind::Counter), QuerySpec::new(QueryKind::Flows)])
+        .build()
+        .expect("build");
+    let mut source =
+        TraceGenerator::new(TraceConfig::default().with_seed(6).with_mean_packets_per_batch(70.0))
+            .take_batches(batches);
+    monitor.run(&mut source, observer).expect("run")
+}
+
+/// Captures the records the sink saw, for field-level comparison.
+#[derive(Default)]
+struct Records(Vec<BinRecord>);
+
+impl RunObserver for Records {
+    fn on_bin(&mut self, record: &BinRecord) {
+        self.0.push(record.clone());
+    }
+}
+
+#[test]
+fn csv_rows_round_trip_to_the_emitted_records() {
+    let mut pair = (Records::default(), RecordSink::csv(Vec::new()));
+    run_with(&mut pair, 12);
+    let (records, sink) = pair;
+    assert!(sink.error().is_none());
+    let written = String::from_utf8(sink.into_inner()).expect("utf8");
+    let mut lines = written.lines();
+    let header: Vec<&str> = lines.next().expect("header row").split(',').collect();
+    assert_eq!(header[0], "bin_index");
+    assert_eq!(header.len(), 10, "one column per documented field");
+
+    let rows: Vec<Vec<String>> =
+        lines.map(|l| l.split(',').map(str::to_string).collect()).collect();
+    assert_eq!(rows.len(), records.0.len(), "one CSV row per emitted record");
+    for (row, record) in rows.iter().zip(&records.0) {
+        // Parse back and compare against the record, using the sink's own
+        // precision so the check is exact, not epsilon-sloppy.
+        assert_eq!(row[0], record.bin_index.to_string());
+        assert_eq!(row[1], record.incoming_packets.to_string());
+        assert_eq!(row[2], record.uncontrolled_drops.to_string());
+        assert_eq!(row[3], record.unsampled_packets.to_string());
+        assert_eq!(row[4], format!("{:.1}", record.available_cycles));
+        assert_eq!(row[5], format!("{:.1}", record.predicted_cycles));
+        assert_eq!(row[6], format!("{:.1}", record.query_cycles));
+        assert_eq!(row[7], format!("{:.1}", record.total_cycles()));
+        assert_eq!(row[8], format!("{:.4}", record.buffer_occupation));
+        assert_eq!(row[9], format!("{:.4}", record.mean_sampling_rate()));
+        // And the parsed numbers identify the record semantically.
+        let parsed_rate: f64 = row[9].parse().expect("numeric rate");
+        assert!((parsed_rate - record.mean_sampling_rate()).abs() < 5e-5);
+    }
+}
+
+/// Minimal NDJSON field extractor for the flat objects the sink emits.
+fn json_field(line: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":");
+    let start =
+        line.find(&marker).unwrap_or_else(|| panic!("{key} missing in {line}")) + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).expect("terminated value");
+    rest[..end].to_string()
+}
+
+#[test]
+fn ndjson_objects_round_trip_to_the_emitted_records() {
+    let mut pair = (Records::default(), RecordSink::json(Vec::new()));
+    run_with(&mut pair, 12);
+    let (records, sink) = pair;
+    assert!(sink.error().is_none());
+    let written = String::from_utf8(sink.into_inner()).expect("utf8");
+    let lines: Vec<&str> = written.lines().collect();
+    assert_eq!(lines.len(), records.0.len(), "one object per emitted record");
+    for (line, record) in lines.iter().zip(&records.0) {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(json_field(line, "bin_index"), record.bin_index.to_string());
+        assert_eq!(json_field(line, "incoming_packets"), record.incoming_packets.to_string());
+        assert_eq!(json_field(line, "available_cycles"), format!("{:.1}", record.available_cycles));
+        assert_eq!(json_field(line, "query_cycles"), format!("{:.1}", record.query_cycles));
+        assert_eq!(json_field(line, "total_cycles"), format!("{:.1}", record.total_cycles()));
+        assert_eq!(
+            json_field(line, "buffer_occupation"),
+            format!("{:.4}", record.buffer_occupation)
+        );
+        assert_eq!(
+            json_field(line, "mean_sampling_rate"),
+            format!("{:.4}", record.mean_sampling_rate())
+        );
+    }
+}
+
+/// An observer that appends `(tag, event)` markers to a shared log.
+struct Tagged {
+    tag: &'static str,
+    log: Rc<RefCell<Vec<(&'static str, String)>>>,
+}
+
+impl RunObserver for Tagged {
+    fn on_batch(&mut self, batch: &Batch) {
+        self.log.borrow_mut().push((self.tag, format!("batch:{}", batch.bin_index)));
+    }
+
+    fn on_decision(&mut self, bin_index: u64, _decision: &ControlDecision) {
+        self.log.borrow_mut().push((self.tag, format!("decision:{bin_index}")));
+    }
+
+    fn on_bin(&mut self, record: &BinRecord) {
+        self.log.borrow_mut().push((self.tag, format!("bin:{}", record.bin_index)));
+    }
+
+    fn on_interval(&mut self, _outputs: &[(String, QueryOutput)]) {
+        self.log.borrow_mut().push((self.tag, "interval".to_string()));
+    }
+
+    fn on_end(&mut self, _summary: &RunSummary) {
+        self.log.borrow_mut().push((self.tag, "end".to_string()));
+    }
+}
+
+#[test]
+fn tuple_observers_see_every_event_in_document_order() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut pair = (
+        Tagged { tag: "first", log: Rc::clone(&log) },
+        Tagged { tag: "second", log: Rc::clone(&log) },
+    );
+    // 15 batches closes one mid-run interval (10 bins per interval) and
+    // flushes a second at the end of the run.
+    let summary = run_with(&mut pair, 15);
+    assert_eq!(summary.bins, 15);
+    let log = log.borrow();
+
+    // Both members saw the identical event sequence, pairwise interleaved
+    // with the first tuple member always first.
+    let events = |tag: &str| -> Vec<String> {
+        log.iter().filter(|(t, _)| *t == tag).map(|(_, e)| e.clone()).collect()
+    };
+    let first = events("first");
+    let second = events("second");
+    assert_eq!(first, second, "both tuple members must see the same events");
+    for pair in log.chunks(2) {
+        assert_eq!(pair[0].0, "first", "tuple order is member order");
+        assert_eq!(pair[1].0, "second");
+        assert_eq!(pair[0].1, pair[1].1);
+    }
+
+    // The per-batch order is the documented one: on_batch → (on_interval on
+    // closing bins) → on_decision → on_bin, then a final interval flush and
+    // on_end.
+    assert_eq!(first[0], "batch:0");
+    assert_eq!(first[1], "decision:0");
+    assert_eq!(first[2], "bin:0");
+    // Bin 10 belongs to the next measurement interval, so processing it
+    // closes interval 0: its outputs are delivered between that batch's
+    // on_batch and on_decision.
+    let bin10 = first.iter().position(|e| e == "batch:10").expect("bin 10 seen");
+    assert_eq!(first[bin10 + 1], "interval");
+    assert_eq!(first[bin10 + 2], "decision:10");
+    assert_eq!(first[bin10 + 3], "bin:10");
+    assert_eq!(first[first.len() - 2], "interval", "the final flush precedes on_end");
+    assert_eq!(first[first.len() - 1], "end");
+    assert_eq!(first.iter().filter(|e| *e == "interval").count(), 2);
+}

@@ -170,6 +170,87 @@ proptest! {
         prop_assert!(std::sync::Arc::ptr_eq(view.store(), &batch.packets));
     }
 
+    /// H3 flow sampling is a pure function of (hash function, flow key):
+    /// the same flow receives the same keep/drop decision in every batch it
+    /// appears in, no matter how the surrounding packets differ.
+    #[test]
+    fn flow_sampling_decides_per_flow_key_across_batches(
+        flow_ids in proptest::collection::hash_set(0u32..5_000, 2..40),
+        hash_seed in 0u64..500,
+        rate in 0.05f64..0.95,
+    ) {
+        let flows: Vec<FiveTuple> =
+            flow_ids.iter().map(|f| FiveTuple::new(*f, 9_000 + f, 1_000, 80, 6)).collect();
+        // Batch A: two packets per flow, in flow order. Batch B: one packet
+        // per flow in reverse order, interleaved with unrelated traffic.
+        let mut a_packets = Vec::new();
+        for (index, tuple) in flows.iter().enumerate() {
+            a_packets.push(Packet::header_only(index as u64 * 2, *tuple, 100, 0));
+            a_packets.push(Packet::header_only(index as u64 * 2 + 1, *tuple, 200, 0));
+        }
+        let mut b_packets = Vec::new();
+        for (index, tuple) in flows.iter().rev().enumerate() {
+            b_packets.push(Packet::header_only(index as u64 * 3, *tuple, 300, 0));
+            let noise = FiveTuple::new(1_000_000 + index as u32, 7, 53, 53, 17);
+            b_packets.push(Packet::header_only(index as u64 * 3 + 1, noise, 80, 0));
+        }
+        let batch_a = Batch::new(0, 0, 100_000, a_packets);
+        let batch_b = Batch::new(5, 500_000, 100_000, b_packets);
+
+        let hasher = H3Hasher::new(13, hash_seed);
+        let (sampled_a, _) = flow_sample(&batch_a.view(), rate, &hasher);
+        let (sampled_b, _) = flow_sample(&batch_b.view(), rate, &hasher);
+        let kept_a: std::collections::HashSet<FiveTuple> =
+            sampled_a.packets().map(|p| p.tuple).collect();
+        let kept_b: std::collections::HashSet<FiveTuple> =
+            sampled_b.packets().map(|p| p.tuple).collect();
+        for tuple in &flows {
+            prop_assert_eq!(
+                kept_a.contains(tuple),
+                kept_b.contains(tuple),
+                "flow {:?} changed fate between batches",
+                tuple
+            );
+        }
+        // Whole flows are kept or dropped: batch A holds two packets per
+        // kept flow, never one.
+        prop_assert_eq!(sampled_a.len(), kept_a.len() * 2);
+    }
+
+    /// More budget can only widen the kept set: at a higher sampling rate
+    /// the kept flows are a superset of the kept flows at any lower rate
+    /// (the monotonicity that makes per-bin rate changes graceful).
+    #[test]
+    fn flow_sampling_rate_is_monotone(
+        flow_ids in proptest::collection::hash_set(0u32..10_000, 5..60),
+        hash_seed in 0u64..500,
+        rate_a in 0.0f64..1.0,
+        rate_b in 0.0f64..1.0,
+    ) {
+        let (low, high) = if rate_a <= rate_b { (rate_a, rate_b) } else { (rate_b, rate_a) };
+        let packets: Vec<Packet> = flow_ids
+            .iter()
+            .enumerate()
+            .map(|(index, f)| {
+                Packet::header_only(index as u64, FiveTuple::new(*f, 2, 3, 443, 6), 100, 0)
+            })
+            .collect();
+        let batch = Batch::new(0, 0, 100_000, packets);
+        let hasher = H3Hasher::new(13, hash_seed);
+        let (kept_low, _) = flow_sample(&batch.view(), low, &hasher);
+        let (kept_high, _) = flow_sample(&batch.view(), high, &hasher);
+        let low_set: std::collections::HashSet<FiveTuple> =
+            kept_low.packets().map(|p| p.tuple).collect();
+        let high_set: std::collections::HashSet<FiveTuple> =
+            kept_high.packets().map(|p| p.tuple).collect();
+        prop_assert!(
+            low_set.is_subset(&high_set),
+            "rate {} kept flows outside rate {}'s set",
+            low,
+            high
+        );
+    }
+
     /// OLS through the SVD pseudo-inverse recovers exact linear models.
     #[test]
     fn ols_recovers_linear_models(
@@ -186,5 +267,55 @@ proptest! {
         let fit = ols_solve(&Matrix::from_rows(&rows), &ys, 1e-12);
         prop_assert!((fit.coefficients[0] - a).abs() < 1e-6 * (1.0 + a.abs()));
         prop_assert!((fit.coefficients[1] - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+}
+
+/// The worker-count half of the flow-sampling contract: the flows query's
+/// per-bin delivered-packet counts (the direct trace of its keep/drop
+/// decisions) are identical at 1, 2 and 4 workers, under load shedding.
+#[test]
+fn flow_sampling_decisions_survive_any_worker_count() {
+    use netshed::prelude::*;
+
+    let batches = TraceGenerator::new(
+        TraceConfig::default().with_seed(31).with_mean_packets_per_batch(150.0),
+    )
+    .batches(20);
+    let specs = vec![QuerySpec::new(QueryKind::Flows), QuerySpec::new(QueryKind::Counter)];
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..10]);
+
+    let delivered = |workers: usize| -> Vec<(u64, u64, bool)> {
+        let mut monitor = Monitor::builder()
+            .capacity(demand / 2.0)
+            .seed(13)
+            .with_workers(workers)
+            .queries(specs.clone())
+            .build()
+            .expect("valid configuration");
+        let mut rows = Vec::new();
+        struct Tape<'a>(&'a mut Vec<(u64, u64, bool)>);
+        impl RunObserver for Tape<'_> {
+            fn on_bin(&mut self, record: &BinRecord) {
+                let flows = &record.queries[0];
+                self.0.push((record.bin_index, flows.delivered_packets, flows.disabled));
+            }
+        }
+        monitor
+            .run(&mut BatchReplay::new(batches.clone()), &mut Tape(&mut rows))
+            .expect("run succeeds");
+        rows
+    };
+
+    let sequential = delivered(1);
+    assert!(
+        sequential.iter().any(|(_, delivered, _)| *delivered > 0),
+        "the flows query must see packets"
+    );
+    for workers in [2usize, 4] {
+        assert_eq!(
+            sequential,
+            delivered(workers),
+            "flow-sampling decisions diverged at {workers} workers"
+        );
     }
 }
