@@ -32,7 +32,7 @@ fn bench_feature_extraction(c: &mut Criterion) {
     // iteration — the steady state every per-query re-extraction sees.
     group.bench_function("fused_warm", |b| {
         let mut extractor = FeatureExtractor::with_defaults();
-        b.iter(|| black_box(extractor.extract(&batch)))
+        b.iter(|| black_box(extractor.extract(&batch)));
     });
     // Cold: a fresh packet store per iteration, so the hashes are computed
     // inside the measured region (the first touch of a batch). The timing
@@ -49,7 +49,7 @@ fn bench_feature_extraction(c: &mut Criterion) {
                 template.clone(),
             );
             black_box(extractor.extract(&fresh))
-        })
+        });
     });
     group.bench_function("store_build", |b| {
         b.iter(|| {
@@ -59,11 +59,11 @@ fn bench_feature_extraction(c: &mut Criterion) {
                 batch.duration_us,
                 template.clone(),
             ))
-        })
+        });
     });
     group.bench_function("ten_pass_baseline", |b| {
         let mut extractor = TenPassExtractor::with_defaults();
-        b.iter(|| black_box(extractor.extract(&batch)))
+        b.iter(|| black_box(extractor.extract(&batch)));
     });
     group.finish();
 }
@@ -86,7 +86,7 @@ fn bench_prediction(c: &mut Criterion) {
     }
     let last = *history.last().unwrap();
     c.bench_function("mlr_fcbf_predict_60_history", |b| {
-        b.iter(|| black_box(predictor.predict(&last)))
+        b.iter(|| black_box(predictor.predict(&last)));
     });
 }
 
@@ -99,18 +99,18 @@ fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("shed_1000pkt_batch");
     group.bench_function("packet_sample_view", |b| {
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| black_box(packet_sample(&view, 0.3, &mut rng)))
+        b.iter(|| black_box(packet_sample(&view, 0.3, &mut rng)));
     });
     group.bench_function("packet_sample_clone_baseline", |b| {
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| black_box(clone_packet_sample(&batch, 0.3, &mut rng)))
+        b.iter(|| black_box(clone_packet_sample(&batch, 0.3, &mut rng)));
     });
     let hasher = H3Hasher::new(13, 9);
     group.bench_function("flow_sample_view", |b| {
-        b.iter(|| black_box(flow_sample(&view, 0.3, &hasher)))
+        b.iter(|| black_box(flow_sample(&view, 0.3, &hasher)));
     });
     group.bench_function("flow_sample_clone_baseline", |b| {
-        b.iter(|| black_box(clone_flow_sample(&batch, 0.3, &hasher)))
+        b.iter(|| black_box(clone_flow_sample(&batch, 0.3, &hasher)));
     });
     group.finish();
 }
@@ -123,7 +123,7 @@ fn bench_sketches(c: &mut Criterion) {
                 bitmap.insert_hash(mix64(i));
             }
             black_box(bitmap.estimate())
-        })
+        });
     });
 }
 
@@ -147,7 +147,7 @@ fn bench_queries(c: &mut Criterion) {
                 let mut meter = CycleMeter::new();
                 query.process_batch(&view, 1.0, &mut meter);
                 black_box(meter.cycles())
-            })
+            });
         });
     }
     group.finish();

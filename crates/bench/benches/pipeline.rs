@@ -167,7 +167,8 @@ fn bench_pipeline_at(batches: usize, workers: usize) -> PipelineNumbers {
     let total_packets: u64 = recorded.iter().map(|b| b.len() as u64).sum();
     let specs: Vec<QuerySpec> =
         QueryKind::CHAPTER4_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
-    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4]);
+    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4])
+        .expect("valid query specs");
 
     let mut monitor = Monitor::builder()
         .capacity(demand / 2.0)
@@ -336,7 +337,8 @@ fn bench_control_plane(batches: usize, repeats: u32) -> ControlPlaneNumbers {
     .batches(batches);
     let specs: Vec<QuerySpec> =
         QueryKind::CHAPTER4_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
-    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4]);
+    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4])
+        .expect("valid query specs");
     let capacity = demand / 2.0;
 
     let time_path = |use_trait: bool| -> f64 {

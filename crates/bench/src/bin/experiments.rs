@@ -52,13 +52,13 @@ fn main() {
         match arg.as_str() {
             "--batches" => {
                 options.batches =
-                    iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.batches)
+                    iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.batches);
             }
             "--scale" => {
-                options.scale = iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.scale)
+                options.scale = iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.scale);
             }
             "--seed" => {
-                options.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.seed)
+                options.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(options.seed);
             }
             other => ids.push(other.to_string()),
         }
@@ -345,7 +345,7 @@ fn fig3_6(options: &Options) {
     print!("{:<16}", "query");
     let histories = [1usize, 6, 30];
     for h in histories {
-        print!(" {:>9}s", h);
+        print!(" {h:>9}s");
     }
     println!();
     for kind in QueryKind::CHAPTER4_SET {
@@ -362,7 +362,7 @@ fn fig3_6(options: &Options) {
     print!("{:<16}", "query");
     let thresholds = [0.2, 0.6, 0.9];
     for t in thresholds {
-        print!(" {:>10.1}", t);
+        print!(" {t:>10.1}");
     }
     println!();
     for kind in QueryKind::CHAPTER4_SET {
@@ -611,7 +611,8 @@ fn fig4_1(options: &Options) {
         "system", "p10", "p50", "p90", "p99", ">capacity"
     );
     for (name, result, _) in &runs {
-        let cycles: Vec<f64> = result.bins.iter().map(|b| b.total_cycles()).collect();
+        let cycles: Vec<f64> =
+            result.bins.iter().map(netshed_monitor::BinRecord::total_cycles).collect();
         let above = cycles.iter().filter(|&&c| c > capacity).count() as f64 / cycles.len() as f64;
         println!(
             "{name:<12} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>9.1}%",
@@ -709,7 +710,8 @@ fn fig4_5_6(options: &Options) {
             .with_strategy(strategy)
             .with_seed(options.seed);
         let result = run_with_reference(config, &specs, &batches, &[]);
-        let cycles: Vec<f64> = result.bins.iter().map(|b| b.total_cycles()).collect();
+        let cycles: Vec<f64> =
+            result.bins.iter().map(netshed_monitor::BinRecord::total_cycles).collect();
         let errors = result.error_series.get("flows").cloned().unwrap_or_default();
         println!(
             "{name:<32} peak cycles {:>12.0}  drops {:>6}  flows error mean {:.3} max {:.3}",
@@ -911,7 +913,7 @@ fn tab5_2(options: &Options) {
 
     print!("{:<16} {:>5}", "query", "m_q");
     for (name, _) in &results {
-        print!(" {:>10}", name);
+        print!(" {name:>10}");
     }
     println!();
     for spec in &specs {
@@ -1114,13 +1116,13 @@ fn fig6_8(options: &Options) {
         .bins
         .iter()
         .filter(|b| b.bin_index >= attack_start && b.bin_index < attack_end)
-        .map(|b| b.mean_sampling_rate())
+        .map(netshed_monitor::BinRecord::mean_sampling_rate)
         .collect();
     let mean_rate_normal: Vec<f64> = result
         .bins
         .iter()
         .filter(|b| b.bin_index < attack_start)
-        .map(|b| b.mean_sampling_rate())
+        .map(netshed_monitor::BinRecord::mean_sampling_rate)
         .collect();
     println!(
         "mean sampling rate: before attack {:.2}, during attack {:.2}",
@@ -1218,7 +1220,8 @@ fn fig6_12_14(options: &Options) {
         println!("{name:<16} {:>20}", fmt_pm(mean(&accuracies), stdev(&accuracies)));
     }
     let occupations: Vec<f64> = result.bins.iter().map(|b| b.buffer_occupation).collect();
-    let rates: Vec<f64> = result.bins.iter().map(|b| b.mean_sampling_rate()).collect();
+    let rates: Vec<f64> =
+        result.bins.iter().map(netshed_monitor::BinRecord::mean_sampling_rate).collect();
     println!(
         "\nbuffer occupation: mean {:.2}, max {:.2}",
         mean(&occupations),

@@ -34,37 +34,37 @@ fn main() -> ExitCode {
         // Flags fail loudly on missing or unparseable values: a typo like
         // `--workers two` must not silently verify at the default count.
         match arg.as_str() {
-            "--dir" => match iter.next() {
-                Some(value) => dir = Some(PathBuf::from(value)),
-                None => {
+            "--dir" => {
+                let Some(value) = iter.next() else {
                     eprintln!("--dir requires a path");
                     return ExitCode::FAILURE;
-                }
-            },
-            "--workers" => match iter.next() {
-                Some(value) => match value.parse::<usize>() {
+                };
+                dir = Some(PathBuf::from(value));
+            }
+            "--workers" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--workers requires a count");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
                     Ok(count) if count >= 1 => workers = Some(count),
                     _ => {
                         eprintln!("--workers requires a count >= 1, got {value:?}");
                         return ExitCode::FAILURE;
                     }
-                },
-                None => {
-                    eprintln!("--workers requires a count");
-                    return ExitCode::FAILURE;
                 }
-            },
-            "--strategy" => match iter.next() {
-                Some(value) => strategy_name = Some(value.clone()),
-                None => {
+            }
+            "--strategy" => {
+                let Some(value) = iter.next() else {
                     eprintln!("--strategy requires a name");
                     return ExitCode::FAILURE;
-                }
-            },
+                };
+                strategy_name = Some(value.clone());
+            }
             other => positional.push(other.to_string()),
         }
     }
-    let command = positional.first().map(String::as_str).unwrap_or("list");
+    let command = positional.first().map_or("list", String::as_str);
     // Flags a command ignores are rejected, not silently dropped — a caller
     // passing `run … --workers 4` must not believe the parallel plane ran
     // when it did not.
@@ -91,13 +91,14 @@ fn main() -> ExitCode {
         "list" => list(),
         "record" => record(&dir),
         "verify" => verify(&dir, workers),
-        "run" => match positional.get(1) {
-            Some(name) => run_one(name, strategy_name.as_deref(), workers),
-            None => {
+        "run" => {
+            if let Some(name) = positional.get(1) {
+                run_one(name, strategy_name.as_deref(), workers)
+            } else {
                 eprintln!("usage: scenarios run <name> [--strategy <name>] [--workers N]");
                 ExitCode::FAILURE
             }
-        },
+        }
         other => {
             eprintln!("unknown command {other:?} (use list | record | verify | run)");
             ExitCode::FAILURE
@@ -113,7 +114,7 @@ fn list() -> ExitCode {
         let phases: Vec<String> = scenario
             .links()
             .iter()
-            .flat_map(|link| link.phases())
+            .flat_map(netshed_trace::Link::phases)
             .map(|p| format!("{}({})", p.name(), p.duration_bins()))
             .collect();
         println!(
@@ -238,7 +239,7 @@ fn verify(dir: &Path, workers: usize) -> ExitCode {
                     checked += 1;
                 }
                 Err(error) => {
-                    drift.push(format!("{} / {name}: run failed: {error}", scenario.name()))
+                    drift.push(format!("{} / {name}: run failed: {error}", scenario.name()));
                 }
             }
         }
@@ -286,16 +287,17 @@ fn run_one(name: &str, strategy_name: Option<&str>, workers: usize) -> ExitCode 
     };
     let strategy = match strategy_name {
         None => netshed_monitor::Strategy::Predictive(netshed_monitor::AllocationPolicy::MmfsPkt),
-        Some(requested) => match strategy_by_name(requested) {
-            Some(strategy) => strategy,
-            None => {
+        Some(requested) => {
+            if let Some(strategy) = strategy_by_name(requested) {
+                strategy
+            } else {
                 eprintln!("unknown strategy {requested:?}; known:");
                 for (known, _) in all_strategies() {
                     eprintln!("  {known}");
                 }
                 return ExitCode::FAILURE;
             }
-        },
+        }
     };
     let batches = scenario.generate().expect("builtins are valid");
     let capacity = corpus_capacity(&batches);

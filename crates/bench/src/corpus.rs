@@ -74,7 +74,8 @@ pub fn strategy_by_name(name: &str) -> Option<Strategy> {
 pub fn corpus_capacity(batches: &[Batch]) -> f64 {
     let warmup = batches.len().min(20);
     let demand =
-        netshed_monitor::reference::measure_total_demand(&corpus_specs(), &batches[..warmup]);
+        netshed_monitor::reference::measure_total_demand(&corpus_specs(), &batches[..warmup])
+            .expect("valid corpus specs"); // lint:allow(no-unwrap): corpus_specs() is a fixed compiled-in set that passes registration validation
     (demand / 2.0).max(1.0)
 }
 
@@ -128,20 +129,23 @@ pub fn compute_golden(
 
 /// Renders manifest rows in the committed `GOLDEN.digests` format.
 pub fn format_manifest(entries: &[GoldenEntry]) -> String {
+    use std::fmt::Write as _;
     let mut out = String::from(
         "# netshed golden-replay corpus manifest v1\n\
          # scenario strategy bins records decisions intervals\n",
     );
     for entry in entries {
-        out.push_str(&format!(
-            "{} {} {} {:016x} {:016x} {:016x}\n",
+        // Writing to a String is infallible.
+        let _ = writeln!(
+            out,
+            "{} {} {} {:016x} {:016x} {:016x}",
             entry.scenario,
             entry.strategy,
             entry.digest.bins,
             entry.digest.records,
             entry.digest.decisions,
             entry.digest.intervals
-        ));
+        );
     }
     out
 }

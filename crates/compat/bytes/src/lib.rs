@@ -5,6 +5,8 @@
 //! is a shared `Arc<[u8]>` plus a window, so cloning a payload or slicing a
 //! template never copies the underlying bytes.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
@@ -58,6 +60,7 @@ impl Bytes {
     /// # Panics
     ///
     /// Panics if the range is out of bounds or inverted.
+    #[must_use]
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
         let len = self.len();
         let begin = match range.start_bound() {

@@ -7,6 +7,8 @@
 //! rejection or statistical comparison, but plenty to eyeball the relative
 //! costs the benches exist to show.
 
+#![forbid(unsafe_code)]
+
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -32,6 +34,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Calls `routine` repeatedly and records the mean wall-clock time.
+    // The name mirrors upstream criterion's `Bencher::iter`, which benches
+    // call as `b.iter(|| ...)`; it is a measurement loop, not an iterator.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up: also sizes the measurement loop so it runs ~200 ms
         // (~10 ms under `--smoke`).

@@ -8,6 +8,8 @@
 //! proptest there is no shrinking: a failing case reports its inputs via the
 //! panic message of the assertion that fired.
 
+#![forbid(unsafe_code)]
+
 use rand::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -69,7 +71,7 @@ tuple_strategy! {
 
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
-    use super::*;
+    use super::{Hash, HashSet, Range, Rng, StdRng, Strategy};
 
     /// Strategy producing `Vec`s of values from an element strategy.
     pub struct VecStrategy<S> {

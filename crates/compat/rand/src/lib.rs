@@ -8,6 +8,8 @@
 //! netshed test-suite only relies on determinism for a given seed, never on a
 //! particular stream.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Random number generators.

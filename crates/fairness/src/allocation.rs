@@ -129,7 +129,7 @@ impl Allocation {
 fn enabled_after_phase1(demands: &[QueryDemand], capacity: f64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..demands.len()).collect();
     // Sort ascending by minimum demand; we keep a prefix of this order.
-    order.sort_by(|&a, &b| demands[a].min_cycles().partial_cmp(&demands[b].min_cycles()).unwrap());
+    order.sort_by(|&a, &b| demands[a].min_cycles().total_cmp(&demands[b].min_cycles()));
     let mut enabled: Vec<usize> = order;
     loop {
         let total: f64 = enabled.iter().map(|&i| demands[i].min_cycles()).sum();
@@ -255,23 +255,21 @@ pub fn eq_srates(demands: &[QueryDemand], capacity: f64) -> Vec<Allocation> {
         let total: f64 = active.iter().map(|&i| demands[i].predicted_cycles).sum();
         let rate = if total > 0.0 { (capacity / total).min(1.0) } else { 1.0 };
         // Disable the query with the largest minimum rate above the common rate.
-        let violator =
-            active.iter().copied().filter(|&i| demands[i].min_rate > rate).max_by(|&a, &b| {
-                demands[a].min_cycles().partial_cmp(&demands[b].min_cycles()).unwrap()
-            });
-        match violator {
-            Some(i) => {
-                active.retain(|&j| j != i);
-                if active.is_empty() {
-                    return allocations;
-                }
-            }
-            None => {
-                for &i in &active {
-                    allocations[i] = Allocation::Rate(rate);
-                }
+        let violator = active
+            .iter()
+            .copied()
+            .filter(|&i| demands[i].min_rate > rate)
+            .max_by(|&a, &b| demands[a].min_cycles().total_cmp(&demands[b].min_cycles()));
+        if let Some(i) = violator {
+            active.retain(|&j| j != i);
+            if active.is_empty() {
                 return allocations;
             }
+        } else {
+            for &i in &active {
+                allocations[i] = Allocation::Rate(rate);
+            }
+            return allocations;
         }
     }
 }

@@ -55,7 +55,7 @@ impl AllocationGame {
         // Determine which players' minimum demands can be satisfied: sort by
         // demand ascending and accumulate while the running total fits.
         let mut order: Vec<usize> = (0..self.players).collect();
-        order.sort_by(|&a, &b| actions[a].partial_cmp(&actions[b]).unwrap());
+        order.sort_by(|&a, &b| actions[a].total_cmp(&actions[b]));
         let mut active = vec![false; self.players];
         let mut used = 0.0;
         for &player in &order {

@@ -22,6 +22,8 @@
 //! so the control plane can swap allocators at runtime and users can plug in
 //! their own.
 
+#![forbid(unsafe_code)]
+
 pub mod allocation;
 pub mod game;
 

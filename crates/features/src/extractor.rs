@@ -87,7 +87,7 @@ impl std::fmt::Debug for FeatureExtractor {
         f.debug_struct("FeatureExtractor")
             .field("batches_processed", &self.batches_processed)
             .field("current_interval", &self.current_interval)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

@@ -15,6 +15,8 @@
 //! per-interval "seen" bitmap is updated once per batch with a bitwise OR of
 //! the per-batch bitmap, exactly as the paper describes.
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod extractor;
 pub mod vector;

@@ -73,7 +73,7 @@ impl FeatureId {
             FeatureId::Bytes => 1,
             FeatureId::Counter(aggregate, counter) => {
                 let counter_idx =
-                    CounterKind::ALL.iter().position(|c| *c == counter).expect("counter in ALL");
+                    CounterKind::ALL.iter().position(|c| *c == counter).expect("counter in ALL"); // lint:allow(no-unwrap): CounterKind::ALL enumerates every variant, so the position always exists
                 2 + aggregate.index() * 4 + counter_idx
             }
         }

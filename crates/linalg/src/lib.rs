@@ -14,6 +14,8 @@
 //! * [`stats`] — mean / variance / correlation / percentile helpers shared by
 //!   the predictors and the experiment harness.
 
+#![forbid(unsafe_code)]
+
 pub mod matrix;
 pub mod ols;
 pub mod stats;

@@ -57,7 +57,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0) / 100.0;
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;

@@ -94,7 +94,7 @@ pub fn svd(a: &Matrix) -> Svd {
     // Singular values are the column norms of the rotated matrix.
     let mut order: Vec<usize> = (0..cols).collect();
     let norms: Vec<f64> = (0..cols).map(|j| dot(w.column(j), w.column(j)).sqrt()).collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
 
     let mut u = Matrix::zeros(rows, cols);
     let mut v_sorted = Matrix::zeros(cols, cols);

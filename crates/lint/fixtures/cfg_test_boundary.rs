@@ -1,0 +1,36 @@
+// Fixture: #[cfg(test)] module boundaries. Violations inside test-gated
+// items are masked; code after the module's closing brace is checked again.
+
+pub fn before(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    // Nested braces must not end the masked region early.
+    #[test]
+    fn nested() {
+        let m = HashMap::from([(1, 2)]);
+        for (_k, _v) in &m {
+            let _ = Instant::now();
+        }
+        let _ = Some(1u64).unwrap();
+    }
+}
+
+#[cfg(test)]
+fn test_helper() -> u64 {
+    Some(7u64).unwrap()
+}
+
+#[cfg(not(test))]
+pub fn not_test_gated(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn after(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

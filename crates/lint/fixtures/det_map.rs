@@ -1,0 +1,34 @@
+// Fixture: det-map. Three sections — bad, suppressed, clean — exercised by
+// tests/fixtures.rs with exact expected diagnostics.
+
+// -- bad: std maps in library code ------------------------------------------
+use std::collections::HashMap;
+
+pub struct BadState {
+    pub table: HashMap<u64, f64>,
+    pub seen: std::collections::HashSet<u64>,
+}
+
+// -- suppressed: the deterministic alias definition pattern -----------------
+pub type MyDetMap<K, V> = HashMap<K, V, DetBuildHasher>; // lint:allow(det-map): defining the deterministic alias itself
+
+// -- clean: deterministic containers and test code never fire ---------------
+pub struct CleanState {
+    pub table: DetHashMap<u64, f64>,
+    pub ordered: std::collections::BTreeMap<u64, f64>,
+}
+
+/// Doc comments mentioning HashMap are fine, as are strings: "HashMap".
+pub fn doc_mention() -> &'static str {
+    "std::collections::HashMap"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_std_maps() {
+        let _ = HashMap::<u64, u64>::new();
+    }
+}

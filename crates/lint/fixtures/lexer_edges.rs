@@ -1,0 +1,29 @@
+// Fixture: lexer edge cases. Rule-triggering tokens hidden inside raw
+// strings, nested block comments and char literals must never fire; the
+// real violation at the end must fire at exactly its line.
+
+pub fn raw_strings() -> &'static str {
+    r#"use std::collections::HashMap; x.unwrap(); Instant::now()"#
+}
+
+pub fn raw_string_wide_fence() -> &'static str {
+    r##"rand::rngs::StdRng inside a "# fence"##
+}
+
+pub fn byte_strings() -> (&'static [u8], u8) {
+    (br#"HashSet::new().values().sum()"#, b'\'')
+}
+
+/* Nested block comments hide everything:
+   /* use std::collections::HashMap; let x = y.unwrap(); */
+   still inside the outer comment: SystemTime::now()
+*/
+
+pub fn lifetimes_not_chars<'a>(x: &'a str) -> (&'a str, char, char) {
+    (x, 'x', '\'')
+}
+
+// The one real violation in this file; everything above must stay silent.
+pub fn real_violation(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,28 @@
+// Fixture: merge-order. Bad, suppressed and clean sections.
+
+// -- bad: f64 folds over hash-map iteration order ---------------------------
+pub fn bad_sum(map: &DetHashMap<u64, f64>) -> f64 {
+    map.values().sum()
+}
+
+pub fn bad_fold(map: &DetHashMap<u64, f64>) -> f64 {
+    map.values().copied().fold(f64::INFINITY, f64::min)
+}
+
+pub fn bad_keyed(map: &DetHashMap<u64, f64>) -> f64 {
+    map.keys().map(|k| *k as f64).product()
+}
+
+// -- suppressed: a justified stable-order fold ------------------------------
+pub fn suppressed_sum(map: &std::collections::BTreeMap<u64, f64>) -> f64 {
+    map.values().sum() // lint:allow(merge-order): BTreeMap iterates key-sorted, replay-stable
+}
+
+// -- clean: slice/vec iterators and registration-order folds ----------------
+pub fn clean_slice_sum(values: &[f64]) -> f64 {
+    values.iter().sum()
+}
+
+pub fn clean_registration_fold(per_query: &[(u64, f64)]) -> f64 {
+    per_query.iter().map(|(_, v)| v).fold(0.0, |acc, v| acc + v)
+}

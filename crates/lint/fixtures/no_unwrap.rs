@@ -1,0 +1,42 @@
+// Fixture: no-unwrap. Bad, suppressed and clean sections.
+
+// -- bad: panicking extraction in library code ------------------------------
+pub fn bad_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Result<u64, String>) -> u64 {
+    x.expect("boom")
+}
+
+pub fn bad_path_form(x: Option<u64>) -> u64 {
+    Option::unwrap(x)
+}
+
+// -- suppressed: a documented invariant -------------------------------------
+pub fn suppressed(x: Option<u64>) -> u64 {
+    // lint:allow(no-unwrap): populated for every registered query at build time
+    x.expect("registration invariant")
+}
+
+// -- clean: combinators, ? and idents merely named unwrap -------------------
+pub fn clean_combinators(x: Option<u64>) -> u64 {
+    x.unwrap_or_default().max(x.unwrap_or(0))
+}
+
+pub fn unwrap(x: Option<u64>) -> Option<u64> {
+    // A function *named* unwrap is not a call to Option::unwrap.
+    x
+}
+
+pub fn clean_question(x: Option<u64>) -> Option<u64> {
+    Some(x? + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let _ = Some(1u64).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: plan-phase-rng. Bad, suppressed and clean sections.
+
+// -- bad: RNG machinery outside the plan phase ------------------------------
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub struct BadSampler {
+    rng: StdRng,
+}
+
+// -- suppressed: seed-derived constants, no per-packet draws ----------------
+pub fn derive_constants(seed: u64) -> [u64; 2] {
+    // lint:allow(plan-phase-rng): seed-expanded constants fixed at construction
+    let mut rng = StdRng::seed_from_u64(seed);
+    [rng.next(), rng.next()]
+}
+
+// -- clean: plain arithmetic; `rng`-named locals alone never fire -----------
+pub fn mix(rng_state: u64) -> u64 {
+    rng_state.wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tests_may_seed_rngs() {
+        let _ = StdRng::seed_from_u64(1);
+    }
+}

@@ -1,0 +1,42 @@
+// Fixture: suppression placement. Trailing, standalone-above, stacked and
+// comment-interleaved suppressions, plus the malformed variants.
+
+pub fn trailing(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(no-unwrap): checked two lines up by the caller
+}
+
+pub fn standalone(x: Option<u64>) -> u64 {
+    // lint:allow(no-unwrap): standalone suppression covers the next code line
+    x.unwrap()
+}
+
+pub fn stacked() -> u64 {
+    // lint:allow(no-unwrap): the key 1 is inserted on the same line
+    // lint:allow(det-map): scratch map local to one call, never iterated
+    *HashMap::from([(1u64, 2u64)]).get(&1).unwrap()
+}
+
+pub fn interleaved(x: Option<u64>) -> u64 {
+    // lint:allow(no-unwrap): a justification may be followed by
+    // ordinary commentary lines before the code it suppresses
+    x.unwrap()
+}
+
+// -- malformed variants: each is a bad-suppression violation ----------------
+
+pub fn missing_colon(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(no-unwrap)
+}
+
+pub fn empty_reason(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(no-unwrap):
+}
+
+pub fn unknown_rule(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(no-unrwap): typo in the rule name
+}
+
+// lint:allow(no-unwrap): this suppression matches nothing and is unused
+pub fn unused() -> u64 {
+    7
+}

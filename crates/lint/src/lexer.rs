@@ -1,0 +1,383 @@
+//! A hand-rolled Rust lexer, just deep enough for rule matching.
+//!
+//! The rules in [`crate::rules`] only need a faithful stream of identifiers
+//! and punctuation with line numbers, with comments, string/char literals and
+//! numbers correctly skipped so that a `HashMap` inside a doc comment or a
+//! `".unwrap()"` inside a string literal never fires a diagnostic. The tricky
+//! parts of Rust's lexical grammar that matter for that goal are all handled:
+//! nested block comments, raw strings with arbitrary `#` fences, byte and
+//! raw-byte strings, raw identifiers, char literals versus lifetimes, and
+//! numeric literals with exponents and type suffixes.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Token payloads. Literal payloads are dropped — no rule looks inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `#`, ...).
+    Punct(char),
+    /// String, byte-string, char or numeric literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A `//` line comment; the payload is the text after `//`, untrimmed.
+    /// Doc comments (`///`, `//!`) are included — the suppression parser
+    /// rejects them by inspecting the leading character.
+    LineComment(String),
+}
+
+/// Lexes `source` into tokens. Never fails: unexpected bytes become `Punct`.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_literal();
+                    self.push(TokenKind::Literal, line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Literal, line);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment(text), line);
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate, EOF ends it
+            }
+        }
+    }
+
+    /// Consumes a normal (escaped) string body; the opening quote is gone.
+    fn string_literal(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped, including `\"` and `\\`
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body starting at the `#`s or the quote:
+    /// `r##"..."##` with any fence width, no escapes inside.
+    fn raw_string_literal(&mut self) {
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            fence += 1;
+        }
+        if self.peek(0) != Some('"') {
+            return; // not actually a raw string; caller guarded against this
+        }
+        self.bump();
+        loop {
+            match self.bump() {
+                None => return, // unterminated: tolerate
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < fence && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == fence {
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `'a` is a lifetime, `'a'` (and `'\n'`, `'\u{1F600}'`) a char literal.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: `'\x'`, `'\u{...}'`. Consume the
+                // backslash AND the escaped character before looking for the
+                // closing quote, so `'\''` terminates on the right quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, line);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(1) != Some('\'') => {
+                // A lifetime: identifier chars not closed by a quote.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, line);
+            }
+            Some(_) => {
+                // Plain char literal `'x'` (including `'''` is invalid Rust;
+                // consume up to the closing quote regardless).
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Literal, line);
+            }
+            None => self.push(TokenKind::Punct('\''), line),
+        }
+    }
+
+    /// Numeric literal: integers, floats, exponents, suffixes, radix prefixes.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_ascii_alphanumeric() || c == '_' => {
+                    let at_exponent = (c == 'e' || c == 'E')
+                        && matches!(self.peek(1), Some('+' | '-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                    self.bump();
+                    if at_exponent {
+                        self.bump(); // the sign; digits follow in the loop
+                    }
+                }
+                // A dot continues the literal only when a digit follows
+                // (`1.5`), so `1..n` and `1.max(2)` lex as separate tokens.
+                '.' if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Identifiers, plus the prefixed literal forms that *start* like one:
+    /// `r"raw"`, `r#"raw"#`, `b"bytes"`, `br#"raw bytes"#`, `b'x'`, `r#ident`.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let c = self.peek(0).unwrap_or(' ');
+        // Raw / byte string lookahead before committing to an identifier.
+        let (skip, is_string) = match c {
+            'r' | 'b' => {
+                let mut ahead = 1;
+                if c == 'b' && self.peek(1) == Some('r') {
+                    ahead = 2;
+                }
+                let mut fence = ahead;
+                while self.peek(fence) == Some('#') {
+                    fence += 1;
+                }
+                match self.peek(fence) {
+                    Some('"') if c == 'r' || ahead == 2 || fence == 1 => (ahead, true),
+                    _ => (0, false),
+                }
+            }
+            _ => (0, false),
+        };
+        if is_string {
+            for _ in 0..skip {
+                self.bump(); // `r`, `b` or `br`
+            }
+            self.raw_string_literal();
+            self.push(TokenKind::Literal, line);
+            return;
+        }
+        if c == 'b' && self.peek(1) == Some('\'') {
+            self.bump(); // byte char literal `b'x'`
+            self.char_or_lifetime(line);
+            return;
+        }
+        if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+            self.bump();
+            self.bump(); // raw identifier `r#type`: strip the prefix
+        }
+        let mut ident = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                ident.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(ident), line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r##"let x = r#"HashMap inside"#; let y = "unwrap()"; use std::z;"##;
+        assert_eq!(idents(src), ["let", "x", "let", "y", "use", "std", "z"]);
+    }
+
+    #[test]
+    fn raw_string_fence_widths_match_exactly() {
+        // The body contains `"#` which must not close an `##` fence.
+        let src = "let s = r##\"a \"# b\"##; next";
+        assert_eq!(idents(src), ["let", "s", "next"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_literals() {
+        let src = "let a = b\"HashMap\"; let c = br#\"HashSet\"#; let d = b'x';";
+        assert_eq!(idents(src), ["let", "a", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "before /* outer /* HashMap */ still comment */ after";
+        assert_eq!(idents(src), ["before", "after"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        assert_eq!(idents(src), ["fn", "f", "x", "str", "char"]);
+        let lifetimes = lex(src).iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail() {
+        let src = r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; after";
+        assert_eq!(idents(src), ["let", "q", "let", "n", "let", "u", "after"]);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_suffixes_are_single_literals() {
+        let src = "let x = 1.5e-3_f64 + 0xFF_u32 + 2.0f32; let r = 1..10; m.max(1.0)";
+        assert_eq!(idents(src), ["let", "x", "let", "r", "m", "max"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_the_prefix() {
+        assert_eq!(idents("let r#type = r#match;"), ["let", "type", "match"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "line1\n/* two\nlines */ here\n\"str\nstr\" tail";
+        let toks = lex(src);
+        let here = toks.iter().find(|t| t.kind == TokenKind::Ident("here".into())).unwrap();
+        assert_eq!(here.line, 3);
+        let tail = toks.iter().find(|t| t.kind == TokenKind::Ident("tail".into())).unwrap();
+        assert_eq!(tail.line, 5);
+    }
+
+    #[test]
+    fn line_comments_capture_text() {
+        let toks = lex("code // lint:allow(det-map): reason\nmore");
+        let comment = toks
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::LineComment(text) => Some(text.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(comment, " lint:allow(det-map): reason");
+    }
+}

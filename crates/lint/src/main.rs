@@ -1,0 +1,75 @@
+//! CLI: `cargo run -p netshed-lint -- --workspace [--json <path>]`.
+//!
+//! Prints `file:line rule message` for every unsuppressed diagnostic and
+//! exits 1 when any exist, 0 on a conforming tree. `--json` additionally
+//! writes the machine-readable summary (CI uploads it as an artifact).
+
+#![forbid(unsafe_code)]
+
+use netshed_lint::{lint_workspace, walk::find_workspace_root, Config};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: netshed-lint --workspace [--json <path>] [--root <dir>]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut json_path: Option<String> = None;
+    let mut root_override: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => return fail("--json requires a path"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(dir),
+                None => return fail("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unrecognized argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return fail("pass --workspace to lint the workspace");
+    }
+
+    let root = if let Some(dir) = root_override {
+        std::path::PathBuf::from(dir)
+    } else {
+        let cwd = match std::env::current_dir() {
+            Ok(cwd) => cwd,
+            Err(error) => return fail(&format!("cannot read current dir: {error}")),
+        };
+        match find_workspace_root(&cwd) {
+            Ok(root) => root,
+            Err(error) => return fail(&error.to_string()),
+        }
+    };
+
+    let report = match lint_workspace(&root, &Config::workspace()) {
+        Ok(report) => report,
+        Err(error) => return fail(&format!("lint walk failed: {error}")),
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        if let Err(error) = std::fs::write(&path, report.to_json()) {
+            return fail(&format!("cannot write {path}: {error}"));
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("netshed-lint: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}

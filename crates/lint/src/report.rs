@@ -1,0 +1,194 @@
+//! Diagnostics, the aggregated report, and its text / JSON renderings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One finding: a rule hit (possibly suppressed) or a `bad-suppression`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (one of [`crate::rules::RULE_NAMES`] or `bad-suppression`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// True when an inline `lint:allow` waived it.
+    pub suppressed: bool,
+    /// The suppression's justification, when suppressed.
+    pub justification: Option<String>,
+}
+
+/// The whole-workspace lint result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned, in walk (sorted-path) order.
+    pub files_scanned: Vec<String>,
+    /// Every diagnostic, suppressed ones included, in file-then-line order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Diagnostics that fail the run: unsuppressed hits and bad suppressions.
+    pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.suppressed)
+    }
+
+    /// True when the tree conforms (exit status 0).
+    pub fn clean(&self) -> bool {
+        self.violations().next().is_none()
+    }
+
+    /// Per-rule `(violations, suppressed)` counts, rule-name ordered.
+    pub fn rule_counts(&self) -> BTreeMap<&str, (usize, usize)> {
+        let mut counts: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for d in &self.diagnostics {
+            let entry = counts.entry(d.rule.as_str()).or_default();
+            if d.suppressed {
+                entry.1 += 1;
+            } else {
+                entry.0 += 1;
+            }
+        }
+        counts
+    }
+
+    /// The `file:line rule message` listing plus a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in self.violations() {
+            let _ = writeln!(out, "{}:{} {} {}", d.file, d.line, d.rule, d.message);
+        }
+        let suppressed = self.diagnostics.iter().filter(|d| d.suppressed).count();
+        let _ = writeln!(
+            out,
+            "netshed-lint: {} files scanned, {} violation(s), {} suppressed",
+            self.files_scanned.len(),
+            self.violations().count(),
+            suppressed
+        );
+        out
+    }
+
+    /// The machine-readable summary (stable field order, hand-emitted JSON).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned.len());
+        let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        out.push_str("  \"rules\": {");
+        let counts = self.rule_counts();
+        for (i, (rule, (violations, suppressed))) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"violations\": {violations}, \"suppressed\": {suppressed}}}",
+                json_string(rule)
+            );
+        }
+        out.push_str(if counts.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \
+                 \"suppressed\": {}",
+                json_string(&d.file),
+                d.line,
+                json_string(&d.rule),
+                json_string(&d.message),
+                d.suppressed
+            );
+            if let Some(justification) = &d.justification {
+                let _ = write!(out, ", \"justification\": {}", json_string(justification));
+            }
+            out.push('}');
+        }
+        out.push_str(if self.diagnostics.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control characters.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: vec!["a.rs".into(), "b.rs".into()],
+            diagnostics: vec![
+                Diagnostic {
+                    file: "a.rs".into(),
+                    line: 3,
+                    rule: "det-map".into(),
+                    message: "std map".into(),
+                    suppressed: false,
+                    justification: None,
+                },
+                Diagnostic {
+                    file: "b.rs".into(),
+                    line: 9,
+                    rule: "no-unwrap".into(),
+                    message: "say \"why\"".into(),
+                    suppressed: true,
+                    justification: Some("documented".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_lists_only_violations_with_file_line_rule() {
+        let text = sample().render_text();
+        assert!(text.contains("a.rs:3 det-map std map"));
+        assert!(!text.contains("b.rs:9"));
+        assert!(text.contains("2 files scanned, 1 violation(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = sample().to_json();
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"det-map\": {\"violations\": 1, \"suppressed\": 0}"));
+        assert!(json.contains("say \\\"why\\\""));
+        assert!(json.contains("\"justification\": \"documented\""));
+    }
+
+    #[test]
+    fn empty_report_is_clean_valid_json() {
+        let report = Report::default();
+        assert!(report.clean());
+        let json = report.to_json();
+        assert!(json.contains("\"rules\": {},"));
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+}

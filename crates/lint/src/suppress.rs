@@ -1,0 +1,180 @@
+//! Inline suppression comments: `// lint:allow(<rule>[, <rule>]): <why>`.
+//!
+//! A suppression must name known rules *and* carry a non-empty justification
+//! — the contract is "fixed or justified", never silently waived. A trailing
+//! comment suppresses its own line; a standalone comment suppresses the next
+//! line that contains code (so a long justification can sit on its own line,
+//! or several suppressions can stack above one statement). Malformed or
+//! unused suppressions are themselves diagnostics (`bad-suppression`), and
+//! `bad-suppression` cannot be suppressed.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Diagnostic;
+use crate::rules::{is_rule, BAD_SUPPRESSION};
+
+/// One parsed, well-formed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rules it waives.
+    pub rules: Vec<String>,
+    /// The mandatory justification text.
+    pub justification: String,
+    /// The code line it applies to (`None` when no code follows).
+    pub target_line: Option<u32>,
+    /// Set by the engine when a diagnostic actually matched.
+    pub used: bool,
+}
+
+/// Extracts suppressions from the token stream. `code_lines` is the sorted,
+/// deduplicated list of lines that contain at least one non-comment token.
+/// Malformed comments come back as ready-made `bad-suppression` diagnostics.
+pub fn parse_suppressions(
+    path: &str,
+    tokens: &[Token],
+    code_lines: &[u32],
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut suppressions = Vec::new();
+    let mut diagnostics = Vec::new();
+    for token in tokens {
+        let TokenKind::LineComment(text) = &token.kind else { continue };
+        // Doc comments (`///`, `//!`) are documentation, not directives.
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let trimmed = text.trim();
+        let Some(rest) = trimmed.strip_prefix("lint:allow") else { continue };
+        match parse_body(rest) {
+            Ok((rules, justification)) => {
+                let target_line = if code_lines.binary_search(&token.line).is_ok() {
+                    Some(token.line)
+                } else {
+                    code_lines.iter().copied().find(|l| *l > token.line)
+                };
+                suppressions.push(Suppression {
+                    line: token.line,
+                    rules,
+                    justification,
+                    target_line,
+                    used: false,
+                });
+            }
+            Err(why) => diagnostics.push(Diagnostic {
+                file: path.to_owned(),
+                line: token.line,
+                rule: BAD_SUPPRESSION.to_owned(),
+                message: why,
+                suppressed: false,
+                justification: None,
+            }),
+        }
+    }
+    (suppressions, diagnostics)
+}
+
+/// Parses `(<rules>): <justification>` (everything after `lint:allow`).
+fn parse_body(rest: &str) -> Result<(Vec<String>, String), String> {
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return Err("malformed suppression: expected `(` after lint:allow".to_owned());
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("malformed suppression: unclosed rule list".to_owned());
+    };
+    let mut rules = Vec::new();
+    for name in inner[..close].split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("malformed suppression: empty rule name".to_owned());
+        }
+        if !is_rule(name) {
+            return Err(format!("unknown rule `{name}` in suppression"));
+        }
+        rules.push(name.to_owned());
+    }
+    let tail = inner[close + 1..].trim_start();
+    let Some(justification) = tail.strip_prefix(':') else {
+        return Err(format!(
+            "suppression for {} is missing its justification (`lint:allow(rule): why`)",
+            rules.join(", ")
+        ));
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err(format!(
+            "suppression for {} has an empty justification — say why the contract holds",
+            rules.join(", ")
+        ));
+    }
+    Ok((rules, justification.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
+        let tokens = lex(src);
+        let mut code_lines: Vec<u32> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment(_)))
+            .map(|t| t.line)
+            .collect();
+        code_lines.dedup();
+        parse_suppressions("f.rs", &tokens, &code_lines)
+    }
+
+    #[test]
+    fn trailing_comment_targets_its_own_line() {
+        let (sup, bad) = parse("let x = 1; // lint:allow(no-unwrap): invariant documented\n");
+        assert!(bad.is_empty());
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].target_line, Some(1));
+        assert_eq!(sup[0].rules, ["no-unwrap"]);
+    }
+
+    #[test]
+    fn standalone_comment_targets_next_code_line() {
+        let (sup, _) =
+            parse("// lint:allow(det-map): reason spans\n// a second comment line\n\nlet x = 1;\n");
+        assert_eq!(sup[0].target_line, Some(4));
+    }
+
+    #[test]
+    fn multiple_rules_share_one_justification() {
+        let (sup, bad) = parse("// lint:allow(det-map, no-unwrap): both fine here\nlet x = 1;\n");
+        assert!(bad.is_empty());
+        assert_eq!(sup[0].rules, ["det-map", "no-unwrap"]);
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let (sup, bad) = parse("let x = 1; // lint:allow(det-map)\n");
+        assert!(sup.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("missing its justification"));
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let (sup, bad) = parse("let x = 1; // lint:allow(det-map):   \n");
+        assert!(sup.is_empty());
+        assert!(bad[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let (sup, bad) = parse("let x = 1; // lint:allow(det-mpa): typo\n");
+        assert!(sup.is_empty());
+        assert!(bad[0].message.contains("unknown rule `det-mpa`"));
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_suppressions() {
+        let (sup, bad) = parse("/// lint:allow(det-map): doc text\nlet x = 1;\n");
+        assert!(sup.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -44,7 +44,7 @@ impl std::fmt::Debug for MonitorBuilder {
         f.debug_struct("MonitorBuilder")
             .field("config", &self.config)
             .field("specs", &self.specs)
-            .field("policy", &self.policy.as_ref().map(|policy| policy.name()))
+            .field("policy", &self.policy.as_ref().map(super::policy::ControlPolicy::name))
             .field(
                 "predictor_factory",
                 &self.predictor_factory.as_ref().map(|factory| factory.name()),

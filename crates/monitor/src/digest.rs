@@ -328,7 +328,7 @@ mod tests {
     use crate::observer::RunObserver;
     use netshed_queries::{QueryKind, QuerySpec};
     use netshed_trace::{BatchReplay, TraceConfig, TraceGenerator};
-    use std::collections::{HashMap, HashSet};
+    use std::collections::{BTreeMap, BTreeSet};
 
     fn run_digest(seed: u64, capacity: f64) -> RunDigest {
         let mut monitor = Monitor::new(
@@ -368,8 +368,8 @@ mod tests {
     fn map_backed_outputs_digest_independently_of_insertion_order() {
         let forward: Vec<(&'static str, (f64, f64))> =
             vec![("http", (1.0, 2.0)), ("dns", (3.0, 4.0)), ("smtp", (5.0, 6.0))];
-        let mut a_map = HashMap::new();
-        let mut b_map = HashMap::new();
+        let mut a_map = BTreeMap::new();
+        let mut b_map = BTreeMap::new();
         for (k, v) in &forward {
             a_map.insert(*k, *v);
         }
@@ -382,8 +382,8 @@ mod tests {
         b.absorb_outputs(&[("app".into(), QueryOutput::Application { per_app: b_map })]);
         assert_eq!(a.value(), b.value());
 
-        let set_a: HashSet<u64> = [9, 1, 5].into_iter().collect();
-        let set_b: HashSet<u64> = [5, 9, 1].into_iter().collect();
+        let set_a: BTreeSet<u64> = [9, 1, 5].into_iter().collect();
+        let set_b: BTreeSet<u64> = [5, 9, 1].into_iter().collect();
         let mut da = StreamDigest::new();
         da.absorb_outputs(&[("p2p".into(), QueryOutput::P2pFlows { flows: set_a })]);
         let mut db = StreamDigest::new();

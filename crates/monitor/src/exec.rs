@@ -67,6 +67,7 @@ where
     let queue = Mutex::new(tasks.iter_mut().enumerate());
     let drain = || loop {
         // Hold the queue lock only for the pop, never across a task.
+        // lint:allow(no-unwrap): a poisoned queue means a worker panicked mid-task; propagating the panic is the only sound continuation
         let next = queue.lock().expect("task queue poisoned").next();
         let Some((index, task)) = next else { break };
         let start = Instant::now();
@@ -93,6 +94,7 @@ where
 pub fn simulated_makespan(task_ns: &[u64], workers: usize) -> u64 {
     let mut loads = vec![0u64; workers.max(1)];
     for &ns in task_ns {
+        // lint:allow(no-unwrap): loads has workers.max(1) elements, so min() always exists
         let earliest = loads.iter_mut().min().expect("at least one worker");
         *earliest += ns;
     }
@@ -207,7 +209,7 @@ mod tests {
         let barrier = Barrier::new(2);
         let hits = AtomicUsize::new(0);
         let mut tasks = vec![(); 2];
-        run_tasks(2, &mut tasks, |_| {
+        run_tasks(2, &mut tasks, |()| {
             barrier.wait();
             hits.fetch_add(1, Ordering::SeqCst);
         });

@@ -52,6 +52,8 @@
 //! [`MonitorBuilder::with_policy`]. Predictors follow the same registration
 //! pattern through [`MonitorBuilder::with_predictor`].
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod capture;
 pub mod config;

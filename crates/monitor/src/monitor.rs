@@ -22,6 +22,7 @@ use netshed_sketch::H3Hasher;
 use netshed_trace::{Batch, BatchView, PacketSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// lint:allow(telemetry-clock): wall-clock readings here only feed ExecStats/BinRecord telemetry, never control flow
 use std::time::Instant;
 
 /// Cycles charged per feature-extraction elementary operation (one hash plus
@@ -442,6 +443,7 @@ impl Monitor {
     /// not positive (possible only for monitors built by [`Monitor::new`]
     /// from an unvalidated configuration).
     pub fn process_batch(&mut self, batch: &Batch) -> Result<BinRecord, NetshedError> {
+        // lint:allow(telemetry-clock): bin wall time is reported in ExecStats only; decisions use modelled cycles
         let bin_start = Instant::now();
         if batch.is_empty() {
             return Err(NetshedError::EmptyBatch { bin_index: batch.bin_index });
@@ -492,6 +494,7 @@ impl Monitor {
         // the fused pass — inserts into one bitmap commute).
         let workers = self.config.workers;
         let mut dispatch_wall_ns = 0u64;
+        // lint:allow(telemetry-clock): dispatch wall time is ExecStats telemetry; the merge stays registration-ordered
         let dispatch_start = Instant::now();
         let mut shards = self.extractor.shard(&post_drop);
         let extract_task_ns = exec::run_tasks(workers, &mut shards, |shard| {
@@ -530,6 +533,7 @@ impl Monitor {
                 cost_operations: 0,
             })
             .collect();
+        // lint:allow(telemetry-clock): dispatch wall time is ExecStats telemetry only
         let dispatch_start = Instant::now();
         let predict_task_ns = exec::run_tasks(workers, &mut predict_tasks, |task| {
             if !task.penalized {
@@ -567,6 +571,7 @@ impl Monitor {
                     cycles: 0.0,
                 })
                 .collect();
+            // lint:allow(telemetry-clock): shadow dispatch wall time is ExecStats telemetry only
             let dispatch_start = Instant::now();
             shadow_task_ns = exec::run_tasks(workers, &mut tasks, |task| {
                 task.cycles = match task.shadow.as_mut() {
@@ -771,6 +776,7 @@ impl Monitor {
         }
 
         // Dispatch the expensive tail across the execution plane.
+        // lint:allow(telemetry-clock): tail dispatch wall time is ExecStats telemetry only
         let dispatch_start = Instant::now();
         let tail_task_ns = exec::run_tasks(workers, &mut tasks, |task| {
             let delivered = match &task.view {

@@ -26,7 +26,10 @@ use crate::reference::ReferenceRunner;
 use crate::report::{BinRecord, RunSummary};
 use netshed_queries::{QueryOutput, QuerySpec};
 use netshed_trace::Batch;
-use std::collections::HashMap;
+// The tracker's error maps are part of the public API and get iterated by
+// callers (reports, plots), so they are ordered (determinism contract, rule
+// `det-map`): name-sorted on every run, independent of insertion history.
+use std::collections::BTreeMap;
 use std::io::Write;
 
 /// Receives pipeline events during [`Monitor::run`](crate::Monitor::run).
@@ -232,7 +235,7 @@ impl<W: Write> RunObserver for RecordSink<W> {
 pub struct AccuracyTracker {
     reference: ReferenceRunner,
     pending_truth: Option<Vec<(String, QueryOutput)>>,
-    errors: HashMap<String, Vec<f64>>,
+    errors: BTreeMap<String, Vec<f64>>,
 }
 
 impl AccuracyTracker {
@@ -246,7 +249,7 @@ impl AccuracyTracker {
         Self {
             reference: ReferenceRunner::new(specs, measurement_interval_us),
             pending_truth: None,
-            errors: HashMap::new(),
+            errors: BTreeMap::new(),
         }
     }
 
@@ -257,21 +260,22 @@ impl AccuracyTracker {
         self.reference.register(spec);
     }
 
-    /// Per-query mean relative error over the run.
-    pub fn mean_error(&self) -> HashMap<String, f64> {
+    /// Per-query mean relative error over the run, name-sorted.
+    pub fn mean_error(&self) -> BTreeMap<String, f64> {
         self.errors
             .iter()
             .map(|(name, errs)| (name.clone(), errs.iter().sum::<f64>() / errs.len().max(1) as f64))
             .collect()
     }
 
-    /// Per-query mean accuracy (1 - error) over the run.
-    pub fn mean_accuracy(&self) -> HashMap<String, f64> {
+    /// Per-query mean accuracy (1 - error) over the run, name-sorted.
+    pub fn mean_accuracy(&self) -> BTreeMap<String, f64> {
         self.mean_error().into_iter().map(|(name, err)| (name, 1.0 - err)).collect()
     }
 
-    /// Per-query error series, one value per closed measurement interval.
-    pub fn error_series(&self) -> &HashMap<String, Vec<f64>> {
+    /// Per-query error series, one value per closed measurement interval,
+    /// name-sorted.
+    pub fn error_series(&self) -> &BTreeMap<String, Vec<f64>> {
         &self.errors
     }
 
@@ -373,6 +377,21 @@ mod tests {
         }
         // 25 batches = 2 mid-run intervals + the final flush.
         assert!(tracker.error_series().values().all(|series| series.len() == 3));
+    }
+
+    #[test]
+    fn accuracy_maps_iterate_in_query_name_order() {
+        // Registration order is flows-before-counter on purpose: the maps
+        // must iterate name-sorted regardless of insertion history, so the
+        // accuracy report is byte-identical run over run.
+        let specs = vec![QuerySpec::new(QueryKind::Flows), QuerySpec::new(QueryKind::Counter)];
+        let mut monitor = test_monitor(&specs);
+        let mut tracker = AccuracyTracker::new(&specs, 1_000_000);
+        monitor.run(&mut test_source(12), &mut tracker).expect("run");
+        let names: Vec<String> = tracker.mean_error().into_keys().collect();
+        assert_eq!(names, vec!["counter", "flows"]);
+        let series_names: Vec<&String> = tracker.error_series().keys().collect();
+        assert_eq!(series_names, vec!["counter", "flows"]);
     }
 
     #[test]

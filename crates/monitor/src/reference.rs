@@ -111,7 +111,16 @@ pub fn measure_demand(specs: &[QuerySpec], batches: &[Batch], measurement_interv
 /// This is the right baseline for setting a capacity with a target overload
 /// factor: the monitoring overhead is not sheddable, so a capacity below it
 /// starves every query regardless of the strategy.
-pub fn measure_total_demand(specs: &[QuerySpec], batches: &[Batch]) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`NetshedError::InvalidConfig`](crate::NetshedError::InvalidConfig)
+/// when a spec in `specs` is rejected by the measuring monitor — the same
+/// validation [`Monitor::register`](crate::Monitor::register) applies.
+pub fn measure_total_demand(
+    specs: &[QuerySpec],
+    batches: &[Batch],
+) -> Result<f64, crate::NetshedError> {
     use crate::config::{MonitorConfig, Strategy};
     let config = MonitorConfig::default()
         .with_capacity(1e15)
@@ -119,19 +128,18 @@ pub fn measure_total_demand(specs: &[QuerySpec], batches: &[Batch]) -> f64 {
         .without_noise();
     let mut monitor = crate::Monitor::new(config);
     for spec in specs {
-        monitor.register(spec).expect("valid query spec");
+        monitor.register(spec)?;
     }
-    let processed: Vec<f64> = batches
-        .iter()
-        .filter(|batch| !batch.is_empty())
-        .map(|batch| monitor.process_batch(batch).expect("non-empty batch").total_cycles())
-        .collect();
+    let mut processed = Vec::new();
+    for batch in batches.iter().filter(|batch| !batch.is_empty()) {
+        processed.push(monitor.process_batch(batch)?.total_cycles());
+    }
     if processed.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     // Quiet bins are excluded from the mean: demand is per *active* bin, so a
     // capacity derived from it errs towards over- rather than under-provision.
-    processed.iter().sum::<f64>() / processed.len() as f64
+    Ok(processed.iter().sum::<f64>() / processed.len() as f64)
 }
 
 #[cfg(test)]

@@ -79,7 +79,7 @@ pub fn fcbf_select_with(
             candidates.push((index, correlation, scratch.column.clone()));
         }
     }
-    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     // Phase 2: redundancy removal.
     let mut selected: Vec<(usize, f64, Vec<f64>)> = Vec::new();

@@ -23,6 +23,8 @@
 //! `Fn() -> Box<dyn Predictor>` closure qualifies), which is also how
 //! user-defined predictors plug in.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fcbf;
 pub mod history;

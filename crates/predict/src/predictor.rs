@@ -425,7 +425,7 @@ mod tests {
             expected.push((f, y));
         }
         for history in [mlr.history(), &slr.history] {
-            let stored: Vec<(FeatureVector, f64)> = history.iter().cloned().collect();
+            let stored: Vec<(FeatureVector, f64)> = history.iter().copied().collect();
             assert_eq!(stored, expected, "history must hold the observed vectors unchanged");
         }
     }

@@ -28,6 +28,8 @@
 //! the accuracy metrics of Section 2.2.1 are computed by comparing against
 //! the output of an unsampled reference execution.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod boyer_moore;
 pub mod cost;

@@ -8,7 +8,11 @@
 //! over the same traffic; [`QueryOutput::error_against`] implements the
 //! per-query error definitions of the paper.
 
-use std::collections::{HashMap, HashSet};
+// Outputs cross the exec plane's merge boundary and get iterated by
+// observers, digests and sinks, so every container here is ordered
+// (determinism contract, rule `det-map`): BTree maps iterate key-sorted on
+// every run, which keeps interval outputs replay-stable at any worker count.
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The result a query reports for one measurement interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,7 +27,7 @@ pub enum QueryOutput {
     /// `application`: per-application estimated packets and bytes.
     Application {
         /// Estimated (packets, bytes) per application name.
-        per_app: HashMap<&'static str, (f64, f64)>,
+        per_app: BTreeMap<&'static str, (f64, f64)>,
     },
     /// `flows`: estimated number of active 5-tuple flows.
     Flows {
@@ -49,12 +53,12 @@ pub enum QueryOutput {
     /// `super-sources`: estimated fan-out of the sources with largest fan-out.
     SuperSources {
         /// Estimated fan-out per source address.
-        fanouts: HashMap<u32, f64>,
+        fanouts: BTreeMap<u32, f64>,
     },
     /// `p2p-detector`: set of flow keys identified as P2P.
     P2pFlows {
         /// 5-tuple keys (hashed) of the flows classified as P2P.
-        flows: HashSet<u64>,
+        flows: BTreeSet<u64>,
     },
     /// `pattern-search` / `trace`: fraction of the traffic actually processed.
     Coverage {
@@ -80,7 +84,7 @@ impl QueryOutput {
                 QueryOutput::Counter { packets: tp, bytes: tb },
             ) => {
                 // Mean of the relative errors in packets and bytes.
-                (relative_error(*packets, *tp) + relative_error(*bytes, *tb)) / 2.0
+                f64::midpoint(relative_error(*packets, *tp), relative_error(*bytes, *tb))
             }
             (
                 QueryOutput::Application { per_app },
@@ -92,7 +96,7 @@ impl QueryOutput {
                 let mut weight = 0.0;
                 for (app, (tp, tb)) in truth_apps {
                     let (ep, eb) = per_app.get(app).copied().unwrap_or((0.0, 0.0));
-                    let err = (relative_error(ep, *tp) + relative_error(eb, *tb)) / 2.0;
+                    let err = f64::midpoint(relative_error(ep, *tp), relative_error(eb, *tb));
                     let w = tp + tb;
                     weighted += err * w;
                     weight += w;
@@ -191,7 +195,6 @@ fn misranked_pairs_error(ranking: &[(u32, f64)], truth: &[(u32, f64)]) -> f64 {
     }
     let k = truth.len();
     let reported: Vec<u32> = ranking.iter().map(|(ip, _)| *ip).collect();
-    let true_set: HashSet<u32> = truth.iter().map(|(ip, _)| *ip).collect();
     // Count true top-k members that the query failed to place in its top-k:
     // each such member forms a misranked pair with every reported non-member.
     let mut misranked = 0usize;
@@ -203,7 +206,6 @@ fn misranked_pairs_error(ranking: &[(u32, f64)], truth: &[(u32, f64)]) -> f64 {
             misranked += 1;
         }
     }
-    let _ = true_set;
     misranked as f64 / possible as f64
 }
 
@@ -213,7 +215,7 @@ fn cluster_report_error(clusters: &[(u32, u8, f64)], truth: &[(u32, u8, f64)]) -
     if truth.is_empty() {
         return 0.0;
     }
-    let reported: HashSet<(u32, u8)> = clusters.iter().map(|(p, l, _)| (*p, *l)).collect();
+    let reported: BTreeSet<(u32, u8)> = clusters.iter().map(|(p, l, _)| (*p, *l)).collect();
     let matched = truth.iter().filter(|(p, l, _)| reported.contains(&(*p, *l))).count();
     1.0 - matched as f64 / truth.len() as f64
 }
@@ -238,7 +240,7 @@ mod tests {
 
     #[test]
     fn application_error_weights_by_volume() {
-        let mut truth_apps = HashMap::new();
+        let mut truth_apps = BTreeMap::new();
         truth_apps.insert("http", (1000.0, 1_000_000.0));
         truth_apps.insert("dns", (10.0, 1000.0));
         let mut est_apps = truth_apps.clone();

@@ -13,9 +13,11 @@ use crate::boyer_moore::BoyerMoore;
 use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{Query, SheddingMethod};
-use netshed_sketch::hash_bytes;
+// Per-packet state lives in the replay-stable hashed containers
+// (determinism contract, rule `det-map`): same insertion history, same
+// iteration order, O(1) hot-path updates.
+use netshed_sketch::{hash_bytes, DetHashMap, DetHashSet};
 use netshed_trace::BatchView;
-use std::collections::{HashMap, HashSet};
 
 /// Number of bytes of a packet that are captured when no payload is present
 /// (the link + network + transport headers stored by the trace query).
@@ -162,9 +164,9 @@ pub struct P2pDetectorQuery {
     p2p_ports: Vec<u16>,
     shedding: SheddingMethod,
     behavior: CustomBehavior,
-    identified: HashSet<u64>,
+    identified: DetHashSet<u64>,
     /// Packets (seen, inspected) so far per flow key (only used in custom mode).
-    inspected_per_flow: HashMap<u64, (u32, u32)>,
+    inspected_per_flow: DetHashMap<u64, (u32, u32)>,
 }
 
 impl P2pDetectorQuery {
@@ -188,8 +190,8 @@ impl P2pDetectorQuery {
             p2p_ports: vec![6881, 6346],
             shedding,
             behavior,
-            identified: HashSet::new(),
-            inspected_per_flow: HashMap::new(),
+            identified: DetHashSet::default(),
+            inspected_per_flow: DetHashMap::default(),
         }
     }
 
@@ -206,7 +208,7 @@ impl P2pDetectorQuery {
         match self.behavior {
             CustomBehavior::Honest => requested,
             CustomBehavior::Selfish => 1.0,
-            CustomBehavior::Buggy => (requested + 1.0) / 2.0,
+            CustomBehavior::Buggy => f64::midpoint(requested, 1.0),
         }
     }
 }
@@ -273,7 +275,7 @@ impl Query for P2pDetectorQuery {
 
     fn end_interval(&mut self) -> QueryOutput {
         self.inspected_per_flow.clear();
-        QueryOutput::P2pFlows { flows: std::mem::take(&mut self.identified) }
+        QueryOutput::P2pFlows { flows: self.identified.drain().collect() }
     }
 }
 

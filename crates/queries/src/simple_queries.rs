@@ -9,7 +9,9 @@ use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{scale, Query, SheddingMethod};
 use netshed_trace::{AppProtocol, BatchView};
-use std::collections::HashMap;
+// Ordered so the emitted `QueryOutput::Application` iterates replay-stably
+// (determinism contract, rule `det-map`).
+use std::collections::BTreeMap;
 
 /// `counter`: traffic load in packets and bytes (Table 2.2).
 #[derive(Debug, Default)]
@@ -57,7 +59,7 @@ impl Query for CounterQuery {
 /// `application`: port-based application classification (Table 2.2).
 #[derive(Debug, Default)]
 pub struct ApplicationQuery {
-    per_app: HashMap<&'static str, (f64, f64)>,
+    per_app: BTreeMap<&'static str, (f64, f64)>,
 }
 
 impl ApplicationQuery {

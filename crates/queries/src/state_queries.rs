@@ -54,6 +54,7 @@ impl Query for FlowsQuery {
     }
 
     fn end_interval(&mut self) -> QueryOutput {
+        // lint:allow(merge-order): DetHashMap iterates replay-stably (same insertion history, same order), so this sum is bit-identical across runs
         let count = self.table.values().sum();
         self.table.clear();
         QueryOutput::Flows { count }
@@ -109,7 +110,7 @@ impl Query for TopKQuery {
 
     fn end_interval(&mut self) -> QueryOutput {
         let mut ranking: Vec<(u32, f64)> = self.bytes_per_dst.drain().collect();
-        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranking.truncate(self.k);
         QueryOutput::TopK { ranking }
     }
@@ -169,7 +170,7 @@ impl Query for SuperSourcesQuery {
 
     fn end_interval(&mut self) -> QueryOutput {
         let mut sources: Vec<(u32, f64)> = self.fanout.drain().collect();
-        sources.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        sources.sort_by(|a, b| b.1.total_cmp(&a.1));
         sources.truncate(self.top);
         self.pairs_seen.clear();
         QueryOutput::SuperSources { fanouts: sources.into_iter().collect() }
@@ -252,7 +253,7 @@ impl Query for AutofocusQuery {
             .filter(|(_, bytes)| *bytes >= threshold && threshold > 0.0)
             .map(|((prefix, len), bytes)| (prefix, len, bytes))
             .collect();
-        clusters.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        clusters.sort_by(|a, b| b.2.total_cmp(&a.2));
         self.total_bytes = 0.0;
         QueryOutput::Autofocus { clusters }
     }

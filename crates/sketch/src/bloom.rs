@@ -52,7 +52,7 @@ impl BloomFilter {
 
     /// Inserts a key. Returns `true` if the key was (probably) not present.
     pub fn insert(&mut self, key: &[u8]) -> bool {
-        let (h1, h2) = self.base_hashes(key);
+        let (h1, h2) = Self::base_hashes(key);
         let mut newly_set = false;
         for i in 0..self.num_hashes {
             let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
@@ -69,7 +69,7 @@ impl BloomFilter {
     /// Returns `true` if the key may have been inserted (false positives are
     /// possible, false negatives are not).
     pub fn contains(&self, key: &[u8]) -> bool {
-        let (h1, h2) = self.base_hashes(key);
+        let (h1, h2) = Self::base_hashes(key);
         (0..self.num_hashes).all(|i| {
             let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
             self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
@@ -82,7 +82,7 @@ impl BloomFilter {
         self.inserted = 0;
     }
 
-    fn base_hashes(&self, key: &[u8]) -> (u64, u64) {
+    fn base_hashes(key: &[u8]) -> (u64, u64) {
         let h1 = hash_bytes(key, 0x9e3779b97f4a7c15);
         let h2 = mix64(h1) | 1;
         (h1, h2)

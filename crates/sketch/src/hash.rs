@@ -1,6 +1,8 @@
 //! Hash functions shared by the sketches and the flow sampler.
 
+// lint:allow(plan-phase-rng): H3 table words are drawn once from a caller-supplied seed at construction (plan phase), never per packet
 use rand::rngs::StdRng;
+// lint:allow(plan-phase-rng): same seed-derived construction draw as above
 use rand::{Rng, SeedableRng};
 
 /// A strong 64-bit integer mixer (SplitMix64 finalizer).
@@ -128,8 +130,10 @@ impl std::hash::Hasher for DetHasher {
 /// Deterministic build-hasher for replay-stable maps.
 pub type DetBuildHasher = std::hash::BuildHasherDefault<DetHasher>;
 /// A `HashMap` with replay-stable iteration order (see [`DetHasher`]).
+// lint:allow(det-map): this alias IS the sanctioned deterministic map the rule points everyone at
 pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetBuildHasher>;
 /// A `HashSet` with replay-stable iteration order (see [`DetHasher`]).
+// lint:allow(det-map): sanctioned deterministic set alias, same as DetHashMap above
 pub type DetHashSet<T> = std::collections::HashSet<T, DetBuildHasher>;
 
 /// An H3-style universal hash over fixed-length keys, realised as tabulation
@@ -148,11 +152,12 @@ pub struct H3Hasher {
 impl H3Hasher {
     /// Draws a new hash function for keys of `key_len` bytes from the given seed.
     pub fn new(key_len: usize, seed: u64) -> Self {
+        // lint:allow(plan-phase-rng): one seeded draw per constructed hasher; the seed flows from the plan phase
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tables = Vec::with_capacity(key_len);
         for _ in 0..key_len {
             let mut table = [0u64; 256];
-            for entry in table.iter_mut() {
+            for entry in &mut table {
                 *entry = rng.gen();
             }
             tables.push(table);

@@ -19,6 +19,8 @@
 //! * [`mix64`] / [`hash_bytes`] — the cheap deterministic mixers shared by
 //!   the sketches.
 
+#![forbid(unsafe_code)]
+
 pub mod bitmap;
 pub mod bloom;
 pub mod hash;

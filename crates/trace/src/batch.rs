@@ -642,6 +642,7 @@ impl BatchBuilder {
             self.current_bin = bin;
             self.pending.push(packet);
         } else {
+            // lint:allow(no-unwrap): the else-branch condition just established the packet lands in the current bin range
             self.push_into(packet, &mut closed).expect("in-range push cannot fail");
         }
         closed

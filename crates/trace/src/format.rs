@@ -314,7 +314,7 @@ impl<R: Read> TraceReader<R> {
         if version > TRACE_FORMAT_VERSION {
             return Err(FormatError::UnsupportedVersion { found: version });
         }
-        let time_bin_us = u64::from_le_bytes(fixed[8..16].try_into().expect("8 bytes"));
+        let time_bin_us = le_u64(&fixed, 8);
         let mut declared = [0u8; 8];
         read_exact_or_truncated(&mut reader, &mut declared)?;
         let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
@@ -357,8 +357,8 @@ impl<R: Read> TraceReader<R> {
             FRAME_END => {
                 let mut rest = [0u8; 16];
                 read_exact_or_truncated(&mut self.reader, &mut rest)?;
-                let declared_count = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
-                let declared_sum = u64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
+                let declared_count = le_u64(&rest, 0);
+                let declared_sum = le_u64(&rest, 8);
                 let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
                 fnv.write(&kind);
                 fnv.write(&rest[..8]);
@@ -377,11 +377,11 @@ impl<R: Read> TraceReader<R> {
             FRAME_BATCH => {
                 let mut head = [0u8; 32];
                 read_exact_or_truncated(&mut self.reader, &mut head)?;
-                let bin_index = u64::from_le_bytes(head[0..8].try_into().expect("8 bytes"));
-                let start_ts = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
-                let duration_us = u64::from_le_bytes(head[16..24].try_into().expect("8 bytes"));
-                let packet_count = u32::from_le_bytes(head[24..28].try_into().expect("4 bytes"));
-                let body_len = u32::from_le_bytes(head[28..32].try_into().expect("4 bytes"));
+                let bin_index = le_u64(&head, 0);
+                let start_ts = le_u64(&head, 8);
+                let duration_us = le_u64(&head, 16);
+                let packet_count = le_u32(&head, 24);
+                let body_len = le_u32(&head, 28);
                 // `body_len` comes from a not-yet-verified header, so grow
                 // the buffer only as bytes actually arrive: a corrupt
                 // length on a short file fails as `Truncated` instead of
@@ -445,6 +445,29 @@ impl<R: Read> PacketSource for TraceReader<R> {
     }
 }
 
+/// Decodes a little-endian `u64` at `bytes[at..at + 8]`.
+///
+/// Every caller indexes a fixed-width region of a buffer it just filled, so
+/// the width holds by construction; `copy_from_slice` keeps the decode
+/// infallible without the `try_into().unwrap()` dance.
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+/// Decodes a little-endian `u32` at `bytes[at..at + 4]`.
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(buf)
+}
+
+/// Decodes a little-endian `u16` at `bytes[at..at + 2]`.
+fn le_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
 fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), FormatError> {
     reader.read_exact(buf).map_err(|error| {
         if error.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -465,15 +488,15 @@ fn decode_packets(body: &[u8], count: u32, frame: u64) -> Result<Vec<Packet>, Fo
         Ok(slice)
     };
     for _ in 0..count {
-        let ts = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
-        let src_ip = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
-        let dst_ip = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
-        let src_port = u16::from_le_bytes(take(2)?.try_into().expect("2 bytes"));
-        let dst_port = u16::from_le_bytes(take(2)?.try_into().expect("2 bytes"));
+        let ts = le_u64(take(8)?, 0);
+        let src_ip = le_u32(take(4)?, 0);
+        let dst_ip = le_u32(take(4)?, 0);
+        let src_port = le_u16(take(2)?, 0);
+        let dst_port = le_u16(take(2)?, 0);
         let proto = take(1)?[0];
         let tcp_flags = take(1)?[0];
-        let ip_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
-        let payload_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        let ip_len = le_u32(take(4)?, 0);
+        let payload_len = le_u32(take(4)?, 0);
         let payload = if payload_len == NO_PAYLOAD {
             None
         } else {

@@ -287,6 +287,7 @@ impl PayloadPool {
             .templates
             .iter()
             .find(|(a, _, _)| *a == app)
+            // lint:allow(no-unwrap): the template table is built over AppProtocol::ALL at construction, so every protocol resolves
             .expect("template exists for every protocol");
         let source = if with_signature { &entry.1 } else { &entry.2 };
         let len = len.min(source.len());
@@ -317,7 +318,7 @@ impl std::fmt::Debug for TraceGenerator {
         f.debug_struct("TraceGenerator")
             .field("bin_index", &self.bin_index)
             .field("active_flows", &self.active_flows.len())
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -501,7 +502,7 @@ impl TraceGenerator {
                 return *app;
             }
         }
-        self.app_cdf.last().map(|(app, _)| *app).unwrap_or(AppProtocol::Other)
+        self.app_cdf.last().map_or(AppProtocol::Other, |(app, _)| *app)
     }
 }
 

@@ -29,6 +29,8 @@
 //! assert!(!batch.packets.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod anomaly;
 pub mod batch;

@@ -130,7 +130,7 @@ impl Packet {
 
     /// Returns the number of captured payload bytes (zero for header-only packets).
     pub fn payload_len(&self) -> usize {
-        self.payload.as_ref().map_or(0, |p| p.len())
+        self.payload.as_ref().map_or(0, bytes::Bytes::len)
     }
 
     /// Returns `true` if this is a TCP packet with only the SYN flag set.

@@ -453,15 +453,14 @@ impl Scenario {
     /// never extend a link that was added explicitly with
     /// [`Scenario::link`].
     pub fn phase(mut self, phase: Phase) -> Self {
-        let index = match self.default_link {
-            Some(index) => index,
-            None => {
-                let name = format!("{}-link", self.name);
-                self.links.push(Link::new(name));
-                let index = self.links.len() - 1;
-                self.default_link = Some(index);
-                index
-            }
+        let index = if let Some(index) = self.default_link {
+            index
+        } else {
+            let name = format!("{}-link", self.name);
+            self.links.push(Link::new(name));
+            let index = self.links.len() - 1;
+            self.default_link = Some(index);
+            index
         };
         self.links[index].phases.push(phase);
         self
@@ -600,6 +599,7 @@ impl Scenario {
         }
         let total_bins = self.total_bins();
         let inner = if links.len() == 1 {
+            // lint:allow(no-unwrap): guarded by the len() == 1 branch condition
             SourceInner::Single(links.pop().expect("one link"))
         } else {
             SourceInner::Multi(Interleave::new(
@@ -627,6 +627,7 @@ impl Scenario {
                 TrafficSpec::Profile(profile) => Some(profile.config(seed, phase.scale)),
                 TrafficSpec::Named(name) => Some(
                     TraceProfile::from_name(name)
+                        // lint:allow(no-unwrap): compile() validated every named profile before this loop
                         .expect("validated above")
                         .config(seed, phase.scale),
                 ),
@@ -662,6 +663,7 @@ impl Scenario {
                             .with_duty_cycle(event.duty_cycle_bins);
                         generator
                             .as_mut()
+                            // lint:allow(no-unwrap): validation rejects injector anomalies on silent phases, so a generator exists here
                             .expect("injector anomalies are rejected on silent phases")
                             .add_anomaly(anomaly);
                     }

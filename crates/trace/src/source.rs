@@ -223,11 +223,13 @@ impl PacketSource for Interleave {
         let mut packets: Vec<crate::packet::Packet> = Vec::new();
         for (_, pending) in &mut self.sources {
             if pending.as_ref().is_some_and(|b| b.bin_index == target) {
+                // lint:allow(no-unwrap): the is_some_and guard on the previous line proves the slot is occupied
                 let batch = pending.take().expect("checked above");
                 geometry.get_or_insert((batch.start_ts, batch.duration_us));
                 packets.extend(batch.packets.iter().cloned());
             }
         }
+        // lint:allow(no-unwrap): target is the minimum pending bin index, so at least one source matched and set the geometry
         let (start_ts, duration_us) = geometry.expect("at least one batch matched the min bin");
         // Stable sort: equal timestamps keep sub-source registration order,
         // so the merged stream is reproducible.

@@ -98,7 +98,7 @@ fn main() -> Result<(), NetshedError> {
     let demand = netshed::monitor::reference::measure_total_demand(
         &base_specs,
         &recording.batches()[..warmup],
-    );
+    )?;
     let capacity = demand * 0.5;
 
     let sampled = run(QuerySpec::new(QueryKind::P2pDetector), capacity, &recording)?;

@@ -64,7 +64,8 @@ fn main() -> Result<(), NetshedError> {
     // Capacity sized for normal traffic: the attack pushes demand well above it.
     let warmup = (batches / 4).clamp(1, 80);
     let normal_demand =
-        netshed::monitor::reference::measure_total_demand(&specs(), &recording.batches()[..warmup]);
+        netshed::monitor::reference::measure_total_demand(&specs(), &recording.batches()[..warmup])
+            .expect("valid query specs");
     let capacity = normal_demand * 1.1;
 
     let without =

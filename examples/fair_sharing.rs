@@ -14,7 +14,7 @@
 
 use netshed::fairness::{AllocationGame, FairnessMode};
 use netshed::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Batch count, overridable for quick CI runs (`NETSHED_BATCHES=60`).
 fn batch_count(default: usize) -> usize {
@@ -26,7 +26,7 @@ fn accuracy_per_query(
     capacity: f64,
     recording: &BatchReplay,
     specs: &[QuerySpec],
-) -> Result<HashMap<String, f64>, NetshedError> {
+) -> Result<BTreeMap<String, f64>, NetshedError> {
     let mut monitor = Monitor::builder()
         .capacity(capacity)
         .strategy(Strategy::Predictive(policy))
@@ -45,7 +45,8 @@ fn main() -> Result<(), NetshedError> {
 
     let warmup = recording.batches().len().min(50);
     let demand =
-        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..warmup]);
+        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..warmup])
+            .expect("valid query specs");
     let capacity = demand * 0.5; // K = 0.5: demand is twice the capacity.
 
     println!("nine competing queries, K = 0.5 (demands are twice the capacity)\n");
@@ -65,7 +66,7 @@ fn main() -> Result<(), NetshedError> {
             pkt.get(*name).copied().unwrap_or(0.0)
         );
     }
-    let min = |m: &HashMap<String, f64>| m.values().copied().fold(f64::INFINITY, f64::min);
+    let min = |m: &BTreeMap<String, f64>| m.values().copied().fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum accuracy:   eq_srates {:.2} | mmfs_cpu {:.2} | mmfs_pkt {:.2}",
         min(&eq),

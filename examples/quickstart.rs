@@ -48,7 +48,8 @@ fn main() -> Result<(), NetshedError> {
     // 3. Measure the unconstrained demand so we can create a 2x overload.
     let warmup = recording.batches().len().min(50);
     let demand =
-        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..warmup]);
+        netshed::monitor::reference::measure_total_demand(&specs, &recording.batches()[..warmup])
+            .expect("valid query specs");
     let capacity = demand / 2.0;
     println!("unconstrained demand : {demand:>12.0} cycles/bin");
     println!("system capacity      : {capacity:>12.0} cycles/bin (overload factor K = 0.5)\n");

@@ -18,7 +18,7 @@ fn main() -> Result<(), NetshedError> {
     println!("scenario {:?}: {} bins over {} link(s)", scenario.name(), scenario.total_bins(), {
         scenario.links().len()
     });
-    for phase in scenario.links().iter().flat_map(|l| l.phases()) {
+    for phase in scenario.links().iter().flat_map(netshed::Link::phases) {
         println!("  phase {:<10} {:>3} bins", phase.name(), phase.duration_bins());
     }
 
@@ -39,7 +39,8 @@ fn main() -> Result<(), NetshedError> {
         QuerySpec::new(QueryKind::Flows),
         QuerySpec::new(QueryKind::TopK),
     ];
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..10]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..10])
+        .expect("valid query specs");
     let capacity = demand / 2.0;
     let mut fingerprints = Vec::new();
     for (label, replayed) in [("live", false), ("replayed", true)] {

@@ -23,6 +23,8 @@
 //! # Ok::<(), NetshedError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use netshed_fairness as fairness;
 pub use netshed_features as features;
 pub use netshed_linalg as linalg;

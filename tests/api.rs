@@ -236,7 +236,8 @@ fn custom_policy_from_outside_the_monitor_crate_runs() {
         QuerySpec::new(QueryKind::Flows),
         QuerySpec::new(QueryKind::PatternSearch),
     ];
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..20]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..20])
+        .expect("valid query specs");
     let mut monitor = Monitor::builder()
         .capacity(demand / 2.0)
         .seed(5)

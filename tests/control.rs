@@ -33,7 +33,8 @@ fn run_with(builder: MonitorBuilder, batches: &[Batch]) -> RunSummary {
 #[test]
 fn enum_and_trait_paths_are_bit_identical_for_all_seven_strategies() {
     let batches = recorded_batches(60);
-    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20])
+        .expect("valid query specs");
     let capacity = demand / 2.0;
 
     let policy_for = |strategy: Strategy| -> Box<dyn ControlPolicy> {
@@ -118,7 +119,8 @@ fn custom_predictor_factory_from_outside_the_crates_runs() {
 #[test]
 fn oracle_policy_sheds_from_the_first_bin_where_predictors_are_blind() {
     let batches = recorded_batches(60);
-    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20])
+        .expect("valid query specs");
     let capacity = demand / 2.0;
 
     struct Track {

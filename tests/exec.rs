@@ -80,7 +80,8 @@ fn replay(
 #[test]
 fn worker_count_never_changes_the_output_stream() {
     let batches = recorded_batches(50);
-    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs(), &batches[..20])
+        .expect("valid query specs");
     let capacity = demand / 2.0;
 
     let configurations: Vec<(String, Option<Strategy>)> = [

@@ -2,7 +2,7 @@
 //! driven through the streaming API (builder + `run` + observers).
 
 use netshed::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn trace(profile: TraceProfile, seed: u64, batches: usize) -> Vec<Batch> {
     TraceGenerator::new(profile.config(seed, 0.5)).batches(batches)
@@ -19,7 +19,7 @@ fn run_accuracy(
     batches: &[Batch],
     specs: &[QuerySpec],
     seed: u64,
-) -> HashMap<String, f64> {
+) -> BTreeMap<String, f64> {
     let mut monitor = Monitor::builder()
         .capacity(capacity)
         .strategy(strategy)
@@ -37,7 +37,8 @@ fn run_accuracy(
 fn predictive_shedding_beats_no_shedding_under_overload() {
     let batches = trace(TraceProfile::CescaII, 5, 200);
     let specs = chapter4_specs();
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..40]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..40])
+        .expect("valid query specs");
     let capacity = demand / 2.0;
 
     let predictive = run_accuracy(
@@ -68,7 +69,8 @@ fn predictive_shedding_beats_no_shedding_under_overload() {
 fn monitor_runs_are_reproducible_for_a_fixed_seed() {
     let batches = trace(TraceProfile::CescaI, 9, 60);
     let specs = vec![QuerySpec::new(QueryKind::Flows), QuerySpec::new(QueryKind::Counter)];
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..20]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..20])
+        .expect("valid query specs");
 
     let run = |seed: u64| -> RunSummary {
         let mut monitor = Monitor::builder()
@@ -97,7 +99,8 @@ fn ddos_anomaly_is_handled_without_uncontrolled_drops() {
         QuerySpec::new(QueryKind::Counter),
         QuerySpec::new(QueryKind::TopK),
     ];
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..50]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..50])
+        .expect("valid query specs");
     let mut monitor = Monitor::builder()
         .capacity(demand * 1.2)
         .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
@@ -121,7 +124,8 @@ fn counter_estimates_stay_close_under_sampling() {
         QuerySpec::new(QueryKind::PatternSearch),
         QuerySpec::new(QueryKind::Trace),
     ];
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..30]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..30])
+        .expect("valid query specs");
     let accuracy = run_accuracy(
         Strategy::Predictive(AllocationPolicy::MmfsPkt),
         demand / 2.0,
@@ -146,7 +150,8 @@ fn selfish_custom_query_is_policed_and_does_not_hurt_others() {
         QuerySpec::new(QueryKind::Counter),
         QuerySpec::new(QueryKind::Flows),
     ];
-    let demand = netshed::monitor::reference::measure_total_demand(&honest_specs, &batches[..40]);
+    let demand = netshed::monitor::reference::measure_total_demand(&honest_specs, &batches[..40])
+        .expect("valid query specs");
     let capacity = demand * 0.5;
 
     let honest = run_accuracy(

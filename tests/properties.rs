@@ -108,7 +108,7 @@ proptest! {
             prop_assert_eq!(batches.len(), before + closed);
         }
         batches.push(builder.finish());
-        let total: usize = batches.iter().map(|b| b.len()).sum();
+        let total: usize = batches.iter().map(netshed::Batch::len).sum();
         prop_assert_eq!(total, sorted.len());
         for window in batches.windows(2) {
             prop_assert_eq!(window[1].bin_index, window[0].bin_index + 1);
@@ -259,8 +259,8 @@ proptest! {
         xs in proptest::collection::vec(-100.0f64..100.0, 10..60),
     ) {
         // Require enough spread in x for the system to be well conditioned.
-        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().copied().fold(f64::INFINITY, f64::min);
         prop_assume!(spread > 1.0);
         let rows: Vec<Vec<f64>> = xs.iter().map(|x| vec![1.0, *x]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
@@ -282,7 +282,8 @@ fn flow_sampling_decisions_survive_any_worker_count() {
     )
     .batches(20);
     let specs = vec![QuerySpec::new(QueryKind::Flows), QuerySpec::new(QueryKind::Counter)];
-    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..10]);
+    let demand = netshed::monitor::reference::measure_total_demand(&specs, &batches[..10])
+        .expect("valid query specs");
 
     let delivered = |workers: usize| -> Vec<(u64, u64, bool)> {
         let mut monitor = Monitor::builder()
