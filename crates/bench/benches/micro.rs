@@ -38,7 +38,7 @@ fn bench_feature_extraction(c: &mut Criterion) {
     // inside the measured region (the first touch of a batch). The timing
     // includes the store rebuild — subtract `store_build` to isolate
     // extraction; `pipeline.rs` reports the already-corrected number.
-    let template: Vec<_> = batch.packets.iter().cloned().collect();
+    let template: Vec<_> = batch.packets.iter().map(|p| p.to_packet()).collect();
     group.bench_function("fused_cold_incl_store_build", |b| {
         let mut extractor = FeatureExtractor::with_defaults();
         b.iter(|| {

@@ -3,7 +3,7 @@
 //! `BENCH_pipeline.json` (in the working directory, or `$BENCH_OUT` if set)
 //! so the performance trajectory of the repo is tracked PR over PR.
 //!
-//! Six measurements:
+//! Seven measurements:
 //!
 //! 1. **extract**: fused single-pass feature extraction vs the historical
 //!    ten-pass baseline on a 10k-packet batch — warm (aggregate hashes cached
@@ -12,16 +12,23 @@
 //! 2. **shedding**: view-based packet/flow sampling vs the clone-based
 //!    baseline, plus a structural check that the view path shares the packet
 //!    store (zero per-packet copies).
-//! 3. **pipeline**: packets/second through `Monitor::run` with the paper's
+//! 3. **data plane**: intra-run AoS-vs-SoA replay→shed→extract comparison
+//!    over the same in-memory `.nstr` container — the copy-decode +
+//!    clone-shed + ten-pass replica against the borrowed zero-copy decode +
+//!    pooled shed + fused extractor — plus the steady-state allocation
+//!    guard: a warmed shed→shard→finish loop must perform **zero** heap
+//!    allocations per bin (`alloc_per_bin`, counted by this binary's global
+//!    allocator and asserted to be 0).
+//! 4. **pipeline**: packets/second through `Monitor::run` with the paper's
 //!    Chapter 4 query mix under 2× overload.
-//! 4. **control plane**: the same overloaded run with the strategy built
+//! 5. **control plane**: the same overloaded run with the strategy built
 //!    through the `Strategy` enum vs an explicitly constructed
 //!    `ControlPolicy` trait object — the dispatch overhead of the open
 //!    control plane must stay within noise of the enum baseline.
-//! 5. **prediction plane**: ns per bin of the MLR predict/observe cycle,
+//! 6. **prediction plane**: ns per bin of the MLR predict/observe cycle,
 //!    before (per-call allocations) vs after (reused scratch buffers), plus
 //!    the FCBF amortisation of `reselect_every`.
-//! 6. **parallel scaling**: the 2× overload pipeline at 1/2/4 workers —
+//! 7. **parallel scaling**: the 2× overload pipeline at 1/2/4 workers —
 //!    measured wall-clock throughput, and the execution-plane projection
 //!    (measured per-task costs under the pool's list schedule) for hosts
 //!    with fewer cores than workers.
@@ -34,17 +41,59 @@ use netshed_bench::baseline::{
 };
 use netshed_features::{FeatureExtractor, FeatureId, FeatureVector};
 use netshed_monitor::{
-    flow_sample, packet_sample, AllocationPolicy, ExecStats, Monitor, NullObserver,
-    PredictivePolicy, Strategy,
+    flow_sample, packet_sample, packet_sample_with, AllocationPolicy, ExecStats, Monitor,
+    NullObserver, PredictivePolicy, Strategy,
 };
 use netshed_predict::{MlrConfig, MlrPredictor, Predictor};
 use netshed_queries::{QueryKind, QuerySpec};
 use netshed_sketch::H3Hasher;
-use netshed_trace::{Batch, BatchReplay, TraceConfig, TraceGenerator};
+use netshed_trace::{
+    decode_batches, decode_batches_shared, encode_batches, Batch, BatchReplay, Bytes, KeepListPool,
+    TraceConfig, TraceGenerator,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// A counting wrapper around the system allocator: every heap acquisition
+/// (alloc, zeroed alloc, realloc) bumps one relaxed counter. The data-plane
+/// bench reads the counter around its warmed steady-state loop to *prove*
+/// the zero-allocation claim rather than assert it from code review.
+struct CountingAlloc;
+
+/// Heap acquisitions since process start (frees are not counted — the guard
+/// pins acquisitions, and a steady state that frees without allocating is
+/// impossible anyway).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers all allocation to `System`; the counter is a relaxed atomic
+// touched nowhere else, so no allocator invariant is altered.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Mean nanoseconds per call of `routine` over `iterations` runs.
 fn time_ns<F: FnMut()>(iterations: u64, mut routine: F) -> f64 {
@@ -90,7 +139,7 @@ fn bench_extract(iterations: u64) -> ExtractNumbers {
     // construction are not extraction work, so their cost is measured
     // separately and subtracted.
     let cold_iterations = iterations.min(64);
-    let template: Vec<_> = batch.packets.iter().cloned().collect();
+    let template: Vec<_> = batch.packets.iter().map(|p| p.to_packet()).collect();
     let construct_ns = time_ns(cold_iterations, || {
         black_box(Batch::new(batch.bin_index, batch.start_ts, batch.duration_us, template.clone()));
     });
@@ -146,6 +195,132 @@ fn bench_shedding(iterations: u64) -> ShedNumbers {
     let view_shares_store = sampled.shares_store(&view);
 
     ShedNumbers { packet_view_ns, packet_clone_ns, flow_view_ns, flow_clone_ns, view_shares_store }
+}
+
+struct DataPlaneNumbers {
+    batches: usize,
+    packets: u64,
+    aos_packets_per_sec: f64,
+    soa_packets_per_sec: f64,
+    soa_speedup: f64,
+    alloc_per_bin: u64,
+}
+
+/// One full AoS data-plane run over an encoded container: copying decode
+/// (`decode_batches` duplicates every payload out of the container), the
+/// clone-based packet sampler and the aggregate-major ten-pass extractor —
+/// the faithful replica of the pre-SoA hot path.
+fn aos_replay_run(encoded: &[u8], rate: f64) -> f64 {
+    let decoded = decode_batches(encoded).expect("decode recorded trace");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut extractor = TenPassExtractor::with_defaults();
+    let mut acc = 0.0;
+    for batch in &decoded {
+        let (sampled, _) = clone_packet_sample(batch, rate, &mut rng);
+        let (vector, _) = extractor.extract(&sampled);
+        acc += vector.packets();
+    }
+    acc
+}
+
+/// The same run through the SoA path: borrowed zero-copy decode straight
+/// into the column store (payloads are windows into `buffer`), pooled
+/// keep-list sampling and the fused single-pass extractor.
+fn soa_replay_run(buffer: &Bytes, rate: f64) -> f64 {
+    let decoded = decode_batches_shared(buffer).expect("decode shared trace");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut pool = KeepListPool::new();
+    let mut extractor = FeatureExtractor::with_defaults();
+    let mut acc = 0.0;
+    for batch in &decoded {
+        let view = batch.view();
+        let (sampled, _) = packet_sample_with(&view, rate, &mut rng, &mut pool);
+        let (vector, _) = extractor.extract_view(&sampled);
+        acc += vector.packets();
+    }
+    acc
+}
+
+/// One steady-state pass over pre-decoded batches: pooled shed, sharded
+/// extraction, merge. With warm aggregate-hash caches and a warmed pool this
+/// must not touch the heap at all — `bench_data_plane` counts allocations
+/// around the second pass to pin `alloc_per_bin` to zero.
+fn steady_state_pass(
+    batches: &[Batch],
+    rate: f64,
+    extractor: &mut FeatureExtractor,
+    pool: &mut KeepListPool,
+) -> f64 {
+    // Re-seeding per pass makes the warmup pass draw the exact keep lists the
+    // measured pass draws, so pooled buffers are warmed to the right sizes.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut acc = 0.0;
+    for batch in batches {
+        let view = batch.view();
+        let (sampled, _) = packet_sample_with(&view, rate, &mut rng, pool);
+        let mut shards = extractor.shard(&sampled);
+        for shard in &mut shards {
+            shard.process(&sampled);
+        }
+        let (vector, _) = FeatureExtractor::finish_shards(&sampled, &shards);
+        acc += vector.packets();
+    }
+    acc
+}
+
+/// Intra-run AoS-vs-SoA comparison plus the allocation guard, all over one
+/// in-memory `.nstr` container recorded from a payload-carrying trace. Both
+/// paths run in this process within minutes of each other, so the speedup is
+/// a genuine intra-run ratio, not a cross-machine or cross-commit number.
+fn bench_data_plane(batches: usize, repeats: u32) -> DataPlaneNumbers {
+    let rate = 0.5;
+    let recorded = TraceGenerator::new(
+        TraceConfig::default()
+            .with_seed(41)
+            .with_mean_packets_per_batch(2000.0)
+            .with_payloads(true),
+    )
+    .batches(batches);
+    let packets: u64 = recorded.iter().map(|b| b.len() as u64).sum();
+    let encoded = encode_batches(&recorded, recorded[0].duration_us).expect("encode trace");
+    let buffer = Bytes::from(encoded.clone());
+    drop(recorded);
+
+    let best_elapsed = |run: &mut dyn FnMut() -> f64| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            black_box(run());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let aos_s = best_elapsed(&mut || aos_replay_run(&encoded, rate));
+    let soa_s = best_elapsed(&mut || soa_replay_run(&buffer, rate));
+
+    // Allocation guard: decode once (borrowed), warm every per-batch hash
+    // cache, the extractor and the keep-list pool with a first pass, then
+    // count heap acquisitions across a second, identical pass.
+    let decoded = decode_batches_shared(&buffer).expect("decode shared trace");
+    let mut extractor = FeatureExtractor::with_defaults();
+    let mut pool = KeepListPool::new();
+    black_box(steady_state_pass(&decoded, rate, &mut extractor, &mut pool));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    black_box(steady_state_pass(&decoded, rate, &mut extractor, &mut pool));
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state shed→shard→finish loop allocated {allocations} times over {batches} bins"
+    );
+
+    DataPlaneNumbers {
+        batches,
+        packets,
+        aos_packets_per_sec: packets as f64 / aos_s,
+        soa_packets_per_sec: packets as f64 / soa_s,
+        soa_speedup: aos_s / soa_s,
+        alloc_per_bin: allocations / batches as u64,
+    }
 }
 
 struct PipelineNumbers {
@@ -393,6 +568,16 @@ fn main() {
         shed.view_shares_store,
     );
 
+    eprintln!("data plane: AoS vs SoA replay->shed->extract over one .nstr container ...");
+    let data_plane = bench_data_plane(pipeline_batches.min(200), if smoke { 2 } else { 3 });
+    eprintln!(
+        "  AoS {:.0} packets/s | SoA {:.0} packets/s | speedup {:.2}x | alloc/bin {}",
+        data_plane.aos_packets_per_sec,
+        data_plane.soa_packets_per_sec,
+        data_plane.soa_speedup,
+        data_plane.alloc_per_bin,
+    );
+
     eprintln!("pipeline: Monitor::run over {pipeline_batches} batches under 2x overload ...");
     let pipeline = bench_pipeline(pipeline_batches);
     eprintln!(
@@ -459,7 +644,11 @@ fn main() {
          \"flow_clone_ns\": {:.1},\n    \"view_shares_store\": {},\n    \
          \"per_packet_copies\": 0\n  }},\n  \
          \"pipeline_2x_overload\": {{\n    \"batches\": {},\n    \"packets\": {},\n    \
-         \"elapsed_s\": {:.3},\n    \"packets_per_sec\": {:.0}\n  }},\n  \
+         \"elapsed_s\": {:.3},\n    \"packets_per_sec\": {:.0},\n    \
+         \"data_plane_batches\": {},\n    \"data_plane_packets\": {},\n    \
+         \"aos_replay_packets_per_sec\": {:.0},\n    \
+         \"soa_replay_packets_per_sec\": {:.0},\n    \"soa_speedup\": {:.2},\n    \
+         \"alloc_per_bin\": {}\n  }},\n  \
          \"control_plane_dispatch\": {{\n    \"batches\": {},\n    \
          \"enum_ns_per_batch\": {:.0},\n    \"trait_ns_per_batch\": {:.0},\n    \
          \"overhead_fraction\": {:.4}\n  }},\n  \
@@ -487,6 +676,12 @@ fn main() {
         pipeline.packets,
         pipeline.elapsed_s,
         pipeline.packets_per_sec,
+        data_plane.batches,
+        data_plane.packets,
+        data_plane.aos_packets_per_sec,
+        data_plane.soa_packets_per_sec,
+        data_plane.soa_speedup,
+        data_plane.alloc_per_bin,
         control.batches,
         control.enum_ns_per_batch,
         control.trait_ns_per_batch,

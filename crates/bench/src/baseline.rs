@@ -71,7 +71,7 @@ impl TenPassExtractor {
 
             let seed = aggregate_hash_seed(self.config.hash_seed, agg_idx);
             for packet in batch.packets.iter() {
-                let key = aggregate.key(&packet.tuple);
+                let key = aggregate.key(packet.tuple());
                 batch_unique.insert_hash(hash_bytes(&key, seed));
                 operations += 1;
             }
@@ -125,7 +125,7 @@ pub fn clone_flow_sample(batch: &Batch, rate: f64, hasher: &H3Hasher) -> (Batch,
             batch.len() as u64,
         );
     }
-    let sampled = batch.filtered(|p| hasher.unit_interval(&p.tuple.as_key()) < rate);
+    let sampled = batch.filtered(|p| hasher.unit_interval(&p.tuple().as_key()) < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;
     (sampled, dropped)
 }

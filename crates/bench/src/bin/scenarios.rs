@@ -3,7 +3,7 @@
 //! ```sh
 //! cargo run -p netshed-bench --release --bin scenarios -- list
 //! cargo run -p netshed-bench --release --bin scenarios -- record [--dir corpus]
-//! cargo run -p netshed-bench --release --bin scenarios -- verify [--dir corpus] [--workers N]
+//! cargo run -p netshed-bench --release --bin scenarios -- verify [--dir corpus] [--workers N] [--borrowed]
 //! cargo run -p netshed-bench --release --bin scenarios -- run <name> [--strategy mmfs_pkt] [--workers N]
 //! ```
 //!
@@ -12,14 +12,17 @@
 //! run it (and commit the result) only when an intentional change moves the
 //! golden outputs. `verify` replays the committed corpus and fails loudly,
 //! naming each drifted stream, when any digest moved; this is what the CI
-//! golden-corpus job runs.
+//! golden-corpus job runs. `verify --borrowed` decodes the recordings
+//! through the zero-copy [`decode_batches_shared`] path instead of the
+//! copying reader (both are always cross-checked against each other), so CI
+//! proves the borrowed replay plane produces the same pinned digests.
 
 use netshed_bench::corpus::{
     all_strategies, compute_golden, corpus_capacity, diff_digests, digest_run, format_manifest,
     parse_manifest, strategy_by_name, GoldenEntry, MANIFEST_NAME, TRACE_EXTENSION,
 };
 use netshed_trace::scenario::{builtin, builtins};
-use netshed_trace::{decode_batches, encode_batches, Batch};
+use netshed_trace::{decode_batches, decode_batches_shared, encode_batches, Batch, Bytes};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
     let mut strategy_name: Option<String> = None;
+    let mut borrowed = false;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -61,6 +65,7 @@ fn main() -> ExitCode {
                 };
                 strategy_name = Some(value.clone());
             }
+            "--borrowed" => borrowed = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -71,14 +76,15 @@ fn main() -> ExitCode {
     let applicable: &[&str] = match command {
         "list" => &[],
         "record" => &["--dir"],
-        "verify" => &["--dir", "--workers"],
+        "verify" => &["--dir", "--workers", "--borrowed"],
         "run" => &["--workers", "--strategy"],
-        _ => &["--dir", "--workers", "--strategy"],
+        _ => &["--dir", "--workers", "--strategy", "--borrowed"],
     };
     for (flag, set) in [
         ("--dir", dir.is_some()),
         ("--workers", workers.is_some()),
         ("--strategy", strategy_name.is_some()),
+        ("--borrowed", borrowed),
     ] {
         if set && !applicable.contains(&flag) {
             eprintln!("{flag} does not apply to `{command}`");
@@ -90,7 +96,7 @@ fn main() -> ExitCode {
     match command {
         "list" => list(),
         "record" => record(&dir),
-        "verify" => verify(&dir, workers),
+        "verify" => verify(&dir, workers, borrowed),
         "run" => {
             if let Some(name) = positional.get(1) {
                 run_one(name, strategy_name.as_deref(), workers)
@@ -174,7 +180,7 @@ fn record(dir: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn verify(dir: &Path, workers: usize) -> ExitCode {
+fn verify(dir: &Path, workers: usize, borrowed: bool) -> ExitCode {
     let manifest_path = dir.join(MANIFEST_NAME);
     let text = match std::fs::read_to_string(&manifest_path) {
         Ok(text) => text,
@@ -204,13 +210,34 @@ fn verify(dir: &Path, workers: usize) -> ExitCode {
                 continue;
             }
         };
-        let recorded = match decode_batches(&bytes) {
+        let copied = match decode_batches(&bytes) {
             Ok(batches) => batches,
             Err(error) => {
                 drift.push(format!("{}: recording does not decode: {error}", scenario.name()));
                 continue;
             }
         };
+        // Both replay planes must agree bit-for-bit on the same container;
+        // the digests below then run over whichever plane was requested.
+        let container = Bytes::from(bytes);
+        let shared = match decode_batches_shared(&container) {
+            Ok(batches) => batches,
+            Err(error) => {
+                drift.push(format!(
+                    "{}: recording does not decode through the borrowed reader: {error}",
+                    scenario.name()
+                ));
+                continue;
+            }
+        };
+        if shared != copied {
+            drift.push(format!(
+                "{}: the zero-copy and copying readers decoded different batch streams",
+                scenario.name()
+            ));
+            continue;
+        }
+        let recorded = if borrowed { shared } else { copied };
         // The recording must still equal what the generator produces today —
         // otherwise the digests below would silently pin drifted traffic.
         let generated = scenario.generate().expect("builtins are valid");
@@ -262,9 +289,10 @@ fn verify(dir: &Path, workers: usize) -> ExitCode {
         }
     }
     if drift.is_empty() {
+        let plane = if borrowed { "borrowed (zero-copy)" } else { "copying" };
         println!(
             "golden corpus conformant: {checked} (scenario, strategy) digests verified at \
-             {workers} worker(s)"
+             {workers} worker(s) through the {plane} replay plane"
         );
         ExitCode::SUCCESS
     } else {

@@ -8,10 +8,10 @@
 //! cached on the shared packet store, so a query's sampled re-extraction
 //! reuses the rows the full-batch extraction already paid for.
 
-use crate::aggregate::{Aggregate, AggregateHashes};
+use crate::aggregate::{Aggregate, AggregateHashes, AGGREGATE_COUNT};
 use crate::vector::{CounterKind, FeatureId, FeatureVector};
 use netshed_sketch::MultiResolutionBitmap;
-use netshed_trace::{Batch, BatchView};
+use netshed_trace::{Batch, BatchView, HashClaim};
 
 /// Configuration of the feature extractor.
 #[derive(Debug, Clone)]
@@ -67,7 +67,7 @@ impl AggregateState {
 /// interval, so batches must be fed in order.
 pub struct FeatureExtractor {
     config: ExtractorConfig,
-    aggregates: Vec<AggregateState>,
+    aggregates: [AggregateState; AGGREGATE_COUNT],
     current_interval: Option<u64>,
     batches_processed: u64,
 }
@@ -94,13 +94,10 @@ impl std::fmt::Debug for FeatureExtractor {
 impl FeatureExtractor {
     /// Creates an extractor with the given configuration.
     pub fn new(config: ExtractorConfig) -> Self {
-        let aggregates = Aggregate::ALL
-            .iter()
-            .map(|_| AggregateState {
-                batch_unique: MultiResolutionBitmap::for_cardinality(config.max_cardinality),
-                interval_seen: MultiResolutionBitmap::for_cardinality(config.max_cardinality),
-            })
-            .collect();
+        let aggregates = std::array::from_fn(|_| AggregateState {
+            batch_unique: MultiResolutionBitmap::for_cardinality(config.max_cardinality),
+            interval_seen: MultiResolutionBitmap::for_cardinality(config.max_cardinality),
+        });
         Self { config, aggregates, current_interval: None, batches_processed: 0 }
     }
 
@@ -157,7 +154,7 @@ impl FeatureExtractor {
             state.batch_unique.clear();
         }
         match view.aggregate_hashes(self.config.hash_seed) {
-            Some(hashes) => {
+            HashClaim::Rows(hashes) => {
                 // Walk the hash side array by store index only: no packet
                 // memory is touched on the cached path.
                 for store_index in view.store_indices() {
@@ -167,9 +164,12 @@ impl FeatureExtractor {
                     }
                 }
             }
-            None => {
-                for (_, packet) in view.indexed_packets() {
-                    let row = AggregateHashes::compute(&packet.tuple, self.config.hash_seed);
+            HashClaim::SeedMismatch { .. } => {
+                // A foreign seed owns the batch's cache (counted on the
+                // store): hash only the tuples this view retains.
+                let tuples = view.store().tuples();
+                for store_index in view.store_indices() {
+                    let row = AggregateHashes::compute(&tuples[store_index], self.config.hash_seed);
                     for (state, &hash) in self.aggregates.iter_mut().zip(row.as_array()) {
                         state.batch_unique.insert_hash(hash);
                     }
@@ -200,7 +200,7 @@ impl FeatureExtractor {
     /// outcome is bit-identical to [`FeatureExtractor::extract_view`] — set
     /// semantics make per-bitmap insert order irrelevant, and every other
     /// operation is confined to one shard.
-    pub fn shard(&mut self, view: &BatchView) -> Vec<ExtractorShard<'_>> {
+    pub fn shard(&mut self, view: &BatchView) -> [ExtractorShard<'_>; AGGREGATE_COUNT] {
         // Reset the per-interval state when the batch crosses into a new
         // measurement interval.
         let interval = view.measurement_interval(self.config.measurement_interval_us);
@@ -213,16 +213,15 @@ impl FeatureExtractor {
         self.batches_processed += 1;
 
         let hash_seed = self.config.hash_seed;
-        self.aggregates
-            .iter_mut()
-            .enumerate()
-            .map(|(aggregate_index, state)| ExtractorShard {
-                state,
-                aggregate_index,
-                hash_seed,
-                counters: [0.0; 4],
-            })
-            .collect()
+        // Pair states with their aggregate index through the enumerate so
+        // the mapping is immune to `from_fn`'s evaluation order; the array
+        // is returned by value — no per-bin allocation.
+        let mut states = self.aggregates.iter_mut().enumerate();
+        std::array::from_fn(|_| {
+            // lint:allow(no-unwrap): the iterator yields exactly AGGREGATE_COUNT states by construction
+            let (aggregate_index, state) = states.next().expect("one state per aggregate");
+            ExtractorShard { state, aggregate_index, hash_seed, counters: [0.0; 4] }
+        })
     }
 
     /// Assembles the feature vector from processed shards, together with the
@@ -263,18 +262,19 @@ impl ExtractorShard<'_> {
         let packets = view.len() as f64;
         self.state.batch_unique.clear();
         match view.aggregate_hashes(self.hash_seed) {
-            Some(hashes) => {
+            HashClaim::Rows(hashes) => {
                 for store_index in view.store_indices() {
                     self.state
                         .batch_unique
                         .insert_hash(hashes[store_index].as_array()[self.aggregate_index]);
                 }
             }
-            None => {
+            HashClaim::SeedMismatch { .. } => {
                 // A foreign seed owns the batch's cache: hash the retained
-                // packets for this aggregate only.
-                for (_, packet) in view.indexed_packets() {
-                    let row = AggregateHashes::compute(&packet.tuple, self.hash_seed);
+                // tuples for this aggregate only.
+                let tuples = view.store().tuples();
+                for store_index in view.store_indices() {
+                    let row = AggregateHashes::compute(&tuples[store_index], self.hash_seed);
                     self.state.batch_unique.insert_hash(row.as_array()[self.aggregate_index]);
                 }
             }
@@ -375,7 +375,7 @@ mod tests {
             let mut bitmap = MultiResolutionBitmap::for_cardinality(config.max_cardinality);
             let seed = aggregate_hash_seed(config.hash_seed, agg_idx);
             for packet in batch.packets.iter() {
-                bitmap.insert_hash(hash_bytes(&aggregate.key(&packet.tuple), seed));
+                bitmap.insert_hash(hash_bytes(&aggregate.key(packet.tuple()), seed));
             }
             uniques.push(bitmap.estimate().min(packets).round());
         }

@@ -1,0 +1,34 @@
+//! hot-path-alloc: per-bin heap allocation inside a designated hot-path
+//! module (the strict fixture policy treats every path as hot).
+
+pub fn collects(xs: &[u32]) -> Vec<u32> {
+    xs.iter().copied().collect()
+}
+
+pub fn copies(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}
+
+pub fn fresh() -> Vec<u32> {
+    Vec::new()
+}
+
+// Sizing a buffer once at setup is the sanctioned pattern: never flagged.
+pub fn preallocated(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}
+
+pub fn justified() -> Vec<u32> {
+    // lint:allow(hot-path-alloc): once-per-run construction, not per-bin work
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code allocates freely; the rule is masked here.
+    #[test]
+    fn scratch() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.to_vec().len(), 4);
+    }
+}

@@ -15,6 +15,7 @@
 //! | `telemetry-clock` | wall clocks feed telemetry only |
 //! | `merge-order` | f64 folds never run over hash-map iteration order |
 //! | `no-unwrap` | library code returns `NetshedError`, never panics |
+//! | `hot-path-alloc` | designated hot-path modules never allocate per bin |
 //!
 //! Violations are suppressed inline with
 //! `// lint:allow(<rule>): <justification>` — the justification is

@@ -10,16 +10,16 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::report::Diagnostic;
 use crate::suppress::{parse_suppressions, Suppression};
 
-/// The five contract rules, in reporting order.
-pub const RULE_NAMES: [&str; 5] =
-    ["det-map", "plan-phase-rng", "telemetry-clock", "merge-order", "no-unwrap"];
+/// The six contract rules, in reporting order.
+pub const RULE_NAMES: [&str; 6] =
+    ["det-map", "plan-phase-rng", "telemetry-clock", "merge-order", "no-unwrap", "hot-path-alloc"];
 
 /// Pseudo-rule reported for malformed suppression comments (unknown rule
 /// name, missing `:` or empty justification). It cannot itself be
 /// suppressed: a suppression must always carry a justification.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 
-/// Returns true when `name` is one of the five suppressible contract rules.
+/// Returns true when `name` is one of the six suppressible contract rules.
 pub fn is_rule(name: &str) -> bool {
     RULE_NAMES.contains(&name)
 }
@@ -45,6 +45,13 @@ pub struct Config {
     /// When true, `no-unwrap` skips binary sources (`src/bin/`, `main.rs`):
     /// a CLI's top level may panic; library code must return typed errors.
     pub unwrap_skips_binaries: bool,
+    /// Path prefixes of the *designated hot-path modules*, where
+    /// `hot-path-alloc` flags per-packet/per-bin heap allocation
+    /// (`.collect()`, `.to_vec()`, `Vec::new`). Inverted polarity: the rule
+    /// is active only *inside* these prefixes — everywhere else allocation
+    /// is unremarkable. `Vec::with_capacity` is always fine (setup code
+    /// sizes its buffers once).
+    pub hot_path: Vec<String>,
 }
 
 impl Config {
@@ -73,16 +80,29 @@ impl Config {
             ]),
             fold_allowed: Vec::new(),
             unwrap_skips_binaries: true,
+            hot_path: owned(&[
+                // The steady-state data plane: the column store, the fused
+                // extractor, the keep-list shedders and the task dispatcher
+                // must not allocate per bin (see the `alloc_per_bin` bench
+                // guard in BENCH_pipeline.json).
+                "crates/trace/src/batch.rs",
+                "crates/features/src/extractor.rs",
+                "crates/monitor/src/shedder.rs",
+                "crates/monitor/src/exec.rs",
+            ]),
         }
     }
 
     /// Every rule active everywhere — the fixture-corpus configuration.
+    /// (`hot-path-alloc` has inverted polarity, so "everywhere" means the
+    /// empty prefix, which every path starts with.)
     pub fn strict() -> Self {
         Self {
             rng_allowed: Vec::new(),
             clock_allowed: Vec::new(),
             fold_allowed: Vec::new(),
             unwrap_skips_binaries: false,
+            hot_path: vec![String::new()],
         }
     }
 
@@ -96,6 +116,8 @@ impl Config {
                 !(self.unwrap_skips_binaries
                     && (path.contains("/bin/") || path.ends_with("main.rs")))
             }
+            // Inverted: active only inside the designated hot-path modules.
+            "hot-path-alloc" => allowed(&self.hot_path),
             _ => true,
         }
     }
@@ -194,6 +216,9 @@ fn scan(tokens: &[Token], in_test: &[bool], mut emit: impl FnMut(&'static str, u
             _ => None,
         }
     };
+    let ident_is = |i: usize, name: &str| -> bool {
+        matches!(code.get(i), Some((_, t)) if matches!(&t.kind, TokenKind::Ident(n) if n == name))
+    };
 
     // merge-order is stateful: a map-iterator call arms the rule until the
     // statement ends; a fold while armed fires.
@@ -244,6 +269,29 @@ fn scan(tokens: &[Token], in_test: &[bool], mut emit: impl FnMut(&'static str, u
                              the invariant and suppress"
                         ),
                     ),
+                    "collect" | "to_vec" if after_dot && punct(i + 1) == Some('(') => emit(
+                        "hot-path-alloc",
+                        line,
+                        format!(
+                            "`.{name}()` allocates in a designated hot-path module; stream \
+                             into caller-provided scratch or justify the allocation"
+                        ),
+                    ),
+                    "new"
+                        if after_path
+                            && punct(i.wrapping_sub(2)) == Some(':')
+                            && i >= 3
+                            && ident_is(i - 3, "Vec") =>
+                    {
+                        emit(
+                            "hot-path-alloc",
+                            line,
+                            "`Vec::new` in a designated hot-path module; use a pooled or \
+                         caller-provided buffer (`Vec::with_capacity` at setup is fine) \
+                         or justify the allocation"
+                                .to_owned(),
+                        );
+                    }
                     _ if MAP_ITERS.contains(&name) && after_dot && punct(i + 1) == Some('(') => {
                         armed = true;
                     }
@@ -433,6 +481,31 @@ mod tests {
     fn cfg_all_with_test_is_masked() {
         let src = "#[cfg(all(test, unix))]\nmod t {\n    use std::collections::HashMap;\n}\n";
         assert!(unsuppressed("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_on_alloc_vocabulary_only() {
+        let src = "let a: Vec<u32> = xs.iter().copied().collect();\nlet b = xs.to_vec();\n\
+                   let c: Vec<u32> = Vec::new();\nlet d: Vec<u32> = Vec::with_capacity(8);\n\
+                   let e = KeepListPool::new();\n";
+        assert_eq!(
+            unsuppressed("f.rs", src),
+            [
+                ("hot-path-alloc".into(), 1),
+                ("hot-path-alloc".into(), 2),
+                ("hot-path-alloc".into(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_only_applies_inside_designated_modules() {
+        let src = "let a: Vec<u32> = xs.iter().copied().collect();\n";
+        let policy = Config::workspace();
+        assert!(lint_source("crates/monitor/src/monitor.rs", src, &policy).is_empty());
+        let hits = lint_source("crates/monitor/src/shedder.rs", src, &policy);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "hot-path-alloc");
     }
 
     #[test]

@@ -87,6 +87,19 @@ fn no_unwrap_fires_suppresses_and_stays_clean() {
 }
 
 #[test]
+fn hot_path_alloc_fires_suppresses_and_stays_clean() {
+    assert_eq!(
+        run("hot_path_alloc.rs"),
+        expected(&[
+            ("hot-path-alloc", 5, false),  // .collect()
+            ("hot-path-alloc", 9, false),  // .to_vec()
+            ("hot-path-alloc", 13, false), // Vec::new
+            ("hot-path-alloc", 23, true),  // once-per-run setup, justified
+        ])
+    );
+}
+
+#[test]
 fn lexer_edges_raw_strings_comments_and_char_literals_stay_silent() {
     // Raw strings (any fence width), byte strings, nested block comments,
     // lifetimes and escaped char literals all hide rule-triggering tokens;
@@ -143,6 +156,10 @@ fn workspace_policy_allowlists_mask_sanctioned_homes() {
     let unwrap = "fn main() { run().unwrap(); }\n";
     assert!(lint_source("crates/bench/src/bin/experiments.rs", unwrap, &policy).is_empty());
     assert_eq!(lint_source("crates/bench/src/lib.rs", unwrap, &policy).len(), 1);
+    // hot-path-alloc is inverted: active only in the designated hot modules.
+    let alloc = "pub fn f(xs: &[u32]) -> Vec<u32> { xs.to_vec() }\n";
+    assert!(lint_source("crates/monitor/src/monitor.rs", alloc, &policy).is_empty());
+    assert_eq!(lint_source("crates/trace/src/batch.rs", alloc, &policy).len(), 1);
 }
 
 #[test]

@@ -7,10 +7,12 @@
 //! oracle-style policies — is embarrassingly parallel: every task touches
 //! only its own query's state plus shared read-only data (the post-drop
 //! [`BatchView`](netshed_trace::BatchView), the full-batch feature vector).
-//! [`run_tasks`] fans those tasks out over a scoped pool of `std::thread`
-//! workers and returns per-task wall-clock timings; the monitor merges the
-//! results back in registration order, so the output stream is bit-identical
-//! whatever the worker count (see DESIGN.md, "Execution plane").
+//! [`run_tasks_into`] fans those tasks out over a scoped pool of
+//! `std::thread` workers and leaves per-task wall-clock timings in a
+//! caller-owned [`TaskTimings`] scratch (so steady-state dispatch allocates
+//! nothing); the monitor merges the results back in registration order, so
+//! the output stream is bit-identical whatever the worker count (see
+//! DESIGN.md, "Execution plane").
 //!
 //! Everything order-sensitive — capture-buffer accounting, full-batch
 //! feature extraction, predictions, the policy decision, the RNG-driven
@@ -33,8 +35,41 @@ pub const MAX_WORKERS: usize = 256;
 /// scaling benchmark reports).
 pub const SIMULATED_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
-/// Runs every task exactly once across `workers` scoped threads and returns
-/// the per-task wall-clock nanoseconds, indexed like `tasks`.
+/// Reusable per-dispatch timing scratch: the buffers [`run_tasks_into`]
+/// writes per-task nanoseconds into.
+///
+/// The caller owns the scratch across bins, so a steady-state bin loop
+/// re-dispatches without allocating — both the plain nanosecond buffer and
+/// the atomic slots of the threaded path keep their capacity between
+/// dispatches.
+#[derive(Debug, Default)]
+pub(crate) struct TaskTimings {
+    ns: Vec<u64>,
+    atomic: Vec<AtomicU64>,
+}
+
+impl TaskTimings {
+    /// Creates an empty scratch (first dispatches grow it to steady size).
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-task wall-clock nanoseconds of the most recent dispatch, indexed
+    /// like its `tasks` slice.
+    pub(crate) fn ns(&self) -> &[u64] {
+        &self.ns
+    }
+
+    /// Forgets the last dispatch without releasing capacity — for callers
+    /// whose dispatch is conditional, so a skipped dispatch does not replay
+    /// the previous bin's timings.
+    pub(crate) fn clear(&mut self) {
+        self.ns.clear();
+    }
+}
+
+/// Runs every task exactly once across `workers` scoped threads, leaving the
+/// per-task wall-clock nanoseconds in `timings` (indexed like `tasks`).
 ///
 /// Tasks are pulled from a shared queue in order, so an expensive task never
 /// serialises the cheap ones behind it. The call returns when all tasks have
@@ -46,24 +81,35 @@ pub const SIMULATED_WORKERS: [usize; 4] = [1, 2, 4, 8];
 /// task may only touch state it exclusively owns (`&mut T`) plus `Sync`
 /// shared inputs; result placement is by task index, so callers merging in
 /// index order observe the same stream regardless of `workers`.
-pub(crate) fn run_tasks<T, F>(workers: usize, tasks: &mut [T], run: F) -> Vec<u64>
-where
+pub(crate) fn run_tasks_into<T, F>(
+    workers: usize,
+    tasks: &mut [T],
+    run: F,
+    timings: &mut TaskTimings,
+) where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
+    timings.ns.clear();
     let worker_count = workers.clamp(1, MAX_WORKERS).min(tasks.len());
     if worker_count <= 1 {
-        return tasks
-            .iter_mut()
-            .map(|task| {
-                let start = Instant::now();
-                run(task);
-                start.elapsed().as_nanos() as u64
-            })
-            .collect();
+        for task in tasks.iter_mut() {
+            let start = Instant::now();
+            run(task);
+            timings.ns.push(start.elapsed().as_nanos() as u64);
+        }
+        return;
     }
 
-    let task_ns: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
+    // Reuse the atomic slots across dispatches; only growth past the
+    // steady-state task count allocates.
+    for slot in timings.atomic.iter_mut().take(tasks.len()) {
+        *slot.get_mut() = 0;
+    }
+    if timings.atomic.len() < tasks.len() {
+        timings.atomic.resize_with(tasks.len(), || AtomicU64::new(0));
+    }
+    let task_ns = &timings.atomic[..tasks.len()];
     let queue = Mutex::new(tasks.iter_mut().enumerate());
     let drain = || loop {
         // Hold the queue lock only for the pop, never across a task.
@@ -85,7 +131,22 @@ where
         }
         drain();
     });
-    task_ns.into_iter().map(AtomicU64::into_inner).collect()
+    timings.ns.extend(task_ns.iter().map(|slot| slot.load(Ordering::Relaxed)));
+}
+
+/// One-shot convenience over [`run_tasks_into`]: allocates a fresh scratch
+/// and returns the timing vector. Kept for callers outside the steady-state
+/// bin loop (and for tests); the monitor itself dispatches through its owned
+/// [`TaskTimings`] scratches.
+#[cfg(test)]
+pub(crate) fn run_tasks<T, F>(workers: usize, tasks: &mut [T], run: F) -> Vec<u64>
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let mut timings = TaskTimings::new();
+    run_tasks_into(workers, tasks, run, &mut timings);
+    timings.ns
 }
 
 /// Greedy list-scheduling makespan: assigns each task, in queue order, to the

@@ -81,4 +81,4 @@ pub use policy::{
 };
 pub use reference::ReferenceRunner;
 pub use report::{BinRecord, QueryBinRecord, RunSummary};
-pub use shedder::{flow_sample, packet_sample};
+pub use shedder::{flow_sample, flow_sample_with, packet_sample, packet_sample_with};

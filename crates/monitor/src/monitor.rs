@@ -10,7 +10,7 @@ use crate::exec::{self, ExecStats};
 use crate::observer::RunObserver;
 use crate::policy::{ControlContext, ControlPolicy};
 use crate::report::{BinRecord, QueryBinRecord, RunSummary};
-use crate::shedder::{flow_sample, packet_sample};
+use crate::shedder::{flow_sample_with, packet_sample_with};
 use netshed_fairness::QueryDemand;
 use netshed_features::{ExtractorConfig, FeatureExtractor, FeatureVector};
 use netshed_predict::{Predictor, PredictorFactory};
@@ -19,7 +19,7 @@ use netshed_queries::{
     SheddingMethod,
 };
 use netshed_sketch::H3Hasher;
-use netshed_trace::{Batch, BatchView, PacketSource};
+use netshed_trace::{Batch, BatchView, KeepListPool, PacketSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 // lint:allow(telemetry-clock): wall-clock readings here only feed ExecStats/BinRecord telemetry, never control flow
@@ -86,6 +86,9 @@ struct QueryExecState {
     /// Extractor used to recompute features over this query's sampled stream
     /// (needed to keep the MLR history consistent, Section 4.3).
     sampled_extractor: FeatureExtractor,
+    /// Keep-list pool for the flow-sampled view this query's worker task
+    /// builds; owned per query so the dispatch needs no shared state.
+    shed_pool: KeepListPool,
 }
 
 // Execution states cross the scoped-thread boundary as `&mut` borrows;
@@ -147,6 +150,15 @@ pub struct Monitor {
     next_query_id: u64,
     /// Cumulative execution-plane telemetry (sequential vs dispatched time).
     exec_stats: ExecStats,
+    /// Keep-list pool for the plan-phase shed views (capture-buffer overflow
+    /// and packet sampling), recycled across bins.
+    shed_pool: KeepListPool,
+    /// Per-dispatch timing scratches, one per dispatch site of a bin, so the
+    /// steady-state loop re-dispatches without allocating.
+    extract_timings: exec::TaskTimings,
+    predict_timings: exec::TaskTimings,
+    shadow_timings: exec::TaskTimings,
+    tail_timings: exec::TaskTimings,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -195,6 +207,11 @@ impl Monitor {
             current_interval: None,
             next_query_id: 0,
             exec_stats: ExecStats::default(),
+            shed_pool: KeepListPool::new(),
+            extract_timings: exec::TaskTimings::new(),
+            predict_timings: exec::TaskTimings::new(),
+            shadow_timings: exec::TaskTimings::new(),
+            tail_timings: exec::TaskTimings::new(),
             config,
         }
     }
@@ -324,6 +341,7 @@ impl Monitor {
                     measurement_interval_us: self.config.measurement_interval_us,
                     ..ExtractorConfig::default()
                 }),
+                shed_pool: KeepListPool::new(),
             },
         };
         self.queries.push(registered);
@@ -479,7 +497,8 @@ impl Monitor {
         let drop_fraction = self.buffer.admit(incoming_packets);
         let post_drop = if drop_fraction > 0.0 {
             let keep = 1.0 - drop_fraction;
-            let (kept, _) = packet_sample(&batch.view(), keep, &mut self.rng);
+            let (kept, _) =
+                packet_sample_with(&batch.view(), keep, &mut self.rng, &mut self.shed_pool);
             kept.materialize().view()
         } else {
             batch.view()
@@ -497,14 +516,19 @@ impl Monitor {
         // lint:allow(telemetry-clock): dispatch wall time is ExecStats telemetry; the merge stays registration-ordered
         let dispatch_start = Instant::now();
         let mut shards = self.extractor.shard(&post_drop);
-        let extract_task_ns = exec::run_tasks(workers, &mut shards, |shard| {
-            // The first shard to touch the batch builds the shared hash cache
-            // inside its `OnceLock` init; late shards block on it briefly and
-            // then read, so the single-pass build still happens exactly once.
-            shard.process(&post_drop);
-        });
+        exec::run_tasks_into(
+            workers,
+            &mut shards,
+            |shard| {
+                // The first shard to touch the batch builds the shared hash
+                // cache inside its `OnceLock` init; late shards block on it
+                // briefly and then read, so the single-pass build still
+                // happens exactly once.
+                shard.process(&post_drop);
+            },
+            &mut self.extract_timings,
+        );
         let (features, extraction_ops) = FeatureExtractor::finish_shards(&post_drop, &shards);
-        drop(shards);
         dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
         let mut prediction_cycles = extraction_ops * FEATURE_OP_CYCLES;
 
@@ -514,7 +538,6 @@ impl Monitor {
         // default MLR — are fanned out across the execution plane; the merge
         // below collects values and cost accounting in registration order,
         // so the result is bit-identical to the sequential loop.
-        let mut shadow_task_ns: Vec<u64> = Vec::new();
         struct PredictTask<'a> {
             predictor: &'a mut Box<dyn Predictor>,
             penalized: bool,
@@ -535,12 +558,17 @@ impl Monitor {
             .collect();
         // lint:allow(telemetry-clock): dispatch wall time is ExecStats telemetry only
         let dispatch_start = Instant::now();
-        let predict_task_ns = exec::run_tasks(workers, &mut predict_tasks, |task| {
-            if !task.penalized {
-                task.predicted = task.predictor.predict(task.features);
-                task.cost_operations = task.predictor.last_cost_operations();
-            }
-        });
+        exec::run_tasks_into(
+            workers,
+            &mut predict_tasks,
+            |task| {
+                if !task.penalized {
+                    task.predicted = task.predictor.predict(task.features);
+                    task.cost_operations = task.predictor.last_cost_operations();
+                }
+            },
+            &mut self.predict_timings,
+        );
         dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
         let mut predictions = Vec::with_capacity(predict_tasks.len());
         for task in &predict_tasks {
@@ -573,19 +601,25 @@ impl Monitor {
                 .collect();
             // lint:allow(telemetry-clock): shadow dispatch wall time is ExecStats telemetry only
             let dispatch_start = Instant::now();
-            shadow_task_ns = exec::run_tasks(workers, &mut tasks, |task| {
-                task.cycles = match task.shadow.as_mut() {
-                    Some(shadow) => {
-                        let mut meter = CycleMeter::new();
-                        shadow.process_batch(&post_drop, 1.0, &mut meter);
-                        meter.cycles() as f64
-                    }
-                    None => task.fallback,
-                };
-            });
+            exec::run_tasks_into(
+                workers,
+                &mut tasks,
+                |task| {
+                    task.cycles = match task.shadow.as_mut() {
+                        Some(shadow) => {
+                            let mut meter = CycleMeter::new();
+                            shadow.process_batch(&post_drop, 1.0, &mut meter);
+                            meter.cycles() as f64
+                        }
+                        None => task.fallback,
+                    };
+                },
+                &mut self.shadow_timings,
+            );
             dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
             Some(tasks.into_iter().map(|task| task.cycles).collect())
         } else {
+            self.shadow_timings.clear();
             None
         };
 
@@ -688,6 +722,7 @@ impl Monitor {
         let queries = &mut self.queries;
         let rng = &mut self.rng;
         let noise = &mut self.noise;
+        let shed_pool = &mut self.shed_pool;
 
         for (index, registered) in queries.iter_mut().enumerate() {
             let rate = rates[index];
@@ -742,7 +777,7 @@ impl Monitor {
             } else {
                 match registered.shedding {
                     SheddingMethod::PacketSampling => {
-                        let (sampled, _) = packet_sample(&post_drop, rate, rng);
+                        let (sampled, _) = packet_sample_with(&post_drop, rate, rng, shed_pool);
                         shedding_cycles += post_drop.len() as u64 * SAMPLING_TEST_CYCLES;
                         (ShedView::Ready(sampled), true)
                     }
@@ -778,50 +813,63 @@ impl Monitor {
         // Dispatch the expensive tail across the execution plane.
         // lint:allow(telemetry-clock): tail dispatch wall time is ExecStats telemetry only
         let dispatch_start = Instant::now();
-        let tail_task_ns = exec::run_tasks(workers, &mut tasks, |task| {
-            let delivered = match &task.view {
-                ShedView::Ready(view) => view.clone(),
-                ShedView::FlowSampled(hasher) => flow_sample(task.post_drop, task.rate, hasher).0,
-            };
-            task.delivered_packets = delivered.len() as u64;
+        exec::run_tasks_into(
+            workers,
+            &mut tasks,
+            |task| {
+                let delivered = match &task.view {
+                    ShedView::Ready(view) => view.clone(),
+                    ShedView::FlowSampled(hasher) => {
+                        flow_sample_with(
+                            task.post_drop,
+                            task.rate,
+                            hasher,
+                            &mut task.exec.shed_pool,
+                        )
+                        .0
+                    }
+                };
+                task.delivered_packets = delivered.len() as u64;
 
-            // Recompute the features over the sampled stream so the MLR
-            // history stays consistent (Section 4.3); the per-query extractor
-            // belongs to this task alone.
-            let sampled_features = if task.needs_reextract {
-                let (extracted, ops) = task.exec.sampled_extractor.extract_view(&delivered);
-                task.reextract_ops = ops;
-                Some(extracted)
-            } else {
-                None
-            };
+                // Recompute the features over the sampled stream so the MLR
+                // history stays consistent (Section 4.3); the per-query extractor
+                // belongs to this task alone.
+                let sampled_features = if task.needs_reextract {
+                    let (extracted, ops) = task.exec.sampled_extractor.extract_view(&delivered);
+                    task.reextract_ops = ops;
+                    Some(extracted)
+                } else {
+                    None
+                };
 
-            // Run the query and measure its cycles.
-            let mut meter = CycleMeter::new();
-            task.exec.query.process_batch(&delivered, task.rate, &mut meter);
-            let (measured, outlier) = task.noise.apply(meter.cycles());
-            let measured = measured as f64;
+                // Run the query and measure its cycles.
+                let mut meter = CycleMeter::new();
+                task.exec.query.process_batch(&delivered, task.rate, &mut meter);
+                let (measured, outlier) = task.noise.apply(meter.cycles());
+                let measured = measured as f64;
 
-            // Feed the observation back into the prediction history. For
-            // custom shedding the assigned rate plays the same role as a
-            // sampling rate: the query is expected to scale its work by it.
-            let expected = task.predicted * task.rate;
-            let history_features: &FeatureVector =
-                sampled_features.as_ref().unwrap_or(task.features);
-            if outlier {
-                // Replace corrupted measurements with the prediction
-                // (Section 3.2.4 / 4.4).
-                task.exec.predictor.observe_corrupted(history_features, expected.max(0.0));
-            } else if task.shedding == SheddingMethod::Custom && task.rate < 1.0 {
-                // Custom shedding: the history models the full-batch cost, so
-                // scale the measurement by the requested rate.
-                task.exec.predictor.observe(task.features, measured / task.rate.max(1e-6));
-            } else {
-                task.exec.predictor.observe(history_features, measured);
-            }
-            task.measured = measured;
-            task.outlier = outlier;
-        });
+                // Feed the observation back into the prediction history. For
+                // custom shedding the assigned rate plays the same role as a
+                // sampling rate: the query is expected to scale its work by it.
+                let expected = task.predicted * task.rate;
+                let history_features: &FeatureVector =
+                    sampled_features.as_ref().unwrap_or(task.features);
+                if outlier {
+                    // Replace corrupted measurements with the prediction
+                    // (Section 3.2.4 / 4.4).
+                    task.exec.predictor.observe_corrupted(history_features, expected.max(0.0));
+                } else if task.shedding == SheddingMethod::Custom && task.rate < 1.0 {
+                    // Custom shedding: the history models the full-batch cost, so
+                    // scale the measurement by the requested rate.
+                    task.exec.predictor.observe(task.features, measured / task.rate.max(1e-6));
+                } else {
+                    task.exec.predictor.observe(history_features, measured);
+                }
+                task.measured = measured;
+                task.outlier = outlier;
+            },
+            &mut self.tail_timings,
+        );
         dispatch_wall_ns += dispatch_start.elapsed().as_nanos() as u64;
 
         // Collect the task outputs, releasing the borrows on the query states.
@@ -924,7 +972,12 @@ impl Monitor {
         let total_bin_ns = bin_start.elapsed().as_nanos() as u64;
         self.exec_stats.fold_bin(
             total_bin_ns.saturating_sub(dispatch_wall_ns),
-            &[&extract_task_ns, &predict_task_ns, &shadow_task_ns, &tail_task_ns],
+            &[
+                self.extract_timings.ns(),
+                self.predict_timings.ns(),
+                self.shadow_timings.ns(),
+                self.tail_timings.ns(),
+            ],
         );
 
         Ok(BinRecord {

@@ -9,7 +9,7 @@
 //! shed-equivalence property tests in `tests/properties.rs` pin down.
 
 use netshed_sketch::H3Hasher;
-use netshed_trace::BatchView;
+use netshed_trace::{BatchView, KeepListPool};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -18,14 +18,26 @@ use rand::Rng;
 ///
 /// Returns the sampled view and the number of packets discarded.
 pub fn packet_sample(batch: &BatchView, rate: f64, rng: &mut StdRng) -> (BatchView, u64) {
+    packet_sample_with(batch, rate, rng, &mut KeepListPool::new())
+}
+
+/// [`packet_sample`] drawing its keep-index list from a caller-owned pool, so
+/// the steady-state shed path recycles buffers instead of allocating one per
+/// bin. The selection (RNG draw order included) is identical.
+pub fn packet_sample_with(
+    batch: &BatchView,
+    rate: f64,
+    rng: &mut StdRng,
+    pool: &mut KeepListPool,
+) -> (BatchView, u64) {
     let rate = rate.clamp(0.0, 1.0);
     if rate >= 1.0 {
         return (batch.clone(), 0);
     }
     if rate <= 0.0 {
-        return (batch.cleared(), batch.len() as u64);
+        return (batch.cleared_with(pool), batch.len() as u64);
     }
-    let sampled = batch.filter_indexed(|_, _| rng.gen::<f64>() < rate);
+    let sampled = batch.filter_indexed_with(pool, |_, _| rng.gen::<f64>() < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;
     (sampled, dropped)
 }
@@ -42,15 +54,28 @@ pub fn packet_sample(batch: &BatchView, rate: f64, rng: &mut StdRng) -> (BatchVi
 ///
 /// Returns the sampled view and the number of packets discarded.
 pub fn flow_sample(batch: &BatchView, rate: f64, hasher: &H3Hasher) -> (BatchView, u64) {
+    flow_sample_with(batch, rate, hasher, &mut KeepListPool::new())
+}
+
+/// [`flow_sample`] drawing its keep-index list from a caller-owned pool, so
+/// the steady-state shed path recycles buffers instead of allocating one per
+/// bin. The selection (H3 evaluation per packet) is identical.
+pub fn flow_sample_with(
+    batch: &BatchView,
+    rate: f64,
+    hasher: &H3Hasher,
+    pool: &mut KeepListPool,
+) -> (BatchView, u64) {
     let rate = rate.clamp(0.0, 1.0);
     if rate >= 1.0 {
         return (batch.clone(), 0);
     }
     if rate <= 0.0 {
-        return (batch.cleared(), batch.len() as u64);
+        return (batch.cleared_with(pool), batch.len() as u64);
     }
     let keys = batch.flow_keys();
-    let sampled = batch.filter_indexed(|index, _| hasher.unit_interval(&keys[index]) < rate);
+    let sampled =
+        batch.filter_indexed_with(pool, |index, _| hasher.unit_interval(&keys[index]) < rate);
     let dropped = batch.len() as u64 - sampled.len() as u64;
     (sampled, dropped)
 }
@@ -119,7 +144,7 @@ mod tests {
         let mut per_flow: std::collections::HashMap<FiveTuple, usize> =
             std::collections::HashMap::new();
         for p in sampled.packets() {
-            *per_flow.entry(p.tuple).or_insert(0) += 1;
+            *per_flow.entry(*p.tuple()).or_insert(0) += 1;
         }
         assert!(per_flow.values().all(|&count| count == 10), "flows must be kept whole");
         let kept_flows = per_flow.len() as f64 / 200.0;
@@ -132,9 +157,31 @@ mod tests {
         let hasher = H3Hasher::new(13, 9);
         let (a, _) = flow_sample(&batch.view(), 0.4, &hasher);
         let (b, _) = flow_sample(&batch.view(), 0.4, &hasher);
-        let flows_a: HashSet<FiveTuple> = a.packets().map(|p| p.tuple).collect();
-        let flows_b: HashSet<FiveTuple> = b.packets().map(|p| p.tuple).collect();
+        let flows_a: HashSet<FiveTuple> = a.packets().map(|p| *p.tuple()).collect();
+        let flows_b: HashSet<FiveTuple> = b.packets().map(|p| *p.tuple()).collect();
         assert_eq!(flows_a, flows_b);
+    }
+
+    #[test]
+    fn pooled_sampling_matches_the_allocating_path_and_recycles() {
+        let batch = test_batch(80, 5);
+        let view = batch.view();
+        let hasher = H3Hasher::new(13, 21);
+        let mut pool = KeepListPool::new();
+        for _ in 0..20 {
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let (plain_pkt, d1) = packet_sample(&view, 0.4, &mut rng_a);
+            let (pooled_pkt, d2) = packet_sample_with(&view, 0.4, &mut rng_b, &mut pool);
+            assert_eq!(d1, d2);
+            assert!(plain_pkt.packets().map(|p| p.ts()).eq(pooled_pkt.packets().map(|p| p.ts())));
+            let (plain_flow, d3) = flow_sample(&view, 0.4, &hasher);
+            let (pooled_flow, d4) = flow_sample_with(&view, 0.4, &hasher, &mut pool);
+            assert_eq!(d3, d4);
+            assert!(plain_flow.packets().map(|p| p.ts()).eq(pooled_flow.packets().map(|p| p.ts())));
+        }
+        // Views are dropped each round, so the pool never needs many slots.
+        assert!(pool.slots() <= 2, "pool grew to {} slots", pool.slots());
     }
 
     #[test]
@@ -144,8 +191,8 @@ mod tests {
         let h2 = H3Hasher::new(13, 2);
         let (a, _) = flow_sample(&batch.view(), 0.5, &h1);
         let (b, _) = flow_sample(&batch.view(), 0.5, &h2);
-        let flows_a: HashSet<FiveTuple> = a.packets().map(|p| p.tuple).collect();
-        let flows_b: HashSet<FiveTuple> = b.packets().map(|p| p.tuple).collect();
+        let flows_a: HashSet<FiveTuple> = a.packets().map(|p| *p.tuple()).collect();
+        let flows_b: HashSet<FiveTuple> = b.packets().map(|p| *p.tuple()).collect();
         assert_ne!(flows_a, flows_b, "fresh hash functions must change the selection");
     }
 }

@@ -53,7 +53,7 @@ impl Query for TraceQuery {
     fn process_batch(&mut self, batch: &BatchView, _sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets() {
             let stored =
-                if packet.payload.is_some() { u64::from(packet.ip_len) } else { HEADER_BYTES };
+                if packet.payload().is_some() { u64::from(packet.ip_len()) } else { HEADER_BYTES };
             meter.charge(costs::PER_PACKET_BASE);
             meter.charge_n(costs::STORE_BYTE, stored);
             self.processed_packets += 1.0;
@@ -115,7 +115,7 @@ impl Query for PatternSearchQuery {
     fn process_batch(&mut self, batch: &BatchView, _sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE);
-            if let Some(payload) = &packet.payload {
+            if let Some(payload) = packet.payload() {
                 let (found, examined) = self.pattern.find(payload);
                 meter.charge_n(costs::SCAN_BYTE, examined);
                 if found.is_some() {
@@ -237,7 +237,8 @@ impl Query for P2pDetectorQuery {
         let rate = self.effective_rate(sampling_rate);
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE);
-            let key = Self::flow_key(&packet.tuple);
+            let tuple = packet.tuple();
+            let key = Self::flow_key(tuple);
 
             if custom {
                 // Custom load shedding: inspect at most a `rate` fraction of
@@ -253,9 +254,9 @@ impl Query for P2pDetectorQuery {
                 *inspected += 1;
             }
 
-            let mut is_p2p = self.p2p_ports.contains(&packet.tuple.src_port)
-                || self.p2p_ports.contains(&packet.tuple.dst_port);
-            if let Some(payload) = &packet.payload {
+            let mut is_p2p = self.p2p_ports.contains(&tuple.src_port)
+                || self.p2p_ports.contains(&tuple.dst_port);
+            if let Some(payload) = packet.payload() {
                 let mut examined_total = 0u64;
                 for signature in &self.signatures {
                     let (found, examined) = signature.find(payload);

@@ -44,7 +44,7 @@ impl Query for CounterQuery {
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::COUNTER_UPDATE);
             self.packets += scale(1.0, sampling_rate);
-            self.bytes += scale(f64::from(packet.ip_len), sampling_rate);
+            self.bytes += scale(f64::from(packet.ip_len()), sampling_rate);
         }
     }
 
@@ -98,11 +98,11 @@ impl Query for ApplicationQuery {
     fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::PORT_LOOKUP + costs::COUNTER_UPDATE);
-            let app =
-                Self::classify(packet.tuple.src_port, packet.tuple.dst_port, packet.tuple.proto);
+            let tuple = packet.tuple();
+            let app = Self::classify(tuple.src_port, tuple.dst_port, tuple.proto);
             let entry = self.per_app.entry(app).or_insert((0.0, 0.0));
             entry.0 += scale(1.0, sampling_rate);
-            entry.1 += scale(f64::from(packet.ip_len), sampling_rate);
+            entry.1 += scale(f64::from(packet.ip_len()), sampling_rate);
         }
     }
 
@@ -144,7 +144,7 @@ impl Query for HighWatermarkQuery {
         let mut batch_bytes = 0.0;
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::COUNTER_UPDATE);
-            batch_bytes += scale(f64::from(packet.ip_len), sampling_rate);
+            batch_bytes += scale(f64::from(packet.ip_len()), sampling_rate);
         }
         let seconds = batch.duration_us() as f64 / 1e6;
         if seconds > 0.0 {

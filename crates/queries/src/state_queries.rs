@@ -43,7 +43,9 @@ impl Query for FlowsQuery {
     fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP);
-            let key = hash_bytes(&packet.tuple.as_key(), 0xf10f);
+            // The serialised key is a shared store column — no per-packet
+            // re-serialisation.
+            let key = hash_bytes(packet.flow_key(), 0xf10f);
             if let std::collections::hash_map::Entry::Vacant(vacant) = self.table.entry(key) {
                 meter.charge(costs::HASH_INSERT);
                 // The sampling rate may change from batch to batch, so each
@@ -97,8 +99,8 @@ impl Query for TopKQuery {
     fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP + costs::RANKING_UPDATE);
-            let bytes = scale(f64::from(packet.ip_len), sampling_rate);
-            let entry = self.bytes_per_dst.entry(packet.tuple.dst_ip);
+            let bytes = scale(f64::from(packet.ip_len()), sampling_rate);
+            let entry = self.bytes_per_dst.entry(packet.tuple().dst_ip);
             if let std::collections::hash_map::Entry::Vacant(vacant) = entry {
                 meter.charge(costs::HASH_INSERT);
                 vacant.insert(bytes);
@@ -155,15 +157,16 @@ impl Query for SuperSourcesQuery {
     fn process_batch(&mut self, batch: &BatchView, sampling_rate: f64, meter: &mut CycleMeter) {
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE + costs::DISTINCT_UPDATE);
+            let tuple = packet.tuple();
             let mut key = [0u8; 8];
-            key[..4].copy_from_slice(&packet.tuple.src_ip.to_be_bytes());
-            key[4..].copy_from_slice(&packet.tuple.dst_ip.to_be_bytes());
+            key[..4].copy_from_slice(&tuple.src_ip.to_be_bytes());
+            key[4..].copy_from_slice(&tuple.dst_ip.to_be_bytes());
             let pair = hash_bytes(&key, 0x5005);
             if self.pairs_seen.insert(pair) {
                 meter.charge(costs::HASH_INSERT);
                 // Weight each new (source, destination) pair by the sampling
                 // rate in force when it was discovered.
-                *self.fanout.entry(packet.tuple.src_ip).or_insert(0.0) += scale(1.0, sampling_rate);
+                *self.fanout.entry(tuple.src_ip).or_insert(0.0) += scale(1.0, sampling_rate);
             }
         }
     }
@@ -228,12 +231,12 @@ impl Query for AutofocusQuery {
         self.sampling_rate = sampling_rate;
         for packet in batch.packets() {
             meter.charge(costs::PER_PACKET_BASE);
-            let bytes = f64::from(packet.ip_len);
+            let bytes = f64::from(packet.ip_len());
             self.total_bytes += scale(bytes, sampling_rate);
             for &len in &Self::LEVELS {
                 meter.charge(costs::PREFIX_LEVEL);
                 let mask = if len == 32 { u32::MAX } else { !0u32 << (32 - len) };
-                let prefix = packet.tuple.dst_ip & mask;
+                let prefix = packet.tuple().dst_ip & mask;
                 let entry = self.prefixes.entry((prefix, len));
                 if let std::collections::hash_map::Entry::Vacant(vacant) = entry {
                     meter.charge(costs::HASH_INSERT);

@@ -28,5 +28,6 @@ pub mod hash;
 pub use bitmap::{LinearCounting, MultiResolutionBitmap};
 pub use bloom::BloomFilter;
 pub use hash::{
-    hash_bytes, mix64, DetBuildHasher, DetHashMap, DetHashSet, DetHasher, H3Hasher, IncrementalFnv,
+    hash_block, hash_bytes, mix64, DetBuildHasher, DetHashMap, DetHashSet, DetHasher, H3Hasher,
+    IncrementalFnv,
 };

@@ -7,112 +7,467 @@
 //! lists over the same store — rather than copying packets, so that per-query
 //! sampling rates can differ (Chapter 5) without per-query packet clones.
 //!
-//! The store also memoises the batch-level derived data that the single-pass
-//! data plane computes at most once per batch, regardless of how many queries
-//! and re-extractions consume it afterwards:
+//! # Memory layout
 //!
-//! * [`BatchStats`] (packet/byte/flag totals),
-//! * the serialised 13-byte flow keys used by flowwise sampling,
-//! * the per-packet [`AggregateHashes`] side array feeding the fused feature
-//!   extractor (the "hash once" invariant).
+//! The store is *struct-of-arrays*: timestamps, five-tuples, IP lengths, TCP
+//! flags, serialised 13-byte flow keys and (lazily) the per-packet
+//! [`AggregateHashes`] rows each live in their own dense column, built once
+//! at construction. Consumers that stream one attribute — [`BatchStats`]
+//! accumulation, flow-key hashing, the fused feature extractor — walk a
+//! contiguous column instead of striding over a packet struct, and payload
+//! bytes (the one cold, variable-width attribute) never pollute the hot
+//! columns. Individual packets are addressed through the cheap [`PacketRef`]
+//! accessor; [`Packet`] remains the construction and interop type.
+//!
+//! Derived data computed at most once per batch, shared by every view:
+//!
+//! * [`BatchStats`] (packet/byte/flag totals) — accumulated eagerly while the
+//!   columns are filled,
+//! * the serialised 13-byte flow keys used by flowwise sampling — an eager
+//!   column,
+//! * the per-packet [`AggregateHashes`] side rows feeding the fused feature
+//!   extractor (the "hash once" invariant) — lazy, because the hash seed is
+//!   extractor configuration the store cannot know at construction.
+//!
+//! Steady-state sampling is allocation-free: a [`KeepListPool`] recycles both
+//! the keep-index buffers and their `Arc` control blocks, so
+//! [`BatchView::filter_indexed_with`] performs no heap allocation once the
+//! pool is warm (see DESIGN.md, "Memory plane").
 
 use crate::aggregate::AggregateHashes;
-use crate::packet::{Packet, Timestamp};
-use std::ops::Deref;
+use crate::packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_SYN};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-/// The owning, reference-counted storage behind a [`Batch`].
+/// The owning, reference-counted, struct-of-arrays storage behind a
+/// [`Batch`].
 ///
-/// All derived per-batch data (stats, flow keys, aggregate hashes) is cached
-/// here lazily, so every consumer sharing the store — the batch itself and
-/// every [`BatchView`] carved out of it — pays for each computation at most
-/// once. The store is immutable after construction; the caches are
+/// Immutable after construction; the lazy aggregate-hash cache is
 /// initialise-once (`OnceLock`) and therefore safe to share across threads.
+/// Construct through [`PacketStore::builder`] (one streaming pass that fills
+/// every column and the stats) or implicitly through [`Batch::new`].
 pub struct PacketStore {
-    packets: Vec<Packet>,
-    stats: OnceLock<BatchStats>,
-    flow_keys: OnceLock<Arc<[[u8; 13]]>>,
+    /// Per-packet timestamps in microseconds, ascending.
+    ts: Vec<Timestamp>,
+    /// Per-packet five-tuples.
+    tuples: Vec<FiveTuple>,
+    /// Per-packet IP lengths.
+    ip_lens: Vec<u32>,
+    /// Per-packet TCP flag bytes (0 for non-TCP).
+    tcp_flags: Vec<u8>,
+    /// Per-packet serialised 13-byte flow keys (eager: flowwise sampling and
+    /// the layout-equivalence tests index this column directly).
+    flow_keys: Vec<[u8; 13]>,
+    /// Captured payloads. Canonically empty when *no* packet carries one (the
+    /// common header-only trace pays nothing for the column); otherwise one
+    /// entry per packet.
+    payloads: Vec<Option<Bytes>>,
+    /// Summary statistics, accumulated while the columns were filled.
+    stats: BatchStats,
     /// Aggregate hash rows together with the base seed they were derived
     /// from. In practice every extractor in a process uses one seed, so the
-    /// first seed seen claims the cache; other seeds are told to hash the
-    /// packets they retain themselves (see [`PacketStore::aggregate_hashes`]).
-    aggregate_hashes: OnceLock<(u64, Arc<[AggregateHashes]>)>,
+    /// first seed seen claims the cache; other seeds receive a typed
+    /// [`HashClaim::SeedMismatch`] and hash the packets they retain
+    /// themselves (see [`PacketStore::aggregate_hashes`]).
+    aggregate_hashes: OnceLock<(u64, Vec<AggregateHashes>)>,
+    /// How often [`PacketStore::aggregate_hashes`] was asked for a seed other
+    /// than the one that claimed the cache — telemetry for spotting
+    /// misconfigured multi-seed deployments that silently lose the shared
+    /// cache (relaxed: a counter, not a synchronisation point).
+    seed_misses: AtomicU64,
 }
 
-impl PacketStore {
-    fn new(packets: Vec<Packet>) -> Self {
+/// Streaming constructor for a [`PacketStore`]: one pass fills every column
+/// and accumulates the [`BatchStats`].
+///
+/// Used by [`Batch::new`], by [`BatchBuilder`] and by the borrowed `.nstr`
+/// decode path, which pushes decoded fields straight into the columns without
+/// an intermediate `Vec<Packet>`.
+#[derive(Debug, Default)]
+pub struct StoreBuilder {
+    ts: Vec<Timestamp>,
+    tuples: Vec<FiveTuple>,
+    ip_lens: Vec<u32>,
+    tcp_flags: Vec<u8>,
+    flow_keys: Vec<[u8; 13]>,
+    payloads: Vec<Option<Bytes>>,
+    stats: BatchStats,
+}
+
+impl StoreBuilder {
+    /// Creates a builder with capacity for `capacity` packets in every hot
+    /// column (the payload column is grown only if a payload ever arrives).
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            packets,
-            stats: OnceLock::new(),
-            flow_keys: OnceLock::new(),
-            aggregate_hashes: OnceLock::new(),
+            ts: Vec::with_capacity(capacity),
+            tuples: Vec::with_capacity(capacity),
+            ip_lens: Vec::with_capacity(capacity),
+            tcp_flags: Vec::with_capacity(capacity),
+            flow_keys: Vec::with_capacity(capacity),
+            // lint:allow(hot-path-alloc): zero-capacity lazy column, no heap touch
+            payloads: Vec::new(),
+            stats: BatchStats::default(),
         }
     }
 
-    /// The stored packets, in timestamp order.
-    pub fn packets(&self) -> &[Packet] {
-        &self.packets
+    /// Number of packets pushed so far.
+    pub fn len(&self) -> usize {
+        self.ts.len()
     }
 
-    /// Summary statistics over all stored packets, computed once and cached.
-    pub fn stats(&self) -> BatchStats {
-        *self.stats.get_or_init(|| BatchStats::over(self.packets.iter()))
+    /// Returns `true` if nothing was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
     }
 
-    /// The serialised 13-byte 5-tuple keys of all packets, computed once.
+    /// Appends one packet's fields to the columns.
+    pub fn push(
+        &mut self,
+        ts: Timestamp,
+        tuple: FiveTuple,
+        ip_len: u32,
+        tcp_flags: u8,
+        payload: Option<Bytes>,
+    ) {
+        let payload_len = payload.as_ref().map_or(0, |p| p.len() as u64);
+        self.stats.absorb(tuple.proto, tcp_flags, ip_len, payload_len);
+        self.flow_keys.push(tuple.as_key());
+        if payload.is_some() || !self.payloads.is_empty() {
+            // First payload seen: backfill the column so it stays
+            // index-aligned. Header-only stores never enter here.
+            if self.payloads.len() < self.ts.len() {
+                self.payloads.resize(self.ts.len(), None);
+            }
+            self.payloads.push(payload);
+        }
+        self.ts.push(ts);
+        self.tuples.push(tuple);
+        self.ip_lens.push(ip_len);
+        self.tcp_flags.push(tcp_flags);
+    }
+
+    /// Appends a [`Packet`], consuming it (the payload moves, no byte copy).
+    pub fn push_packet(&mut self, packet: Packet) {
+        let Packet { ts, tuple, ip_len, tcp_flags, payload } = packet;
+        self.push(ts, tuple, ip_len, tcp_flags, payload);
+    }
+
+    /// Finalises the columns into an immutable [`PacketStore`].
+    pub fn finish(self) -> PacketStore {
+        PacketStore {
+            ts: self.ts,
+            tuples: self.tuples,
+            ip_lens: self.ip_lens,
+            tcp_flags: self.tcp_flags,
+            flow_keys: self.flow_keys,
+            payloads: self.payloads,
+            stats: self.stats,
+            aggregate_hashes: OnceLock::new(),
+            seed_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Outcome of asking a store for its per-packet aggregate hash rows
+/// (see [`PacketStore::aggregate_hashes`]).
+#[derive(Debug, Clone, Copy)]
+pub enum HashClaim<'a> {
+    /// The cache is owned by the requested seed: one row per stored packet,
+    /// indexed by store index.
+    Rows(&'a [AggregateHashes]),
+    /// The cache was already claimed by a different seed; the caller should
+    /// hash the packets it actually retains itself. Each mismatch is counted
+    /// in [`PacketStore::hash_seed_misses`].
+    SeedMismatch {
+        /// The seed that owns the cache.
+        cached_seed: u64,
+    },
+}
+
+impl<'a> HashClaim<'a> {
+    /// The cached rows, or `None` on a seed mismatch.
+    pub fn rows(self) -> Option<&'a [AggregateHashes]> {
+        match self {
+            HashClaim::Rows(rows) => Some(rows),
+            HashClaim::SeedMismatch { .. } => None,
+        }
+    }
+}
+
+impl PacketStore {
+    /// Starts a streaming [`StoreBuilder`] with the given packet capacity.
+    pub fn builder(capacity: usize) -> StoreBuilder {
+        StoreBuilder::with_capacity(capacity)
+    }
+
+    /// Builds a store from an owned packet vector (the interop path; the
+    /// borrowed `.nstr` decode and the batch builder push columns directly).
+    pub fn from_packets(packets: Vec<Packet>) -> Self {
+        let mut builder = StoreBuilder::with_capacity(packets.len());
+        for packet in packets {
+            builder.push_packet(packet);
+        }
+        builder.finish()
+    }
+
+    /// Number of stored packets.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Returns `true` if the store holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Cheap accessor for the packet at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via column indexing) if `index >= len()`.
+    pub fn get(&self, index: usize) -> PacketRef<'_> {
+        debug_assert!(index < self.len());
+        PacketRef { store: self, index }
+    }
+
+    /// Iterates over the stored packets in timestamp order.
+    pub fn iter(&self) -> Packets<'_> {
+        Packets { store: self, range: 0..self.len() }
+    }
+
+    /// The timestamp column, ascending, in microseconds.
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.ts
+    }
+
+    /// The five-tuple column.
+    pub fn tuples(&self) -> &[FiveTuple] {
+        &self.tuples
+    }
+
+    /// The IP-length column.
+    pub fn ip_lens(&self) -> &[u32] {
+        &self.ip_lens
+    }
+
+    /// The TCP-flags column (0 for non-TCP packets).
+    pub fn tcp_flag_bytes(&self) -> &[u8] {
+        &self.tcp_flags
+    }
+
+    /// The serialised 13-byte 5-tuple keys of all packets, built once at
+    /// construction.
     ///
     /// Flowwise sampling hashes these through a per-query H3 function; the
-    /// serialisation itself is query-independent, so it is shared.
-    pub fn flow_keys(&self) -> Arc<[[u8; 13]]> {
-        self.flow_keys
-            .get_or_init(|| self.packets.iter().map(|p| p.tuple.as_key()).collect())
-            .clone()
+    /// serialisation itself is query-independent, so it is shared — and
+    /// borrowed, so handing it to `q` queries costs nothing per query.
+    pub fn flow_keys(&self) -> &[[u8; 13]] {
+        &self.flow_keys
     }
 
-    /// The per-packet aggregate hash side array for the given base seed, or
-    /// `None` if the cache was already claimed by a different seed.
+    /// The captured payload of the packet at `index`, if any.
+    pub fn payload(&self, index: usize) -> Option<&Bytes> {
+        self.payloads.get(index).and_then(Option::as_ref)
+    }
+
+    /// Returns `true` if at least one stored packet carries a payload.
+    pub fn has_payloads(&self) -> bool {
+        !self.payloads.is_empty()
+    }
+
+    /// Summary statistics over all stored packets, accumulated at
+    /// construction.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// The per-packet aggregate hash side rows for the given base seed.
     ///
-    /// Computed in a single pass over the packets the first time it is
-    /// requested and cached for that seed. All in-tree extractors share one
-    /// seed, so in practice every call hits the cache; a consumer running
-    /// with a *different* seed gets `None` and should hash only the packets
-    /// it actually retains (see `FeatureExtractor::extract_view`) rather
-    /// than paying for a full-store array per call.
-    pub fn aggregate_hashes(&self, base_seed: u64) -> Option<Arc<[AggregateHashes]>> {
+    /// Computed in a single pass over the tuple column the first time they
+    /// are requested and cached for that seed. All in-tree extractors share
+    /// one seed, so in practice every call hits the cache and borrows the
+    /// rows for free; a consumer running with a *different* seed gets a typed
+    /// [`HashClaim::SeedMismatch`] (counted in
+    /// [`PacketStore::hash_seed_misses`]) and should hash only the packets it
+    /// actually retains (see `FeatureExtractor::extract_view`) rather than
+    /// paying for a full-store array per call.
+    pub fn aggregate_hashes(&self, base_seed: u64) -> HashClaim<'_> {
         let (cached_seed, rows) = self.aggregate_hashes.get_or_init(|| {
-            let rows = self
-                .packets
-                .iter()
-                .map(|p| AggregateHashes::compute(&p.tuple, base_seed))
-                .collect();
+            let hash_row = |t: &FiveTuple| AggregateHashes::compute(t, base_seed);
+            // lint:allow(hot-path-alloc): the once-per-batch hash-row build; every later call borrows it
+            let rows = self.tuples.iter().map(hash_row).collect();
             (base_seed, rows)
         });
-        (*cached_seed == base_seed).then(|| rows.clone())
+        if *cached_seed == base_seed {
+            HashClaim::Rows(rows)
+        } else {
+            self.seed_misses.fetch_add(1, Ordering::Relaxed);
+            HashClaim::SeedMismatch { cached_seed: *cached_seed }
+        }
+    }
+
+    /// How often [`PacketStore::aggregate_hashes`] was asked for a seed that
+    /// does not own the cache (each such call fell back to per-consumer
+    /// hashing).
+    pub fn hash_seed_misses(&self) -> u64 {
+        self.seed_misses.load(Ordering::Relaxed)
+    }
+
+    /// Copies the columns back into owned [`Packet`]s (interop only; payload
+    /// bytes are shared, not copied).
+    pub fn to_packets(&self) -> Vec<Packet> {
+        // lint:allow(hot-path-alloc): interop path for tests and recording, never per-bin
+        self.iter().map(|p| p.to_packet()).collect()
+    }
+}
+
+/// Cheap, copyable accessor for one packet of a [`PacketStore`].
+///
+/// Reads resolve into the store's columns, so a consumer that touches one
+/// attribute pulls only that column through the cache. `PacketRef` is the
+/// iteration item of [`BatchView::packets`] and [`PacketStore::iter`];
+/// [`Packet`] remains the owned construction/interop type
+/// (see [`PacketRef::to_packet`]).
+#[derive(Clone, Copy)]
+pub struct PacketRef<'a> {
+    store: &'a PacketStore,
+    index: usize,
+}
+
+impl<'a> PacketRef<'a> {
+    /// The packet's index into the store's columns (and side arrays).
+    pub fn store_index(&self) -> usize {
+        self.index
+    }
+
+    /// Capture timestamp in microseconds.
+    pub fn ts(&self) -> Timestamp {
+        self.store.ts[self.index]
+    }
+
+    /// The packet's five-tuple.
+    pub fn tuple(&self) -> &'a FiveTuple {
+        &self.store.tuples[self.index]
+    }
+
+    /// Length of the IP packet in bytes.
+    pub fn ip_len(&self) -> u32 {
+        self.store.ip_lens[self.index]
+    }
+
+    /// The raw TCP flag byte (0 for non-TCP packets).
+    pub fn tcp_flags(&self) -> u8 {
+        self.store.tcp_flags[self.index]
+    }
+
+    /// The IP protocol number.
+    pub fn proto(&self) -> u8 {
+        self.store.tuples[self.index].proto
+    }
+
+    /// The captured payload, if any.
+    pub fn payload(&self) -> Option<&'a Bytes> {
+        self.store.payload(self.index)
+    }
+
+    /// Number of captured payload bytes (0 if no payload was captured).
+    pub fn payload_len(&self) -> usize {
+        self.payload().map_or(0, Bytes::len)
+    }
+
+    /// Returns `true` for a pure TCP SYN (SYN set, ACK clear).
+    pub fn is_syn(&self) -> bool {
+        self.proto() == 6 && self.tcp_flags() & TCP_SYN != 0 && self.tcp_flags() & TCP_ACK == 0
+    }
+
+    /// Returns `true` if the packet carries the given IP protocol.
+    pub fn is_proto(&self, proto: u8) -> bool {
+        self.proto() == proto
+    }
+
+    /// The packet's serialised 13-byte flow key (shared store column).
+    pub fn flow_key(&self) -> &'a [u8; 13] {
+        &self.store.flow_keys[self.index]
+    }
+
+    /// Copies the packet out into an owned [`Packet`] (payload bytes are
+    /// shared, not copied).
+    pub fn to_packet(&self) -> Packet {
+        Packet {
+            ts: self.ts(),
+            tuple: *self.tuple(),
+            ip_len: self.ip_len(),
+            tcp_flags: self.tcp_flags(),
+            payload: self.payload().cloned(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PacketRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketRef")
+            .field("index", &self.index)
+            .field("ts", &self.ts())
+            .field("tuple", self.tuple())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Iterator over the packets of a [`PacketStore`] (see [`PacketStore::iter`]).
+#[derive(Debug)]
+pub struct Packets<'a> {
+    store: &'a PacketStore,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> Iterator for Packets<'a> {
+    type Item = PacketRef<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<PacketRef<'a>> {
+        let index = self.range.next()?;
+        Some(PacketRef { store: self.store, index })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Packets<'_> {}
+
+impl<'a> IntoIterator for &'a PacketStore {
+    type Item = PacketRef<'a>;
+    type IntoIter = Packets<'a>;
+
+    fn into_iter(self) -> Packets<'a> {
+        self.iter()
     }
 }
 
 // The execution plane shares one `PacketStore` (through `Batch` and
 // `BatchView` clones) across worker threads; the store is immutable after
-// construction and its lazy caches are `OnceLock`-guarded, so all three types
-// must stay `Send + Sync`. Compile-time proof:
+// construction, its lazy hash cache is `OnceLock`-guarded and the seed-miss
+// counter is atomic, so all three types must stay `Send + Sync`.
+// Compile-time proof:
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<PacketStore>();
     assert_send_sync::<Batch>();
     assert_send_sync::<BatchView>();
+    assert_send_sync::<KeepListPool>();
 };
-
-impl Deref for PacketStore {
-    type Target = [Packet];
-
-    fn deref(&self) -> &[Packet] {
-        &self.packets
-    }
-}
 
 impl PartialEq for PacketStore {
     fn eq(&self, other: &Self) -> bool {
-        self.packets == other.packets
+        // Packet contents only: caches and telemetry are excluded, and the
+        // payload column's empty-means-all-header-only form is canonical.
+        self.ts == other.ts
+            && self.tuples == other.tuples
+            && self.ip_lens == other.ip_lens
+            && self.tcp_flags == other.tcp_flags
+            && self.payloads == other.payloads
     }
 }
 
@@ -120,7 +475,7 @@ impl Eq for PacketStore {}
 
 impl std::fmt::Debug for PacketStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PacketStore").field("packets", &self.packets.len()).finish_non_exhaustive()
+        f.debug_struct("PacketStore").field("packets", &self.len()).finish_non_exhaustive()
     }
 }
 
@@ -151,11 +506,23 @@ impl Batch {
         duration_us: u64,
         packets: Vec<Packet>,
     ) -> Self {
-        Self { bin_index, start_ts, duration_us, packets: Arc::new(PacketStore::new(packets)) }
+        Self::from_store(bin_index, start_ts, duration_us, PacketStore::from_packets(packets))
+    }
+
+    /// Creates a batch around an already-built column store (the zero-copy
+    /// `.nstr` decode constructs stores directly).
+    pub fn from_store(
+        bin_index: u64,
+        start_ts: Timestamp,
+        duration_us: u64,
+        store: PacketStore,
+    ) -> Self {
+        Self { bin_index, start_ts, duration_us, packets: Arc::new(store) }
     }
 
     /// Creates an empty batch for the given time bin.
     pub fn empty(bin_index: u64, start_ts: Timestamp, duration_us: u64) -> Self {
+        // lint:allow(hot-path-alloc): a zero-capacity Vec never touches the heap
         Self::new(bin_index, start_ts, duration_us, Vec::new())
     }
 
@@ -213,12 +580,23 @@ impl Batch {
     ///
     /// The bin index, start timestamp and duration are preserved so the result
     /// still identifies the same time bin.
-    pub fn filtered<F: FnMut(&Packet) -> bool>(&self, mut keep: F) -> Batch {
-        let packets: Vec<Packet> = self.packets.iter().filter(|p| keep(p)).cloned().collect();
-        Batch::new(self.bin_index, self.start_ts, self.duration_us, packets)
+    pub fn filtered<F: FnMut(PacketRef<'_>) -> bool>(&self, mut keep: F) -> Batch {
+        let mut builder = PacketStore::builder(self.len());
+        for packet in self.packets.iter() {
+            if keep(packet) {
+                builder.push(
+                    packet.ts(),
+                    *packet.tuple(),
+                    packet.ip_len(),
+                    packet.tcp_flags(),
+                    packet.payload().cloned(),
+                );
+            }
+        }
+        Batch::from_store(self.bin_index, self.start_ts, self.duration_us, builder.finish())
     }
 
-    /// Summary statistics for the batch, computed once and cached.
+    /// Summary statistics for the batch, accumulated at construction.
     pub fn stats(&self) -> BatchStats {
         self.packets.stats()
     }
@@ -233,18 +611,64 @@ impl Batch {
     }
 }
 
+/// Recycles the keep-index lists behind sampled [`BatchView`]s.
+///
+/// A pool slot is an `Arc<Vec<u32>>`. While a view derived through
+/// [`BatchView::filter_indexed_with`] is alive it shares the slot's `Arc`;
+/// once every such view is dropped the slot's strong count returns to one and
+/// the *next* sampling call reclaims it — index buffer capacity and `Arc`
+/// control block included. A steady state that derives a bounded number of
+/// simultaneous views per bin therefore stops allocating entirely once the
+/// pool is warm (the property the allocation-guard bench pins).
+///
+/// The pool itself is plain mutable state: keep one per thread of control
+/// (the monitor keeps one for plan-phase sampling and one per query
+/// execution state for worker-side sampling).
+#[derive(Debug, Default)]
+pub struct KeepListPool {
+    slots: Vec<Arc<Vec<u32>>>,
+}
+
+impl KeepListPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots the pool has grown to (telemetry for tests: a warm
+    /// steady state stops growing).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Claims a free slot (strong count 1), clearing its buffer; grows the
+    /// pool only when every slot is still shared with a live view.
+    fn claim(&mut self) -> usize {
+        if let Some(slot) = self.slots.iter().position(|slot| Arc::strong_count(slot) == 1) {
+            // Uniquely owned, so `make_mut` clears in place without cloning.
+            Arc::make_mut(&mut self.slots[slot]).clear();
+            slot
+        } else {
+            // lint:allow(hot-path-alloc): pool growth — bounded by the peak number of simultaneous views
+            self.slots.push(Arc::new(Vec::new()));
+            self.slots.len() - 1
+        }
+    }
+}
+
 /// A zero-copy, possibly-sampled view over a batch's packets.
 ///
 /// A view shares the underlying [`PacketStore`] with the batch it was carved
 /// from and records which packets it retains as an index list (`None` meaning
 /// "all of them"). Sampling a view therefore never copies a packet, and all
-/// store-level caches (stats, flow keys, aggregate hashes) remain shared
-/// across every view of the same batch.
+/// store-level data (columns, stats, flow keys, aggregate hashes) remains
+/// shared across every view of the same batch.
 ///
 /// Ownership rules: views are cheap to clone (two `Arc` bumps at most) and
-/// immutable; deriving a narrower view with [`BatchView::filter_indexed`]
-/// composes index lists against the *store*, so a view of a view still
-/// resolves packets in one hop.
+/// immutable; deriving a narrower view with [`BatchView::filter_indexed`] (or
+/// the pooled [`BatchView::filter_indexed_with`]) composes index lists
+/// against the *store*, so a view of a view still resolves packets in one
+/// hop.
 #[derive(Debug, Clone)]
 pub struct BatchView {
     bin_index: u64,
@@ -312,7 +736,7 @@ impl BatchView {
     }
 
     /// Iterates over the retained packets in timestamp order.
-    pub fn packets(&self) -> impl Iterator<Item = &Packet> + '_ {
+    pub fn packets(&self) -> impl Iterator<Item = PacketRef<'_>> + '_ {
         self.indexed_packets().map(|(_, p)| p)
     }
 
@@ -323,11 +747,10 @@ impl BatchView {
     /// is what lets sampled consumers reuse data computed once for the whole
     /// batch.
     pub fn indexed_packets(&self) -> IndexedPackets<'_> {
-        match &self.keep {
-            Some(keep) => {
-                IndexedPackets(IndexedPacketsInner::Kept { store: &self.store, keep, position: 0 })
-            }
-            None => IndexedPackets(IndexedPacketsInner::Full(self.store.iter().enumerate())),
+        IndexedPackets {
+            store: &self.store,
+            keep: self.keep.as_ref().map(|k| k.as_slice()),
+            position: 0,
         }
     }
 
@@ -348,11 +771,24 @@ impl BatchView {
 
     /// Summary statistics over the retained packets.
     ///
-    /// A full view returns the store's cached stats; a sampled view computes
-    /// its stats over the retained packets only.
+    /// A full view returns the store's stats; a sampled view accumulates its
+    /// stats by streaming the keep-list over the columns.
     pub fn stats(&self) -> BatchStats {
         match &self.keep {
-            Some(_) => BatchStats::over(self.packets()),
+            Some(keep) => {
+                let mut stats = BatchStats::default();
+                for &index in keep.iter() {
+                    let index = index as usize;
+                    let payload_len = self.store.payload(index).map_or(0, |p| p.len() as u64);
+                    stats.absorb(
+                        self.store.tuples[index].proto,
+                        self.store.tcp_flags[index],
+                        self.store.ip_lens[index],
+                        payload_len,
+                    );
+                }
+                stats
+            }
             None => self.store.stats(),
         }
     }
@@ -362,44 +798,77 @@ impl BatchView {
         self.stats().bytes
     }
 
-    /// The per-packet aggregate hash side array of the full store, indexed by
-    /// the store indices yielded by [`BatchView::indexed_packets`], or `None`
-    /// if the store's cache is claimed by a different seed.
-    pub fn aggregate_hashes(&self, base_seed: u64) -> Option<Arc<[AggregateHashes]>> {
+    /// The per-packet aggregate hash side rows of the full store, indexed by
+    /// the store indices yielded by [`BatchView::store_indices`], or a typed
+    /// [`HashClaim::SeedMismatch`] if the store's cache is claimed by a
+    /// different seed.
+    pub fn aggregate_hashes(&self, base_seed: u64) -> HashClaim<'_> {
         self.store.aggregate_hashes(base_seed)
     }
 
     /// The serialised 13-byte flow keys of the full store, indexed by store
     /// indices.
-    pub fn flow_keys(&self) -> Arc<[[u8; 13]]> {
+    pub fn flow_keys(&self) -> &[[u8; 13]] {
         self.store.flow_keys()
     }
 
     /// Derives a narrower view retaining the packets for which `keep` returns
     /// `true`. The closure receives the store index and the packet, in view
     /// order — no packet is copied.
-    pub fn filter_indexed<F: FnMut(usize, &Packet) -> bool>(&self, mut keep: F) -> BatchView {
+    ///
+    /// Allocates a fresh keep list; steady-state callers should prefer
+    /// [`BatchView::filter_indexed_with`], which recycles lists through a
+    /// [`KeepListPool`].
+    pub fn filter_indexed<F: FnMut(usize, PacketRef<'_>) -> bool>(&self, mut keep: F) -> BatchView {
         let mut kept = Vec::with_capacity(self.len());
         for (index, packet) in self.indexed_packets() {
             if keep(index, packet) {
                 kept.push(index as u32);
             }
         }
-        self.with_keep(kept)
+        self.with_keep_arc(Arc::new(kept))
+    }
+
+    /// Pooled variant of [`BatchView::filter_indexed`]: the keep list (buffer
+    /// *and* `Arc` control block) is claimed from `pool` and returns to it
+    /// once the derived view is dropped, so a warm steady state allocates
+    /// nothing.
+    pub fn filter_indexed_with<F>(&self, pool: &mut KeepListPool, mut keep: F) -> BatchView
+    where
+        F: FnMut(usize, PacketRef<'_>) -> bool,
+    {
+        let slot = pool.claim();
+        {
+            let list = Arc::make_mut(&mut pool.slots[slot]);
+            list.reserve(self.len());
+            for (index, packet) in self.indexed_packets() {
+                if keep(index, packet) {
+                    list.push(index as u32);
+                }
+            }
+        }
+        self.with_keep_arc(Arc::clone(&pool.slots[slot]))
     }
 
     /// A view over the same bin retaining no packets.
     pub fn cleared(&self) -> BatchView {
-        self.with_keep(Vec::new())
+        // lint:allow(hot-path-alloc): convenience path; the pooled `cleared_with` is the steady-state one
+        self.with_keep_arc(Arc::new(Vec::new()))
     }
 
-    fn with_keep(&self, kept: Vec<u32>) -> BatchView {
+    /// Pooled variant of [`BatchView::cleared`].
+    pub fn cleared_with(&self, pool: &mut KeepListPool) -> BatchView {
+        let slot = pool.claim();
+        self.with_keep_arc(Arc::clone(&pool.slots[slot]))
+    }
+
+    fn with_keep_arc(&self, keep: Arc<Vec<u32>>) -> BatchView {
         BatchView {
             bin_index: self.bin_index,
             start_ts: self.start_ts,
             duration_us: self.duration_us,
             store: Arc::clone(&self.store),
-            keep: Some(Arc::new(kept)),
+            keep: Some(keep),
         }
     }
 
@@ -408,12 +877,17 @@ impl BatchView {
     /// Only for interoperability (tests, recording sampled streams); the
     /// monitoring hot path never materialises views.
     pub fn materialize(&self) -> Batch {
-        Batch::new(
-            self.bin_index,
-            self.start_ts,
-            self.duration_us,
-            self.packets().cloned().collect(),
-        )
+        let mut builder = PacketStore::builder(self.len());
+        for packet in self.packets() {
+            builder.push(
+                packet.ts(),
+                *packet.tuple(),
+                packet.ip_len(),
+                packet.tcp_flags(),
+                packet.payload().cloned(),
+            );
+        }
+        Batch::from_store(self.bin_index, self.start_ts, self.duration_us, builder.finish())
     }
 }
 
@@ -454,38 +928,35 @@ impl ExactSizeIterator for StoreIndices<'_> {}
 /// Only constructed by [`BatchView::indexed_packets`], which guarantees the
 /// retained indices are in bounds for the shared store.
 #[derive(Debug)]
-pub struct IndexedPackets<'a>(IndexedPacketsInner<'a>);
-
-#[derive(Debug)]
-enum IndexedPacketsInner<'a> {
-    /// Full view: every packet of the store, in order.
-    Full(std::iter::Enumerate<std::slice::Iter<'a, Packet>>),
-    /// Sampled view: the retained store indices, in order.
-    Kept { store: &'a PacketStore, keep: &'a [u32], position: usize },
+pub struct IndexedPackets<'a> {
+    store: &'a PacketStore,
+    /// Retained store indices; `None` = the full store.
+    keep: Option<&'a [u32]>,
+    position: usize,
 }
 
 impl<'a> Iterator for IndexedPackets<'a> {
-    type Item = (usize, &'a Packet);
+    type Item = (usize, PacketRef<'a>);
 
-    fn next(&mut self) -> Option<(usize, &'a Packet)> {
-        match &mut self.0 {
-            IndexedPacketsInner::Full(iter) => iter.next(),
-            IndexedPacketsInner::Kept { store, keep, position } => {
-                let index = *keep.get(*position)? as usize;
-                *position += 1;
-                Some((index, &store.packets()[index]))
+    fn next(&mut self) -> Option<(usize, PacketRef<'a>)> {
+        let index = if let Some(keep) = self.keep {
+            *keep.get(self.position)? as usize
+        } else {
+            if self.position >= self.store.len() {
+                return None;
             }
-        }
+            self.position
+        };
+        self.position += 1;
+        Some((index, PacketRef { store: self.store, index }))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        match &self.0 {
-            IndexedPacketsInner::Full(iter) => iter.size_hint(),
-            IndexedPacketsInner::Kept { keep, position, .. } => {
-                let remaining = keep.len() - *position;
-                (remaining, Some(remaining))
-            }
-        }
+        let remaining = match self.keep {
+            Some(keep) => keep.len() - self.position,
+            None => self.store.len() - self.position,
+        };
+        (remaining, Some(remaining))
     }
 }
 
@@ -509,23 +980,21 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    /// Accumulates statistics over a packet iterator.
-    fn over<'a, I: Iterator<Item = &'a Packet>>(packets: I) -> BatchStats {
-        let mut stats = BatchStats::default();
-        for p in packets {
-            stats.packets += 1;
-            stats.bytes += u64::from(p.ip_len);
-            stats.payload_bytes += p.payload_len() as u64;
-            if p.is_syn() {
-                stats.syn_packets += 1;
-            }
-            match p.tuple.proto {
-                6 => stats.tcp_packets += 1,
-                17 => stats.udp_packets += 1,
-                _ => {}
-            }
+    /// Folds one packet's fields in — the single accumulation rule shared by
+    /// the store builder and sampled-view stats.
+    #[inline]
+    fn absorb(&mut self, proto: u8, tcp_flags: u8, ip_len: u32, payload_len: u64) {
+        self.packets += 1;
+        self.bytes += u64::from(ip_len);
+        self.payload_bytes += payload_len;
+        if proto == 6 && tcp_flags & TCP_SYN != 0 && tcp_flags & TCP_ACK == 0 {
+            self.syn_packets += 1;
         }
-        stats
+        match proto {
+            6 => self.tcp_packets += 1,
+            17 => self.udp_packets += 1,
+            _ => {}
+        }
     }
 }
 
@@ -571,6 +1040,11 @@ pub const MAX_GAP_BINS: u64 = 4096;
 /// [`BatchBuilder::push_into`] reports it as a [`TimestampJumpError`], while
 /// the convenience [`BatchBuilder::push`] re-anchors as if the capture had
 /// restarted.
+///
+/// The pending-packet buffer is *drained*, never replaced, when a batch
+/// closes, so its capacity is reused across bins: in the steady state
+/// [`BatchBuilder::push_into`] allocates only the closed batch's
+/// exactly-sized columns.
 #[derive(Debug)]
 pub struct BatchBuilder {
     duration_us: u64,
@@ -584,6 +1058,7 @@ impl BatchBuilder {
     /// Creates a builder producing batches of the given time-bin duration.
     pub fn new(duration_us: u64) -> Self {
         assert!(duration_us > 0, "time bin duration must be positive");
+        // lint:allow(hot-path-alloc): once-per-source builder construction
         Self { duration_us, current_bin: 0, anchored: false, pending: Vec::new() }
     }
 
@@ -635,6 +1110,7 @@ impl BatchBuilder {
     /// failing. Use [`BatchBuilder::push_into`] to detect such jumps
     /// explicitly.
     pub fn push(&mut self, packet: Packet) -> Vec<Batch> {
+        // lint:allow(hot-path-alloc): allocating convenience wrapper; `push_into` is the hot path
         let mut closed = Vec::new();
         let bin = packet.ts / self.duration_us;
         if self.anchored && bin > self.current_bin && bin - self.current_bin > MAX_GAP_BINS {
@@ -649,13 +1125,19 @@ impl BatchBuilder {
     }
 
     /// Closes the batch currently being filled and advances to the next bin.
+    ///
+    /// Drains (rather than takes) the pending buffer so its capacity is
+    /// recycled for the next bin.
     pub fn close_current(&mut self) -> Batch {
-        let packets = std::mem::take(&mut self.pending);
-        let batch = Batch::new(
+        let mut store = PacketStore::builder(self.pending.len());
+        for packet in self.pending.drain(..) {
+            store.push_packet(packet);
+        }
+        let batch = Batch::from_store(
             self.current_bin,
             self.current_bin * self.duration_us,
             self.duration_us,
-            packets,
+            store.finish(),
         );
         self.current_bin += 1;
         batch
@@ -777,7 +1259,7 @@ mod tests {
     fn filtered_preserves_bin_identity() {
         let packets = vec![pkt(0), pkt(10), pkt(20)];
         let batch = Batch::new(7, 700_000, 100_000, packets);
-        let half = batch.filtered(|p| p.ts >= 10);
+        let half = batch.filtered(|p| p.ts() >= 10);
         assert_eq!(half.bin_index, 7);
         assert_eq!(half.start_ts, 700_000);
         assert_eq!(half.len(), 2);
@@ -787,6 +1269,56 @@ mod tests {
     fn measurement_interval_indexing() {
         let batch = Batch::empty(13, 1_300_000, 100_000);
         assert_eq!(batch.measurement_interval(1_000_000), 1);
+    }
+
+    #[test]
+    fn columns_mirror_the_source_packets() {
+        let tuple = FiveTuple::new(10, 20, 30, 40, 17);
+        let packets = vec![
+            Packet::header_only(5, tuple, 60, 0),
+            Packet::with_payload(
+                9,
+                FiveTuple::new(1, 2, 3, 4, 6),
+                80,
+                TCP_SYN,
+                Bytes::from_static(b"abc"),
+            ),
+        ];
+        let batch = Batch::new(0, 0, 100_000, packets.clone());
+        let store = batch.packets.as_ref();
+        assert_eq!(store.timestamps(), &[5, 9]);
+        assert_eq!(store.tuples()[0], tuple);
+        assert_eq!(store.ip_lens(), &[60, 80]);
+        assert_eq!(store.tcp_flag_bytes(), &[0, TCP_SYN]);
+        assert_eq!(store.flow_keys()[0], tuple.as_key());
+        assert_eq!(store.payload(0), None);
+        assert_eq!(store.payload(1).map(bytes::Bytes::as_slice), Some(&b"abc"[..]));
+        assert!(store.has_payloads());
+        let p1 = store.get(1);
+        assert!(p1.is_syn());
+        assert_eq!(p1.payload_len(), 3);
+        assert_eq!(p1.to_packet(), packets[1]);
+        assert_eq!(store.to_packets(), packets);
+    }
+
+    #[test]
+    fn header_only_stores_keep_no_payload_column() {
+        let batch = Batch::new(0, 0, 100_000, vec![pkt(0), pkt(1)]);
+        assert!(!batch.packets.has_payloads());
+        assert_eq!(batch.packets.payload(0), None);
+        assert_eq!(batch.total_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn store_equality_is_by_contents() {
+        let a = PacketStore::from_packets(vec![pkt(0), pkt(10)]);
+        let b = PacketStore::from_packets(vec![pkt(0), pkt(10)]);
+        let c = PacketStore::from_packets(vec![pkt(0), pkt(11)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Claiming a's hash cache must not affect equality.
+        let _ = a.aggregate_hashes(1);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -801,7 +1333,7 @@ mod tests {
         assert!(odd.shares_store(&full));
         assert!(Arc::ptr_eq(odd.store(), &batch.packets));
         assert_eq!(odd.len(), 2);
-        let timestamps: Vec<u64> = odd.packets().map(|p| p.ts).collect();
+        let timestamps: Vec<u64> = odd.packets().map(|p| p.ts()).collect();
         assert_eq!(timestamps, vec![10, 30]);
     }
 
@@ -823,7 +1355,7 @@ mod tests {
     #[test]
     fn view_stats_cover_only_retained_packets() {
         let batch = Batch::new(0, 0, 100_000, vec![pkt(0), pkt(10), pkt(20)]);
-        let view = batch.view().filter_indexed(|_, p| p.ts >= 10);
+        let view = batch.view().filter_indexed(|_, p| p.ts() >= 10);
         assert_eq!(view.total_bytes(), 200);
         assert_eq!(view.stats().packets, 2);
         assert_eq!(batch.view().total_bytes(), 300);
@@ -834,27 +1366,119 @@ mod tests {
     #[test]
     fn materialize_round_trips_the_retained_packets() {
         let batch = Batch::new(5, 500_000, 100_000, vec![pkt(0), pkt(10), pkt(20)]);
-        let owned = batch.view().filter_indexed(|_, p| p.ts != 10).materialize();
+        let owned = batch.view().filter_indexed(|_, p| p.ts() != 10).materialize();
         assert_eq!(owned.bin_index, 5);
         assert_eq!(owned.len(), 2);
-        assert_eq!(owned.packets[0].ts, 0);
-        assert_eq!(owned.packets[1].ts, 20);
+        assert_eq!(owned.packets.timestamps(), &[0, 20]);
     }
 
     #[test]
     fn store_caches_are_shared_between_batch_and_views() {
         let batch = Batch::new(0, 0, 100_000, vec![pkt(0), pkt(10)]);
-        let hashes_a = batch.view().aggregate_hashes(42).expect("first seed claims the cache");
-        let hashes_b =
-            batch.view().filter_indexed(|_, _| true).aggregate_hashes(42).expect("cache hit");
-        assert!(Arc::ptr_eq(&hashes_a, &hashes_b), "same seed must hit the cache");
-        // A different seed does not thrash the cache: the caller is told to
-        // hash the packets it retains itself.
-        assert!(batch.view().aggregate_hashes(43).is_none());
-        assert_eq!(hashes_a[0], AggregateHashes::compute(&batch.packets[0].tuple, 42));
-        let keys_a = batch.view().flow_keys();
-        let keys_b = batch.view().flow_keys();
-        assert!(Arc::ptr_eq(&keys_a, &keys_b));
-        assert_eq!(keys_a[1], batch.packets[1].tuple.as_key());
+        let store = Arc::clone(&batch.packets);
+        let claim_a = store.aggregate_hashes(42);
+        let rows_a = claim_a.rows().expect("first seed claims the cache");
+        let sampled = batch.view().filter_indexed(|_, _| true);
+        let rows_b = sampled.aggregate_hashes(42).rows().expect("cache hit");
+        assert!(std::ptr::eq(rows_a.as_ptr(), rows_b.as_ptr()), "same seed must hit the cache");
+        assert_eq!(rows_a[0], AggregateHashes::compute(&batch.packets.tuples()[0], 42));
+        let keys_a = batch.view().flow_keys().as_ptr();
+        let keys_b = batch.view().flow_keys().as_ptr();
+        assert!(std::ptr::eq(keys_a, keys_b));
+        assert_eq!(batch.packets.flow_keys()[1], batch.packets.tuples()[1].as_key());
+    }
+
+    #[test]
+    fn second_seed_gets_a_typed_mismatch_and_is_counted() {
+        let batch = Batch::new(0, 0, 100_000, vec![pkt(0), pkt(10)]);
+        assert_eq!(batch.packets.hash_seed_misses(), 0);
+        assert!(batch.view().aggregate_hashes(42).rows().is_some());
+        // A different seed does not thrash the cache: the caller is handed
+        // the owning seed and told to hash the packets it retains itself.
+        match batch.view().aggregate_hashes(43) {
+            HashClaim::SeedMismatch { cached_seed } => assert_eq!(cached_seed, 42),
+            HashClaim::Rows(_) => panic!("a second seed must not steal the cache"),
+        }
+        assert_eq!(batch.packets.hash_seed_misses(), 1);
+        let _ = batch.view().aggregate_hashes(44);
+        assert_eq!(batch.packets.hash_seed_misses(), 2);
+        // The owning seed still hits.
+        assert!(batch.view().aggregate_hashes(42).rows().is_some());
+        assert_eq!(batch.packets.hash_seed_misses(), 2);
+    }
+
+    #[test]
+    fn keep_list_pool_recycles_slots_across_bins() {
+        let batch = Batch::new(0, 0, 100_000, (0..100).map(pkt).collect());
+        let mut pool = KeepListPool::new();
+        for round in 0..50 {
+            let view = batch.view().filter_indexed_with(&mut pool, |index, _| index % 3 == 0);
+            assert_eq!(view.len(), 34, "round {round}");
+            let empty = view.cleared_with(&mut pool);
+            assert!(empty.is_empty());
+            // Both views drop here, releasing their slots.
+        }
+        assert!(
+            pool.slots() <= 2,
+            "a steady two-view cycle must not grow the pool: {}",
+            pool.slots()
+        );
+    }
+
+    #[test]
+    fn pooled_filtering_matches_the_allocating_path() {
+        let batch = Batch::new(0, 0, 100_000, (0..40).map(pkt).collect());
+        let mut pool = KeepListPool::new();
+        let plain = batch.view().filter_indexed(|index, _| index % 7 != 0);
+        let pooled = batch.view().filter_indexed_with(&mut pool, |index, _| index % 7 != 0);
+        assert_eq!(
+            plain.store_indices().collect::<Vec<_>>(),
+            pooled.store_indices().collect::<Vec<_>>()
+        );
+        assert_eq!(plain.stats(), pooled.stats());
+    }
+
+    #[test]
+    fn pool_grows_only_while_views_are_live() {
+        let batch = Batch::new(0, 0, 100_000, (0..10).map(pkt).collect());
+        let mut pool = KeepListPool::new();
+        let a = batch.view().filter_indexed_with(&mut pool, |_, _| true);
+        let b = batch.view().filter_indexed_with(&mut pool, |_, _| true);
+        assert_eq!(pool.slots(), 2, "live views hold their slots");
+        drop(a);
+        drop(b);
+        let c = batch.view().filter_indexed_with(&mut pool, |_, _| true);
+        assert_eq!(pool.slots(), 2, "released slots are reclaimed before growing");
+        drop(c);
+    }
+
+    #[test]
+    fn store_builder_matches_packet_at_a_time_construction() {
+        let packets: Vec<Packet> = (0..50)
+            .map(|i| {
+                let tuple =
+                    FiveTuple::new(i, i * 2, (i % 7) as u16, 80, if i % 3 == 0 { 17 } else { 6 });
+                if i % 5 == 0 {
+                    Packet::with_payload(
+                        u64::from(i),
+                        tuple,
+                        100 + i,
+                        TCP_SYN,
+                        Bytes::from(vec![i as u8; 3]),
+                    )
+                } else {
+                    Packet::header_only(u64::from(i), tuple, 100 + i, 0)
+                }
+            })
+            .collect();
+        let via_vec = PacketStore::from_packets(packets.clone());
+        let mut builder = PacketStore::builder(packets.len());
+        for p in &packets {
+            builder.push(p.ts, p.tuple, p.ip_len, p.tcp_flags, p.payload.clone());
+        }
+        let via_builder = builder.finish();
+        assert_eq!(via_vec, via_builder);
+        assert_eq!(via_vec.stats(), via_builder.stats());
+        assert_eq!(via_vec.flow_keys(), via_builder.flow_keys());
     }
 }

@@ -12,34 +12,52 @@
 //! header   magic "NSTR" · version u16 · flags u16 · time_bin_us u64
 //!          · FNV-64 checksum over the preceding bytes
 //! frame*   kind=1 · bin_index u64 · start_ts u64 · duration_us u64
-//!          · packet_count u32 · body_len u32 · packets · body checksum u64
+//!          · packet_count u32 · body_len u32 · packets · frame checksum u64
 //! end      kind=0 · total_batches u64 · checksum u64
 //! ```
+//!
+//! The tiny header and end frames checksum with the byte-serial FNV; each
+//! batch frame's checksum (format v2) runs the kind + head bytes through FNV
+//! and the body through the word-parallel [`hash_block`], so verifying a
+//! payload-heavy container costs memory bandwidth, not a multiply per byte.
 //!
 //! Every multi-byte value is little-endian. Each packet is encoded as
 //! `ts u64 · src u32 · dst u32 · sport u16 · dport u16 · proto u8 ·
 //! tcp_flags u8 · ip_len u32 · payload_len u32 (+ payload bytes)`, with
 //! `u32::MAX` as the *no payload captured* sentinel (distinct from an empty
-//! payload). [`TraceWriter`] streams frames to any [`Write`]; [`TraceReader`]
-//! validates magic, version and every checksum while decoding from any
-//! [`Read`], and plugs straight into the pipeline — either through
-//! [`TraceReader::read_all`] + [`BatchReplay`], the [`TraceReader::into_replay`]
-//! shortcut, or directly as a streaming [`PacketSource`].
+//! payload). [`TraceWriter`] streams frames to any [`Write`].
+//!
+//! Two readers share one frame decoder (each frame body decodes in a single
+//! pass straight into the columns of a [`PacketStore`] — there is no
+//! intermediate `Vec<Packet>`):
+//!
+//! * [`TraceReader`] streams from any [`Read`], copying payload bytes out of
+//!   its frame buffer.
+//! * [`SharedTraceReader`] replays a caller-held in-memory container (a
+//!   [`Bytes`] buffer — e.g. a file read or mapped once): payloads become
+//!   zero-copy windows into that buffer, so replay cost is independent of
+//!   payload volume.
+//!
+//! Both validate magic, version and every checksum, latch decode errors when
+//! driven as a streaming [`PacketSource`], and plug into the pipeline via
+//! `read_all` + [`BatchReplay`] or the `into_replay` shortcut.
 
-use crate::batch::Batch;
-use crate::packet::{FiveTuple, Packet};
+use crate::batch::{Batch, PacketStore};
+use crate::packet::FiveTuple;
 use crate::source::{BatchReplay, PacketSource};
 use bytes::Bytes;
-use netshed_sketch::IncrementalFnv;
+use netshed_sketch::{hash_block, mix64, IncrementalFnv};
 use std::io::{Read, Write};
 
 /// File magic: "NSTR" (netshed trace).
 pub const TRACE_MAGIC: [u8; 4] = *b"NSTR";
 
-/// Current format version. Readers reject anything newer.
-pub const TRACE_FORMAT_VERSION: u16 = 1;
+/// Current format version. Readers accept exactly this version: v2 changed
+/// the frame-body checksum from the byte-serial FNV to the word-parallel
+/// [`hash_block`], so neither direction of version skew can be decoded.
+pub const TRACE_FORMAT_VERSION: u16 = 2;
 
-/// Seed of the FNV-64 checksums (header and per-frame).
+/// Seed of the container checksums (header and per-frame).
 const CHECKSUM_SEED: u64 = 0x6e73_7472; // "nstr"
 
 const FRAME_END: u8 = 0;
@@ -58,7 +76,7 @@ pub enum FormatError {
         /// The four bytes actually found.
         found: [u8; 4],
     },
-    /// The trace was written by a newer format version.
+    /// The trace was written by a different format version.
     UnsupportedVersion {
         /// Version found in the header.
         found: u16,
@@ -106,7 +124,8 @@ impl std::fmt::Display for FormatError {
             }
             FormatError::UnsupportedVersion { found } => write!(
                 f,
-                "trace format version {found} is newer than the supported {TRACE_FORMAT_VERSION}"
+                "trace format version {found} is not the supported {TRACE_FORMAT_VERSION} \
+                 (re-record the trace)"
             ),
             FormatError::ChecksumMismatch { location } => {
                 write!(f, "trace checksum mismatch at {location}: file is corrupt")
@@ -208,15 +227,16 @@ impl<W: Write> TraceWriter<W> {
     pub fn write_batch(&mut self, batch: &Batch) -> Result<(), FormatError> {
         let mut body = FrameBuf::new();
         for packet in batch.packets.iter() {
-            body.u64(packet.ts);
-            body.u32(packet.tuple.src_ip);
-            body.u32(packet.tuple.dst_ip);
-            body.u16(packet.tuple.src_port);
-            body.u16(packet.tuple.dst_port);
-            body.u8(packet.tuple.proto);
-            body.u8(packet.tcp_flags);
-            body.u32(packet.ip_len);
-            match &packet.payload {
+            let tuple = packet.tuple();
+            body.u64(packet.ts());
+            body.u32(tuple.src_ip);
+            body.u32(tuple.dst_ip);
+            body.u16(tuple.src_port);
+            body.u16(tuple.dst_port);
+            body.u8(tuple.proto);
+            body.u8(packet.tcp_flags());
+            body.u32(packet.ip_len());
+            match packet.payload() {
                 None => body.u32(NO_PAYLOAD),
                 Some(payload) => {
                     let len = u32::try_from(payload.len())
@@ -243,7 +263,9 @@ impl<W: Write> TraceWriter<W> {
         frame.u32(packet_count);
         frame.u32(body_len);
         frame.raw(&body.bytes);
-        let checksum = frame.checksum();
+        // Kind byte + 32-byte head, then the body — the same split the
+        // readers verify against.
+        let checksum = frame_checksum(&frame.bytes[1..33], &frame.bytes[33..]);
         frame.u64(checksum);
         self.writer.write_all(&frame.bytes)?;
         self.batches += 1;
@@ -283,12 +305,97 @@ pub fn encode_batches(batches: &[Batch], time_bin_us: u64) -> Result<Vec<u8>, Fo
     writer.finish()
 }
 
-/// Decodes every batch of an in-memory `.nstr` container.
+/// Decodes every batch of an in-memory `.nstr` container, copying payloads.
 pub fn decode_batches(bytes: &[u8]) -> Result<Vec<Batch>, FormatError> {
     TraceReader::new(bytes)?.read_all()
 }
 
+/// Decodes every batch of a shared in-memory `.nstr` container; payloads are
+/// zero-copy windows into `buffer` (see [`SharedTraceReader`]).
+pub fn decode_batches_shared(buffer: &Bytes) -> Result<Vec<Batch>, FormatError> {
+    SharedTraceReader::new(buffer.clone())?.read_all()
+}
+
+/// Validates an `.nstr` header in `fixed` (16 bytes) + `declared` (8-byte
+/// checksum); returns the recorded time-bin duration.
+fn validate_header(fixed: &[u8; 16], declared: [u8; 8]) -> Result<u64, FormatError> {
+    validate_magic(fixed)?;
+    let version = u16::from_le_bytes([fixed[4], fixed[5]]);
+    if version != TRACE_FORMAT_VERSION {
+        return Err(FormatError::UnsupportedVersion { found: version });
+    }
+    let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+    fnv.write(fixed);
+    if fnv.finish() != u64::from_le_bytes(declared) {
+        return Err(FormatError::ChecksumMismatch { location: "header".into() });
+    }
+    Ok(le_u64(fixed, 8))
+}
+
+/// Checks the magic of the fixed header prefix. Called as soon as the first
+/// 16 bytes are in, *before* the 8-byte header checksum is read, so that a
+/// short non-`.nstr` input reports [`FormatError::BadMagic`] rather than the
+/// misleading [`FormatError::Truncated`].
+fn validate_magic(fixed: &[u8; 16]) -> Result<(), FormatError> {
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&fixed[..4]);
+    if magic != TRACE_MAGIC {
+        return Err(FormatError::BadMagic { found: magic });
+    }
+    Ok(())
+}
+
+/// Validates an end frame (`kind` byte already consumed, `rest` = count +
+/// checksum) against the number of frames actually decoded.
+fn validate_end_frame(rest: &[u8; 16], decoded: u64) -> Result<(), FormatError> {
+    let declared_count = le_u64(rest, 0);
+    let declared_sum = le_u64(rest, 8);
+    let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+    fnv.write(&[FRAME_END]);
+    fnv.write(&rest[..8]);
+    if fnv.finish() != declared_sum {
+        return Err(FormatError::ChecksumMismatch { location: "end frame".into() });
+    }
+    if declared_count != decoded {
+        return Err(FormatError::CountMismatch { declared: declared_count, decoded });
+    }
+    Ok(())
+}
+
+/// Computes a batch frame's checksum (format v2).
+///
+/// The 33 fixed bytes (kind + 32-byte head) absorb through the byte-serial
+/// FNV; the body — which carries the payload volume and dominates the
+/// container — absorbs through the word-parallel [`hash_block`], so
+/// verification cost is bounded by memory bandwidth rather than a
+/// byte-at-a-time multiply chain. The two halves combine through [`mix64`].
+fn frame_checksum(head: &[u8], body: &[u8]) -> u64 {
+    let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+    fnv.write(&[FRAME_BATCH]);
+    fnv.write(head);
+    mix64(fnv.finish() ^ hash_block(body, CHECKSUM_SEED))
+}
+
+/// Verifies a batch frame's checksum (`kind` + 32-byte head + body against
+/// the declared little-endian sum).
+fn verify_frame_checksum(
+    head: &[u8],
+    body: &[u8],
+    declared: [u8; 8],
+    frame: u64,
+) -> Result<(), FormatError> {
+    if frame_checksum(head, body) != u64::from_le_bytes(declared) {
+        return Err(FormatError::ChecksumMismatch { location: format!("frame {frame}") });
+    }
+    Ok(())
+}
+
 /// Decodes `.nstr` frames from any [`Read`], verifying every checksum.
+///
+/// Frame bodies decode straight into the column store ([`PacketStore`]);
+/// payload bytes are copied out of the reader's frame buffer. For repeated
+/// in-memory replay prefer [`SharedTraceReader`], which borrows payloads
+/// from the container instead.
 pub struct TraceReader<R: Read> {
     reader: R,
     time_bin_us: u64,
@@ -305,23 +412,10 @@ impl<R: Read> TraceReader<R> {
     pub fn new(mut reader: R) -> Result<Self, FormatError> {
         let mut fixed = [0u8; 16];
         read_exact_or_truncated(&mut reader, &mut fixed)?;
-        let mut magic = [0u8; 4];
-        magic.copy_from_slice(&fixed[..4]);
-        if magic != TRACE_MAGIC {
-            return Err(FormatError::BadMagic { found: magic });
-        }
-        let version = u16::from_le_bytes([fixed[4], fixed[5]]);
-        if version > TRACE_FORMAT_VERSION {
-            return Err(FormatError::UnsupportedVersion { found: version });
-        }
-        let time_bin_us = le_u64(&fixed, 8);
+        validate_magic(&fixed)?;
         let mut declared = [0u8; 8];
         read_exact_or_truncated(&mut reader, &mut declared)?;
-        let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
-        fnv.write(&fixed);
-        if fnv.finish() != u64::from_le_bytes(declared) {
-            return Err(FormatError::ChecksumMismatch { location: "header".into() });
-        }
+        let time_bin_us = validate_header(&fixed, declared)?;
         Ok(Self {
             reader,
             time_bin_us,
@@ -357,20 +451,7 @@ impl<R: Read> TraceReader<R> {
             FRAME_END => {
                 let mut rest = [0u8; 16];
                 read_exact_or_truncated(&mut self.reader, &mut rest)?;
-                let declared_count = le_u64(&rest, 0);
-                let declared_sum = le_u64(&rest, 8);
-                let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
-                fnv.write(&kind);
-                fnv.write(&rest[..8]);
-                if fnv.finish() != declared_sum {
-                    return Err(FormatError::ChecksumMismatch { location: "end frame".into() });
-                }
-                if declared_count != self.decoded {
-                    return Err(FormatError::CountMismatch {
-                        declared: declared_count,
-                        decoded: self.decoded,
-                    });
-                }
+                validate_end_frame(&rest, self.decoded)?;
                 self.finished = true;
                 Ok(None)
             }
@@ -396,18 +477,13 @@ impl<R: Read> TraceReader<R> {
                 }
                 let mut declared = [0u8; 8];
                 read_exact_or_truncated(&mut self.reader, &mut declared)?;
-                let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
-                fnv.write(&kind);
-                fnv.write(&head);
-                fnv.write(&self.frame);
-                if fnv.finish() != u64::from_le_bytes(declared) {
-                    return Err(FormatError::ChecksumMismatch {
-                        location: format!("frame {}", self.decoded),
-                    });
-                }
-                let packets = decode_packets(&self.frame, packet_count, self.decoded)?;
+                verify_frame_checksum(&head, &self.frame, declared, self.decoded)?;
+                let body = &self.frame;
+                let store = decode_store_with(body, packet_count, self.decoded, |range| {
+                    Bytes::copy_from_slice(&body[range])
+                })?;
                 self.decoded += 1;
-                Ok(Some(Batch::new(bin_index, start_ts, duration_us, packets)))
+                Ok(Some(Batch::from_store(bin_index, start_ts, duration_us, store)))
             }
             kind => Err(FormatError::UnknownFrame { kind }),
         }
@@ -431,6 +507,141 @@ impl<R: Read> TraceReader<R> {
 /// A reader is a streaming [`PacketSource`]: decode errors end the stream
 /// and latch in [`TraceReader::error`].
 impl<R: Read> PacketSource for TraceReader<R> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.read_batch() {
+            Ok(batch) => batch,
+            Err(error) => {
+                self.error = Some(error);
+                None
+            }
+        }
+    }
+}
+
+/// Decodes `.nstr` frames from a caller-held in-memory container without
+/// copying packet bytes.
+///
+/// The whole container lives in one shared [`Bytes`] buffer (read or mapped
+/// into memory once by the caller); each decoded payload is an O(1) window
+/// into that buffer, so replaying a payload-heavy recording costs the same
+/// as replaying a header-only one. Frame fields still stream straight into
+/// the [`PacketStore`] columns — there is no intermediate `Vec<Packet>`
+/// decode-copy anywhere on this path.
+///
+/// Validation (magic, version, every checksum, end-frame count) and the
+/// error taxonomy are identical to [`TraceReader`]; running off the end of
+/// the buffer reports [`FormatError::Truncated`]. The container buffer stays
+/// alive as long as any decoded payload does — dropping the reader does not
+/// invalidate batches it produced.
+pub struct SharedTraceReader {
+    buffer: Bytes,
+    /// Read cursor into `buffer`.
+    at: usize,
+    time_bin_us: u64,
+    decoded: u64,
+    /// Set once the end frame was seen (further reads return `None`).
+    finished: bool,
+    /// First decode error, latched for the `PacketSource` adapter.
+    error: Option<FormatError>,
+}
+
+impl SharedTraceReader {
+    /// Validates the container header of a shared buffer.
+    pub fn new(buffer: Bytes) -> Result<Self, FormatError> {
+        let bytes = buffer.as_slice();
+        let mut fixed = [0u8; 16];
+        fixed.copy_from_slice(bytes.get(..16).ok_or(FormatError::Truncated)?);
+        validate_magic(&fixed)?;
+        let mut declared = [0u8; 8];
+        declared.copy_from_slice(bytes.get(16..24).ok_or(FormatError::Truncated)?);
+        let time_bin_us = validate_header(&fixed, declared)?;
+        Ok(Self { buffer, at: 24, time_bin_us, decoded: 0, finished: false, error: None })
+    }
+
+    /// The time-bin duration recorded in the header.
+    pub fn time_bin_us(&self) -> u64 {
+        self.time_bin_us
+    }
+
+    /// The first decode error hit by the [`PacketSource`] adapter, if any
+    /// (same latching contract as [`TraceReader::error`]).
+    pub fn error(&self) -> Option<&FormatError> {
+        self.error.as_ref()
+    }
+
+    /// Decodes the next batch, `Ok(None)` at the (validated) end frame.
+    pub fn read_batch(&mut self) -> Result<Option<Batch>, FormatError> {
+        if self.finished {
+            return Ok(None);
+        }
+        // An O(1) handle on the container so the cursor can move freely
+        // while frame slices stay borrowed from the same allocation.
+        let buffer = self.buffer.clone();
+        let bytes = buffer.as_slice();
+        let kind = *bytes.get(self.at).ok_or(FormatError::Truncated)?;
+        self.at += 1;
+        match kind {
+            FRAME_END => {
+                let mut rest = [0u8; 16];
+                rest.copy_from_slice(
+                    bytes.get(self.at..self.at + 16).ok_or(FormatError::Truncated)?,
+                );
+                self.at += 16;
+                validate_end_frame(&rest, self.decoded)?;
+                self.finished = true;
+                Ok(None)
+            }
+            FRAME_BATCH => {
+                let head = bytes.get(self.at..self.at + 32).ok_or(FormatError::Truncated)?;
+                self.at += 32;
+                let bin_index = le_u64(head, 0);
+                let start_ts = le_u64(head, 8);
+                let duration_us = le_u64(head, 16);
+                let packet_count = le_u32(head, 24);
+                let body_len = le_u32(head, 28);
+                let body_start = self.at;
+                let body_end =
+                    body_start.checked_add(body_len as usize).ok_or(FormatError::Truncated)?;
+                let body = bytes.get(body_start..body_end).ok_or(FormatError::Truncated)?;
+                self.at = body_end;
+                let mut declared = [0u8; 8];
+                declared.copy_from_slice(
+                    bytes.get(self.at..self.at + 8).ok_or(FormatError::Truncated)?,
+                );
+                self.at += 8;
+                verify_frame_checksum(head, body, declared, self.decoded)?;
+                let store = decode_store_with(body, packet_count, self.decoded, |range| {
+                    buffer.slice(body_start + range.start..body_start + range.end)
+                })?;
+                self.decoded += 1;
+                Ok(Some(Batch::from_store(bin_index, start_ts, duration_us, store)))
+            }
+            kind => Err(FormatError::UnknownFrame { kind }),
+        }
+    }
+
+    /// Decodes the whole trace into a batch vector (payloads stay borrowed
+    /// from the container buffer).
+    pub fn read_all(mut self) -> Result<Vec<Batch>, FormatError> {
+        let mut batches = Vec::new();
+        while let Some(batch) = self.read_batch()? {
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+
+    /// Decodes the whole trace into a rewindable [`BatchReplay`].
+    pub fn into_replay(self) -> Result<BatchReplay, FormatError> {
+        Ok(BatchReplay::new(self.read_all()?))
+    }
+}
+
+/// The shared reader is a streaming [`PacketSource`] with the same
+/// error-latching contract as [`TraceReader`].
+impl PacketSource for SharedTraceReader {
     fn next_batch(&mut self) -> Option<Batch> {
         if self.error.is_some() {
             return None;
@@ -478,42 +689,66 @@ fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<()
     })
 }
 
-fn decode_packets(body: &[u8], count: u32, frame: u64) -> Result<Vec<Packet>, FormatError> {
-    let corrupt = || FormatError::ChecksumMismatch { location: format!("frame {frame} body") };
-    let mut packets = Vec::with_capacity(count as usize);
-    let mut at = 0usize;
-    let mut take = |n: usize| -> Result<&[u8], FormatError> {
-        let slice = body.get(at..at + n).ok_or_else(corrupt)?;
-        at += n;
+/// Decodes one frame body straight into a [`PacketStore`].
+///
+/// `payload_at` turns a byte range of `body` into the payload's [`Bytes`] —
+/// the copying reader materialises the range, the shared reader returns a
+/// zero-copy window into the container. This is the single decode loop both
+/// readers share, so their batch streams (and error behaviour) cannot
+/// diverge.
+fn decode_store_with<F>(
+    body: &[u8],
+    count: u32,
+    frame: u64,
+    mut payload_at: F,
+) -> Result<PacketStore, FormatError>
+where
+    F: FnMut(std::ops::Range<usize>) -> Bytes,
+{
+    fn corrupt(frame: u64) -> FormatError {
+        FormatError::ChecksumMismatch { location: format!("frame {frame} body") }
+    }
+    fn take<'b>(
+        body: &'b [u8],
+        at: &mut usize,
+        n: usize,
+        frame: u64,
+    ) -> Result<&'b [u8], FormatError> {
+        let slice = body.get(*at..*at + n).ok_or_else(|| corrupt(frame))?;
+        *at += n;
         Ok(slice)
-    };
+    }
+    let mut builder = PacketStore::builder(count as usize);
+    let mut at = 0usize;
     for _ in 0..count {
-        let ts = le_u64(take(8)?, 0);
-        let src_ip = le_u32(take(4)?, 0);
-        let dst_ip = le_u32(take(4)?, 0);
-        let src_port = le_u16(take(2)?, 0);
-        let dst_port = le_u16(take(2)?, 0);
-        let proto = take(1)?[0];
-        let tcp_flags = take(1)?[0];
-        let ip_len = le_u32(take(4)?, 0);
-        let payload_len = le_u32(take(4)?, 0);
+        let ts = le_u64(take(body, &mut at, 8, frame)?, 0);
+        let src_ip = le_u32(take(body, &mut at, 4, frame)?, 0);
+        let dst_ip = le_u32(take(body, &mut at, 4, frame)?, 0);
+        let src_port = le_u16(take(body, &mut at, 2, frame)?, 0);
+        let dst_port = le_u16(take(body, &mut at, 2, frame)?, 0);
+        let proto = take(body, &mut at, 1, frame)?[0];
+        let tcp_flags = take(body, &mut at, 1, frame)?[0];
+        let ip_len = le_u32(take(body, &mut at, 4, frame)?, 0);
+        let payload_len = le_u32(take(body, &mut at, 4, frame)?, 0);
         let payload = if payload_len == NO_PAYLOAD {
             None
         } else {
-            Some(Bytes::copy_from_slice(take(payload_len as usize)?))
+            let start = at;
+            take(body, &mut at, payload_len as usize, frame)?;
+            Some(payload_at(start..at))
         };
-        packets.push(Packet {
+        builder.push(
             ts,
-            tuple: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto),
+            FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto),
             ip_len,
             tcp_flags,
             payload,
-        });
+        );
     }
     if at != body.len() {
-        return Err(corrupt());
+        return Err(corrupt(frame));
     }
-    Ok(packets)
+    Ok(builder.finish())
 }
 
 #[cfg(test)]
@@ -532,6 +767,18 @@ mod tests {
         .batches(5)
     }
 
+    /// Rewrites the end frame's batch count in place, fixing up its checksum
+    /// so only the count (not the container integrity) is wrong.
+    fn falsify_end_count(bytes: &mut [u8], declared: u64) {
+        let end = bytes.len() - 17; // kind u8 + count u64 + checksum u64
+        assert_eq!(bytes[end], 0, "end frame kind");
+        bytes[end + 1..end + 9].copy_from_slice(&declared.to_le_bytes());
+        let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
+        fnv.write(&bytes[end..end + 9]);
+        let sum = fnv.finish();
+        bytes[end + 9..end + 17].copy_from_slice(&sum.to_le_bytes());
+    }
+
     #[test]
     fn roundtrip_is_bit_identical_with_and_without_payloads() {
         for payloads in [false, true] {
@@ -543,6 +790,32 @@ mod tests {
     }
 
     #[test]
+    fn shared_replay_is_bit_identical_and_borrows_payloads() {
+        let batches = sample_batches(true);
+        let container = Bytes::from(encode_batches(&batches, 100_000).expect("encode"));
+        let decoded = decode_batches_shared(&container).expect("decode");
+        assert_eq!(batches, decoded);
+        // Every decoded payload must be a window into the container buffer,
+        // not a copy.
+        let base = container.as_slice().as_ptr() as usize;
+        let end = base + container.len();
+        let mut payloads = 0usize;
+        for batch in &decoded {
+            for packet in batch.packets.iter() {
+                if let Some(payload) = packet.payload() {
+                    if payload.is_empty() {
+                        continue;
+                    }
+                    let at = payload.as_slice().as_ptr() as usize;
+                    assert!(at >= base && at + payload.len() <= end, "payload was copied");
+                    payloads += 1;
+                }
+            }
+        }
+        assert!(payloads > 0, "the sample trace must exercise payloads");
+    }
+
+    #[test]
     fn empty_payload_and_no_payload_stay_distinct() {
         let tuple = FiveTuple::new(1, 2, 3, 4, 6);
         let batch = Batch::new(
@@ -550,22 +823,26 @@ mod tests {
             0,
             100_000,
             vec![
-                Packet::header_only(1, tuple, 40, 0),
-                Packet::with_payload(2, tuple, 40, 0, Bytes::new()),
+                crate::packet::Packet::header_only(1, tuple, 40, 0),
+                crate::packet::Packet::with_payload(2, tuple, 40, 0, Bytes::new()),
             ],
         );
-        let decoded =
-            decode_batches(&encode_batches(&[batch], 100_000).expect("encode")).expect("decode");
-        assert_eq!(decoded[0].packets[0].payload, None);
-        assert_eq!(decoded[0].packets[1].payload, Some(Bytes::new()));
+        let bytes = encode_batches(&[batch], 100_000).expect("encode");
+        for decoded in [
+            decode_batches(&bytes).expect("decode"),
+            decode_batches_shared(&Bytes::from(bytes.clone())).expect("shared decode"),
+        ] {
+            assert_eq!(decoded[0].packets.get(0).payload(), None);
+            assert_eq!(decoded[0].packets.get(1).payload(), Some(&Bytes::new()));
+        }
     }
 
     #[test]
     fn empty_batches_survive_the_container() {
         let batches = vec![Batch::empty(3, 300_000, 100_000), Batch::empty(4, 400_000, 100_000)];
-        let decoded =
-            decode_batches(&encode_batches(&batches, 100_000).expect("encode")).expect("decode");
-        assert_eq!(batches, decoded);
+        let bytes = encode_batches(&batches, 100_000).expect("encode");
+        assert_eq!(decode_batches(&bytes).expect("decode"), batches);
+        assert_eq!(decode_batches_shared(&Bytes::from(bytes)).expect("shared"), batches);
     }
 
     #[test]
@@ -573,6 +850,8 @@ mod tests {
         let bytes = encode_batches(&[], 250_000).expect("encode");
         let reader = TraceReader::new(&bytes[..]).expect("header");
         assert_eq!(reader.time_bin_us(), 250_000);
+        let shared = SharedTraceReader::new(Bytes::from(bytes)).expect("header");
+        assert_eq!(shared.time_bin_us(), 250_000);
     }
 
     #[test]
@@ -583,16 +862,49 @@ mod tests {
             TraceReader::new(&bytes[..]).err().expect("must fail"),
             FormatError::BadMagic { .. }
         ));
+        assert!(matches!(
+            SharedTraceReader::new(Bytes::from(bytes)).err().expect("must fail"),
+            FormatError::BadMagic { .. }
+        ));
     }
 
     #[test]
-    fn newer_versions_are_rejected() {
-        let mut bytes = encode_batches(&[], 100_000).expect("encode");
-        bytes[4..6].copy_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+    fn short_garbage_reports_bad_magic_not_truncation() {
+        // The magic check runs as soon as the 16 fixed header bytes are in,
+        // *before* the 8-byte header checksum is read: feeding a short
+        // non-`.nstr` input must say "wrong format", not "truncated trace".
+        let garbage = b"not a trace at all"; // 18 bytes: fixed header fits, checksum doesn't
         assert!(matches!(
-            TraceReader::new(&bytes[..]).err().expect("must fail"),
-            FormatError::UnsupportedVersion { .. }
+            TraceReader::new(&garbage[..]).err().expect("must fail"),
+            FormatError::BadMagic { .. }
         ));
+        assert!(matches!(
+            SharedTraceReader::new(Bytes::from(&garbage[..])).err().expect("must fail"),
+            FormatError::BadMagic { .. }
+        ));
+        // Shorter than the magic itself: truncation is the honest answer.
+        assert!(matches!(
+            TraceReader::new(&garbage[..3]).err().expect("must fail"),
+            FormatError::Truncated
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_rejected_in_both_directions() {
+        // v2 changed the frame checksum algorithm, so an older container is
+        // as undecodable as a newer one — the version check is exact.
+        for skewed in [TRACE_FORMAT_VERSION + 1, TRACE_FORMAT_VERSION - 1] {
+            let mut bytes = encode_batches(&[], 100_000).expect("encode");
+            bytes[4..6].copy_from_slice(&skewed.to_le_bytes());
+            assert!(matches!(
+                TraceReader::new(&bytes[..]).err().expect("must fail"),
+                FormatError::UnsupportedVersion { found } if found == skewed
+            ));
+            assert!(matches!(
+                SharedTraceReader::new(Bytes::from(bytes)).err().expect("must fail"),
+                FormatError::UnsupportedVersion { found } if found == skewed
+            ));
+        }
     }
 
     #[test]
@@ -601,6 +913,10 @@ mod tests {
         bytes[9] ^= 0xff; // inside time_bin_us
         assert!(matches!(
             TraceReader::new(&bytes[..]).err().expect("must fail"),
+            FormatError::ChecksumMismatch { .. }
+        ));
+        assert!(matches!(
+            SharedTraceReader::new(Bytes::from(bytes)).err().expect("must fail"),
             FormatError::ChecksumMismatch { .. }
         ));
     }
@@ -620,6 +936,38 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_is_detected_by_both_readers() {
+        // Exhaustive corruption sweep: every byte of the container is
+        // covered by the header, a frame, or the end-frame checksum, so any
+        // single-bit flip must surface as *some* FormatError — never as a
+        // silently different batch stream.
+        let batches = sample_batches(true).into_iter().take(2).collect::<Vec<_>>();
+        let clean = encode_batches(&batches, 100_000).expect("encode");
+        for at in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[at] ^= 0x01;
+            let copy_err = decode_batches(&corrupt);
+            assert!(copy_err.is_err(), "flip at byte {at} went undetected (copying reader)");
+            let shared_err = decode_batches_shared(&Bytes::from(corrupt));
+            assert!(shared_err.is_err(), "flip at byte {at} went undetected (shared reader)");
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_truncation_errors() {
+        let batches = sample_batches(true).into_iter().take(2).collect::<Vec<_>>();
+        let clean = encode_batches(&batches, 100_000).expect("encode");
+        for len in 0..clean.len() {
+            let cut = &clean[..len];
+            assert!(decode_batches(cut).is_err(), "prefix of {len} bytes decoded cleanly");
+            assert!(
+                decode_batches_shared(&Bytes::copy_from_slice(cut)).is_err(),
+                "prefix of {len} bytes decoded cleanly (shared reader)"
+            );
+        }
+    }
+
+    #[test]
     fn truncated_traces_are_detected() {
         let bytes = encode_batches(&sample_batches(false), 100_000).expect("encode");
         // Drop the end frame (and a bit more).
@@ -628,6 +976,40 @@ mod tests {
             decode_batches(cut).expect_err("must fail"),
             FormatError::Truncated | FormatError::ChecksumMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn end_frame_count_mismatch_is_detected() {
+        let batches = sample_batches(false);
+        let mut bytes = encode_batches(&batches, 100_000).expect("encode");
+        falsify_end_count(&mut bytes, batches.len() as u64 + 2);
+        match decode_batches(&bytes).expect_err("must fail") {
+            FormatError::CountMismatch { declared, decoded } => {
+                assert_eq!(declared, batches.len() as u64 + 2);
+                assert_eq!(decoded, batches.len() as u64);
+            }
+            other => panic!("expected CountMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            decode_batches_shared(&Bytes::from(bytes)).expect_err("must fail"),
+            FormatError::CountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn end_frame_checksum_corruption_is_detected() {
+        let mut bytes = encode_batches(&sample_batches(false), 100_000).expect("encode");
+        let last = bytes.len() - 1; // inside the end frame's checksum
+        bytes[last] ^= 0xff;
+        for error in [
+            decode_batches(&bytes).expect_err("must fail"),
+            decode_batches_shared(&Bytes::from(bytes.clone())).expect_err("must fail"),
+        ] {
+            match error {
+                FormatError::ChecksumMismatch { location } => assert_eq!(location, "end frame"),
+                other => panic!("expected an end-frame checksum mismatch, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -654,11 +1036,31 @@ mod tests {
     }
 
     #[test]
+    fn shared_reader_is_a_packet_source_and_latches_the_right_error() {
+        let batches = sample_batches(true);
+        let mut bytes = encode_batches(&batches, 100_000).expect("encode");
+        falsify_end_count(&mut bytes, 0);
+        let mut reader = SharedTraceReader::new(Bytes::from(bytes)).expect("header");
+        let mut decoded = 0;
+        while PacketSource::next_batch(&mut reader).is_some() {
+            decoded += 1;
+        }
+        assert_eq!(decoded, batches.len(), "all frames decode before the bad end frame");
+        assert!(
+            matches!(reader.error(), Some(FormatError::CountMismatch { .. })),
+            "the count mismatch must latch, got {:?}",
+            reader.error()
+        );
+    }
+
+    #[test]
     fn into_replay_rewinds_the_recording() {
         let batches = sample_batches(false);
         let bytes = encode_batches(&batches, 100_000).expect("encode");
-        let mut replay =
-            TraceReader::new(&bytes[..]).expect("header").into_replay().expect("decode");
+        let mut replay = SharedTraceReader::new(Bytes::from(bytes))
+            .expect("header")
+            .into_replay()
+            .expect("decode");
         assert_eq!(replay.len(), batches.len());
         let first: Vec<u64> =
             std::iter::from_fn(|| replay.next_batch()).map(|b| b.bin_index).collect();

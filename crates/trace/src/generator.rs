@@ -553,9 +553,9 @@ mod tests {
             let batch = g.next_batch();
             let mut last = batch.start_ts;
             for p in batch.packets.iter() {
-                assert!(p.ts >= batch.start_ts && p.ts < batch.end_ts());
-                assert!(p.ts >= last);
-                last = p.ts;
+                assert!(p.ts() >= batch.start_ts && p.ts() < batch.end_ts());
+                assert!(p.ts() >= last);
+                last = p.ts();
             }
         }
     }
@@ -566,12 +566,12 @@ mod tests {
         let mut g = TraceGenerator::new(config);
         let batches = g.batches(20);
         let with_payload =
-            batches.iter().flat_map(|b| b.packets.iter()).filter(|p| p.payload.is_some()).count();
+            batches.iter().flat_map(|b| b.packets.iter()).filter(|p| p.payload().is_some()).count();
         assert!(with_payload > 0, "payload-enabled trace produced no payloads");
         let with_sig = batches
             .iter()
             .flat_map(|b| b.packets.iter())
-            .filter_map(|p| p.payload.as_ref())
+            .filter_map(|p| p.payload())
             .filter(|pl| {
                 pl.windows(b"BitTorrent protocol".len()).any(|w| w == b"BitTorrent protocol")
             })
@@ -583,14 +583,18 @@ mod tests {
     fn header_only_traces_have_no_payloads() {
         let mut g = TraceGenerator::new(TraceConfig::default().with_seed(3));
         let batch = g.next_batch();
-        assert!(batch.packets.iter().all(|p| p.payload.is_none()));
+        assert!(batch.packets.iter().all(|p| p.payload().is_none()));
     }
 
     #[test]
     fn flows_have_syn_and_fin_for_tcp() {
         let mut g = TraceGenerator::new(TraceConfig::default().with_seed(13));
         let batches = g.batches(50);
-        let syns = batches.iter().flat_map(|b| b.packets.iter()).filter(|p| p.is_syn()).count();
+        let syns = batches
+            .iter()
+            .flat_map(|b| b.packets.iter())
+            .filter(crate::batch::PacketRef::is_syn)
+            .count();
         assert!(syns > 0, "expected some SYN packets");
     }
 }

@@ -45,12 +45,12 @@ pub mod source;
 pub use aggregate::{aggregate_hash_seed, Aggregate, AggregateHashes, AGGREGATE_COUNT};
 pub use anomaly::{Anomaly, AnomalyInjector, AnomalyKind};
 pub use batch::{
-    Batch, BatchBuilder, BatchStats, BatchView, PacketStore, StoreIndices, TimestampJumpError,
-    MAX_GAP_BINS,
+    Batch, BatchBuilder, BatchStats, BatchView, HashClaim, IndexedPackets, KeepListPool, PacketRef,
+    PacketStore, StoreBuilder, StoreIndices, TimestampJumpError, MAX_GAP_BINS,
 };
 pub use format::{
-    decode_batches, encode_batches, FormatError, TraceReader, TraceWriter, TRACE_FORMAT_VERSION,
-    TRACE_MAGIC,
+    decode_batches, decode_batches_shared, encode_batches, FormatError, SharedTraceReader,
+    TraceReader, TraceWriter, TRACE_FORMAT_VERSION, TRACE_MAGIC,
 };
 pub use generator::{AppProtocol, TraceConfig, TraceGenerator};
 pub use packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
@@ -60,6 +60,10 @@ pub use scenario::{
     TrafficSpec,
 };
 pub use source::{BatchReplay, Interleave, PacketSource, PacketSourceExt, Take};
+
+// `decode_batches_shared` and `Packet::payload` speak `Bytes`; re-export it
+// so consumers of the zero-copy replay path don't need their own dependency.
+pub use bytes::Bytes;
 
 /// Duration of a time bin in microseconds (100 ms, as in the paper).
 pub const DEFAULT_TIME_BIN_US: u64 = 100_000;

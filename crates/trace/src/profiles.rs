@@ -138,7 +138,7 @@ mod tests {
         for profile in TraceProfile::ALL {
             let mut g = TraceGenerator::new(profile.config(1, 0.2));
             let batch = g.next_batch();
-            let has_payload = batch.packets.iter().any(|p| p.payload.is_some());
+            let has_payload = batch.packets.has_payloads();
             if profile.has_payloads() {
                 assert!(has_payload, "{} should have payloads", profile.name());
             } else {

@@ -755,8 +755,8 @@ impl PacketSource for PhasedLink {
                         let packets = raw
                             .packets
                             .iter()
-                            .cloned()
-                            .map(|mut p| {
+                            .map(|p| {
+                                let mut p = p.to_packet();
                                 p.ts += shift;
                                 p
                             })
@@ -899,7 +899,7 @@ mod tests {
             assert_eq!(batch.bin_index, expected_bin);
             assert_eq!(batch.start_ts, expected_bin * crate::DEFAULT_TIME_BIN_US);
             for p in batch.packets.iter() {
-                assert!(p.ts >= batch.start_ts && p.ts < batch.end_ts());
+                assert!(p.ts() >= batch.start_ts && p.ts() < batch.end_ts());
             }
         }
         assert!(source.next_batch().is_none());
@@ -932,8 +932,11 @@ mod tests {
         );
         let batches = scenario.generate().expect("valid");
         for (bin, batch) in batches.iter().enumerate() {
-            let attack_packets =
-                batch.packets.iter().filter(|p| p.tuple.dst_ip == target && p.ip_len == 60).count();
+            let attack_packets = batch
+                .packets
+                .iter()
+                .filter(|p| p.tuple().dst_ip == target && p.ip_len() == 60)
+                .count();
             if (4..7).contains(&bin) {
                 assert!(attack_packets >= 400, "bin {bin} should carry the flood");
             } else {

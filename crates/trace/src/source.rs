@@ -226,7 +226,7 @@ impl PacketSource for Interleave {
                 // lint:allow(no-unwrap): the is_some_and guard on the previous line proves the slot is occupied
                 let batch = pending.take().expect("checked above");
                 geometry.get_or_insert((batch.start_ts, batch.duration_us));
-                packets.extend(batch.packets.iter().cloned());
+                packets.extend(batch.packets.iter().map(|p| p.to_packet()));
             }
         }
         // lint:allow(no-unwrap): target is the minimum pending bin index, so at least one source matched and set the geometry
@@ -334,7 +334,7 @@ mod tests {
             assert_eq!(batch.bin_index, bin as u64);
             assert_eq!(batch.len(), *want);
             // Merged packets must stay in timestamp order.
-            assert!(batch.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+            assert!(batch.packets.timestamps().windows(2).all(|w| w[0] <= w[1]));
         }
         assert!(merged.next_batch().is_none());
     }
@@ -404,7 +404,7 @@ mod tests {
         let bin1 = merged.next_batch().expect("bin 1");
         assert_eq!(bin1.bin_index, 1);
         assert_eq!(bin1.len(), 2, "both sources land in bin 1");
-        assert!(bin1.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(bin1.packets.timestamps().windows(2).all(|w| w[0] <= w[1]));
 
         let bin2 = merged.next_batch().expect("bin 2");
         assert_eq!((bin2.bin_index, bin2.len()), (2, 1));
@@ -413,7 +413,7 @@ mod tests {
         // merged into an earlier one.
         let bin3 = merged.next_batch().expect("bin 3");
         assert_eq!((bin3.bin_index, bin3.len()), (3, 1));
-        assert_eq!(bin3.packets[0].tuple.src_ip, 2);
+        assert_eq!(bin3.packets.tuples()[0].src_ip, 2);
         assert_eq!(bin3.start_ts, 300);
         assert!(merged.next_batch().is_none());
     }

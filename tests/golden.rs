@@ -29,7 +29,7 @@ use netshed_bench::corpus::{
     GoldenEntry, MANIFEST_NAME, TRACE_EXTENSION,
 };
 use netshed_trace::scenario::builtins;
-use netshed_trace::{decode_batches, encode_batches};
+use netshed_trace::{decode_batches, decode_batches_shared, encode_batches, Bytes};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -105,11 +105,14 @@ fn committed_recordings_match_the_generators() {
 fn roundtrip_replay_is_bit_identical_for_every_strategy_and_worker_count() {
     for scenario in builtins() {
         let generated = scenario.generate().expect("builtins are valid");
-        let replayed = decode_batches(
-            &encode_batches(&generated, scenario.bin_duration_us()).expect("encode"),
-        )
-        .expect("decode");
+        let encoded = encode_batches(&generated, scenario.bin_duration_us()).expect("encode");
+        let replayed = decode_batches(&encoded).expect("decode");
         assert_eq!(generated, replayed, "{}: packet round-trip", scenario.name());
+        // The zero-copy reader is a full peer of the copying one: its batches
+        // (payloads borrowed from the container) must compare bit-identical.
+        let container = Bytes::from(encoded);
+        let borrowed = decode_batches_shared(&container).expect("shared decode");
+        assert_eq!(generated, borrowed, "{}: borrowed-replay round-trip", scenario.name());
 
         let capacity = corpus_capacity(&generated);
         for (name, strategy) in all_strategies() {

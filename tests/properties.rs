@@ -115,7 +115,7 @@ proptest! {
         }
         for batch in &batches {
             for packet in batch.packets.iter() {
-                prop_assert!(packet.ts >= batch.start_ts && packet.ts < batch.end_ts());
+                prop_assert!(packet.ts() >= batch.start_ts && packet.ts() < batch.end_ts());
             }
         }
     }
@@ -138,8 +138,8 @@ proptest! {
         let (cloned, clone_dropped) = clone_packet_sample(&batch, rate, &mut clone_rng);
 
         prop_assert_eq!(view_dropped, clone_dropped);
-        let from_view: Vec<Packet> = view.packets().cloned().collect();
-        let from_clone: Vec<Packet> = cloned.packets.iter().cloned().collect();
+        let from_view: Vec<Packet> = view.packets().map(|p| p.to_packet()).collect();
+        let from_clone: Vec<Packet> = cloned.packets.iter().map(|p| p.to_packet()).collect();
         prop_assert_eq!(from_view, from_clone);
         // Both RNGs must have consumed the same number of draws.
         prop_assert_eq!(view_rng.gen::<u64>(), clone_rng.gen::<u64>());
@@ -164,8 +164,8 @@ proptest! {
         let (cloned, clone_dropped) = clone_flow_sample(&batch, rate, &hasher);
 
         prop_assert_eq!(view_dropped, clone_dropped);
-        let from_view: Vec<Packet> = view.packets().cloned().collect();
-        let from_clone: Vec<Packet> = cloned.packets.iter().cloned().collect();
+        let from_view: Vec<Packet> = view.packets().map(|p| p.to_packet()).collect();
+        let from_clone: Vec<Packet> = cloned.packets.iter().map(|p| p.to_packet()).collect();
         prop_assert_eq!(from_view, from_clone);
         prop_assert!(std::sync::Arc::ptr_eq(view.store(), &batch.packets));
     }
@@ -201,9 +201,9 @@ proptest! {
         let (sampled_a, _) = flow_sample(&batch_a.view(), rate, &hasher);
         let (sampled_b, _) = flow_sample(&batch_b.view(), rate, &hasher);
         let kept_a: std::collections::HashSet<FiveTuple> =
-            sampled_a.packets().map(|p| p.tuple).collect();
+            sampled_a.packets().map(|p| *p.tuple()).collect();
         let kept_b: std::collections::HashSet<FiveTuple> =
-            sampled_b.packets().map(|p| p.tuple).collect();
+            sampled_b.packets().map(|p| *p.tuple()).collect();
         for tuple in &flows {
             prop_assert_eq!(
                 kept_a.contains(tuple),
@@ -240,15 +240,104 @@ proptest! {
         let (kept_low, _) = flow_sample(&batch.view(), low, &hasher);
         let (kept_high, _) = flow_sample(&batch.view(), high, &hasher);
         let low_set: std::collections::HashSet<FiveTuple> =
-            kept_low.packets().map(|p| p.tuple).collect();
+            kept_low.packets().map(|p| *p.tuple()).collect();
         let high_set: std::collections::HashSet<FiveTuple> =
-            kept_high.packets().map(|p| p.tuple).collect();
+            kept_high.packets().map(|p| *p.tuple()).collect();
         prop_assert!(
             low_set.is_subset(&high_set),
             "rate {} kept flows outside rate {}'s set",
             low,
             high
         );
+    }
+
+    /// Layout equivalence: the struct-of-arrays packet store is
+    /// observationally identical to packet-at-a-time construction. For an
+    /// arbitrary packet mix, every column round-trips back to the source
+    /// packet, the eager flow-key column matches per-packet serialisation,
+    /// the eager stats match a scalar fold over the packets, the cached
+    /// aggregate-hash rows match the padded-key `hash_bytes` reference, and
+    /// the fused extractor's output over the store matches the historical
+    /// ten-pass extractor walking packet structs.
+    #[test]
+    fn soa_store_is_equivalent_to_packetwise_construction(
+        rows in proptest::collection::vec(
+            ((0u64..100_000, 1u32..0xffff, 1u32..0xffff),
+             (0u16..1024, 0u16..1024, 0usize..3, 20u32..1500),
+             (0u8..32, 0u8..2, 1u8..32)),
+            1..120,
+        ),
+        hash_seed in 0u64..500,
+    ) {
+        use netshed::trace::{aggregate_hash_seed, Aggregate, Bytes};
+        use netshed::sketch::hash_bytes;
+
+        let mut packets: Vec<Packet> = rows
+            .iter()
+            .map(|((ts, src_ip, dst_ip), (src_port, dst_port, proto, ip_len), rest)| {
+                let (flags, has_payload, payload_len) = *rest;
+                let tuple =
+                    FiveTuple::new(*src_ip, *dst_ip, *src_port, *dst_port, [6, 17, 1][*proto]);
+                if has_payload == 1 {
+                    let bytes: Vec<u8> = (0..payload_len)
+                        .map(|index| (*ts as u8).wrapping_add(index))
+                        .collect();
+                    Packet::with_payload(*ts, tuple, *ip_len, flags, Bytes::from(bytes))
+                } else {
+                    Packet::header_only(*ts, tuple, *ip_len, flags)
+                }
+            })
+            .collect();
+        packets.sort_by_key(|p| p.ts);
+        let batch = Batch::new(0, 0, 100_000, packets.clone());
+
+        // Column round-trip and the eager flow-key column.
+        prop_assert_eq!(batch.len(), packets.len());
+        for (packet, stored) in packets.iter().zip(batch.packets.iter()) {
+            prop_assert_eq!(packet, &stored.to_packet());
+            prop_assert_eq!(&packet.tuple.as_key(), stored.flow_key());
+        }
+
+        // Eager stats vs a scalar fold.
+        let stats = batch.packets.stats();
+        prop_assert_eq!(stats.packets, packets.len() as u64);
+        prop_assert_eq!(stats.bytes, packets.iter().map(|p| u64::from(p.ip_len)).sum::<u64>());
+        prop_assert_eq!(
+            stats.payload_bytes,
+            packets.iter().map(|p| p.payload_len() as u64).sum::<u64>()
+        );
+        prop_assert_eq!(stats.syn_packets, packets.iter().filter(|p| p.is_syn()).count() as u64);
+        prop_assert_eq!(stats.tcp_packets, packets.iter().filter(|p| p.is_proto(6)).count() as u64);
+        prop_assert_eq!(stats.udp_packets, packets.iter().filter(|p| p.is_proto(17)).count() as u64);
+
+        // Cached hash rows vs the padded-key reference (an independent code
+        // path: `Aggregate::key` + `hash_bytes` instead of the incremental
+        // per-field hasher the store uses).
+        let rows = batch.packets.aggregate_hashes(hash_seed).rows().expect("fresh cache");
+        for (packet, row) in packets.iter().zip(rows) {
+            for (index, aggregate) in Aggregate::ALL.iter().enumerate() {
+                let expected = hash_bytes(
+                    &aggregate.key(&packet.tuple),
+                    aggregate_hash_seed(hash_seed, index),
+                );
+                prop_assert_eq!(row.get(*aggregate), expected);
+            }
+        }
+
+        // Fused extraction over the store vs the ten-pass packet walk.
+        let mut fused = netshed::features::FeatureExtractor::with_defaults();
+        let mut tenpass = netshed_bench::baseline::TenPassExtractor::with_defaults();
+        let (fused_vector, fused_ops) = fused.extract(&batch);
+        let (tenpass_vector, tenpass_ops) = tenpass.extract(&batch);
+        prop_assert_eq!(fused_ops, tenpass_ops);
+        for id in netshed::features::FeatureId::all() {
+            prop_assert_eq!(
+                fused_vector.get(id),
+                tenpass_vector.get(id),
+                "feature {} diverged",
+                id.name()
+            );
+        }
     }
 
     /// OLS through the SVD pseudo-inverse recovers exact linear models.
