@@ -3,7 +3,7 @@
 //! `BENCH_pipeline.json` (in the working directory, or `$BENCH_OUT` if set)
 //! so the performance trajectory of the repo is tracked PR over PR.
 //!
-//! Seven measurements:
+//! Eight measurements:
 //!
 //! 1. **extract**: fused single-pass feature extraction vs the historical
 //!    ten-pass baseline on a 10k-packet batch — warm (aggregate hashes cached
@@ -28,7 +28,11 @@
 //! 6. **prediction plane**: ns per bin of the MLR predict/observe cycle,
 //!    before (per-call allocations) vs after (reused scratch buffers), plus
 //!    the FCBF amortisation of `reselect_every`.
-//! 7. **parallel scaling**: the 2× overload pipeline at 1/2/4 workers —
+//! 7. **registry scale**: the service-plane daemon at 10/100/1000 live
+//!    tenants — control-channel registration cost per query and the
+//!    steady-state per-bin cost, with the marginal nanoseconds each
+//!    additional tenant adds per bin.
+//! 8. **parallel scaling**: the 2× overload pipeline at 1/2/4 workers —
 //!    measured wall-clock throughput, and the execution-plane projection
 //!    (measured per-task costs under the pool's list schedule) for hosts
 //!    with fewer cores than workers.
@@ -42,10 +46,11 @@ use netshed_bench::baseline::{
 use netshed_features::{FeatureExtractor, FeatureId, FeatureVector};
 use netshed_monitor::{
     flow_sample, packet_sample, packet_sample_with, AllocationPolicy, ExecStats, Monitor,
-    NullObserver, PredictivePolicy, Strategy,
+    MonitorConfig, NullObserver, PredictivePolicy, Strategy,
 };
 use netshed_predict::{MlrConfig, MlrPredictor, Predictor};
 use netshed_queries::{QueryKind, QuerySpec};
+use netshed_service::Daemon;
 use netshed_sketch::H3Hasher;
 use netshed_trace::{
     decode_batches, decode_batches_shared, encode_batches, Batch, BatchReplay, Bytes, KeepListPool,
@@ -545,6 +550,75 @@ fn bench_control_plane(batches: usize, repeats: u32) -> ControlPlaneNumbers {
     }
 }
 
+struct RegistryScalePoint {
+    queries: usize,
+    register_ns_per_query: f64,
+    ns_per_bin: f64,
+}
+
+struct RegistryScaleNumbers {
+    bins: usize,
+    points: Vec<RegistryScalePoint>,
+    marginal_ns_per_query_per_bin: f64,
+}
+
+/// Costs the multi-tenant live registry at 10/100/1000 concurrent queries:
+/// registration through the daemon's control channel (all applied at one
+/// bin boundary), and the steady-state per-bin processing cost as the
+/// tenant count scales. The marginal row — extra nanoseconds per bin each
+/// additional tenant costs, from the 10→1000 spread — is the number a
+/// capacity planner multiplies.
+fn bench_registry_scale(bins: usize) -> RegistryScaleNumbers {
+    let batches = TraceGenerator::new(
+        TraceConfig::default().with_seed(51).with_mean_packets_per_batch(500.0),
+    )
+    .batches(bins);
+    let tenant_specs = |queries: usize| -> Vec<QuerySpec> {
+        (0..queries)
+            .map(|i| QuerySpec::new(QueryKind::Counter).with_label(format!("tenant-{i:04}")))
+            .collect()
+    };
+    // Ample capacity: the registry cost is what is being measured, not the
+    // shedding response to the demand 1000 tenants would otherwise pile up.
+    let config = || MonitorConfig::default().with_capacity(1e15).with_seed(7);
+
+    let mut points = Vec::new();
+    for queries in [10usize, 100, 1000] {
+        // Registration: N control-channel round trips, all applied in
+        // arrival order at the first bin boundary of an empty source.
+        let (mut daemon, control) =
+            Daemon::new(Monitor::new(config()), BatchReplay::new(Vec::new()));
+        let start = Instant::now();
+        let pending: Vec<_> =
+            tenant_specs(queries).into_iter().map(|s| control.register_query(s)).collect();
+        daemon.tick().expect("registration tick");
+        for p in pending {
+            p.wait().expect("registered");
+        }
+        let register_ns_per_query = start.elapsed().as_nanos() as f64 / queries as f64;
+        assert_eq!(daemon.monitor().query_handles().len(), queries);
+
+        // Steady state: the full tick loop over the recorded bins with N
+        // live tenants.
+        let (mut daemon, control) =
+            Daemon::new(Monitor::new(config()), BatchReplay::new(batches.clone()));
+        let pending: Vec<_> =
+            tenant_specs(queries).into_iter().map(|s| control.register_query(s)).collect();
+        let start = Instant::now();
+        daemon.run_to_exhaustion().expect("run");
+        let ns_per_bin = start.elapsed().as_nanos() as f64 / bins as f64;
+        for p in pending {
+            p.wait().expect("registered");
+        }
+        drop(control);
+        points.push(RegistryScalePoint { queries, register_ns_per_query, ns_per_bin });
+    }
+    let (low, high) = (&points[0], &points[points.len() - 1]);
+    let marginal_ns_per_query_per_bin =
+        (high.ns_per_bin - low.ns_per_bin).max(0.0) / (high.queries - low.queries) as f64;
+    RegistryScaleNumbers { bins, points, marginal_ns_per_query_per_bin }
+}
+
 fn main() {
     let smoke = criterion::smoke_mode();
     let (iterations, pipeline_batches) = if smoke { (10, 100) } else { (200, 600) };
@@ -605,6 +679,16 @@ fn main() {
         prediction.alloc_ns_per_bin / prediction.reuse_reselect10_ns_per_bin,
     );
 
+    eprintln!("registry scale: daemon control channel at 10/100/1000 tenants ...");
+    let registry = bench_registry_scale(if smoke { 12 } else { 40 });
+    for point in &registry.points {
+        eprintln!(
+            "  {:>4} tenants: register {:.0} ns/query | steady state {:.0} ns/bin",
+            point.queries, point.register_ns_per_query, point.ns_per_bin
+        );
+    }
+    eprintln!("  marginal cost per tenant: {:.0} ns/bin", registry.marginal_ns_per_query_per_bin);
+
     eprintln!("parallel scaling: 2x overload pipeline at 1/2/4 workers ...");
     let scaling = bench_parallel_scaling(pipeline_batches);
     for point in &scaling.points {
@@ -618,6 +702,18 @@ fn main() {
         scaling.host_cores, scaling.parallel_fraction, scaling.speedup_4w, scaling.speedup_4w_basis
     );
 
+    let registry_points_json: String = registry
+        .points
+        .iter()
+        .map(|point| {
+            format!(
+                "      {{ \"queries\": {}, \"register_ns_per_query\": {:.0}, \
+                 \"ns_per_bin\": {:.0} }}",
+                point.queries, point.register_ns_per_query, point.ns_per_bin
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let scaling_points_json: String = scaling
         .points
         .iter()
@@ -656,6 +752,8 @@ fn main() {
          \"alloc_ns_per_bin\": {:.0},\n    \"reuse_ns_per_bin\": {:.0},\n    \
          \"reuse_reselect10_ns_per_bin\": {:.0},\n    \"speedup_reuse\": {:.2},\n    \
          \"speedup_reuse_reselect10\": {:.2}\n  }},\n  \
+         \"registry_scale\": {{\n    \"bins\": {},\n    \"tenants\": [\n{}\n    ],\n    \
+         \"marginal_ns_per_query_per_bin\": {:.0}\n  }},\n  \
          \"parallel_scaling\": {{\n    \"batches\": {},\n    \"host_cores\": {},\n    \
          \"parallel_fraction\": {:.3},\n    \"workers\": [\n{}\n    ],\n    \
          \"speedup_4w\": {:.3},\n    \"speedup_4w_basis\": \"{}\"\n  }}\n}}\n",
@@ -692,6 +790,9 @@ fn main() {
         prediction.reuse_reselect10_ns_per_bin,
         prediction.alloc_ns_per_bin / prediction.reuse_ns_per_bin,
         prediction.alloc_ns_per_bin / prediction.reuse_reselect10_ns_per_bin,
+        registry.bins,
+        registry_points_json,
+        registry.marginal_ns_per_query_per_bin,
         scaling.batches,
         scaling.host_cores,
         scaling.parallel_fraction,

@@ -1,10 +1,12 @@
-//! Manage the golden-replay conformance corpus.
+//! Manage the golden-replay conformance corpus and its service-plane runs.
 //!
 //! ```sh
 //! cargo run -p netshed-bench --release --bin scenarios -- list
 //! cargo run -p netshed-bench --release --bin scenarios -- record [--dir corpus]
 //! cargo run -p netshed-bench --release --bin scenarios -- verify [--dir corpus] [--workers N] [--borrowed]
 //! cargo run -p netshed-bench --release --bin scenarios -- run <name> [--strategy mmfs_pkt] [--workers N]
+//! cargo run -p netshed-bench --release --bin scenarios -- checkpoint <name> <strategy> [--at BIN] [--out FILE]
+//! cargo run -p netshed-bench --release --bin scenarios -- resume <name> <strategy> --from FILE [--dir corpus]
 //! ```
 //!
 //! `record` regenerates every built-in scenario, writes the `.nstr`
@@ -16,100 +18,74 @@
 //! through the zero-copy [`decode_batches_shared`] path instead of the
 //! copying reader (both are always cross-checked against each other), so CI
 //! proves the borrowed replay plane produces the same pinned digests.
+//!
+//! `checkpoint` and `resume` exercise the service plane: the scenario runs
+//! under a daemon (queries registered through the control channel) to a
+//! midpoint, the `.nsck` checkpoint is written, and a *separate process*
+//! restores it and finishes the run. `resume --dir corpus` verifies the
+//! final digest against the pinned manifest row, which is what the CI
+//! checkpoint-restore job loops over.
+//!
+//! Argument parsing lives in [`netshed_bench::cli`] so its hygiene rules
+//! (unknown flags and subcommands fail with usage on stderr, `--help`
+//! everywhere) are unit-tested.
 
+use netshed_bench::cli::{parse_scenarios_args, usage, ScenariosCommand};
 use netshed_bench::corpus::{
-    all_strategies, compute_golden, corpus_capacity, diff_digests, digest_run, format_manifest,
-    parse_manifest, strategy_by_name, GoldenEntry, MANIFEST_NAME, TRACE_EXTENSION,
+    all_strategies, checkpoint_run, compute_golden, corpus_capacity, diff_digests, digest_run,
+    format_manifest, parse_manifest, resume_run, strategy_by_name, GoldenEntry, MANIFEST_NAME,
+    TRACE_EXTENSION,
 };
+use netshed_monitor::Strategy;
 use netshed_trace::scenario::{builtin, builtins};
 use netshed_trace::{decode_batches, decode_batches_shared, encode_batches, Batch, Bytes};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut dir: Option<PathBuf> = None;
-    let mut workers: Option<usize> = None;
-    let mut strategy_name: Option<String> = None;
-    let mut borrowed = false;
-    let mut positional = Vec::new();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        // Flags fail loudly on missing or unparseable values: a typo like
-        // `--workers two` must not silently verify at the default count.
-        match arg.as_str() {
-            "--dir" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--dir requires a path");
-                    return ExitCode::FAILURE;
-                };
-                dir = Some(PathBuf::from(value));
-            }
-            "--workers" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--workers requires a count");
-                    return ExitCode::FAILURE;
-                };
-                match value.parse::<usize>() {
-                    Ok(count) if count >= 1 => workers = Some(count),
-                    _ => {
-                        eprintln!("--workers requires a count >= 1, got {value:?}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--strategy" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--strategy requires a name");
-                    return ExitCode::FAILURE;
-                };
-                strategy_name = Some(value.clone());
-            }
-            "--borrowed" => borrowed = true,
-            other => positional.push(other.to_string()),
-        }
-    }
-    let command = positional.first().map_or("list", String::as_str);
-    // Flags a command ignores are rejected, not silently dropped — a caller
-    // passing `run … --workers 4` must not believe the parallel plane ran
-    // when it did not.
-    let applicable: &[&str] = match command {
-        "list" => &[],
-        "record" => &["--dir"],
-        "verify" => &["--dir", "--workers", "--borrowed"],
-        "run" => &["--workers", "--strategy"],
-        _ => &["--dir", "--workers", "--strategy", "--borrowed"],
-    };
-    for (flag, set) in [
-        ("--dir", dir.is_some()),
-        ("--workers", workers.is_some()),
-        ("--strategy", strategy_name.is_some()),
-        ("--borrowed", borrowed),
-    ] {
-        if set && !applicable.contains(&flag) {
-            eprintln!("{flag} does not apply to `{command}`");
+    let command = match parse_scenarios_args(&args) {
+        Ok(command) => command,
+        Err(error) => {
+            eprintln!("{}", error.message);
+            eprintln!("{}", error.usage);
             return ExitCode::FAILURE;
         }
-    }
-    let dir = dir.unwrap_or_else(|| PathBuf::from("corpus"));
-    let workers = workers.unwrap_or(1);
+    };
     match command {
-        "list" => list(),
-        "record" => record(&dir),
-        "verify" => verify(&dir, workers, borrowed),
-        "run" => {
-            if let Some(name) = positional.get(1) {
-                run_one(name, strategy_name.as_deref(), workers)
-            } else {
-                eprintln!("usage: scenarios run <name> [--strategy <name>] [--workers N]");
-                ExitCode::FAILURE
-            }
+        ScenariosCommand::Help { topic } => {
+            println!("{}", usage(topic.as_deref()));
+            ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("unknown command {other:?} (use list | record | verify | run)");
-            ExitCode::FAILURE
+        ScenariosCommand::List => list(),
+        ScenariosCommand::Record { dir } => record(&dir),
+        ScenariosCommand::Verify { dir, workers, borrowed } => verify(&dir, workers, borrowed),
+        ScenariosCommand::Run { name, strategy, workers } => {
+            run_one(&name, strategy.as_deref(), workers)
+        }
+        ScenariosCommand::Checkpoint { name, strategy, at, out, workers } => {
+            checkpoint(&name, &strategy, at, &out, workers)
+        }
+        ScenariosCommand::Resume { name, strategy, from, dir, workers } => {
+            resume(&name, &strategy, &from, dir.as_deref(), workers)
         }
     }
+}
+
+/// Resolves a (scenario, strategy) pair or explains what exists.
+fn resolve(name: &str, strategy_name: &str) -> Option<(Vec<Batch>, Strategy)> {
+    let Some(scenario) = builtin(name) else {
+        eprintln!("unknown scenario {name:?} (see `scenarios list`)");
+        return None;
+    };
+    let Some(strategy) = strategy_by_name(strategy_name) else {
+        eprintln!("unknown strategy {strategy_name:?}; known:");
+        for (known, _) in all_strategies() {
+            eprintln!("  {known}");
+        }
+        return None;
+    };
+    Some((scenario.generate().expect("builtins are valid"), strategy))
 }
 
 fn list() -> ExitCode {
@@ -309,25 +285,9 @@ fn verify(dir: &Path, workers: usize, borrowed: bool) -> ExitCode {
 }
 
 fn run_one(name: &str, strategy_name: Option<&str>, workers: usize) -> ExitCode {
-    let Some(scenario) = builtin(name) else {
-        eprintln!("unknown scenario {name:?} (see `scenarios list`)");
+    let Some((batches, strategy)) = resolve(name, strategy_name.unwrap_or("mmfs_pkt")) else {
         return ExitCode::FAILURE;
     };
-    let strategy = match strategy_name {
-        None => netshed_monitor::Strategy::Predictive(netshed_monitor::AllocationPolicy::MmfsPkt),
-        Some(requested) => {
-            if let Some(strategy) = strategy_by_name(requested) {
-                strategy
-            } else {
-                eprintln!("unknown strategy {requested:?}; known:");
-                for (known, _) in all_strategies() {
-                    eprintln!("  {known}");
-                }
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-    let batches = scenario.generate().expect("builtins are valid");
     let capacity = corpus_capacity(&batches);
     match digest_run(&batches, strategy, capacity, workers) {
         Ok(digest) => {
@@ -344,5 +304,119 @@ fn run_one(name: &str, strategy_name: Option<&str>, workers: usize) -> ExitCode 
             eprintln!("{name}: run failed: {error}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn checkpoint(
+    name: &str,
+    strategy_name: &str,
+    at: Option<u64>,
+    out: &Path,
+    workers: usize,
+) -> ExitCode {
+    let Some((batches, strategy)) = resolve(name, strategy_name) else {
+        return ExitCode::FAILURE;
+    };
+    let capacity = corpus_capacity(&batches);
+    let non_empty = batches.iter().filter(|b| !b.is_empty()).count() as u64;
+    let at = at.unwrap_or(non_empty / 2).max(1);
+    if at >= non_empty {
+        eprintln!("--at {at} does not land mid-scenario: {name} has {non_empty} non-empty bins");
+        return ExitCode::FAILURE;
+    }
+    match checkpoint_run(&batches, strategy, capacity, workers, at) {
+        Ok(bytes) => {
+            if let Err(error) = std::fs::write(out, &bytes) {
+                eprintln!("cannot write {}: {error}", out.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "checkpointed {name} / {strategy_name} after {at} of {non_empty} non-empty bins: \
+                 {} bytes into {}",
+                bytes.len(),
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("{name} / {strategy_name}: checkpoint failed: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn resume(
+    name: &str,
+    strategy_name: &str,
+    from: &Path,
+    verify_dir: Option<&Path>,
+    workers: usize,
+) -> ExitCode {
+    let Some((batches, strategy)) = resolve(name, strategy_name) else {
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(from) {
+        Ok(bytes) => bytes,
+        Err(error) => {
+            eprintln!("cannot read {}: {error}", from.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let capacity = corpus_capacity(&batches);
+    let digest = match resume_run(&bytes, &batches, strategy, capacity, workers) {
+        Ok(digest) => digest,
+        Err(error) => {
+            eprintln!("{name} / {strategy_name}: resume failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Print the manifest-row rendering so the result lines up with
+    // GOLDEN.digests textually.
+    let row =
+        GoldenEntry { scenario: name.to_string(), strategy: strategy_name.to_string(), digest };
+    print!(
+        "{}",
+        format_manifest(std::slice::from_ref(&row))
+            .lines()
+            .last()
+            .map(|l| format!("{l}\n"))
+            .unwrap_or_default()
+    );
+    let Some(dir) = verify_dir else {
+        return ExitCode::SUCCESS;
+    };
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read {}: {error}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let pinned = match parse_manifest(&text) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("{}: {error}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(entry) = pinned.iter().find(|e| e.scenario == name && e.strategy == strategy_name)
+    else {
+        eprintln!("{name} / {strategy_name}: no pinned digest in {}", manifest_path.display());
+        return ExitCode::FAILURE;
+    };
+    let drift = diff_digests(name, strategy_name, entry.digest, digest);
+    if drift.is_empty() {
+        println!(
+            "{name} / {strategy_name}: resumed run matches the pinned digest at {workers} \
+             worker(s)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("checkpoint/restore DRIFT ({} problems):", drift.len());
+        for line in &drift {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
     }
 }

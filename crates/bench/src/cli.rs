@@ -1,0 +1,476 @@
+//! Argument parsing for the `scenarios` binary, as a library.
+//!
+//! The parser lives here rather than in `src/bin/scenarios.rs` so its
+//! contract is unit-testable: unknown subcommands and unknown flags fail
+//! with a nonzero exit and a usage string on stderr, flags a command does
+//! not accept are rejected rather than silently dropped, excess positional
+//! arguments are errors, and `--help` works everywhere (global and
+//! per-command). The binary itself is a thin dispatcher over
+//! [`parse_scenarios_args`].
+
+use std::path::PathBuf;
+
+/// A fully parsed `scenarios` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenariosCommand {
+    /// `scenarios [list]` — describe the built-in scenarios.
+    List,
+    /// `scenarios record [--dir D]` — re-record traces, pin digests.
+    Record {
+        /// Corpus directory.
+        dir: PathBuf,
+    },
+    /// `scenarios verify [--dir D] [--workers N] [--borrowed]`.
+    Verify {
+        /// Corpus directory.
+        dir: PathBuf,
+        /// Worker count for the digest runs.
+        workers: usize,
+        /// Replay through the zero-copy decode path.
+        borrowed: bool,
+    },
+    /// `scenarios run <scenario> [--strategy S] [--workers N]`.
+    Run {
+        /// Scenario name.
+        name: String,
+        /// Strategy name; the default is the paper's headline configuration.
+        strategy: Option<String>,
+        /// Worker count.
+        workers: usize,
+    },
+    /// `scenarios checkpoint <scenario> <strategy> [--at BIN] [--out F]
+    /// [--workers N]` — run a scenario to a midpoint under a daemon and
+    /// write the `.nsck` checkpoint.
+    Checkpoint {
+        /// Scenario name.
+        name: String,
+        /// Strategy name.
+        strategy: String,
+        /// Non-empty bins to process before checkpointing; the default is
+        /// half the scenario.
+        at: Option<u64>,
+        /// Output path of the `.nsck` file.
+        out: PathBuf,
+        /// Worker count.
+        workers: usize,
+    },
+    /// `scenarios resume <scenario> <strategy> --from F [--dir D]
+    /// [--workers N]` — restore a `.nsck` checkpoint in this (fresh) process
+    /// and finish the run; with `--dir`, verify the final digest against the
+    /// corpus manifest.
+    Resume {
+        /// Scenario name.
+        name: String,
+        /// Strategy name.
+        strategy: String,
+        /// Path of the `.nsck` file to restore.
+        from: PathBuf,
+        /// When set, verify the final digest against `GOLDEN.digests` in
+        /// this directory.
+        dir: Option<PathBuf>,
+        /// Worker count.
+        workers: usize,
+    },
+    /// `scenarios help [command]` / `scenarios --help` /
+    /// `scenarios <command> --help`.
+    Help {
+        /// The command to describe; `None` prints the global usage.
+        topic: Option<String>,
+    },
+}
+
+/// A parse failure: the message goes to stderr, followed by the usage of
+/// the closest command (or the global usage), and the process exits
+/// nonzero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// What was wrong with the invocation.
+    pub message: String,
+    /// The usage text to print after the message.
+    pub usage: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n{}", self.message, self.usage)
+    }
+}
+
+const COMMAND_NAMES: [&str; 7] =
+    ["list", "record", "verify", "run", "checkpoint", "resume", "help"];
+
+/// The usage text for one command, or the global synopsis for `None` /
+/// unknown names.
+pub fn usage(topic: Option<&str>) -> String {
+    match topic {
+        Some("list") => "usage: scenarios list\n\
+             describe the built-in scenarios (bins, links, packets, phases)"
+            .to_string(),
+        Some("record") => "usage: scenarios record [--dir DIR]\n\
+             regenerate every scenario, write the .nstr recordings and pin the\n\
+             per-strategy digests into GOLDEN.digests (default --dir corpus)"
+            .to_string(),
+        Some("verify") => "usage: scenarios verify [--dir DIR] [--workers N] [--borrowed]\n\
+             replay the committed corpus and fail loudly on any digest drift;\n\
+             --borrowed decodes through the zero-copy replay plane"
+            .to_string(),
+        Some("run") => "usage: scenarios run <scenario> [--strategy NAME] [--workers N]\n\
+             replay one scenario under one strategy and print its digest"
+            .to_string(),
+        Some("checkpoint") => {
+            "usage: scenarios checkpoint <scenario> <strategy> [--at BIN] [--out FILE] [--workers N]\n\
+             run the scenario under a service daemon to a midpoint (default: half\n\
+             the non-empty bins) and write the .nsck checkpoint (default --out\n\
+             <scenario>.<strategy>.nsck)"
+                .to_string()
+        }
+        Some("resume") => {
+            "usage: scenarios resume <scenario> <strategy> --from FILE [--dir DIR] [--workers N]\n\
+             restore a .nsck checkpoint in this process, replay the remaining bins\n\
+             and print the final digest as a manifest row; with --dir, also verify\n\
+             it against GOLDEN.digests and fail on drift"
+                .to_string()
+        }
+        Some("help") => "usage: scenarios help [command]".to_string(),
+        _ => "usage: scenarios <command> [options]\n\
+              commands:\n  \
+                list        describe the built-in scenarios\n  \
+                record      re-record traces and pin golden digests\n  \
+                verify      replay the corpus against the manifest\n  \
+                run         digest one scenario / strategy pair\n  \
+                checkpoint  run to a midpoint and write a .nsck snapshot\n  \
+                resume      restore a .nsck snapshot and finish the run\n  \
+                help        show this message or one command's usage\n\
+              run `scenarios <command> --help` for details on one command"
+            .to_string(),
+    }
+}
+
+fn error(command: Option<&str>, message: impl Into<String>) -> CliError {
+    CliError { message: message.into(), usage: usage(command) }
+}
+
+/// Parses the argument vector of the `scenarios` binary (without the
+/// program name). See the module docs for the contract.
+pub fn parse_scenarios_args(args: &[String]) -> Result<ScenariosCommand, CliError> {
+    let mut dir: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut strategy: Option<String> = None;
+    let mut at: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut from: Option<PathBuf> = None;
+    let mut borrowed = false;
+    let mut help = false;
+    let mut positional: Vec<String> = Vec::new();
+
+    // The command name is the first positional; flag errors want to cite it
+    // even when they occur before it is reached.
+    let command_hint = || -> Option<String> { args.iter().find(|a| !a.starts_with('-')).cloned() };
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> Result<String, CliError> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| error(command_hint().as_deref(), format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => help = true,
+            "--borrowed" => borrowed = true,
+            "--dir" => dir = Some(PathBuf::from(value_of("--dir")?)),
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--from" => from = Some(PathBuf::from(value_of("--from")?)),
+            "--strategy" => strategy = Some(value_of("--strategy")?),
+            "--workers" => {
+                let value = value_of("--workers")?;
+                match value.parse::<usize>() {
+                    Ok(count) if count >= 1 => workers = Some(count),
+                    // A typo like `--workers two` must not silently verify
+                    // at the default count.
+                    _ => {
+                        return Err(error(
+                            command_hint().as_deref(),
+                            format!("--workers requires a count >= 1, got {value:?}"),
+                        ))
+                    }
+                }
+            }
+            "--at" => {
+                let value = value_of("--at")?;
+                match value.parse::<u64>() {
+                    Ok(bin) => at = Some(bin),
+                    Err(_) => {
+                        return Err(error(
+                            command_hint().as_deref(),
+                            format!("--at requires a bin count, got {value:?}"),
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                return Err(error(command_hint().as_deref(), format!("unknown flag {other:?}")))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let command = positional.first().map_or("list", String::as_str).to_string();
+    let command = command.as_str();
+    if help {
+        // `scenarios --help` and `scenarios <command> --help` both land
+        // here; an unknown topic still prints the global usage.
+        let topic = positional.first().cloned();
+        return Ok(ScenariosCommand::Help { topic });
+    }
+    if !COMMAND_NAMES.contains(&command) {
+        return Err(error(
+            None,
+            format!("unknown command {command:?} (use {})", COMMAND_NAMES.join(" | ")),
+        ));
+    }
+
+    // Flags a command ignores are rejected, not silently dropped — a caller
+    // passing `run … --borrowed` must not believe the borrowed plane ran.
+    let applicable: &[&str] = match command {
+        "list" | "help" => &[],
+        "record" => &["--dir"],
+        "verify" => &["--dir", "--workers", "--borrowed"],
+        "run" => &["--workers", "--strategy"],
+        "checkpoint" => &["--at", "--out", "--workers"],
+        "resume" => &["--from", "--dir", "--workers"],
+        _ => unreachable!("command membership checked above"),
+    };
+    for (flag, set) in [
+        ("--dir", dir.is_some()),
+        ("--workers", workers.is_some()),
+        ("--strategy", strategy.is_some()),
+        ("--at", at.is_some()),
+        ("--out", out.is_some()),
+        ("--from", from.is_some()),
+        ("--borrowed", borrowed),
+    ] {
+        if set && !applicable.contains(&flag) {
+            return Err(error(Some(command), format!("{flag} does not apply to `{command}`")));
+        }
+    }
+
+    let expect_positionals = |count: usize, what: &str| -> Result<(), CliError> {
+        match positional.len().cmp(&count) {
+            std::cmp::Ordering::Less => {
+                Err(error(Some(command), format!("`{command}` requires {what}")))
+            }
+            std::cmp::Ordering::Greater => {
+                Err(error(Some(command), format!("unexpected argument {:?}", positional[count])))
+            }
+            std::cmp::Ordering::Equal => Ok(()),
+        }
+    };
+
+    let workers = workers.unwrap_or(1);
+    match command {
+        "list" => {
+            if !positional.is_empty() {
+                expect_positionals(1, "no arguments")?;
+            }
+            Ok(ScenariosCommand::List)
+        }
+        "record" => {
+            expect_positionals(1, "no arguments")?;
+            Ok(ScenariosCommand::Record { dir: dir.unwrap_or_else(|| PathBuf::from("corpus")) })
+        }
+        "verify" => {
+            expect_positionals(1, "no arguments")?;
+            Ok(ScenariosCommand::Verify {
+                dir: dir.unwrap_or_else(|| PathBuf::from("corpus")),
+                workers,
+                borrowed,
+            })
+        }
+        "run" => {
+            expect_positionals(2, "a scenario name")?;
+            Ok(ScenariosCommand::Run { name: positional[1].clone(), strategy, workers })
+        }
+        "checkpoint" => {
+            expect_positionals(3, "a scenario name and a strategy name")?;
+            let name = positional[1].clone();
+            let strategy = positional[2].clone();
+            let out = out.unwrap_or_else(|| PathBuf::from(format!("{name}.{strategy}.nsck")));
+            Ok(ScenariosCommand::Checkpoint { name, strategy, at, out, workers })
+        }
+        "resume" => {
+            expect_positionals(3, "a scenario name and a strategy name")?;
+            let Some(from) = from else {
+                return Err(error(Some("resume"), "`resume` requires --from <file.nsck>"));
+            };
+            Ok(ScenariosCommand::Resume {
+                name: positional[1].clone(),
+                strategy: positional[2].clone(),
+                from,
+                dir,
+                workers,
+            })
+        }
+        "help" => {
+            if positional.len() > 2 {
+                expect_positionals(2, "at most one command name")?;
+            }
+            Ok(ScenariosCommand::Help { topic: positional.get(1).cloned() })
+        }
+        _ => unreachable!("command membership checked above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ScenariosCommand, CliError> {
+        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+        parse_scenarios_args(&args)
+    }
+
+    #[test]
+    fn no_arguments_defaults_to_list() {
+        assert_eq!(parse(&[]).expect("parse"), ScenariosCommand::List);
+        assert_eq!(parse(&["list"]).expect("parse"), ScenariosCommand::List);
+    }
+
+    #[test]
+    fn unknown_subcommands_fail_with_the_global_usage() {
+        let err = parse(&["frobnicate"]).expect_err("unknown command");
+        assert!(err.message.contains("frobnicate"));
+        assert!(err.usage.contains("usage: scenarios <command>"));
+    }
+
+    #[test]
+    fn unknown_flags_fail_instead_of_becoming_positionals() {
+        let err = parse(&["verify", "--frobnicate"]).expect_err("unknown flag");
+        assert!(err.message.contains("--frobnicate"));
+        let err = parse(&["-x"]).expect_err("unknown short flag");
+        assert!(err.message.contains("-x"));
+    }
+
+    #[test]
+    fn excess_positionals_are_rejected() {
+        let err = parse(&["verify", "extra"]).expect_err("excess positional");
+        assert!(err.message.contains("extra"));
+        let err = parse(&["run", "ddos-spike", "surplus"]).expect_err("excess positional");
+        assert!(err.message.contains("surplus"));
+    }
+
+    #[test]
+    fn inapplicable_flags_are_rejected_per_command() {
+        let err = parse(&["run", "ddos-spike", "--borrowed"]).expect_err("inapplicable");
+        assert!(err.message.contains("--borrowed"));
+        assert!(err.message.contains("run"));
+        let err = parse(&["record", "--workers", "4"]).expect_err("inapplicable");
+        assert!(err.message.contains("--workers"));
+        let err = parse(&["checkpoint", "a", "b", "--strategy", "x"]).expect_err("inapplicable");
+        assert!(err.message.contains("--strategy"));
+    }
+
+    #[test]
+    fn flag_values_are_validated() {
+        assert!(parse(&["verify", "--workers"]).expect_err("missing").message.contains("value"));
+        assert!(parse(&["verify", "--workers", "two"])
+            .expect_err("bad count")
+            .message
+            .contains("two"));
+        assert!(parse(&["verify", "--workers", "0"]).is_err());
+        assert!(parse(&["checkpoint", "a", "b", "--at", "soon"])
+            .expect_err("bad bin")
+            .message
+            .contains("soon"));
+    }
+
+    #[test]
+    fn help_works_everywhere() {
+        assert_eq!(parse(&["--help"]).expect("parse"), ScenariosCommand::Help { topic: None });
+        assert_eq!(parse(&["-h"]).expect("parse"), ScenariosCommand::Help { topic: None });
+        assert_eq!(
+            parse(&["verify", "--help"]).expect("parse"),
+            ScenariosCommand::Help { topic: Some("verify".into()) }
+        );
+        assert_eq!(
+            parse(&["help", "resume"]).expect("parse"),
+            ScenariosCommand::Help { topic: Some("resume".into()) }
+        );
+        // --help wins even when the rest of the invocation is incomplete.
+        assert_eq!(
+            parse(&["checkpoint", "--help"]).expect("parse"),
+            ScenariosCommand::Help { topic: Some("checkpoint".into()) }
+        );
+    }
+
+    #[test]
+    fn every_command_has_usage_text() {
+        for name in COMMAND_NAMES {
+            let text = usage(Some(name));
+            assert!(text.starts_with("usage: scenarios"), "{name}: {text}");
+        }
+        assert!(usage(None).contains("checkpoint"));
+        assert!(usage(None).contains("resume"));
+    }
+
+    #[test]
+    fn verify_collects_its_flags() {
+        assert_eq!(
+            parse(&["verify", "--dir", "elsewhere", "--workers", "4", "--borrowed"])
+                .expect("parse"),
+            ScenariosCommand::Verify {
+                dir: PathBuf::from("elsewhere"),
+                workers: 4,
+                borrowed: true
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoint_defaults_its_output_path() {
+        assert_eq!(
+            parse(&["checkpoint", "ddos-spike", "mmfs_pkt"]).expect("parse"),
+            ScenariosCommand::Checkpoint {
+                name: "ddos-spike".into(),
+                strategy: "mmfs_pkt".into(),
+                at: None,
+                out: PathBuf::from("ddos-spike.mmfs_pkt.nsck"),
+                workers: 1,
+            }
+        );
+        assert_eq!(
+            parse(&["checkpoint", "s", "x", "--at", "12", "--out", "cp.nsck", "--workers", "2"])
+                .expect("parse"),
+            ScenariosCommand::Checkpoint {
+                name: "s".into(),
+                strategy: "x".into(),
+                at: Some(12),
+                out: PathBuf::from("cp.nsck"),
+                workers: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn resume_requires_its_source_file() {
+        let err = parse(&["resume", "ddos-spike", "mmfs_pkt"]).expect_err("missing --from");
+        assert!(err.message.contains("--from"));
+        assert!(err.usage.contains("resume"));
+        assert_eq!(
+            parse(&["resume", "s", "x", "--from", "cp.nsck", "--dir", "corpus"]).expect("parse"),
+            ScenariosCommand::Resume {
+                name: "s".into(),
+                strategy: "x".into(),
+                from: PathBuf::from("cp.nsck"),
+                dir: Some(PathBuf::from("corpus")),
+                workers: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn run_requires_a_scenario() {
+        let err = parse(&["run"]).expect_err("missing scenario");
+        assert!(err.message.contains("requires"));
+        assert!(err.usage.contains("run <scenario>"));
+    }
+}

@@ -17,8 +17,9 @@
 //! * [`diff_digests`] renders a drift as a readable report naming the
 //!   scenario, the strategy and the exact stream that diverged.
 
-use netshed_monitor::{DigestObserver, Monitor, NetshedError, RunDigest, Strategy};
+use netshed_monitor::{DigestObserver, Monitor, MonitorConfig, NetshedError, RunDigest, Strategy};
 use netshed_queries::{CustomBehavior, QueryKind, QuerySpec};
+use netshed_service::{Daemon, ServiceError, TickStatus};
 use netshed_trace::scenario::Scenario;
 use netshed_trace::{Batch, BatchReplay};
 
@@ -45,26 +46,15 @@ pub fn corpus_specs() -> Vec<QuerySpec> {
     ]
 }
 
-/// The seven built-in strategy configurations, with their historical names.
+/// The seven built-in strategy configurations ([`Strategy::ALL`]), with
+/// their historical names, in manifest order.
 pub fn all_strategies() -> Vec<(String, Strategy)> {
-    use netshed_monitor::AllocationPolicy::{EqualRates, MmfsCpu, MmfsPkt};
-    [
-        Strategy::NoShedding,
-        Strategy::Reactive(EqualRates),
-        Strategy::Reactive(MmfsCpu),
-        Strategy::Reactive(MmfsPkt),
-        Strategy::Predictive(EqualRates),
-        Strategy::Predictive(MmfsCpu),
-        Strategy::Predictive(MmfsPkt),
-    ]
-    .into_iter()
-    .map(|strategy| (strategy.name(), strategy))
-    .collect()
+    Strategy::ALL.into_iter().map(|strategy| (strategy.name(), strategy)).collect()
 }
 
 /// Resolves a strategy by its historical name.
 pub fn strategy_by_name(name: &str) -> Option<Strategy> {
-    all_strategies().into_iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    Strategy::from_name(name)
 }
 
 /// The capacity of a corpus run: half the unconstrained demand of the
@@ -97,6 +87,63 @@ pub fn digest_run(
     let mut observer = DigestObserver::new();
     monitor.run(&mut BatchReplay::new(batches.to_vec()), &mut observer)?;
     Ok(observer.digest())
+}
+
+/// The corpus configuration of one strategy run, exactly as
+/// [`digest_run`]'s builder assembles it — the service-plane helpers below
+/// need the explicit [`MonitorConfig`] because `.nsck` restore cross-checks
+/// it against the checkpointing process's.
+fn corpus_config(strategy: Strategy, capacity: f64, workers: usize) -> MonitorConfig {
+    MonitorConfig::default()
+        .with_capacity(capacity)
+        .with_seed(CORPUS_SEED)
+        .with_strategy(strategy)
+        .with_workers(workers)
+}
+
+/// Runs the corpus configuration under a service daemon up to `at` non-empty
+/// bins — registering the corpus queries through the control channel, like
+/// real tenants — and returns the `.nsck` checkpoint bytes.
+pub fn checkpoint_run(
+    batches: &[Batch],
+    strategy: Strategy,
+    capacity: f64,
+    workers: usize,
+    at: u64,
+) -> Result<Vec<u8>, ServiceError> {
+    let config = corpus_config(strategy, capacity, workers);
+    config.validate()?;
+    let (daemon, control) = Daemon::new(Monitor::new(config), BatchReplay::new(batches.to_vec()));
+    let mut daemon = daemon.with_bins_per_tick(at.max(1));
+    let pending: Vec<_> =
+        corpus_specs().into_iter().map(|spec| control.register_query(spec)).collect();
+    let status = daemon.tick()?;
+    for p in pending {
+        p.wait()?;
+    }
+    if !matches!(status, TickStatus::Progressed { .. }) {
+        // The cut must land strictly inside the scenario, otherwise nothing
+        // is left to prove on resume.
+        return Err(ServiceError::SourceTooShort { needed: at, skipped: daemon.bins_ingested() });
+    }
+    daemon.checkpoint()
+}
+
+/// Restores a [`checkpoint_run`] `.nsck` in this process (typically a fresh
+/// one), replays the remaining bins and returns the final fingerprint —
+/// which must equal the uninterrupted [`digest_run`] digest bit for bit.
+pub fn resume_run(
+    bytes: &[u8],
+    batches: &[Batch],
+    strategy: Strategy,
+    capacity: f64,
+    workers: usize,
+) -> Result<RunDigest, ServiceError> {
+    let config = corpus_config(strategy, capacity, workers);
+    let (mut daemon, _control) =
+        Daemon::restore(config, BatchReplay::new(batches.to_vec()), bytes)?;
+    daemon.run_to_exhaustion()?;
+    Ok(daemon.digest())
 }
 
 /// One pinned manifest row.

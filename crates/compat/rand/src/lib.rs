@@ -19,6 +19,19 @@ pub mod rngs {
     pub struct StdRng {
         pub(crate) state: [u64; 4],
     }
+
+    impl StdRng {
+        /// The raw generator state, for checkpointing a stream mid-run.
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        /// The restored generator continues the exact same stream.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            StdRng { state }
+        }
+    }
 }
 
 pub use rngs::StdRng;

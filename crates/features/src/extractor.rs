@@ -10,7 +10,7 @@
 
 use crate::aggregate::{Aggregate, AggregateHashes, AGGREGATE_COUNT};
 use crate::vector::{CounterKind, FeatureId, FeatureVector};
-use netshed_sketch::MultiResolutionBitmap;
+use netshed_sketch::{MultiResolutionBitmap, StateError, StateReader, StateWriter};
 use netshed_trace::{Batch, BatchView, HashClaim};
 
 /// Configuration of the feature extractor.
@@ -117,6 +117,32 @@ impl FeatureExtractor {
             .iter()
             .map(|a| a.batch_unique.memory_bytes() + a.interval_seen.memory_bytes())
             .sum()
+    }
+
+    /// Serializes the extractor's interval state for a checkpoint: the
+    /// current interval marker, the batch count, and every aggregate's bitmap
+    /// pair. The "new items" counters compare each batch against everything
+    /// seen since the interval began, so this state is essential — it cannot
+    /// be rebuilt without replaying the whole interval.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.opt_u64(self.current_interval);
+        writer.u64(self.batches_processed);
+        for state in &self.aggregates {
+            state.batch_unique.save_state(writer);
+            state.interval_seen.save_state(writer);
+        }
+    }
+
+    /// Restores state captured by [`FeatureExtractor::save_state`] into an
+    /// extractor built from the same configuration.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.current_interval = reader.opt_u64()?;
+        self.batches_processed = reader.u64()?;
+        for state in &mut self.aggregates {
+            state.batch_unique.load_state(reader)?;
+            state.interval_seen.load_state(reader)?;
+        }
+        Ok(())
     }
 
     /// Extracts the feature vector for a batch.

@@ -115,6 +115,17 @@ impl Ewma {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    /// The raw smoothed value, `None` before any observation. Used for
+    /// checkpointing; pair with [`Ewma::restore`].
+    pub fn state(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Restores a value captured by [`Ewma::state`]; the weight is kept.
+    pub fn restore(&mut self, value: Option<f64>) {
+        self.value = value;
+    }
 }
 
 #[cfg(test)]

@@ -448,6 +448,22 @@ mod tests {
     }
 
     #[test]
+    fn workspace_policy_grants_the_service_plane_no_exemptions() {
+        // The daemon and snapshot modules are library code on the output
+        // path: RNG, wall-clock reads, map-order folds and unwraps all
+        // fire there under the workspace policy.
+        let policy = Config::workspace();
+        for path in ["crates/service/src/daemon.rs", "crates/service/src/snapshot.rs"] {
+            let rng = lint_source(path, "use rand::rngs::StdRng;\n", &policy);
+            assert_eq!(rng.len(), 1, "{path}: plan-phase-rng must be active");
+            let clock = lint_source(path, "let t = std::time::Instant::now();\n", &policy);
+            assert_eq!(clock.len(), 1, "{path}: telemetry-clock must be active");
+            let unwrap = lint_source(path, "let x = y.unwrap();\n", &policy);
+            assert_eq!(unwrap.len(), 1, "{path}: no-unwrap must be active");
+        }
+    }
+
+    #[test]
     fn unwrap_needs_receiver_or_path() {
         let src = "fn unwrap() {}\nlet x = y.unwrap();\nlet z = Option::unwrap(w);\n";
         assert_eq!(unsuppressed("f.rs", src), [("no-unwrap".into(), 2), ("no-unwrap".into(), 3)]);

@@ -100,6 +100,11 @@ mod tests {
         assert!(files.iter().any(|f| f.relative == "src/lib.rs"));
         assert!(files.iter().any(|f| f.relative == "crates/monitor/src/monitor.rs"));
         assert!(files.iter().any(|f| f.relative == "crates/lint/src/walk.rs"));
+        // The service plane is first-party library code: its daemon and
+        // snapshot modules fall under the full determinism policy (no path
+        // allowlist exempts crates/service).
+        assert!(files.iter().any(|f| f.relative == "crates/service/src/daemon.rs"));
+        assert!(files.iter().any(|f| f.relative == "crates/service/src/snapshot.rs"));
         assert!(files.iter().all(|f| !f.relative.starts_with("crates/compat/")));
         assert!(files
             .iter()

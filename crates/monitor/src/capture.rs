@@ -84,6 +84,24 @@ impl CaptureBuffer {
         self.backlog_cycles = 0.0;
         self.dropped_packets = 0;
     }
+
+    /// Serializes the buffer's mutable state (backlog and drop counter); the
+    /// geometry is derived from the monitor configuration and not stored.
+    pub fn save_state(&self, writer: &mut netshed_sketch::StateWriter) {
+        writer.f64(self.backlog_cycles);
+        writer.u64(self.dropped_packets);
+    }
+
+    /// Restores state written by [`CaptureBuffer::save_state`] into a buffer
+    /// built from the same configuration.
+    pub fn load_state(
+        &mut self,
+        reader: &mut netshed_sketch::StateReader<'_>,
+    ) -> Result<(), netshed_sketch::StateError> {
+        self.backlog_cycles = reader.f64()?;
+        self.dropped_packets = reader.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -57,10 +57,29 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// All seven built-in strategy configurations the paper evaluates, in
+    /// manifest order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::NoShedding,
+        Strategy::Reactive(AllocationPolicy::EqualRates),
+        Strategy::Reactive(AllocationPolicy::MmfsCpu),
+        Strategy::Reactive(AllocationPolicy::MmfsPkt),
+        Strategy::Predictive(AllocationPolicy::EqualRates),
+        Strategy::Predictive(AllocationPolicy::MmfsCpu),
+        Strategy::Predictive(AllocationPolicy::MmfsPkt),
+    ];
+
     /// Short name used in reports and experiment output, composed from the
     /// strategy family and the allocation policy it carries.
     pub fn name(&self) -> String {
         self.control_policy().name()
+    }
+
+    /// Resolves a historical name back to its strategy (the inverse of
+    /// [`Strategy::name`]); `None` for names outside the built-in seven.
+    /// `.nsck` snapshots store the active strategy by this name.
+    pub fn from_name(name: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|strategy| strategy.name() == name)
     }
 
     /// The built-in [`ControlPolicy`] this variant constructs — the single
@@ -95,6 +114,24 @@ pub enum PredictorKind {
 }
 
 impl PredictorKind {
+    /// Every predictor kind, in a stable order.
+    pub const ALL: [PredictorKind; 3] =
+        [PredictorKind::MlrFcbf, PredictorKind::Slr, PredictorKind::Ewma];
+
+    /// Stable identifier used in reports, benchmarks and `.nsck` snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::MlrFcbf => "mlr_fcbf",
+            PredictorKind::Slr => "slr",
+            PredictorKind::Ewma => "ewma",
+        }
+    }
+
+    /// Resolves a stable [`name`](PredictorKind::name) back to its kind.
+    pub fn from_name(name: &str) -> Option<PredictorKind> {
+        PredictorKind::ALL.into_iter().find(|kind| kind.name() == name)
+    }
+
     /// The built-in [`PredictorFactory`] this variant constructs. `mlr` is
     /// captured for the [`PredictorKind::MlrFcbf`] configuration and ignored
     /// by the baselines.

@@ -54,6 +54,24 @@ impl StreamDigest {
         self.fnv.finish()
     }
 
+    /// Serializes the digest position (FNV state + item count) so a restored
+    /// run continues the *same* digest chain an uninterrupted run would
+    /// produce.
+    pub fn save_state(&self, writer: &mut netshed_sketch::StateWriter) {
+        writer.u64(self.fnv.state());
+        writer.u64(self.items);
+    }
+
+    /// Restores a position written by [`StreamDigest::save_state`].
+    pub fn load_state(
+        &mut self,
+        reader: &mut netshed_sketch::StateReader<'_>,
+    ) -> Result<(), netshed_sketch::StateError> {
+        self.fnv = IncrementalFnv::from_state(reader.u64()?);
+        self.items = reader.u64()?;
+        Ok(())
+    }
+
     fn u8(&mut self, v: u8) {
         self.fnv.write(&[v]);
     }
@@ -301,6 +319,25 @@ impl DigestObserver {
             decisions: self.decisions.value(),
             intervals: self.intervals.value(),
         }
+    }
+
+    /// Serializes all three stream positions, so a checkpointed run's final
+    /// digest equals the uninterrupted run's digest bit for bit.
+    pub fn save_state(&self, writer: &mut netshed_sketch::StateWriter) {
+        self.records.save_state(writer);
+        self.decisions.save_state(writer);
+        self.intervals.save_state(writer);
+    }
+
+    /// Restores positions written by [`DigestObserver::save_state`].
+    pub fn load_state(
+        &mut self,
+        reader: &mut netshed_sketch::StateReader<'_>,
+    ) -> Result<(), netshed_sketch::StateError> {
+        self.records.load_state(reader)?;
+        self.decisions.load_state(reader)?;
+        self.intervals.load_state(reader)?;
+        Ok(())
     }
 }
 

@@ -15,10 +15,10 @@ use netshed_fairness::QueryDemand;
 use netshed_features::{ExtractorConfig, FeatureExtractor, FeatureVector};
 use netshed_predict::{Predictor, PredictorFactory};
 use netshed_queries::{
-    build_query_from_spec, CycleMeter, MeasurementNoise, NoiseDraw, Query, QueryOutput, QuerySpec,
-    SheddingMethod,
+    build_query_from_spec, CustomBehavior, CycleMeter, MeasurementNoise, NoiseDraw, Query,
+    QueryKind, QueryOutput, QuerySpec, SheddingMethod,
 };
-use netshed_sketch::H3Hasher;
+use netshed_sketch::{H3Hasher, StateError, StateReader, StateWriter};
 use netshed_trace::{Batch, BatchView, KeepListPool, PacketSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -396,6 +396,15 @@ impl Monitor {
     /// worker pool would need for the measured task costs. See [`ExecStats`].
     pub fn exec_stats(&self) -> ExecStats {
         self.exec_stats
+    }
+
+    /// Whether a measurement interval is currently open (at least one batch
+    /// has been processed since the last [`finish_interval`]
+    /// (Monitor::finish_interval)). Drivers replicating [`Monitor::run`]'s
+    /// loop — like the service-plane daemon — use this to decide whether a
+    /// final flush is due when the source is exhausted.
+    pub fn interval_open(&self) -> bool {
+        self.current_interval.is_some()
     }
 
     /// Flushes the current measurement interval, returning the per-query
@@ -1037,6 +1046,196 @@ impl Monitor {
             })
             .collect()
     }
+
+    /// Serializes the monitor's *essential* state — everything a restored
+    /// process needs to continue the run bit-identically: sketch tables and
+    /// predictor histories, both RNG positions, the control-loop EWMAs, the
+    /// buffer-discovery thresholds, the capture backlog and every registered
+    /// query's enforcement counters. Derivable state (H3 hashers, scratch
+    /// buffers, execution telemetry) is reconstructed on load instead of
+    /// stored.
+    ///
+    /// Fails with [`StateError::Unsupported`] when a query was registered
+    /// through [`Monitor::register_instance`] (no [`QuerySpec`] to rebuild it
+    /// from) or runs a query/predictor without checkpoint support.
+    pub fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.str(&self.policy.name());
+        self.extractor.save_state(writer);
+        self.buffer.save_state(writer);
+        for word in self.rng.state() {
+            writer.u64(word);
+        }
+        for word in self.noise.rng_state() {
+            writer.u64(word);
+        }
+        writer.f64(self.error_ewma);
+        writer.f64(self.shed_cycles_ewma);
+        writer.f64(self.rtthresh);
+        writer.f64(self.rtthresh_ssthresh);
+        writer.f64(self.reactive_rate);
+        writer.f64(self.reactive_consumed);
+        writer.opt_u64(self.current_interval);
+        self.policy.save_state(writer)?;
+        writer.usize(self.queries.len());
+        for registered in &self.queries {
+            let spec = registered.spec.as_ref().ok_or_else(|| {
+                StateError::unsupported(format!(
+                    "query '{}' was registered as a bare instance (no QuerySpec to rebuild from)",
+                    registered.label
+                ))
+            })?;
+            writer.u64(registered.id.0);
+            writer.str(&registered.label);
+            save_spec(spec, writer);
+            writer.f64(registered.min_rate);
+            writer.u64(registered.hasher_generation);
+            writer.f64(registered.overuse_ratio);
+            writer.u32(registered.violations);
+            writer.u32(registered.penalty_remaining);
+            registered.exec.query.save_state(writer)?;
+            match &registered.exec.shadow {
+                None => writer.bool(false),
+                Some(shadow) => {
+                    writer.bool(true);
+                    shadow.save_state(writer)?;
+                }
+            }
+            registered.exec.predictor.save_state(writer)?;
+            registered.exec.sampled_extractor.save_state(writer);
+        }
+        writer.u64(self.next_query_id);
+        Ok(())
+    }
+
+    /// Restores state written by [`Monitor::save_state`] into a monitor
+    /// freshly built from the *same* configuration (and the same custom
+    /// policy, when one was installed). Any queries registered on `self`
+    /// before the call are discarded; the snapshot's registry — ids, labels
+    /// and all per-query state — replaces them wholesale.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let policy_name = reader.str()?;
+        if policy_name != self.policy.name() {
+            return Err(StateError::mismatch("policy name", policy_name, self.policy.name()));
+        }
+        self.extractor.load_state(reader)?;
+        self.buffer.load_state(reader)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = reader.u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        let mut noise_state = [0u64; 4];
+        for word in &mut noise_state {
+            *word = reader.u64()?;
+        }
+        self.noise.restore_rng(noise_state);
+        self.error_ewma = reader.f64()?;
+        self.shed_cycles_ewma = reader.f64()?;
+        self.rtthresh = reader.f64()?;
+        self.rtthresh_ssthresh = reader.f64()?;
+        self.reactive_rate = reader.f64()?;
+        self.reactive_consumed = reader.f64()?;
+        self.current_interval = reader.opt_u64()?;
+        self.policy.load_state(reader)?;
+        let count = reader.usize()?;
+        let needs_shadow = self.policy.needs_measured_cycles();
+        self.queries.clear();
+        for _ in 0..count {
+            let id = QueryId(reader.u64()?);
+            let label = reader.str()?;
+            let spec = load_spec(reader)?;
+            let min_rate = reader.f64()?;
+            let hasher_generation = reader.u64()?;
+            let overuse_ratio = reader.f64()?;
+            let violations = reader.u32()?;
+            let penalty_remaining = reader.u32()?;
+            let mut query = build_query_from_spec(&spec);
+            query.load_state(reader)?;
+            let shadow = if reader.bool()? {
+                if !needs_shadow {
+                    return Err(StateError::corrupt(format!(
+                        "query '{label}' carries shadow state but policy \
+                         '{policy_name}' does not run shadows"
+                    )));
+                }
+                let mut shadow = build_query_from_spec(&spec);
+                shadow.load_state(reader)?;
+                Some(shadow)
+            } else {
+                None
+            };
+            let mut predictor = self.predictor_factory.make();
+            predictor.load_state(reader)?;
+            let mut sampled_extractor = FeatureExtractor::new(ExtractorConfig {
+                measurement_interval_us: self.config.measurement_interval_us,
+                ..ExtractorConfig::default()
+            });
+            sampled_extractor.load_state(reader)?;
+            // The flow hasher is derivable: its seed depends only on the
+            // stable id and the interval of the last refresh (generation 0 is
+            // the registration-time draw — a refresh at interval 0 is
+            // impossible because the generations would already match).
+            let flow_hasher = if hasher_generation == 0 {
+                H3Hasher::new(13, self.config.seed ^ (id.0 + 1))
+            } else {
+                H3Hasher::new(13, self.config.seed ^ (hasher_generation << 8) ^ id.0)
+            };
+            self.queries.push(RegisteredQuery {
+                id,
+                label,
+                shedding: query.preferred_shedding(),
+                min_rate,
+                spec: Some(spec),
+                flow_hasher,
+                hasher_generation,
+                overuse_ratio,
+                violations,
+                penalty_remaining,
+                exec: QueryExecState {
+                    query,
+                    shadow,
+                    predictor,
+                    sampled_extractor,
+                    shed_pool: KeepListPool::new(),
+                },
+            });
+        }
+        self.next_query_id = reader.u64()?;
+        if let Some(max_id) = self.queries.iter().map(|q| q.id.0).max() {
+            if self.next_query_id <= max_id {
+                return Err(StateError::corrupt(format!(
+                    "next_query_id {} does not exceed the largest restored id {max_id}",
+                    self.next_query_id
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes a [`QuerySpec`] by stable names (never enum ordinals), so `.nsck`
+/// snapshots survive enum reordering.
+fn save_spec(spec: &QuerySpec, writer: &mut StateWriter) {
+    writer.str(spec.kind.name());
+    writer.opt_str(spec.label.as_deref());
+    writer.opt_f64(spec.min_sampling_rate);
+    writer.opt_str(spec.custom_behavior.map(CustomBehavior::name));
+}
+
+/// Reads a [`QuerySpec`] written by [`save_spec`].
+fn load_spec(reader: &mut StateReader<'_>) -> Result<QuerySpec, StateError> {
+    let kind_name = reader.str()?;
+    let kind = QueryKind::from_name(&kind_name)
+        .ok_or_else(|| StateError::corrupt(format!("unknown query kind {kind_name:?}")))?;
+    let label = reader.opt_str()?;
+    let min_sampling_rate = reader.opt_f64()?;
+    let custom_behavior = match reader.opt_str()? {
+        None => None,
+        Some(name) => Some(CustomBehavior::from_name(&name).ok_or_else(|| {
+            StateError::corrupt(format!("unknown custom shedding behavior {name:?}"))
+        })?),
+    };
+    Ok(QuerySpec { kind, label, min_sampling_rate, custom_behavior })
 }
 
 #[cfg(test)]
@@ -1060,6 +1259,31 @@ mod tests {
             monitor.register(&QuerySpec::new(*kind)).expect("valid spec");
         }
         monitor
+    }
+
+    /// Drives batches through a monitor while folding everything emitted
+    /// into a digest observer (the `Monitor::run` loop, minus the source).
+    fn drive(
+        monitor: &mut Monitor,
+        observer: &mut crate::digest::DigestObserver,
+        batches: &[Batch],
+    ) {
+        use crate::observer::RunObserver;
+        for batch in batches {
+            let record = monitor.process_batch(batch).expect("batch");
+            if let Some(outputs) = &record.interval_outputs {
+                observer.on_interval(outputs);
+            }
+            observer.on_decision(record.bin_index, &record.decision);
+            observer.on_bin(&record);
+        }
+    }
+
+    /// Flushes the final interval into the observer, ending the run.
+    fn flush(monitor: &mut Monitor, observer: &mut crate::digest::DigestObserver) {
+        use crate::observer::RunObserver;
+        let outputs = monitor.finish_interval();
+        observer.on_interval(&outputs);
     }
 
     /// Measures the unconstrained total demand (queries + overheads) of a
@@ -1410,6 +1634,166 @@ mod tests {
             upswing(&plain),
             upswing(&damped)
         );
+    }
+
+    /// The checkpoint contract: saving mid-run and restoring into a fresh
+    /// process-equivalent monitor continues the run *bit-identically* — the
+    /// resumed digest equals the uninterrupted one.
+    mod checkpoint {
+        use super::*;
+        use crate::digest::DigestObserver;
+
+        fn round_trip(
+            config: &MonitorConfig,
+            kinds: &[QueryKind],
+            batches: &[Batch],
+            cut: usize,
+            policy: impl Fn() -> Option<Box<dyn ControlPolicy>>,
+        ) {
+            let build = |with_queries: bool| -> Monitor {
+                let mut monitor = if with_queries {
+                    monitor_with_queries(config.clone(), kinds)
+                } else {
+                    Monitor::new(config.clone())
+                };
+                if let Some(policy) = policy() {
+                    monitor.set_policy(policy);
+                }
+                monitor
+            };
+
+            // Uninterrupted reference run.
+            let mut reference = build(true);
+            let mut reference_digest = DigestObserver::new();
+            drive(&mut reference, &mut reference_digest, batches);
+            flush(&mut reference, &mut reference_digest);
+
+            // Run to the cut, serialize monitor + digest, drop everything.
+            let mut first = build(true);
+            let mut digest = DigestObserver::new();
+            drive(&mut first, &mut digest, &batches[..cut]);
+            let mut writer = StateWriter::new();
+            first.save_state(&mut writer).expect("save");
+            digest.save_state(&mut writer);
+            let bytes = writer.into_bytes();
+            drop(first);
+
+            // Restore into a monitor with no queries registered and resume.
+            let mut resumed = build(false);
+            let mut reader = StateReader::new(&bytes);
+            resumed.load_state(&mut reader).expect("load");
+            let mut resumed_digest = DigestObserver::new();
+            resumed_digest.load_state(&mut reader).expect("digest state");
+            reader.finish().expect("no trailing bytes");
+            assert_eq!(resumed.query_handles(), reference.query_handles());
+            drive(&mut resumed, &mut resumed_digest, &batches[cut..]);
+            flush(&mut resumed, &mut resumed_digest);
+
+            assert_eq!(
+                resumed_digest.digest(),
+                reference_digest.digest(),
+                "a restored run must be bit-identical to the uninterrupted one"
+            );
+        }
+
+        #[test]
+        fn predictive_run_resumes_bit_identically() {
+            // Noise stays ON: both RNG positions must survive the round
+            // trip. Flow- and packet-sampled queries exercise the hasher
+            // reconstruction and the plan-phase RNG stream.
+            let kinds =
+                [QueryKind::Flows, QueryKind::TopK, QueryKind::PatternSearch, QueryKind::Counter];
+            let batches = small_trace(48, 350.0);
+            let demand = measure_demand(&kinds, &batches[..16]);
+            let config =
+                MonitorConfig::default().with_capacity(demand / 2.0).with_seed(11).with_workers(1);
+            round_trip(&config, &kinds, &batches, 20, || None);
+        }
+
+        #[test]
+        fn hysteresis_policy_state_survives_the_checkpoint() {
+            use crate::policy::HysteresisReactivePolicy;
+            use netshed_fairness::EqualRates;
+
+            let kinds = [QueryKind::Flows, QueryKind::Counter];
+            let batches = small_trace(40, 350.0);
+            let demand = measure_demand(&kinds, &batches[..12]);
+            let config = MonitorConfig::default().with_capacity(demand / 2.0).without_noise();
+            // Cut mid-recovery so a wrong `current` would diverge instantly.
+            round_trip(&config, &kinds, &batches, 15, || {
+                Some(Box::new(HysteresisReactivePolicy::new(EqualRates)))
+            });
+        }
+
+        #[test]
+        fn oracle_shadow_state_survives_the_checkpoint() {
+            use crate::policy::OraclePolicy;
+            use netshed_fairness::MmfsPkt;
+
+            let kinds = [QueryKind::Flows, QueryKind::PatternSearch];
+            let batches = small_trace(36, 300.0);
+            let demand = measure_demand(&kinds, &batches[..12]);
+            let config = MonitorConfig::default().with_capacity(demand / 2.0).without_noise();
+            round_trip(&config, &kinds, &batches, 17, || {
+                Some(Box::new(OraclePolicy::new(MmfsPkt)))
+            });
+        }
+
+        #[test]
+        fn restore_rejects_a_different_policy_naming_both() {
+            let config = MonitorConfig::default().without_noise();
+            let monitor = monitor_with_queries(config.clone(), &[QueryKind::Counter]);
+            let mut writer = StateWriter::new();
+            monitor.save_state(&mut writer).expect("save");
+            let bytes = writer.into_bytes();
+            let mut other = Monitor::new(config.with_strategy(Strategy::NoShedding));
+            match other.load_state(&mut StateReader::new(&bytes)).unwrap_err() {
+                StateError::Mismatch { what, found, expected } => {
+                    assert_eq!(what, "policy name");
+                    assert_eq!(found, "eq_srates");
+                    assert_eq!(expected, "no_lshed");
+                }
+                other => panic!("expected a Mismatch naming both policies, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn bare_instances_cannot_be_checkpointed() {
+            let mut monitor = Monitor::new(MonitorConfig::default().without_noise());
+            monitor
+                .register_instance(netshed_queries::build_query(QueryKind::Counter), None, None)
+                .expect("register");
+            let mut writer = StateWriter::new();
+            match monitor.save_state(&mut writer).unwrap_err() {
+                StateError::Unsupported(component) => {
+                    assert!(component.contains("counter"), "{component}");
+                }
+                other => panic!("expected Unsupported, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn deregistered_ids_restore_without_renumbering() {
+            let config = MonitorConfig::default().with_capacity(1e12).without_noise();
+            let mut monitor = Monitor::new(config.clone());
+            let first = monitor.register(&QuerySpec::new(QueryKind::Counter)).expect("register");
+            let _second = monitor.register(&QuerySpec::new(QueryKind::Flows)).expect("register");
+            monitor.deregister(first).expect("deregister");
+            let batches = small_trace(5, 100.0);
+            for batch in &batches {
+                monitor.process_batch(batch).expect("batch");
+            }
+            let mut writer = StateWriter::new();
+            monitor.save_state(&mut writer).expect("save");
+            let bytes = writer.into_bytes();
+
+            let mut restored = Monitor::new(config);
+            restored.load_state(&mut StateReader::new(&bytes)).expect("load");
+            assert_eq!(restored.query_handles(), monitor.query_handles());
+            // A post-restore registration must not reuse the retired id 0.
+            let third = restored.register(&QuerySpec::new(QueryKind::Counter)).expect("register");
+            assert_eq!(third.index(), 2);
+        }
     }
 
     /// Properties of the slow-start-like buffer discovery (Section 4.1),

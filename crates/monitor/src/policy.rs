@@ -51,6 +51,7 @@
 //! [`MonitorBuilder::with_policy`](crate::MonitorBuilder::with_policy).
 
 use netshed_fairness::{Allocation, AllocationStrategy, QueryDemand};
+use netshed_sketch::{StateError, StateReader, StateWriter};
 
 /// Everything a [`ControlPolicy`] sees when deciding one bin, in
 /// registration order wherever a slice is per-query.
@@ -184,6 +185,19 @@ pub trait ControlPolicy: Send {
     fn needs_measured_cycles(&self) -> bool {
         false
     }
+
+    /// Serializes the policy's cross-bin state for a checkpoint. The default
+    /// writes nothing — correct for stateless policies (all the built-ins
+    /// except [`HysteresisReactivePolicy`]); stateful policies must override
+    /// both hooks or their restored runs diverge from uninterrupted ones.
+    fn save_state(&self, _writer: &mut StateWriter) -> Result<(), StateError> {
+        Ok(())
+    }
+
+    /// Restores state written by [`ControlPolicy::save_state`].
+    fn load_state(&mut self, _reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        Ok(())
+    }
 }
 
 impl ControlPolicy for Box<dyn ControlPolicy> {
@@ -197,6 +211,14 @@ impl ControlPolicy for Box<dyn ControlPolicy> {
 
     fn needs_measured_cycles(&self) -> bool {
         self.as_ref().needs_measured_cycles()
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        self.as_ref().save_state(writer)
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.as_mut().load_state(reader)
     }
 }
 
@@ -432,6 +454,16 @@ impl ControlPolicy for HysteresisReactivePolicy {
 
     fn name(&self) -> String {
         reactive_family_name("reactive_hysteresis", self.allocator.as_ref())
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.f64(self.current);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.current = reader.f64()?;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sliding window of (features, observed cycles) observations.
 
-use netshed_features::FeatureVector;
+use netshed_features::{FeatureVector, FEATURE_COUNT};
+use netshed_sketch::{StateError, StateReader, StateWriter};
 use std::collections::VecDeque;
 
 /// The regression history of one query: the most recent `capacity`
@@ -96,6 +97,43 @@ impl History {
         if let Some(last) = self.entries.back_mut() {
             last.1 = cycles;
         }
+    }
+
+    /// Serializes the window (capacity + every observation, oldest first).
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.usize(self.capacity);
+        writer.usize(self.entries.len());
+        for (features, cycles) in &self.entries {
+            for index in 0..FEATURE_COUNT {
+                writer.f64(features.get_index(index));
+            }
+            writer.f64(*cycles);
+        }
+    }
+
+    /// Restores a window saved by [`History::save_state`] into a history of
+    /// the same capacity.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let capacity = reader.usize()?;
+        if capacity != self.capacity {
+            return Err(StateError::mismatch("history capacity", capacity, self.capacity));
+        }
+        let entries = reader.usize()?;
+        if entries > capacity {
+            return Err(StateError::corrupt(format!(
+                "history holds {entries} observations but its capacity is {capacity}"
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..entries {
+            let mut values = [0.0; FEATURE_COUNT];
+            for value in &mut values {
+                *value = reader.f64()?;
+            }
+            let cycles = reader.f64()?;
+            self.entries.push_back((FeatureVector::from_values(values), cycles));
+        }
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@ use crate::history::History;
 use netshed_features::{FeatureId, FeatureVector, FEATURE_COUNT};
 use netshed_linalg::stats::Ewma;
 use netshed_linalg::{ols_solve, Matrix};
+use netshed_sketch::{StateError, StateReader, StateWriter};
 
 /// A per-query CPU-usage predictor.
 ///
@@ -41,6 +42,19 @@ pub trait Predictor: Send {
     /// prediction (used for the overhead accounting of Table 3.4).
     fn last_cost_operations(&self) -> u64 {
         0
+    }
+
+    /// Serializes the predictor's essential state (history, cached feature
+    /// selection) for a checkpoint. The default declines so a predictor
+    /// without snapshot support fails a checkpoint loudly.
+    fn save_state(&self, _writer: &mut StateWriter) -> Result<(), StateError> {
+        Err(StateError::unsupported(self.name()))
+    }
+
+    /// Restores state captured by [`Predictor::save_state`] into a freshly
+    /// built predictor of the same configuration.
+    fn load_state(&mut self, _reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        Err(StateError::unsupported(self.name()))
     }
 }
 
@@ -224,6 +238,35 @@ impl Predictor for MlrPredictor {
     fn last_cost_operations(&self) -> u64 {
         self.last_cost
     }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        self.history.save_state(writer);
+        writer.usize(self.selected.len());
+        for &feature in &self.selected {
+            writer.usize(feature);
+        }
+        writer.usize(self.batches_since_selection);
+        writer.u64(self.last_cost);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.history.load_state(reader)?;
+        let selected = reader.usize()?;
+        self.selected.clear();
+        for _ in 0..selected {
+            let feature = reader.usize()?;
+            if feature >= FEATURE_COUNT {
+                return Err(StateError::corrupt(format!(
+                    "selected feature index {feature} out of range"
+                )));
+            }
+            self.selected.push(feature);
+        }
+        self.batches_since_selection = reader.usize()?;
+        self.last_cost = reader.u64()?;
+        Ok(())
+    }
 }
 
 /// Simple linear regression on one fixed feature (packets by default).
@@ -276,6 +319,18 @@ impl Predictor for SlrPredictor {
     fn last_cost_operations(&self) -> u64 {
         self.last_cost
     }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        self.history.save_state(writer);
+        writer.u64(self.last_cost);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.history.load_state(reader)?;
+        self.last_cost = reader.u64()?;
+        Ok(())
+    }
 }
 
 /// Exponentially weighted moving average of past CPU usage.
@@ -318,6 +373,16 @@ impl Predictor for EwmaPredictor {
 
     fn last_cost_operations(&self) -> u64 {
         1
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.opt_f64(self.ewma.state());
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.ewma.restore(reader.opt_f64()?);
+        Ok(())
     }
 }
 

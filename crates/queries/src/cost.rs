@@ -127,6 +127,17 @@ impl MeasurementNoise {
         Self::new(seed, 0.0, 0.0, 0)
     }
 
+    /// The raw RNG state, for checkpointing the noise stream mid-run.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the stream captured by [`MeasurementNoise::rng_state`]; the
+    /// restored model continues drawing the exact same disturbances.
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Applies the noise model to a deterministic cycle count and reports
     /// whether this measurement was disturbed by a context switch.
     pub fn measure(&mut self, cycles: u64) -> (u64, bool) {

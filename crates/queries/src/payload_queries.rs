@@ -16,7 +16,7 @@ use crate::query::{Query, SheddingMethod};
 // Per-packet state lives in the replay-stable hashed containers
 // (determinism contract, rule `det-map`): same insertion history, same
 // iteration order, O(1) hot-path updates.
-use netshed_sketch::{hash_bytes, DetHashMap, DetHashSet};
+use netshed_sketch::{hash_bytes, DetHashMap, DetHashSet, StateError, StateReader, StateWriter};
 use netshed_trace::BatchView;
 
 /// Number of bytes of a packet that are captured when no payload is present
@@ -69,6 +69,18 @@ impl Query for TraceQuery {
         self.processed_packets = 0.0;
         self.stored_bytes = 0.0;
         output
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.f64(self.processed_packets);
+        writer.f64(self.stored_bytes);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.processed_packets = reader.f64()?;
+        self.stored_bytes = reader.f64()?;
+        Ok(())
     }
 }
 
@@ -135,6 +147,18 @@ impl Query for PatternSearchQuery {
         self.matches = 0;
         output
     }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.f64(self.processed_packets);
+        writer.u64(self.matches);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.processed_packets = reader.f64()?;
+        self.matches = reader.u64()?;
+        Ok(())
+    }
 }
 
 /// Behaviour of the `p2p-detector` when asked to shed load itself
@@ -149,6 +173,25 @@ pub enum CustomBehavior {
     /// Sheds the wrong amount of load because of an implementation bug
     /// (it only ever sheds half of what it is asked to).
     Buggy,
+}
+
+impl CustomBehavior {
+    /// Stable name used by snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CustomBehavior::Honest => "honest",
+            CustomBehavior::Selfish => "selfish",
+            CustomBehavior::Buggy => "buggy",
+        }
+    }
+
+    /// Resolves a stable name back to its variant (the inverse of
+    /// [`CustomBehavior::name`]); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<CustomBehavior> {
+        [CustomBehavior::Honest, CustomBehavior::Selfish, CustomBehavior::Buggy]
+            .into_iter()
+            .find(|behavior| behavior.name() == name)
+    }
 }
 
 /// `p2p-detector`: signature-based detection of P2P flows (Table 2.2).
@@ -277,6 +320,37 @@ impl Query for P2pDetectorQuery {
     fn end_interval(&mut self) -> QueryOutput {
         self.inspected_per_flow.clear();
         QueryOutput::P2pFlows { flows: self.identified.drain().collect() }
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.usize(self.identified.len());
+        for flow in self.identified.iter() {
+            writer.u64(*flow);
+        }
+        writer.usize(self.inspected_per_flow.len());
+        for (flow, (seen, inspected)) in self.inspected_per_flow.iter() {
+            writer.u64(*flow);
+            writer.u32(*seen);
+            writer.u32(*inspected);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.identified.clear();
+        let flows = reader.usize()?;
+        for _ in 0..flows {
+            self.identified.insert(reader.u64()?);
+        }
+        self.inspected_per_flow.clear();
+        let tracked = reader.usize()?;
+        for _ in 0..tracked {
+            let flow = reader.u64()?;
+            let seen = reader.u32()?;
+            let inspected = reader.u32()?;
+            self.inspected_per_flow.insert(flow, (seen, inspected));
+        }
+        Ok(())
     }
 }
 

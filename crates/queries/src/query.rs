@@ -2,6 +2,7 @@
 
 use crate::cost::CycleMeter;
 use crate::output::QueryOutput;
+use netshed_sketch::{StateError, StateReader, StateWriter};
 use netshed_trace::BatchView;
 
 /// How excess load should be shed for a query (Section 4.2 and Chapter 6).
@@ -53,6 +54,27 @@ pub trait Query: Send {
     /// Closes the current measurement interval and returns its output,
     /// resetting the per-interval state.
     fn end_interval(&mut self) -> QueryOutput;
+
+    /// Serializes the query's mid-interval state for a checkpoint.
+    ///
+    /// Only *essential* state belongs here: whatever cannot be rebuilt from
+    /// the query's configuration. The default declines, so checkpointing a
+    /// monitor that hosts a query without snapshot support fails loudly
+    /// instead of silently dropping state.
+    fn save_state(&self, _writer: &mut StateWriter) -> Result<(), StateError> {
+        Err(StateError::unsupported(self.name()))
+    }
+
+    /// Restores state captured by [`Query::save_state`] into a freshly
+    /// configured query of the same kind.
+    ///
+    /// Restoring must reproduce the saved query bit-exactly: re-running the
+    /// remaining traffic must yield the same outputs as the uninterrupted
+    /// run. Implementations therefore reinsert hashed-container entries in
+    /// their serialized (= insertion) order.
+    fn load_state(&mut self, _reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        Err(StateError::unsupported(self.name()))
+    }
 }
 
 /// Blanket helpers shared by query implementations.

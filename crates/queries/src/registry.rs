@@ -85,6 +85,13 @@ impl QueryKind {
             QueryKind::Trace => "trace",
         }
     }
+
+    /// Resolves a paper name back to its kind (the inverse of
+    /// [`QueryKind::name`]); `None` for unknown names. Snapshot restore uses
+    /// this so `.nsck` files carry stable names instead of enum ordinals.
+    pub fn from_name(name: &str) -> Option<QueryKind> {
+        QueryKind::ALL.into_iter().find(|kind| kind.name() == name)
+    }
 }
 
 /// Specification of a query instance to run in the monitoring system.

@@ -8,6 +8,7 @@
 use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{scale, Query, SheddingMethod};
+use netshed_sketch::{StateError, StateReader, StateWriter};
 use netshed_trace::{AppProtocol, BatchView};
 // Ordered so the emitted `QueryOutput::Application` iterates replay-stably
 // (determinism contract, rule `det-map`).
@@ -54,6 +55,18 @@ impl Query for CounterQuery {
         self.bytes = 0.0;
         output
     }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.f64(self.packets);
+        writer.f64(self.bytes);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.packets = reader.f64()?;
+        self.bytes = reader.f64()?;
+        Ok(())
+    }
 }
 
 /// `application`: port-based application classification (Table 2.2).
@@ -79,6 +92,19 @@ impl ApplicationQuery {
             }
         }
         "unknown"
+    }
+
+    /// Resolves a serialized application label back to the `'static` name the
+    /// classifier produces.
+    fn resolve_label(name: &str) -> Result<&'static str, StateError> {
+        if name == "unknown" {
+            return Ok("unknown");
+        }
+        AppProtocol::ALL
+            .iter()
+            .map(|app| app.name())
+            .find(|known| *known == name)
+            .ok_or_else(|| StateError::corrupt(format!("unknown application label {name:?}")))
     }
 }
 
@@ -108,6 +134,28 @@ impl Query for ApplicationQuery {
 
     fn end_interval(&mut self) -> QueryOutput {
         QueryOutput::Application { per_app: std::mem::take(&mut self.per_app) }
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.usize(self.per_app.len());
+        for (app, (packets, bytes)) in &self.per_app {
+            writer.str(app);
+            writer.f64(*packets);
+            writer.f64(*bytes);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.per_app.clear();
+        let entries = reader.usize()?;
+        for _ in 0..entries {
+            let app = Self::resolve_label(&reader.str()?)?;
+            let packets = reader.f64()?;
+            let bytes = reader.f64()?;
+            self.per_app.insert(app, (packets, bytes));
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +207,16 @@ impl Query for HighWatermarkQuery {
         let output = QueryOutput::HighWatermark { mbps: self.peak_mbps };
         self.peak_mbps = 0.0;
         output
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.f64(self.peak_mbps);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.peak_mbps = reader.f64()?;
+        Ok(())
     }
 }
 

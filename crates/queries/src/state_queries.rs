@@ -8,7 +8,7 @@
 use crate::cost::{costs, CycleMeter};
 use crate::output::QueryOutput;
 use crate::query::{scale, Query, SheddingMethod};
-use netshed_sketch::{hash_bytes, DetHashMap, DetHashSet};
+use netshed_sketch::{hash_bytes, DetHashMap, DetHashSet, StateError, StateReader, StateWriter};
 use netshed_trace::BatchView;
 
 /// `flows`: per-flow classification and count of active 5-tuple flows.
@@ -46,7 +46,7 @@ impl Query for FlowsQuery {
             // The serialised key is a shared store column — no per-packet
             // re-serialisation.
             let key = hash_bytes(packet.flow_key(), 0xf10f);
-            if let std::collections::hash_map::Entry::Vacant(vacant) = self.table.entry(key) {
+            if let netshed_sketch::Entry::Vacant(vacant) = self.table.entry(key) {
                 meter.charge(costs::HASH_INSERT);
                 // The sampling rate may change from batch to batch, so each
                 // flow is weighted by the rate in force when it was first seen.
@@ -60,6 +60,26 @@ impl Query for FlowsQuery {
         let count = self.table.values().sum();
         self.table.clear();
         QueryOutput::Flows { count }
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.usize(self.table.len());
+        for (key, weight) in self.table.iter() {
+            writer.u64(*key);
+            writer.f64(*weight);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.table.clear();
+        let entries = reader.usize()?;
+        for _ in 0..entries {
+            let key = reader.u64()?;
+            let weight = reader.f64()?;
+            self.table.insert(key, weight);
+        }
+        Ok(())
     }
 }
 
@@ -101,10 +121,10 @@ impl Query for TopKQuery {
             meter.charge(costs::PER_PACKET_BASE + costs::HASH_LOOKUP + costs::RANKING_UPDATE);
             let bytes = scale(f64::from(packet.ip_len()), sampling_rate);
             let entry = self.bytes_per_dst.entry(packet.tuple().dst_ip);
-            if let std::collections::hash_map::Entry::Vacant(vacant) = entry {
+            if let netshed_sketch::Entry::Vacant(vacant) = entry {
                 meter.charge(costs::HASH_INSERT);
                 vacant.insert(bytes);
-            } else if let std::collections::hash_map::Entry::Occupied(mut occupied) = entry {
+            } else if let netshed_sketch::Entry::Occupied(mut occupied) = entry {
                 *occupied.get_mut() += bytes;
             }
         }
@@ -115,6 +135,26 @@ impl Query for TopKQuery {
         ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranking.truncate(self.k);
         QueryOutput::TopK { ranking }
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.usize(self.bytes_per_dst.len());
+        for (dst, bytes) in self.bytes_per_dst.iter() {
+            writer.u32(*dst);
+            writer.f64(*bytes);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.bytes_per_dst.clear();
+        let entries = reader.usize()?;
+        for _ in 0..entries {
+            let dst = reader.u32()?;
+            let bytes = reader.f64()?;
+            self.bytes_per_dst.insert(dst, bytes);
+        }
+        Ok(())
     }
 }
 
@@ -178,6 +218,35 @@ impl Query for SuperSourcesQuery {
         self.pairs_seen.clear();
         QueryOutput::SuperSources { fanouts: sources.into_iter().collect() }
     }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.usize(self.pairs_seen.len());
+        for pair in self.pairs_seen.iter() {
+            writer.u64(*pair);
+        }
+        writer.usize(self.fanout.len());
+        for (src, fanout) in self.fanout.iter() {
+            writer.u32(*src);
+            writer.f64(*fanout);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.pairs_seen.clear();
+        let pairs = reader.usize()?;
+        for _ in 0..pairs {
+            self.pairs_seen.insert(reader.u64()?);
+        }
+        self.fanout.clear();
+        let sources = reader.usize()?;
+        for _ in 0..sources {
+            let src = reader.u32()?;
+            let fanout = reader.f64()?;
+            self.fanout.insert(src, fanout);
+        }
+        Ok(())
+    }
 }
 
 /// `autofocus` (uni-dimensional): traffic clusters per destination prefix
@@ -238,10 +307,10 @@ impl Query for AutofocusQuery {
                 let mask = if len == 32 { u32::MAX } else { !0u32 << (32 - len) };
                 let prefix = packet.tuple().dst_ip & mask;
                 let entry = self.prefixes.entry((prefix, len));
-                if let std::collections::hash_map::Entry::Vacant(vacant) = entry {
+                if let netshed_sketch::Entry::Vacant(vacant) = entry {
                     meter.charge(costs::HASH_INSERT);
                     vacant.insert(scale(bytes, sampling_rate));
-                } else if let std::collections::hash_map::Entry::Occupied(mut occupied) = entry {
+                } else if let netshed_sketch::Entry::Occupied(mut occupied) = entry {
                     *occupied.get_mut() += scale(bytes, sampling_rate);
                 }
             }
@@ -259,6 +328,32 @@ impl Query for AutofocusQuery {
         clusters.sort_by(|a, b| b.2.total_cmp(&a.2));
         self.total_bytes = 0.0;
         QueryOutput::Autofocus { clusters }
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), StateError> {
+        writer.usize(self.prefixes.len());
+        for ((prefix, len), bytes) in self.prefixes.iter() {
+            writer.u32(*prefix);
+            writer.u8(*len);
+            writer.f64(*bytes);
+        }
+        writer.f64(self.total_bytes);
+        writer.f64(self.sampling_rate);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.prefixes.clear();
+        let entries = reader.usize()?;
+        for _ in 0..entries {
+            let prefix = reader.u32()?;
+            let len = reader.u8()?;
+            let bytes = reader.f64()?;
+            self.prefixes.insert((prefix, len), bytes);
+        }
+        self.total_bytes = reader.f64()?;
+        self.sampling_rate = reader.f64()?;
+        Ok(())
     }
 }
 

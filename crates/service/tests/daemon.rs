@@ -1,0 +1,380 @@
+//! Service-plane conformance: administered runs replay bit-identically,
+//! checkpoints restore into fresh daemons (at any worker count), the
+//! registry sustains a thousand tenants, and damaged `.nsck` input is
+//! always rejected with a diagnosable error.
+
+use netshed_monitor::{
+    AllocationPolicy, DigestObserver, Monitor, MonitorConfig, RunDigest, Strategy,
+};
+use netshed_queries::{QueryKind, QuerySpec};
+use netshed_service::{Daemon, ServiceError, Snapshot, SnapshotError, TickStatus};
+use netshed_sketch::StateError;
+use netshed_trace::{BatchReplay, PacketSource, TraceConfig, TraceGenerator};
+
+const TRACE_BINS: usize = 48;
+
+/// A recorded stream every test replays from the start — the daemon
+/// equivalent of a `.nstr` scenario file.
+fn recorded_trace() -> BatchReplay {
+    let config =
+        TraceConfig::default().with_seed(7).with_mean_packets_per_batch(350.0).with_payloads(true);
+    BatchReplay::record(&mut TraceGenerator::new(config), TRACE_BINS)
+}
+
+/// Average per-bin demand of `kinds` over the recorded trace, measured
+/// without any resource limit. Memoised: every test shares one measurement.
+fn demand(kinds: &[QueryKind]) -> f64 {
+    static DEMAND: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *DEMAND.get_or_init(|| measure_demand(kinds))
+}
+
+fn measure_demand(kinds: &[QueryKind]) -> f64 {
+    let config = MonitorConfig::default()
+        .with_capacity(1e12)
+        .with_strategy(Strategy::NoShedding)
+        .without_noise();
+    let mut monitor = Monitor::new(config);
+    for kind in kinds {
+        monitor.register(&QuerySpec::new(*kind)).expect("valid spec");
+    }
+    let mut source = recorded_trace();
+    let mut total = 0.0;
+    let mut bins = 0u32;
+    while let Some(batch) = source.next_batch() {
+        total += monitor.process_batch(&batch).expect("batch").total_cycles();
+        bins += 1;
+    }
+    total / f64::from(bins)
+}
+
+const KINDS: [QueryKind; 3] = [QueryKind::Flows, QueryKind::TopK, QueryKind::Counter];
+
+/// An overloaded configuration (half the measured demand) so shedding, RNG
+/// draws and predictor updates are all active.
+fn overloaded_config(workers: usize) -> MonitorConfig {
+    MonitorConfig::default().with_capacity(demand(&KINDS) / 2.0).with_seed(11).with_workers(workers)
+}
+
+fn daemon_with_registered_queries(
+    config: MonitorConfig,
+    bins_per_tick: u64,
+) -> (Daemon<BatchReplay>, netshed_service::ControlChannel) {
+    let monitor = Monitor::new(config);
+    let (daemon, control) = Daemon::new(monitor, recorded_trace());
+    let mut daemon = daemon.with_bins_per_tick(bins_per_tick);
+    let pending: Vec<_> =
+        KINDS.iter().map(|kind| control.register_query(QuerySpec::new(*kind))).collect();
+    // One tick applies the queued registrations before the first bin.
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { .. }));
+    for p in pending {
+        p.wait().expect("registered");
+    }
+    (daemon, control)
+}
+
+/// The digest of the same run driven by `Monitor::run` directly.
+fn monitor_run_digest(config: MonitorConfig) -> RunDigest {
+    let mut monitor = Monitor::new(config);
+    for kind in KINDS {
+        monitor.register(&QuerySpec::new(kind)).expect("valid spec");
+    }
+    let mut source = recorded_trace();
+    let mut digest = DigestObserver::new();
+    monitor.run(&mut source, &mut digest).expect("run");
+    digest.digest()
+}
+
+#[test]
+fn a_daemon_run_matches_monitor_run_exactly() {
+    // Queries registered through the control channel before the first bin
+    // must land in the same state as builder-time registration, and the
+    // tick loop must mirror Monitor::run's observer sequence.
+    let config = overloaded_config(1);
+    let (mut daemon, _control) = daemon_with_registered_queries(config.clone(), 5);
+    assert!(matches!(daemon.run_to_exhaustion().expect("run"), TickStatus::SourceExhausted));
+    assert_eq!(daemon.digest(), monitor_run_digest(config));
+    assert_eq!(daemon.bins_ingested(), TRACE_BINS as u64);
+}
+
+#[test]
+fn an_administered_run_replays_bit_identically_across_worker_counts() {
+    // The same command schedule (register late tenants, swap the policy,
+    // deregister one) at the same bin positions must reproduce the same
+    // digests — and the worker count must stay a pure wall-clock knob.
+    let run = |workers: usize| -> RunDigest {
+        let (mut daemon, control) = daemon_with_registered_queries(overloaded_config(workers), 8);
+        let late = control.register_query(QuerySpec::new(QueryKind::PatternSearch));
+        assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 8 }));
+        let late_id = late.wait().expect("registered");
+        let swap = control.swap_policy(Strategy::Reactive(AllocationPolicy::MmfsPkt));
+        assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 8 }));
+        assert_eq!(swap.wait().expect("swapped"), "reactive_mmfs_pkt");
+        let gone = control.deregister_query(late_id);
+        let status = daemon.run_to_exhaustion().expect("run");
+        assert!(matches!(status, TickStatus::SourceExhausted));
+        gone.wait().expect("deregistered");
+        daemon.digest()
+    };
+    let reference = run(1);
+    assert_eq!(run(1), reference, "same schedule must replay bit-identically");
+    assert_eq!(run(4), reference, "worker count must not leak into digests");
+}
+
+#[test]
+fn checkpoint_restores_into_a_fresh_daemon_bit_identically() {
+    let config = overloaded_config(1);
+    let reference = monitor_run_digest(config.clone());
+
+    // Run to a mid-scenario cut and checkpoint through the control channel.
+    let (mut daemon, control) = daemon_with_registered_queries(config.clone(), 7);
+    for _ in 0..2 {
+        assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 7 }));
+    }
+    let pending = control.checkpoint();
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { .. }));
+    let bytes = pending.wait().expect("checkpoint");
+    drop(daemon);
+
+    // Restore in a "fresh process": new daemon, new replay of the stream,
+    // different worker count. The remaining digests must land exactly on
+    // the uninterrupted run's.
+    for workers in [1usize, 4] {
+        let (mut resumed, _control) =
+            Daemon::restore(config.clone().with_workers(workers), recorded_trace(), &bytes)
+                .expect("restore");
+        assert!(matches!(
+            resumed.run_to_exhaustion().expect("resume"),
+            TickStatus::SourceExhausted
+        ));
+        assert_eq!(
+            resumed.digest(),
+            reference,
+            "restore at {workers} workers must finish bit-identically"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_resume_after_a_policy_swap() {
+    // The snapshot stores the *active* policy, not the configured one: a
+    // run that swapped policies mid-flight restores under the swapped
+    // policy even though the provided config still names the original.
+    let config = overloaded_config(1);
+    let (mut daemon, control) = daemon_with_registered_queries(config.clone(), 6);
+    let swap = control.swap_policy(Strategy::Reactive(AllocationPolicy::EqualRates));
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { .. }));
+    swap.wait().expect("swapped");
+    let bytes = daemon.checkpoint().expect("checkpoint");
+    let reference = {
+        let mut d = daemon;
+        d.run_to_exhaustion().expect("run");
+        d.digest()
+    };
+    let (mut resumed, _control) =
+        Daemon::restore(config, recorded_trace(), &bytes).expect("restore");
+    assert_eq!(resumed.monitor().policy_name(), "reactive");
+    resumed.run_to_exhaustion().expect("resume");
+    assert_eq!(resumed.digest(), reference);
+}
+
+#[test]
+fn shutdown_flushes_the_final_interval_and_reports_the_digest() {
+    let config = overloaded_config(1);
+    let (mut daemon, control) = daemon_with_registered_queries(config, 9);
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 9 }));
+    let stop = control.shutdown();
+    let orphan = control.register_query(QuerySpec::new(QueryKind::Counter));
+    assert_eq!(daemon.tick().expect("tick"), TickStatus::ShutdownRequested);
+    let final_digest = stop.wait().expect("shutdown reply");
+    assert_eq!(final_digest, daemon.digest());
+    assert_ne!(final_digest.intervals, 0, "shutdown must flush the open interval");
+    // Commands queued behind the shutdown are never applied.
+    drop(daemon);
+    assert!(matches!(orphan.wait(), Err(ServiceError::ChannelClosed)));
+}
+
+#[test]
+fn the_registry_sustains_a_thousand_tenants() {
+    // Scale knob of the service plane: 1000 concurrent queries, registered
+    // through the channel, all alive through a processed bin, then a sweep
+    // of deregistrations — ids stay stable and nothing renumbers.
+    let config = MonitorConfig::default().with_capacity(1e12).with_seed(5).without_noise();
+    let monitor = Monitor::new(config);
+    let (daemon, control) = Daemon::new(monitor, recorded_trace());
+    let mut daemon = daemon.with_bins_per_tick(2);
+    let pending: Vec<_> = (0..1000)
+        .map(|i| {
+            control.register_query(
+                QuerySpec::new(QueryKind::Counter).with_label(format!("tenant-{i:04}")),
+            )
+        })
+        .collect();
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 2 }));
+    let ids: Vec<_> = pending.into_iter().map(|p| p.wait().expect("registered")).collect();
+    assert_eq!(daemon.monitor().query_handles().len(), 1000);
+    // Deregister every odd tenant; the even ones keep their handles.
+    let gone: Vec<_> =
+        ids.iter().skip(1).step_by(2).map(|id| control.deregister_query(*id)).collect();
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 2 }));
+    for g in gone {
+        g.wait().expect("deregistered");
+    }
+    let handles = daemon.monitor().query_handles();
+    assert_eq!(handles.len(), 500);
+    assert!(handles.iter().zip(ids.iter().step_by(2)).all(|((id, _), expected)| id == expected));
+}
+
+#[test]
+fn restore_rejects_a_mismatched_config_naming_both_sides() {
+    let config = overloaded_config(1);
+    let (daemon, _control) = daemon_with_registered_queries(config.clone(), 4);
+    let bytes = daemon.checkpoint().expect("checkpoint");
+    let err = Daemon::restore(config.with_seed(99), recorded_trace(), &bytes)
+        .err()
+        .expect("a foreign seed must be rejected");
+    match err {
+        ServiceError::Snapshot(SnapshotError::State(StateError::Mismatch {
+            what,
+            found,
+            expected,
+        })) => {
+            assert_eq!(what, "seed");
+            assert_eq!(found, "11");
+            assert_eq!(expected, "99");
+        }
+        other => panic!("expected a seed mismatch naming both sides, got {other}"),
+    }
+}
+
+#[test]
+fn restore_reports_a_source_that_is_too_short() {
+    let config = overloaded_config(1);
+    let (mut daemon, _control) = daemon_with_registered_queries(config.clone(), 10);
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 10 }));
+    let bytes = daemon.checkpoint().expect("checkpoint");
+    let consumed = daemon.bins_ingested();
+    let short = {
+        let config = TraceConfig::default()
+            .with_seed(7)
+            .with_mean_packets_per_batch(350.0)
+            .with_payloads(true);
+        BatchReplay::record(&mut TraceGenerator::new(config), consumed as usize - 3)
+    };
+    match Daemon::restore(config, short, &bytes).err().expect("short source must be rejected") {
+        ServiceError::SourceTooShort { needed, skipped } => {
+            assert_eq!(needed, consumed);
+            assert_eq!(skipped, consumed - 3);
+        }
+        other => panic!("expected SourceTooShort, got {other}"),
+    }
+}
+
+#[test]
+fn every_bit_flip_in_a_real_checkpoint_is_detected() {
+    // The robustness sweep from the trace format, applied to .nsck: no
+    // single-bit corruption anywhere in a real daemon checkpoint may load.
+    let (mut daemon, _control) = daemon_with_registered_queries(overloaded_config(1), 6);
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { .. }));
+    let pristine = daemon.checkpoint().expect("checkpoint");
+    // Decoding a large container is O(size), so an exhaustive bits×bytes
+    // product would be quadratic; the snapshot unit tests run that product
+    // on a small container. Here: every bit of the framing-dense first 64
+    // bytes, plus one rotating bit of ~256 byte positions spread across the
+    // whole container (bodies, checksums, the end frame).
+    let stride = (pristine.len() / 256).max(1);
+    let positions = (0..64).chain((64..pristine.len()).step_by(stride));
+    for index in positions {
+        let bits: &[u8] = if index < 64 { &[0, 1, 2, 3, 4, 5, 6, 7] } else { &[index as u8 % 8] };
+        for &bit in bits {
+            let mut corrupted = pristine.clone();
+            corrupted[index] ^= 1 << bit;
+            assert!(
+                Snapshot::from_bytes(&corrupted).is_err(),
+                "flipping bit {bit} of byte {index} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_checkpoints_and_foreign_files_are_told_apart() {
+    let (daemon, _control) = daemon_with_registered_queries(overloaded_config(1), 4);
+    let pristine = daemon.checkpoint().expect("checkpoint");
+    // Any truncation of a real checkpoint is Truncated, never BadMagic.
+    // Sampled for the same cost reason as the bit-flip sweep; the snapshot
+    // unit tests cut at every byte of a small container.
+    let stride = (pristine.len() / 256).max(1);
+    for len in (4..64.min(pristine.len())).chain((64..pristine.len()).step_by(stride)) {
+        assert!(
+            matches!(
+                Snapshot::from_bytes(&pristine[..len]).unwrap_err(),
+                SnapshotError::Truncated { .. }
+            ),
+            "truncation to {len} bytes must report Truncated"
+        );
+    }
+    // ...while a short *foreign* file (e.g. a .nstr trace) is BadMagic even
+    // though it is also too short to be a snapshot.
+    assert_eq!(
+        Snapshot::from_bytes(b"NSTR").unwrap_err(),
+        SnapshotError::BadMagic { found: *b"NSTR" }
+    );
+}
+
+#[test]
+fn version_skew_names_found_and_expected() {
+    let (daemon, _control) = daemon_with_registered_queries(overloaded_config(1), 4);
+    let mut bytes = daemon.checkpoint().expect("checkpoint");
+    bytes[4] = 77;
+    bytes[5] = 0;
+    // Recompute the header checksum so the version check is what fires.
+    let mut fnv = netshed_sketch::IncrementalFnv::new(0x6e73_636b);
+    fnv.write(&bytes[..16]);
+    bytes[16..24].copy_from_slice(&fnv.finish().to_le_bytes());
+    let message = Snapshot::from_bytes(&bytes).unwrap_err().to_string();
+    assert!(
+        message.contains("77") && message.contains("supported 1"),
+        "version-skew message must name found and expected: {message}"
+    );
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// save → load → save is byte-identical for arbitrary section
+        /// layouts: the container encoding is canonical.
+        #[test]
+        fn snapshot_reencoding_is_byte_identical(
+            sections in proptest::collection::vec(
+                (0usize..6, proptest::collection::vec(0u32..256, 0..300)),
+                0..6,
+            ),
+        ) {
+            let mut snapshot = Snapshot::new();
+            for (index, (name_index, body)) in sections.into_iter().enumerate() {
+                let name = format!("section-{name_index}-{index}");
+                let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+                snapshot.push(&name, body).expect("unique names");
+            }
+            let first = snapshot.to_bytes();
+            let second = Snapshot::from_bytes(&first).expect("decode").to_bytes();
+            prop_assert_eq!(first, second);
+        }
+
+    }
+}
+
+#[test]
+fn a_real_checkpoint_reencodes_byte_identically_at_several_cuts() {
+    // save → load → save on actual daemon state, at cuts that land inside
+    // different measurement intervals.
+    for cut in [1u64, 6, 13] {
+        let (mut daemon, _control) = daemon_with_registered_queries(overloaded_config(1), cut);
+        assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { .. }));
+        let bytes = daemon.checkpoint().expect("checkpoint");
+        let reencoded = Snapshot::from_bytes(&bytes).expect("decode").to_bytes();
+        assert_eq!(bytes, reencoded, "cut {cut}: re-encoding must be byte-identical");
+    }
+}

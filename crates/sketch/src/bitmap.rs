@@ -18,6 +18,7 @@
 //!   cardinality with a small, fixed memory footprint.
 
 use crate::hash::mix64;
+use crate::state::{StateError, StateReader, StateWriter};
 
 /// A linear-counting bitmap distinct counter.
 #[derive(Debug, Clone)]
@@ -100,6 +101,30 @@ impl LinearCounting {
     pub fn clear(&mut self) {
         self.bits.iter_mut().for_each(|w| *w = 0);
         self.set_bits = 0;
+    }
+
+    /// Serializes the bitmap contents (geometry + words).
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.usize(self.num_bits);
+        for word in &self.bits {
+            writer.u64(*word);
+        }
+    }
+
+    /// Restores contents saved by [`LinearCounting::save_state`] into a
+    /// bitmap of identical geometry.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let num_bits = reader.usize()?;
+        if num_bits != self.num_bits {
+            return Err(StateError::mismatch("bitmap size (bits)", num_bits, self.num_bits));
+        }
+        let mut set = 0usize;
+        for word in &mut self.bits {
+            *word = reader.u64()?;
+            set += word.count_ones() as usize;
+        }
+        self.set_bits = set;
+        Ok(())
     }
 }
 
@@ -198,6 +223,31 @@ impl MultiResolutionBitmap {
         for (a, b) in self.components.iter_mut().zip(&other.components) {
             a.merge(b);
         }
+    }
+
+    /// Serializes the counter contents (component count + every bitmap).
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.usize(self.components.len());
+        for component in &self.components {
+            component.save_state(writer);
+        }
+    }
+
+    /// Restores contents saved by [`MultiResolutionBitmap::save_state`] into
+    /// a counter of identical geometry.
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), StateError> {
+        let components = reader.usize()?;
+        if components != self.components.len() {
+            return Err(StateError::mismatch(
+                "bitmap component count",
+                components,
+                self.components.len(),
+            ));
+        }
+        for component in &mut self.components {
+            component.load_state(reader)?;
+        }
+        Ok(())
     }
 
     /// Splits a hash into (component index, per-component bit hash).

@@ -93,6 +93,22 @@ impl IncrementalFnv {
     pub fn finish(self) -> u64 {
         mix64(self.0)
     }
+
+    /// The raw accumulator state, for checkpointing a mid-stream hasher.
+    ///
+    /// Digest observers fold a whole run's event stream into incremental FNV
+    /// chains; a `.nsck` snapshot must persist those chains mid-run so a
+    /// restored run's final digest equals the uninterrupted one.
+    #[inline]
+    pub fn state(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a hasher from [`IncrementalFnv::state`].
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Self(state)
+    }
 }
 
 /// Distinct odd constants that spread the four lane seeds of [`hash_block`]
@@ -145,16 +161,18 @@ pub fn hash_block(bytes: &[u8], seed: u64) -> u64 {
 }
 
 /// A deterministic [`std::hash::Hasher`] (FNV-1a + [`mix64`]) for hash-table
-/// state that must iterate in a replay-stable order.
+/// state that must behave identically across runs and processes.
 ///
 /// `std::collections::HashMap`'s default `RandomState` draws a fresh seed per
-/// map instance, so two bit-identical runs iterate — and therefore fold
-/// floating-point aggregates — in different orders, diverging in the last
-/// ulp. Query state tables that are summed or ranked at interval boundaries
-/// use [`DetHashMap`] / [`DetHashSet`] instead: same insertion history, same
-/// iteration order, bit-identical outputs. (HashDoS resistance is not a
-/// concern for these tables: keys are already 64-bit hashes of attacker-
-/// invisible seeds, or bounded enumerations.)
+/// map instance, so two bit-identical runs place — and therefore probe —
+/// their keys differently. The deterministic containers
+/// ([`DetHashMap`](crate::det_map::DetHashMap) /
+/// [`DetHashSet`](crate::det_map::DetHashSet)) hash through this type
+/// instead, and additionally iterate in *insertion order*, so interval folds
+/// and rankings are bit-identical across runs, worker counts and
+/// checkpoint/restore boundaries. (HashDoS resistance is not a concern for
+/// these tables: keys are already 64-bit hashes of attacker-invisible seeds,
+/// or bounded enumerations.)
 #[derive(Debug, Clone, Copy)]
 pub struct DetHasher(IncrementalFnv);
 
@@ -178,12 +196,6 @@ impl std::hash::Hasher for DetHasher {
 
 /// Deterministic build-hasher for replay-stable maps.
 pub type DetBuildHasher = std::hash::BuildHasherDefault<DetHasher>;
-/// A `HashMap` with replay-stable iteration order (see [`DetHasher`]).
-// lint:allow(det-map): this alias IS the sanctioned deterministic map the rule points everyone at
-pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetBuildHasher>;
-/// A `HashSet` with replay-stable iteration order (see [`DetHasher`]).
-// lint:allow(det-map): sanctioned deterministic set alias, same as DetHashMap above
-pub type DetHashSet<T> = std::collections::HashSet<T, DetBuildHasher>;
 
 /// An H3-style universal hash over fixed-length keys, realised as tabulation
 /// hashing: one 256-entry table of random 64-bit words per key byte, XORed

@@ -23,11 +23,14 @@
 
 pub mod bitmap;
 pub mod bloom;
+pub mod det_map;
 pub mod hash;
+pub mod state;
 
 pub use bitmap::{LinearCounting, MultiResolutionBitmap};
 pub use bloom::BloomFilter;
+pub use det_map::{DetHashMap, DetHashSet, Entry};
 pub use hash::{
-    hash_block, hash_bytes, mix64, DetBuildHasher, DetHashMap, DetHashSet, DetHasher, H3Hasher,
-    IncrementalFnv,
+    hash_block, hash_bytes, mix64, DetBuildHasher, DetHasher, H3Hasher, IncrementalFnv,
 };
+pub use state::{StateError, StateReader, StateWriter};

@@ -80,6 +80,8 @@ pub enum FormatError {
     UnsupportedVersion {
         /// Version found in the header.
         found: u16,
+        /// Version this reader supports.
+        expected: u16,
     },
     /// A checksum did not match: the file is corrupt or was truncated and
     /// re-extended.
@@ -122,9 +124,9 @@ impl std::fmt::Display for FormatError {
             FormatError::BadMagic { found } => {
                 write!(f, "not a netshed trace (magic {found:02x?}, expected \"NSTR\")")
             }
-            FormatError::UnsupportedVersion { found } => write!(
+            FormatError::UnsupportedVersion { found, expected } => write!(
                 f,
-                "trace format version {found} is not the supported {TRACE_FORMAT_VERSION} \
+                "trace format version {found} is not the supported {expected} \
                  (re-record the trace)"
             ),
             FormatError::ChecksumMismatch { location } => {
@@ -322,7 +324,10 @@ fn validate_header(fixed: &[u8; 16], declared: [u8; 8]) -> Result<u64, FormatErr
     validate_magic(fixed)?;
     let version = u16::from_le_bytes([fixed[4], fixed[5]]);
     if version != TRACE_FORMAT_VERSION {
-        return Err(FormatError::UnsupportedVersion { found: version });
+        return Err(FormatError::UnsupportedVersion {
+            found: version,
+            expected: TRACE_FORMAT_VERSION,
+        });
     }
     let mut fnv = IncrementalFnv::new(CHECKSUM_SEED);
     fnv.write(fixed);
@@ -898,12 +903,23 @@ mod tests {
             bytes[4..6].copy_from_slice(&skewed.to_le_bytes());
             assert!(matches!(
                 TraceReader::new(&bytes[..]).err().expect("must fail"),
-                FormatError::UnsupportedVersion { found } if found == skewed
+                FormatError::UnsupportedVersion { found, expected }
+                    if found == skewed && expected == TRACE_FORMAT_VERSION
             ));
+            let err = SharedTraceReader::new(Bytes::from(bytes)).err().expect("must fail");
             assert!(matches!(
-                SharedTraceReader::new(Bytes::from(bytes)).err().expect("must fail"),
-                FormatError::UnsupportedVersion { found } if found == skewed
+                err,
+                FormatError::UnsupportedVersion { found, expected }
+                    if found == skewed && expected == TRACE_FORMAT_VERSION
             ));
+            // The message must diagnose the skew, not just detect it: both
+            // the found and the supported version are spelled out.
+            let message = err.to_string();
+            assert!(message.contains(&skewed.to_string()), "message lacks found version");
+            assert!(
+                message.contains(&TRACE_FORMAT_VERSION.to_string()),
+                "message lacks expected version"
+            );
         }
     }
 

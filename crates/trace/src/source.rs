@@ -27,6 +27,23 @@ pub trait PacketSource {
     fn remaining_hint(&self) -> Option<usize> {
         None
     }
+
+    /// Advances the cursor past `count` batches without delivering them and
+    /// returns how many were actually skipped (fewer when the source ran
+    /// out). This is how a restored daemon fast-forwards its source to the
+    /// checkpointed position; after `skip_batches(n)` the source produces
+    /// exactly the batches a fresh source produces after `n` `next_batch`
+    /// calls.
+    fn skip_batches(&mut self, count: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < count {
+            if self.next_batch().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        skipped
+    }
 }
 
 impl<S: PacketSource + ?Sized> PacketSource for &mut S {
@@ -37,6 +54,10 @@ impl<S: PacketSource + ?Sized> PacketSource for &mut S {
     fn remaining_hint(&self) -> Option<usize> {
         (**self).remaining_hint()
     }
+
+    fn skip_batches(&mut self, count: u64) -> u64 {
+        (**self).skip_batches(count)
+    }
 }
 
 impl<S: PacketSource + ?Sized> PacketSource for Box<S> {
@@ -46,6 +67,10 @@ impl<S: PacketSource + ?Sized> PacketSource for Box<S> {
 
     fn remaining_hint(&self) -> Option<usize> {
         (**self).remaining_hint()
+    }
+
+    fn skip_batches(&mut self, count: u64) -> u64 {
+        (**self).skip_batches(count)
     }
 }
 
@@ -115,6 +140,14 @@ impl PacketSource for BatchReplay {
 
     fn remaining_hint(&self) -> Option<usize> {
         Some(self.batches.len() - self.position)
+    }
+
+    /// O(1): the replay cursor jumps without cloning the skipped batches.
+    fn skip_batches(&mut self, count: u64) -> u64 {
+        let remaining = (self.batches.len() - self.position) as u64;
+        let skipped = count.min(remaining);
+        self.position += skipped as usize;
+        skipped
     }
 }
 
@@ -416,6 +449,38 @@ mod tests {
         assert_eq!(bin3.packets.tuples()[0].src_ip, 2);
         assert_eq!(bin3.start_ts, 300);
         assert!(merged.next_batch().is_none());
+    }
+
+    #[test]
+    fn skip_batches_fast_forwards_to_the_same_cursor() {
+        // The replay's O(1) skip and the default skip (drain via next_batch)
+        // must land every source on the identical position: the batches that
+        // follow are the ones a fresh source yields after `n` next_batch
+        // calls.
+        let recording = BatchReplay::record(&mut generator(13), 8);
+        let mut skipped_replay = recording.clone();
+        assert_eq!(skipped_replay.skip_batches(5), 5);
+        let mut drained_generator = generator(13);
+        assert_eq!(PacketSource::skip_batches(&mut drained_generator, 5), 5);
+        for bin in 5..8u64 {
+            let from_replay = skipped_replay.next_batch().expect("replay batch");
+            let from_generator =
+                PacketSource::next_batch(&mut drained_generator).expect("generator batch");
+            assert_eq!(from_replay.bin_index, bin);
+            assert_eq!(from_generator.bin_index, bin);
+            assert_eq!(from_replay.packets.as_ref(), from_generator.packets.as_ref());
+        }
+        assert_eq!(skipped_replay.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn skip_batches_past_the_end_reports_the_shortfall() {
+        let mut replay = BatchReplay::record(&mut generator(14), 3);
+        assert_eq!(replay.skip_batches(10), 3);
+        assert!(replay.next_batch().is_none());
+        let mut bounded = generator(15).take_batches(4);
+        assert_eq!(bounded.skip_batches(10), 4);
+        assert!(bounded.next_batch().is_none());
     }
 
     #[test]
