@@ -4,7 +4,7 @@
 //! cargo run -p netshed-bench --release --bin scenarios -- list
 //! cargo run -p netshed-bench --release --bin scenarios -- record [--dir corpus]
 //! cargo run -p netshed-bench --release --bin scenarios -- verify [--dir corpus] [--workers N] [--borrowed]
-//! cargo run -p netshed-bench --release --bin scenarios -- run <name> [--strategy mmfs_pkt] [--workers N]
+//! cargo run -p netshed-bench --release --bin scenarios -- run <name> [--strategy mmfs_pkt] [--predictor mlr_fcbf] [--workers N]
 //! cargo run -p netshed-bench --release --bin scenarios -- checkpoint <name> <strategy> [--at BIN] [--out FILE]
 //! cargo run -p netshed-bench --release --bin scenarios -- resume <name> <strategy> --from FILE [--dir corpus]
 //! ```
@@ -33,10 +33,10 @@
 use netshed_bench::cli::{parse_scenarios_args, usage, ScenariosCommand};
 use netshed_bench::corpus::{
     all_strategies, checkpoint_run, compute_golden, corpus_capacity, diff_digests, digest_run,
-    format_manifest, parse_manifest, resume_run, strategy_by_name, GoldenEntry, MANIFEST_NAME,
-    TRACE_EXTENSION,
+    digest_run_with_predictor, format_manifest, parse_manifest, resume_run, strategy_by_name,
+    GoldenEntry, MANIFEST_NAME, TRACE_EXTENSION,
 };
-use netshed_monitor::Strategy;
+use netshed_monitor::{PredictorKind, Strategy};
 use netshed_trace::scenario::{builtin, builtins};
 use netshed_trace::{decode_batches, decode_batches_shared, encode_batches, Batch, Bytes};
 use std::path::Path;
@@ -60,8 +60,8 @@ fn main() -> ExitCode {
         ScenariosCommand::List => list(),
         ScenariosCommand::Record { dir } => record(&dir),
         ScenariosCommand::Verify { dir, workers, borrowed } => verify(&dir, workers, borrowed),
-        ScenariosCommand::Run { name, strategy, workers } => {
-            run_one(&name, strategy.as_deref(), workers)
+        ScenariosCommand::Run { name, strategy, predictor, workers } => {
+            run_one(&name, strategy.as_deref(), predictor.as_deref(), workers)
         }
         ScenariosCommand::Checkpoint { name, strategy, at, out, workers } => {
             checkpoint(&name, &strategy, at, &out, workers)
@@ -284,17 +284,35 @@ fn verify(dir: &Path, workers: usize, borrowed: bool) -> ExitCode {
     }
 }
 
-fn run_one(name: &str, strategy_name: Option<&str>, workers: usize) -> ExitCode {
+fn run_one(
+    name: &str,
+    strategy_name: Option<&str>,
+    predictor_name: Option<&str>,
+    workers: usize,
+) -> ExitCode {
     let Some((batches, strategy)) = resolve(name, strategy_name.unwrap_or("mmfs_pkt")) else {
         return ExitCode::FAILURE;
     };
+    let named = predictor_name.map(|name| (name, PredictorKind::from_name(name)));
+    let predictor = match named {
+        None => PredictorKind::MlrFcbf,
+        Some((_, Some(kind))) => kind,
+        Some((requested, None)) => {
+            eprintln!("unknown predictor {requested:?}; known:");
+            for kind in PredictorKind::ALL {
+                eprintln!("  {}", kind.name());
+            }
+            return ExitCode::FAILURE;
+        }
+    };
     let capacity = corpus_capacity(&batches);
-    match digest_run(&batches, strategy, capacity, workers) {
+    match digest_run_with_predictor(&batches, strategy, capacity, workers, predictor) {
         Ok(digest) => {
             println!(
-                "{name} / {}: capacity {capacity:.0} cycles/bin over {} bins at {workers} \
+                "{name} / {} / {}: capacity {capacity:.0} cycles/bin over {} bins at {workers} \
                  worker(s)",
                 strategy.name(),
+                predictor.name(),
                 batches.len()
             );
             println!("{digest}");

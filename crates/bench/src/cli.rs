@@ -29,12 +29,15 @@ pub enum ScenariosCommand {
         /// Replay through the zero-copy decode path.
         borrowed: bool,
     },
-    /// `scenarios run <scenario> [--strategy S] [--workers N]`.
+    /// `scenarios run <scenario> [--strategy S] [--predictor P]
+    /// [--workers N]`.
     Run {
         /// Scenario name.
         name: String,
         /// Strategy name; the default is the paper's headline configuration.
         strategy: Option<String>,
+        /// Predictor name; the default is the paper's MLR+FCBF method.
+        predictor: Option<String>,
         /// Worker count.
         workers: usize,
     },
@@ -114,8 +117,11 @@ pub fn usage(topic: Option<&str>) -> String {
              replay the committed corpus and fail loudly on any digest drift;\n\
              --borrowed decodes through the zero-copy replay plane"
             .to_string(),
-        Some("run") => "usage: scenarios run <scenario> [--strategy NAME] [--workers N]\n\
-             replay one scenario under one strategy and print its digest"
+        Some("run") => "usage: scenarios run <scenario> [--strategy NAME] [--predictor NAME] \
+             [--workers N]\n\
+             replay one scenario under one strategy and print its digest;\n\
+             --predictor swaps the prediction method (e.g. robust_mlr_fcbf\n\
+             to compare the hardened predictor against the mlr_fcbf default)"
             .to_string(),
         Some("checkpoint") => {
             "usage: scenarios checkpoint <scenario> <strategy> [--at BIN] [--out FILE] [--workers N]\n\
@@ -156,6 +162,7 @@ pub fn parse_scenarios_args(args: &[String]) -> Result<ScenariosCommand, CliErro
     let mut dir: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
     let mut strategy: Option<String> = None;
+    let mut predictor: Option<String> = None;
     let mut at: Option<u64> = None;
     let mut out: Option<PathBuf> = None;
     let mut from: Option<PathBuf> = None;
@@ -181,6 +188,7 @@ pub fn parse_scenarios_args(args: &[String]) -> Result<ScenariosCommand, CliErro
             "--out" => out = Some(PathBuf::from(value_of("--out")?)),
             "--from" => from = Some(PathBuf::from(value_of("--from")?)),
             "--strategy" => strategy = Some(value_of("--strategy")?),
+            "--predictor" => predictor = Some(value_of("--predictor")?),
             "--workers" => {
                 let value = value_of("--workers")?;
                 match value.parse::<usize>() {
@@ -235,7 +243,7 @@ pub fn parse_scenarios_args(args: &[String]) -> Result<ScenariosCommand, CliErro
         "list" | "help" => &[],
         "record" => &["--dir"],
         "verify" => &["--dir", "--workers", "--borrowed"],
-        "run" => &["--workers", "--strategy"],
+        "run" => &["--workers", "--strategy", "--predictor"],
         "checkpoint" => &["--at", "--out", "--workers"],
         "resume" => &["--from", "--dir", "--workers"],
         _ => unreachable!("command membership checked above"),
@@ -244,6 +252,7 @@ pub fn parse_scenarios_args(args: &[String]) -> Result<ScenariosCommand, CliErro
         ("--dir", dir.is_some()),
         ("--workers", workers.is_some()),
         ("--strategy", strategy.is_some()),
+        ("--predictor", predictor.is_some()),
         ("--at", at.is_some()),
         ("--out", out.is_some()),
         ("--from", from.is_some()),
@@ -288,7 +297,7 @@ pub fn parse_scenarios_args(args: &[String]) -> Result<ScenariosCommand, CliErro
         }
         "run" => {
             expect_positionals(2, "a scenario name")?;
-            Ok(ScenariosCommand::Run { name: positional[1].clone(), strategy, workers })
+            Ok(ScenariosCommand::Run { name: positional[1].clone(), strategy, predictor, workers })
         }
         "checkpoint" => {
             expect_positionals(3, "a scenario name and a strategy name")?;
@@ -465,6 +474,30 @@ mod tests {
                 workers: 1,
             }
         );
+    }
+
+    #[test]
+    fn run_collects_its_predictor_and_strategy() {
+        assert_eq!(
+            parse(&[
+                "run",
+                "bm-mimicry",
+                "--strategy",
+                "eq_srates",
+                "--predictor",
+                "robust_mlr_fcbf"
+            ])
+            .expect("parse"),
+            ScenariosCommand::Run {
+                name: "bm-mimicry".into(),
+                strategy: Some("eq_srates".into()),
+                predictor: Some("robust_mlr_fcbf".into()),
+                workers: 1,
+            }
+        );
+        // --predictor only applies to `run`.
+        let err = parse(&["verify", "--predictor", "slr"]).expect_err("inapplicable");
+        assert!(err.message.contains("--predictor"));
     }
 
     #[test]

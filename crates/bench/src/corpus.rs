@@ -17,7 +17,9 @@
 //! * [`diff_digests`] renders a drift as a readable report naming the
 //!   scenario, the strategy and the exact stream that diverged.
 
-use netshed_monitor::{DigestObserver, Monitor, MonitorConfig, NetshedError, RunDigest, Strategy};
+use netshed_monitor::{
+    DigestObserver, Monitor, MonitorConfig, NetshedError, PredictorKind, RunDigest, Strategy,
+};
 use netshed_queries::{CustomBehavior, QueryKind, QuerySpec};
 use netshed_service::{Daemon, ServiceError, TickStatus};
 use netshed_trace::scenario::Scenario;
@@ -69,6 +71,11 @@ pub fn corpus_capacity(batches: &[Batch]) -> f64 {
     (demand / 2.0).max(1.0)
 }
 
+/// The adversarial subset of the built-in scenarios: the predictor-gaming
+/// workloads the robustness plane is evaluated on (and the CI
+/// `adversarial-corpus` job loops over).
+pub const ADVERSARIAL_SCENARIOS: [&str; 3] = ["bm-mimicry", "flow-churn", "agg-skew"];
+
 /// Replays a batch vector through one strategy at the given worker count and
 /// returns the run fingerprint.
 pub fn digest_run(
@@ -77,10 +84,25 @@ pub fn digest_run(
     capacity: f64,
     workers: usize,
 ) -> Result<RunDigest, NetshedError> {
+    digest_run_with_predictor(batches, strategy, capacity, workers, PredictorKind::MlrFcbf)
+}
+
+/// [`digest_run`] with an explicit predictor: the corpus pins
+/// [`PredictorKind::MlrFcbf`] (the paper's method and the historical
+/// default), while `scenarios run --predictor` and the robustness tests
+/// compare the hardened `robust_mlr_fcbf` against it on the same traffic.
+pub fn digest_run_with_predictor(
+    batches: &[Batch],
+    strategy: Strategy,
+    capacity: f64,
+    workers: usize,
+    predictor: PredictorKind,
+) -> Result<RunDigest, NetshedError> {
     let mut monitor = Monitor::builder()
         .capacity(capacity)
         .seed(CORPUS_SEED)
         .strategy(strategy)
+        .predictor(predictor)
         .with_workers(workers)
         .queries(corpus_specs())
         .build()?;

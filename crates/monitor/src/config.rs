@@ -12,7 +12,8 @@ use crate::error::NetshedError;
 use crate::policy::{ControlPolicy, NoSheddingPolicy, PredictivePolicy, ReactivePolicy};
 use netshed_fairness::{AllocationStrategy, EqualRates, MmfsCpu, MmfsPkt};
 use netshed_predict::{
-    EwmaPredictor, MlrConfig, MlrPredictor, Predictor, PredictorFactory, SlrPredictor,
+    EwmaPredictor, MlrConfig, MlrPredictor, Predictor, PredictorFactory, RobustMlrConfig,
+    RobustMlrPredictor, SlrPredictor,
 };
 
 /// How sampling rates are assigned to queries when load must be shed.
@@ -107,6 +108,11 @@ impl Strategy {
 pub enum PredictorKind {
     /// MLR with FCBF feature selection (the paper's method).
     MlrFcbf,
+    /// MLR hardened against predictor-gaming traffic: outlier-clamped
+    /// residuals, forgetting-factor history and non-finite guards, with
+    /// bit-identical arithmetic on benign workloads (see
+    /// [`RobustMlrPredictor`]).
+    RobustMlrFcbf,
     /// Simple linear regression on the packet count.
     Slr,
     /// Exponentially weighted moving average of past cycles.
@@ -115,13 +121,18 @@ pub enum PredictorKind {
 
 impl PredictorKind {
     /// Every predictor kind, in a stable order.
-    pub const ALL: [PredictorKind; 3] =
-        [PredictorKind::MlrFcbf, PredictorKind::Slr, PredictorKind::Ewma];
+    pub const ALL: [PredictorKind; 4] = [
+        PredictorKind::MlrFcbf,
+        PredictorKind::RobustMlrFcbf,
+        PredictorKind::Slr,
+        PredictorKind::Ewma,
+    ];
 
     /// Stable identifier used in reports, benchmarks and `.nsck` snapshots.
     pub fn name(self) -> &'static str {
         match self {
             PredictorKind::MlrFcbf => "mlr_fcbf",
+            PredictorKind::RobustMlrFcbf => "robust_mlr_fcbf",
             PredictorKind::Slr => "slr",
             PredictorKind::Ewma => "ewma",
         }
@@ -140,6 +151,10 @@ impl PredictorKind {
             PredictorKind::MlrFcbf => {
                 Box::new(move || Box::new(MlrPredictor::new(mlr)) as Box<dyn Predictor>)
             }
+            PredictorKind::RobustMlrFcbf => Box::new(move || {
+                let config = RobustMlrConfig { mlr, ..RobustMlrConfig::default() };
+                Box::new(RobustMlrPredictor::new(config)) as Box<dyn Predictor>
+            }),
             PredictorKind::Slr => {
                 Box::new(|| Box::new(SlrPredictor::on_packets()) as Box<dyn Predictor>)
             }

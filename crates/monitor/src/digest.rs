@@ -172,6 +172,7 @@ impl StreamDigest {
             DecisionReason::ReactiveFeedback => 1,
             DecisionReason::Overload => 2,
             DecisionReason::Custom => 3,
+            DecisionReason::DegradedFallback => 4,
         });
     }
 

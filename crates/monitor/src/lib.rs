@@ -51,6 +51,14 @@
 //! slowly, and user-defined policies plug in through
 //! [`MonitorBuilder::with_policy`]. Predictors follow the same registration
 //! pattern through [`MonitorBuilder::with_predictor`].
+//!
+//! The [`robust`] module is the control-plane half of the robustness plane:
+//! [`DegradationGuard`] wraps any policy with a per-bin under-prediction
+//! tripwire and a conservative reactive fallback (surfaced as
+//! [`DecisionReason::DegradedFallback`]), and [`AllocationGameAttacker`]
+//! plays the Section 5.3 allocation game dishonestly so the defense can be
+//! measured. The hardened predictor rides along as
+//! [`PredictorKind::RobustMlrFcbf`].
 
 #![forbid(unsafe_code)]
 
@@ -65,6 +73,7 @@ pub mod observer;
 pub mod policy;
 pub mod reference;
 pub mod report;
+pub mod robust;
 pub mod shedder;
 
 pub use builder::MonitorBuilder;
@@ -81,4 +90,5 @@ pub use policy::{
 };
 pub use reference::ReferenceRunner;
 pub use report::{BinRecord, QueryBinRecord, RunSummary};
+pub use robust::{AllocationGameAttacker, DegradationGuard, DegradationGuardConfig};
 pub use shedder::{flow_sample, flow_sample_with, packet_sample, packet_sample_with};

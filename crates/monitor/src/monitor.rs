@@ -145,6 +145,9 @@ pub struct Monitor {
     /// Reactive strategy state: previous global sampling rate and cycles.
     reactive_rate: f64,
     reactive_consumed: f64,
+    /// Query-only cycles of the previous bin (no capture/prediction
+    /// overheads) — the tripwire denomination of the robustness plane.
+    reactive_query_cycles: f64,
     current_interval: Option<u64>,
     /// Monotonic registration counter backing [`QueryId`] handles.
     next_query_id: u64,
@@ -204,6 +207,7 @@ impl Monitor {
             rtthresh_ssthresh: f64::INFINITY,
             reactive_rate: 1.0,
             reactive_consumed: 0.0,
+            reactive_query_cycles: 0.0,
             current_interval: None,
             next_query_id: 0,
             exec_stats: ExecStats::default(),
@@ -663,6 +667,8 @@ impl Monitor {
             shed_cycles_ewma: self.shed_cycles_ewma,
             prev_mean_rate: self.reactive_rate,
             prev_total_cycles: self.reactive_consumed,
+            prev_query_cycles: self.reactive_query_cycles,
+            uncontrolled_drops,
             rate_floor: self.config.reactive_min_rate,
             measured_cycles: measured_full.as_deref(),
         };
@@ -969,6 +975,7 @@ impl Monitor {
             if rates.is_empty() { 1.0 } else { rates.iter().sum::<f64>() / rates.len() as f64 };
         self.reactive_rate = mean_rate.max(self.config.reactive_min_rate);
         self.reactive_consumed = total_cycles;
+        self.reactive_query_cycles = query_cycles_total;
 
         let unsampled_packets = if self.queries.is_empty() {
             0
@@ -1074,6 +1081,7 @@ impl Monitor {
         writer.f64(self.rtthresh_ssthresh);
         writer.f64(self.reactive_rate);
         writer.f64(self.reactive_consumed);
+        writer.f64(self.reactive_query_cycles);
         writer.opt_u64(self.current_interval);
         self.policy.save_state(writer)?;
         writer.usize(self.queries.len());
@@ -1135,6 +1143,7 @@ impl Monitor {
         self.rtthresh_ssthresh = reader.f64()?;
         self.reactive_rate = reader.f64()?;
         self.reactive_consumed = reader.f64()?;
+        self.reactive_query_cycles = reader.f64()?;
         self.current_interval = reader.opt_u64()?;
         self.policy.load_state(reader)?;
         let count = reader.usize()?;

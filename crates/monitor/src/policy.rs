@@ -75,6 +75,20 @@ pub struct ControlContext<'a> {
     pub prev_mean_rate: f64,
     /// Total cycles the previous bin consumed (0.0 on the first bin).
     pub prev_total_cycles: f64,
+    /// Cycles the *queries themselves* consumed the previous bin (0.0 on
+    /// the first bin). Unlike [`prev_total_cycles`](Self::prev_total_cycles)
+    /// this excludes the capture/extraction/prediction overheads, so it is
+    /// directly comparable to the `Σ prediction × rate` a decision commits
+    /// to — the denomination the degradation tripwire needs, since the
+    /// fixed overheads would otherwise swamp the ratio at low rates.
+    pub prev_query_cycles: f64,
+    /// Packets dropped without control at the capture buffer this bin —
+    /// overflow of the backlog earlier over-admission left behind. Crucial
+    /// robustness signal: an overloaded bin *caps* its consumed cycles at
+    /// roughly the capacity (the excess packets were dropped before costing
+    /// anything), so a gamed predictor can hide an arbitrarily large
+    /// overshoot from every cycle ratio while these drops pile up.
+    pub uncontrolled_drops: u64,
     /// Configured floor for reactive-style global rates
     /// ([`MonitorConfig::reactive_min_rate`](crate::MonitorConfig)).
     pub rate_floor: f64,
@@ -95,6 +109,12 @@ pub enum DecisionReason {
     ReactiveFeedback,
     /// Demand exceeded the budget; an allocator split the shortfall.
     Overload,
+    /// The degradation guard tripped: predictions have under-estimated the
+    /// consumed cycles for too many consecutive bins (a predictor-gaming
+    /// workload or a broken model), so the rates come from the conservative
+    /// reactive fallback instead of the untrusted predictions. See
+    /// [`DegradationGuard`](crate::robust::DegradationGuard).
+    DegradedFallback,
     /// A policy-specific rule not covered by the variants above.
     Custom,
 }
@@ -224,7 +244,7 @@ impl ControlPolicy for Box<dyn ControlPolicy> {
 
 /// Composes a reactive-family policy name: the base alone for the historical
 /// default allocator (`eq_srates`), `base_allocator` otherwise.
-fn reactive_family_name(base: &str, allocator: &dyn AllocationStrategy) -> String {
+pub(crate) fn reactive_family_name(base: &str, allocator: &dyn AllocationStrategy) -> String {
     match allocator.name() {
         "eq_srates" => base.to_string(),
         other => format!("{base}_{other}"),
@@ -233,7 +253,7 @@ fn reactive_family_name(base: &str, allocator: &dyn AllocationStrategy) -> Strin
 
 /// Equation 4.1: scale the previous bin's mean rate by how far its
 /// consumption was from the budget, clamped into `[rate_floor, 1]`.
-fn eq_4_1_rate(ctx: &ControlContext<'_>) -> f64 {
+pub(crate) fn eq_4_1_rate(ctx: &ControlContext<'_>) -> f64 {
     if ctx.prev_total_cycles > 0.0 {
         (ctx.prev_mean_rate * ctx.available_cycles.max(0.0) / ctx.prev_total_cycles)
             .clamp(ctx.rate_floor, 1.0)
@@ -250,7 +270,7 @@ fn eq_4_1_rate(ctx: &ControlContext<'_>) -> f64 {
 /// schemes pin them at their minimum and redistribute. The decision's
 /// `budget` reports the rate-unit capacity handed to the allocator, or
 /// `None` on the uniform path.
-fn spread_global_rate(
+pub(crate) fn spread_global_rate(
     allocator: &dyn AllocationStrategy,
     rate: f64,
     demands: &[QueryDemand],
@@ -486,6 +506,8 @@ mod tests {
             shed_cycles_ewma: 0.0,
             prev_mean_rate: 1.0,
             prev_total_cycles: 0.0,
+            prev_query_cycles: 0.0,
+            uncontrolled_drops: 0,
             rate_floor: 0.05,
             measured_cycles: None,
         }

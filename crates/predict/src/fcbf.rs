@@ -75,7 +75,11 @@ pub fn fcbf_select_with(
     for index in 0..feature_count {
         history.fill_feature_column(index, &mut scratch.column);
         let correlation = pearson(&scratch.column, responses).abs();
-        if correlation >= config.threshold {
+        // A zero-variance column (or one that overflowed the correlation
+        // arithmetic) yields a NaN correlation. `NaN >= threshold` is false,
+        // but the guard is explicit: a non-finite goodness score means "not
+        // a predictor", never a NaN row in the design matrix.
+        if correlation.is_finite() && correlation >= config.threshold {
             candidates.push((index, correlation, scratch.column.clone()));
         }
     }
@@ -186,6 +190,25 @@ mod tests {
         let mut history = History::new(10);
         history.push(FeatureVector::zeros(), 1.0);
         assert!(fcbf_select(&history, &FcbfConfig::default(), 42).is_empty());
+    }
+
+    #[test]
+    fn zero_variance_and_poisoned_columns_are_never_selected() {
+        // A constant column makes the Pearson denominator zero (NaN
+        // correlation); it must be silently irrelevant, not selected and not
+        // a panic. The response here is driven by packets so something *is*
+        // selectable.
+        let mut history = History::new(40);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, rng.gen_range(100.0..2000.0));
+            f.set(FeatureId::from_index(4), 7.0); // constant: zero variance
+            history.push(f, 5.0 * f.packets());
+        }
+        let selected = fcbf_select(&history, &FcbfConfig { threshold: 0.0, max_features: 42 }, 42);
+        assert!(!selected.contains(&4), "a zero-variance feature must never be selected");
+        assert!(selected.contains(&FeatureId::Packets.index()));
     }
 
     #[test]

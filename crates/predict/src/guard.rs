@@ -1,0 +1,79 @@
+//! Numeric guards on the prediction inputs.
+//!
+//! The predictors regress over values that ultimately come from untrusted
+//! traffic, and the feedback path multiplies measurements by reciprocal
+//! sampling rates. A NaN or infinity that slips into the regression history
+//! poisons every later OLS solve (NaN propagates through the whole pseudo-
+//! inverse), so the rule enforced here is simple: **no non-finite value ever
+//! reaches the design matrix**. Every guarded site clamps through
+//! [`clamp_sample`], which is the identity for every value benign traffic
+//! can produce — finite, non-negative, far below [`MAX_SAMPLE`] — so the
+//! guards cannot move a single golden digest.
+
+use netshed_features::{FeatureVector, FEATURE_COUNT};
+
+/// Upper bound on any feature or response sample. Benign values are counts
+/// or cycle totals around 1e9 at the very most; 1e18 leaves six orders of
+/// magnitude of headroom while keeping products like `value * history_len`
+/// comfortably inside `f64` range.
+pub const MAX_SAMPLE: f64 = 1e18;
+
+/// Clamps one sample (a feature value or a response) into the finite,
+/// non-negative range the regression is defined on.
+///
+/// Identity for all benign inputs; NaN and `-inf` become 0, `+inf` and
+/// overflow-prone magnitudes saturate at [`MAX_SAMPLE`].
+pub fn clamp_sample(value: f64) -> f64 {
+    if value.is_nan() {
+        return 0.0;
+    }
+    value.clamp(0.0, MAX_SAMPLE)
+}
+
+/// Clamps every feature of a vector through [`clamp_sample`].
+///
+/// Returns the input unchanged (bit-for-bit) when all features are already
+/// in range, which is the case for every vector the feature extractor
+/// produces from real packets.
+pub fn clamp_features(features: &FeatureVector) -> FeatureVector {
+    let mut values = [0.0; FEATURE_COUNT];
+    for (index, value) in values.iter_mut().enumerate() {
+        *value = clamp_sample(features.get_index(index));
+    }
+    FeatureVector::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netshed_features::FeatureId;
+
+    #[test]
+    fn clamp_sample_is_identity_on_benign_values() {
+        for value in [0.0, 1.0, 1e-12, 42.5, 1e9, MAX_SAMPLE] {
+            assert_eq!(clamp_sample(value).to_bits(), value.to_bits());
+        }
+    }
+
+    #[test]
+    fn clamp_sample_removes_every_non_finite_value() {
+        assert_eq!(clamp_sample(f64::NAN), 0.0);
+        assert_eq!(clamp_sample(f64::NEG_INFINITY), 0.0);
+        assert_eq!(clamp_sample(f64::INFINITY), MAX_SAMPLE);
+        assert_eq!(clamp_sample(-3.0), 0.0);
+        assert_eq!(clamp_sample(1e300), MAX_SAMPLE);
+    }
+
+    #[test]
+    fn clamp_features_sanitizes_only_the_poisoned_slots() {
+        let mut features = FeatureVector::zeros();
+        features.set(FeatureId::Packets, 120.0);
+        features.set(FeatureId::from_index(3), f64::NAN);
+        features.set(FeatureId::from_index(7), f64::INFINITY);
+        let clamped = clamp_features(&features);
+        assert_eq!(clamped.get(FeatureId::Packets), 120.0);
+        assert_eq!(clamped.get_index(3), 0.0);
+        assert_eq!(clamped.get_index(7), MAX_SAMPLE);
+        assert!((0..FEATURE_COUNT).all(|i| clamped.get_index(i).is_finite()));
+    }
+}

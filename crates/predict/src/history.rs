@@ -1,5 +1,6 @@
 //! Sliding window of (features, observed cycles) observations.
 
+use crate::guard::{clamp_features, clamp_sample};
 use netshed_features::{FeatureVector, FEATURE_COUNT};
 use netshed_sketch::{StateError, StateReader, StateWriter};
 use std::collections::VecDeque;
@@ -39,11 +40,29 @@ impl History {
     }
 
     /// Appends an observation, evicting the oldest one if full.
+    ///
+    /// The observation is sanitized on the way in ([`crate::guard`]): the
+    /// history is the source of every design matrix, so a non-finite feature
+    /// or response must be neutralised *here*, before it can poison an OLS
+    /// solve. The clamp is the identity for everything benign traffic
+    /// produces.
     pub fn push(&mut self, features: FeatureVector, cycles: f64) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }
-        self.entries.push_back((features, cycles));
+        self.entries.push_back((clamp_features(&features), clamp_sample(cycles)));
+    }
+
+    /// Drops the oldest observations, keeping at most the newest `keep`.
+    ///
+    /// This is the robust predictor's forgetting step: when the observed
+    /// cost departs violently from the model (a regime shift or an attack),
+    /// the stale pre-shift window is what keeps the regression wrong, so it
+    /// is discarded and the model relearns from the newest observations.
+    pub fn forget_oldest(&mut self, keep: usize) {
+        while self.entries.len() > keep {
+            self.entries.pop_front();
+        }
     }
 
     /// Iterates over the stored observations from oldest to newest.
@@ -175,5 +194,36 @@ mod tests {
     #[should_panic(expected = "history capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _ = History::new(0);
+    }
+
+    #[test]
+    fn push_never_stores_non_finite_values() {
+        let mut h = History::new(4);
+        let mut f = FeatureVector::zeros();
+        f.set(netshed_features::FeatureId::Packets, f64::NAN);
+        f.set(netshed_features::FeatureId::Bytes, f64::INFINITY);
+        h.push(f, f64::NAN);
+        h.push(FeatureVector::zeros(), f64::NEG_INFINITY);
+        for (features, cycles) in h.iter() {
+            assert!(cycles.is_finite() && *cycles >= 0.0);
+            for index in 0..FEATURE_COUNT {
+                assert!(features.get_index(index).is_finite());
+            }
+        }
+        assert_eq!(h.responses(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn forget_oldest_keeps_the_newest_window() {
+        let mut h = History::new(10);
+        for i in 0..7 {
+            h.push(FeatureVector::zeros(), f64::from(i));
+        }
+        h.forget_oldest(3);
+        assert_eq!(h.responses(), vec![4.0, 5.0, 6.0]);
+        h.forget_oldest(5);
+        assert_eq!(h.len(), 3, "forgetting never grows the window");
+        h.forget_oldest(0);
+        assert!(h.is_empty());
     }
 }

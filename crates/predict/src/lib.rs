@@ -16,6 +16,11 @@
 //! * [`EwmaPredictor`] — exponentially weighted moving average of the past
 //!   CPU usage, ignoring the traffic entirely (Section 3.4.1).
 //!
+//! A fourth, [`RobustMlrPredictor`], hardens the MLR method against
+//! predictor-gaming traffic (outlier-clamped residuals, forgetting-factor
+//! history, non-finite guards) while performing bit-identical arithmetic on
+//! benign workloads; see the [`robust`] module docs for the defense model.
+//!
 //! All predictors implement the [`Predictor`] trait so the load shedding
 //! system and the experiment harness can swap them freely. Because the
 //! prediction history is per query, the monitoring system instantiates one
@@ -27,12 +32,16 @@
 
 pub mod error;
 pub mod fcbf;
+pub mod guard;
 pub mod history;
 pub mod predictor;
+pub mod robust;
 
 pub use error::ErrorStats;
 pub use fcbf::{fcbf_select, fcbf_select_with, FcbfConfig, FcbfScratch};
+pub use guard::{clamp_features, clamp_sample, MAX_SAMPLE};
 pub use history::History;
 pub use predictor::{
     EwmaPredictor, MlrConfig, MlrPredictor, Predictor, PredictorFactory, SlrPredictor,
 };
+pub use robust::{RobustMlrConfig, RobustMlrPredictor};

@@ -1,6 +1,7 @@
 //! The three CPU-usage predictors: MLR+FCBF, SLR and EWMA.
 
 use crate::fcbf::{fcbf_select_with, FcbfConfig, FcbfScratch};
+use crate::guard::clamp_sample;
 use crate::history::History;
 use netshed_features::{FeatureId, FeatureVector, FEATURE_COUNT};
 use netshed_linalg::stats::Ewma;
@@ -163,6 +164,12 @@ impl MlrPredictor {
     pub fn history(&self) -> &History {
         &self.history
     }
+
+    /// Mutable access to the regression history, for the robust wrapper's
+    /// forgetting step.
+    pub(crate) fn history_mut(&mut self) -> &mut History {
+        &mut self.history
+    }
 }
 
 impl Predictor for MlrPredictor {
@@ -215,7 +222,9 @@ impl Predictor for MlrPredictor {
 
         self.row.clear();
         self.row.push(1.0);
-        self.row.extend(self.selected.iter().map(|&i| features.get_index(i)));
+        // The history is sanitized on push; the probe row is the one other
+        // path into the fitted model, so it gets the same non-finite guard.
+        self.row.extend(self.selected.iter().map(|&i| clamp_sample(features.get_index(i))));
         fit.predict(&self.row).max(0.0)
     }
 
@@ -301,7 +310,7 @@ impl Predictor for SlrPredictor {
         let design = Matrix::from_columns(&[vec![1.0; n], xs]);
         let fit = ols_solve(&design, &ys, 1e-9);
         self.last_cost = n as u64 * 4;
-        fit.predict(&[1.0, features.get_index(self.feature)]).max(0.0)
+        fit.predict(&[1.0, clamp_sample(features.get_index(self.feature))]).max(0.0)
     }
 
     fn observe(&mut self, features: &FeatureVector, actual_cycles: f64) {
@@ -507,6 +516,40 @@ mod tests {
         assert_eq!(p.history().len(), 11);
         let prediction = p.predict(&f);
         assert!((prediction - 1000.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn poisoned_probe_features_still_yield_finite_predictions() {
+        // Satellite guard test: even with a warm, benign history, a NaN or
+        // infinite feature in the *probe* vector must not surface as a
+        // non-finite prediction — the clamp sits between the features and
+        // the fitted model in both MLR and SLR.
+        let mut mlr = MlrPredictor::with_defaults();
+        let mut slr = SlrPredictor::on_packets();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, rng.gen_range(500.0..1500.0));
+            let y = 100.0 * f.packets();
+            mlr.predict(&f);
+            mlr.observe(&f, y);
+            slr.predict(&f);
+            slr.observe(&f, y);
+        }
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut f = FeatureVector::zeros();
+            f.set(FeatureId::Packets, poison);
+            let mlr_prediction = mlr.predict(&f);
+            let slr_prediction = slr.predict(&f);
+            assert!(
+                mlr_prediction.is_finite() && mlr_prediction >= 0.0,
+                "MLR must absorb a {poison} feature (got {mlr_prediction})"
+            );
+            assert!(
+                slr_prediction.is_finite() && slr_prediction >= 0.0,
+                "SLR must absorb a {poison} feature (got {slr_prediction})"
+            );
+        }
     }
 
     #[test]

@@ -106,6 +106,32 @@ mod tests {
     }
 
     #[test]
+    fn crafted_near_miss_payloads_blow_up_the_skip_table() {
+        // The adversarial `bm-mimicry` scenario tiles payloads with the
+        // search pattern minus its first byte: every alignment then walks
+        // almost the whole pattern backwards before mismatching, and the
+        // bad-character skip (keyed on a byte *inside* the pattern) only
+        // advances by one. Cost per byte is an order of magnitude above
+        // benign text of the same length — the lever the predictor-gaming
+        // attack pulls.
+        let bm = BoyerMoore::new(b"GET / HTTP/1.1");
+        let block = b"ZET / HTTP/1.1";
+        let crafted: Vec<u8> = block.iter().copied().cycle().take(block.len() * 43).collect();
+        let benign = vec![b'a'; crafted.len()];
+        let (hit, crafted_examined) = bm.find(&crafted);
+        assert!(hit.is_none(), "the crafted payload must never actually match");
+        let (_, benign_examined) = bm.find(&benign);
+        assert!(
+            crafted_examined > benign_examined * 10,
+            "crafted {crafted_examined} examined vs benign {benign_examined}"
+        );
+        assert!(
+            crafted_examined as usize > crafted.len(),
+            "the attack examines more positions than there are payload bytes"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "pattern must not be empty")]
     fn empty_pattern_is_rejected() {
         let _ = BoyerMoore::new(b"");

@@ -340,6 +340,12 @@ impl<S: PacketSource> Daemon<S> {
     }
 
     fn drain_commands(&mut self) {
+        if self.shutdown {
+            // A post-shutdown tick must not revive the command loop:
+            // anything still queued stays unapplied and resolves to
+            // ChannelClosed once the daemon is dropped.
+            return;
+        }
         while let Ok(command) = self.commands.try_recv() {
             match command {
                 Command::RegisterQuery { spec, reply } => {

@@ -194,6 +194,83 @@ fn shutdown_flushes_the_final_interval_and_reports_the_digest() {
 }
 
 #[test]
+fn dropping_the_daemon_mid_pending_is_a_typed_error_not_a_hang() {
+    // Fault injection on the reply path: the daemon dies (panic elsewhere,
+    // process teardown) while commands sit unapplied in its queue. Every
+    // waiter must get a typed error immediately — never block forever.
+    let (daemon, control) = daemon_with_registered_queries(overloaded_config(1), 5);
+    let swap = control.swap_policy(Strategy::Reactive(AllocationPolicy::EqualRates));
+    let snap = control.checkpoint();
+    assert!(swap.poll().is_none(), "no reply may exist before a bin boundary");
+    drop(daemon);
+    assert!(matches!(swap.wait(), Err(ServiceError::ChannelClosed)));
+    assert!(matches!(snap.wait(), Err(ServiceError::ChannelClosed)));
+    // Sending into the void is equally non-blocking: a command issued after
+    // the daemon is gone resolves to the same typed error.
+    assert!(matches!(
+        control.register_query(QuerySpec::new(QueryKind::Counter)).wait(),
+        Err(ServiceError::ChannelClosed)
+    ));
+}
+
+#[test]
+fn a_daemon_outlives_its_control_channel_and_abandoned_waiters() {
+    // The opposite fault: the tenant walks away. The waiter and the only
+    // external control handle are dropped before the daemon reaches a bin
+    // boundary; the queued command still applies and the unsendable reply
+    // is discarded without a panic.
+    let (mut daemon, control) = daemon_with_registered_queries(overloaded_config(1), 5);
+    drop(control.swap_policy(Strategy::Reactive(AllocationPolicy::EqualRates)));
+    drop(control);
+    assert!(matches!(daemon.run_to_exhaustion().expect("run"), TickStatus::SourceExhausted));
+    assert_eq!(daemon.monitor().policy_name(), "reactive", "the queued swap still applies");
+}
+
+#[test]
+fn a_shutdown_racing_a_queued_policy_swap_is_decided_by_arrival_order() {
+    // Swap queued ahead of the shutdown: both apply, in order.
+    let (mut daemon, control) = daemon_with_registered_queries(overloaded_config(1), 6);
+    let swap = control.swap_policy(Strategy::Reactive(AllocationPolicy::EqualRates));
+    let stop = control.shutdown();
+    assert_eq!(daemon.tick().expect("tick"), TickStatus::ShutdownRequested);
+    assert_eq!(swap.wait().expect("swap ahead of shutdown"), "reactive");
+    stop.wait().expect("shutdown reply");
+
+    // Swap queued behind the shutdown: never applied, not even by a later
+    // tick, and its waiter resolves to a typed error once the daemon drops.
+    let (mut daemon, control) = daemon_with_registered_queries(overloaded_config(1), 6);
+    let active = daemon.monitor().policy_name();
+    let stop = control.shutdown();
+    let swap = control.swap_policy(Strategy::Reactive(AllocationPolicy::EqualRates));
+    assert_eq!(daemon.tick().expect("tick"), TickStatus::ShutdownRequested);
+    stop.wait().expect("shutdown reply");
+    assert_eq!(daemon.tick().expect("tick"), TickStatus::ShutdownRequested);
+    assert_eq!(daemon.monitor().policy_name(), active, "a swap behind a shutdown must not apply");
+    assert!(swap.poll().is_none(), "no silent success while the daemon lives");
+    drop(daemon);
+    assert!(matches!(swap.wait(), Err(ServiceError::ChannelClosed)));
+}
+
+#[test]
+fn a_checkpoint_on_the_final_bin_still_serves_and_restores() {
+    // The source runs dry and the final interval flushes — but the command
+    // window stays open: a checkpoint taken after exhaustion captures the
+    // completed run and restores into a daemon that is already finished.
+    let config = overloaded_config(1);
+    let (mut daemon, control) = daemon_with_registered_queries(config.clone(), 9);
+    assert!(matches!(daemon.run_to_exhaustion().expect("run"), TickStatus::SourceExhausted));
+    let finished = daemon.digest();
+    let pending = control.checkpoint();
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::SourceExhausted));
+    let bytes = pending.wait().expect("checkpoint after exhaustion");
+    drop(daemon);
+    let (mut resumed, _control) =
+        Daemon::restore(config, recorded_trace(), &bytes).expect("restore");
+    assert!(matches!(resumed.run_to_exhaustion().expect("resume"), TickStatus::SourceExhausted));
+    assert_eq!(resumed.digest(), finished, "an end-of-stream checkpoint restores the finished run");
+}
+
+#[test]
 fn the_registry_sustains_a_thousand_tenants() {
     // Scale knob of the service plane: 1000 concurrent queries, registered
     // through the channel, all alive through a processed bin, then a sweep

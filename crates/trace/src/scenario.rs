@@ -200,6 +200,19 @@ pub enum ScenarioAnomaly {
     /// so the affected bins arrive empty (and the generator state, including
     /// any other link's stream, is unaffected).
     LinkFlap,
+    /// Adversarial payload pathology: HTTP-looking traffic tiled with a
+    /// Boyer–Moore worst-case block, so string-search cost per byte explodes
+    /// while every aggregate feature stays calm
+    /// ([`AnomalyKind::PatternStress`]).
+    PatternStress,
+    /// Adversarial flow churn: constant packet volume whose flow identities
+    /// alternate between a reused pool and fresh spoofed tuples, thrashing
+    /// state-query hash tables ([`AnomalyKind::FlowChurn`]).
+    FlowChurn,
+    /// Adversarial aggregate-key skew: elephant flows that turn per-flow
+    /// sampling into an all-or-nothing lottery
+    /// ([`AnomalyKind::AggregateSkew`]).
+    AggregateSkew,
 }
 
 /// One anomaly, placed on a window of phase-relative bins.
@@ -238,6 +251,21 @@ impl AnomalyEvent {
     /// A link flap (the link's traffic is lost for the window).
     pub fn link_flap() -> Self {
         Self::new(ScenarioAnomaly::LinkFlap)
+    }
+
+    /// A Boyer–Moore worst-case payload attack (feature mimicry).
+    pub fn pattern_stress() -> Self {
+        Self::new(ScenarioAnomaly::PatternStress)
+    }
+
+    /// A flow-churn attack on stateful queries.
+    pub fn flow_churn() -> Self {
+        Self::new(ScenarioAnomaly::FlowChurn)
+    }
+
+    /// An aggregate-key skew attack on flow sampling.
+    pub fn aggregate_skew() -> Self {
+        Self::new(ScenarioAnomaly::AggregateSkew)
     }
 
     /// Places the event on `[start_bin, start_bin + duration_bins)`,
@@ -657,6 +685,9 @@ impl Scenario {
                             ScenarioAnomaly::FlashCrowd { target, port } => {
                                 AnomalyKind::FlashCrowd { target, port }
                             }
+                            ScenarioAnomaly::PatternStress => AnomalyKind::PatternStress,
+                            ScenarioAnomaly::FlowChurn => AnomalyKind::FlowChurn,
+                            ScenarioAnomaly::AggregateSkew => AnomalyKind::AggregateSkew,
                             ScenarioAnomaly::LinkFlap => unreachable!("handled above"),
                         };
                         let anomaly = Anomaly::new(injected, start, end, event.packets_per_bin)
@@ -817,7 +848,10 @@ impl PacketSource for ScenarioSource {
 /// They are deliberately small — tens of bins, low packet rates — so the
 /// whole corpus replays in seconds while still covering steady load, a DDoS
 /// spike, a duty-cycled port scan, a flash crowd, a flapping multi-link mix
-/// and payload-bearing traffic with a silent gap.
+/// and payload-bearing traffic with a silent gap. The last three are the
+/// adversarial corpus: predictor-gaming workloads (`bm-mimicry`,
+/// `flow-churn`, `agg-skew`) that under-predict cost by construction, pinned
+/// like everything else so the robustness plane is regression-tested.
 pub fn builtins() -> Vec<Scenario> {
     vec![
         Scenario::new("steady-cesca")
@@ -869,6 +903,52 @@ pub fn builtins() -> Vec<Scenario> {
             .phase(Phase::new("light", 10).profile(TraceProfile::CescaII).scale(0.035))
             .phase(Phase::new("gap", 4).silent())
             .phase(Phase::new("heavy", 10).profile(TraceProfile::CescaII).scale(0.06)),
+        // The adversarial trio: each games the cost predictor a different
+        // way (payload pathology, state churn, sampling skew), with a clean
+        // lead-in so the MLR history is warm and trusting when the attack
+        // lands, and a recovery tail so the guards' hysteresis is exercised.
+        // All three are duty-cycled 2-on/2-off and titrated so attacked bins
+        // cost a containable few multiples of the corpus capacity: the
+        // damage is then the predictor being gamed — the feature-invisible
+        // per-packet cost makes the MLR fit the *average* of the two regimes
+        // and the feedback loop whipsaw through the flanks — rather than an
+        // unsurvivable flood no causal controller could do anything about.
+        Scenario::new("bm-mimicry")
+            .seed(107)
+            .phase(Phase::new("lull", 10).profile(TraceProfile::CescaII).scale(0.035))
+            .phase(
+                Phase::new("mimicry", 14)
+                    .profile(TraceProfile::CescaII)
+                    .scale(0.035)
+                    // A dozen innocuous-looking packets whose payloads cost
+                    // kilocycles each to scan: "looks cheap, runs expensive".
+                    .anomaly(
+                        AnomalyEvent::pattern_stress().over(2, 10).intensity(12).duty_cycle(4),
+                    ),
+            )
+            .phase(Phase::new("recovery", 6).profile(TraceProfile::CescaII).scale(0.035)),
+        Scenario::new("flow-churn")
+            .seed(108)
+            .phase(Phase::new("lull", 10).profile(TraceProfile::CescaI).scale(0.12))
+            .phase(
+                Phase::new("churn", 16)
+                    .profile(TraceProfile::CescaI)
+                    .scale(0.12)
+                    // Duty cycle 4 keeps the insert/lookup parity alternation
+                    // alive (cycle 2 would pin the churn to one parity) while
+                    // the on/off flank keeps the error EWMA phase-lagged.
+                    .anomaly(AnomalyEvent::flow_churn().over(2, 12).intensity(260).duty_cycle(4)),
+            )
+            .phase(Phase::new("recovery", 6).profile(TraceProfile::CescaI).scale(0.12)),
+        Scenario::new("agg-skew")
+            .seed(109)
+            .phase(Phase::new("lull", 8).profile(TraceProfile::Cenic).scale(0.1))
+            .phase(
+                Phase::new("skew", 16).profile(TraceProfile::Cenic).scale(0.1).anomaly(
+                    AnomalyEvent::aggregate_skew().over(2, 12).intensity(24).duty_cycle(4),
+                ),
+            )
+            .phase(Phase::new("recovery", 6).profile(TraceProfile::Cenic).scale(0.1)),
     ]
 }
 
@@ -1164,7 +1244,7 @@ mod tests {
     #[test]
     fn builtins_are_valid_and_unique() {
         let scenarios = builtins();
-        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios.len(), 9);
         let mut names = std::collections::HashSet::new();
         for scenario in &scenarios {
             scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
@@ -1172,6 +1252,9 @@ mod tests {
             assert!(scenario.total_bins() >= 20 && scenario.total_bins() <= 60);
         }
         assert!(builtin("ddos-spike").is_some());
+        for adversarial in ["bm-mimicry", "flow-churn", "agg-skew"] {
+            assert!(builtin(adversarial).is_some(), "{adversarial} must stay in the corpus");
+        }
         assert!(builtin("no-such-scenario").is_none());
     }
 

@@ -36,13 +36,14 @@ pub use netshed_trace as trace;
 
 pub use netshed_fairness::{AllocationStrategy, QueryDemand};
 pub use netshed_monitor::{
-    AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision, ControlPolicy,
-    DecisionReason, DigestObserver, EnforcementConfig, ExecStats, HysteresisReactivePolicy,
-    Monitor, MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver,
-    OraclePolicy, PredictivePolicy, PredictorKind, QueryId, ReactivePolicy, RecordSink,
-    ReferenceRunner, RunDigest, RunObserver, RunSummary, Strategy, StreamDigest,
+    AccuracyTracker, AllocationGameAttacker, AllocationPolicy, BinRecord, ControlContext,
+    ControlDecision, ControlPolicy, DecisionReason, DegradationGuard, DegradationGuardConfig,
+    DigestObserver, EnforcementConfig, ExecStats, HysteresisReactivePolicy, Monitor,
+    MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
+    PredictivePolicy, PredictorKind, QueryId, ReactivePolicy, RecordSink, ReferenceRunner,
+    RunDigest, RunObserver, RunSummary, Strategy, StreamDigest,
 };
-pub use netshed_predict::{Predictor, PredictorFactory};
+pub use netshed_predict::{Predictor, PredictorFactory, RobustMlrConfig, RobustMlrPredictor};
 pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
 pub use netshed_trace::{
     AnomalyEvent, Batch, BatchReplay, BatchView, FormatError, Interleave, Link, PacketSource,
@@ -54,14 +55,14 @@ pub use netshed_trace::{
 pub mod prelude {
     pub use netshed_fairness::{Allocation, AllocationStrategy, QueryDemand};
     pub use netshed_monitor::{
-        AccuracyTracker, AllocationPolicy, BinRecord, ControlContext, ControlDecision,
-        ControlPolicy, DecisionReason, DigestObserver, EnforcementConfig, ExecStats,
-        HysteresisReactivePolicy, Monitor, MonitorBuilder, MonitorConfig, NetshedError,
-        NoSheddingPolicy, NullObserver, OraclePolicy, PredictivePolicy, PredictorKind,
-        QueryBinRecord, QueryId, ReactivePolicy, RecordSink, ReferenceRunner, RunDigest,
-        RunObserver, RunSummary, Strategy, StreamDigest,
+        AccuracyTracker, AllocationGameAttacker, AllocationPolicy, BinRecord, ControlContext,
+        ControlDecision, ControlPolicy, DecisionReason, DegradationGuard, DegradationGuardConfig,
+        DigestObserver, EnforcementConfig, ExecStats, HysteresisReactivePolicy, Monitor,
+        MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
+        PredictivePolicy, PredictorKind, QueryBinRecord, QueryId, ReactivePolicy, RecordSink,
+        ReferenceRunner, RunDigest, RunObserver, RunSummary, Strategy, StreamDigest,
     };
-    pub use netshed_predict::{Predictor, PredictorFactory};
+    pub use netshed_predict::{Predictor, PredictorFactory, RobustMlrConfig, RobustMlrPredictor};
     pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
     pub use netshed_trace::{
         Anomaly, AnomalyEvent, AnomalyKind, Batch, BatchReplay, BatchView, FormatError, Interleave,

@@ -2,6 +2,7 @@
 
 use netshed::fairness::{eq_srates, mmfs_cpu, mmfs_pkt, Allocation, QueryDemand};
 use netshed::linalg::{ols_solve, Matrix};
+use netshed::monitor::PredictorKind;
 use netshed::monitor::{flow_sample, packet_sample};
 use netshed::sketch::{mix64, BloomFilter, H3Hasher, MultiResolutionBitmap};
 use netshed::trace::{Batch, BatchBuilder, FiveTuple, Packet, TraceConfig, TraceGenerator};
@@ -406,6 +407,62 @@ fn flow_sampling_decisions_survive_any_worker_count() {
             sequential,
             delivered(workers),
             "flow-sampling decisions diverged at {workers} workers"
+        );
+    }
+}
+
+/// Benign golden scenarios with their recorded batches and corpus capacity,
+/// generated once and shared by every property case below.
+fn benign_corpus() -> &'static [(String, Vec<Batch>, f64)] {
+    use netshed_bench::corpus::{corpus_capacity, ADVERSARIAL_SCENARIOS};
+    use netshed_trace::scenario::builtins;
+    static CORPUS: std::sync::OnceLock<Vec<(String, Vec<Batch>, f64)>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| {
+        builtins()
+            .iter()
+            .filter(|scenario| !ADVERSARIAL_SCENARIOS.contains(&scenario.name()))
+            .map(|scenario| {
+                let batches = scenario.generate().expect("builtin is valid");
+                let capacity = corpus_capacity(&batches);
+                (scenario.name().to_string(), batches, capacity)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The hardened predictor is a strict opt-in: on benign (non-adversarial)
+    /// golden scenarios, under any strategy and either pinned worker count,
+    /// `robust_mlr_fcbf` is bit-identical to plain `mlr_fcbf` — its tripwire
+    /// stays silent and zero behavioral drift leaks into unattacked runs.
+    #[test]
+    fn robust_predictor_matches_plain_mlr_on_benign_scenarios(
+        scenario_pick in 0usize..1024,
+        strategy_pick in 0usize..1024,
+        workers_pick in 0usize..2,
+    ) {
+        use netshed_bench::corpus::{all_strategies, digest_run, digest_run_with_predictor};
+        let corpus = benign_corpus();
+        let (name, batches, capacity) = &corpus[scenario_pick % corpus.len()];
+        let strategies = all_strategies();
+        let (strategy_name, strategy) = &strategies[strategy_pick % strategies.len()];
+        let workers = [1usize, 4][workers_pick];
+        let plain = digest_run(batches, *strategy, *capacity, workers).expect("plain run");
+        let robust = digest_run_with_predictor(
+            batches,
+            *strategy,
+            *capacity,
+            workers,
+            PredictorKind::RobustMlrFcbf,
+        )
+        .expect("robust run");
+        prop_assert_eq!(
+            plain,
+            robust,
+            "robust_mlr_fcbf drifted from mlr_fcbf on benign {} / {} at {} workers",
+            name,
+            strategy_name,
+            workers
         );
     }
 }
