@@ -35,7 +35,10 @@
 //! 8. **parallel scaling**: the 2× overload pipeline at 1/2/4 workers —
 //!    measured wall-clock throughput, and the execution-plane projection
 //!    (measured per-task costs under the pool's list schedule) for hosts
-//!    with fewer cores than workers.
+//!    with fewer cores than workers — plus the **sharded** row: the same
+//!    pipeline through the fixed-lane `ShardedMonitor` fleet at 1/2/4 shard
+//!    threads, whose intra-run speedup both endpoints measure in the same
+//!    invocation on the identical lane layout.
 //!
 //! Run with `cargo bench -p netshed-bench --bench pipeline`; pass
 //! `-- --smoke` for a fast CI run (fewer iterations, same JSON shape).
@@ -377,6 +380,45 @@ fn bench_pipeline(batches: usize) -> PipelineNumbers {
     bench_pipeline_at(batches, 1)
 }
 
+/// Runs the same 2× overload pipeline through the sharded fleet (default
+/// virtual-lane count) at the given shard-thread count. The lane layout is
+/// fixed, so every shard count replays the identical computation — the row
+/// reports pure wall-clock scaling, with the execution plane's list-schedule
+/// projection for hosts that cannot run the threads for real.
+fn bench_sharded_pipeline_at(batches: usize, shards: usize) -> PipelineNumbers {
+    let recorded = TraceGenerator::new(
+        TraceConfig::default().with_seed(21).with_mean_packets_per_batch(2000.0),
+    )
+    .batches(batches);
+    let total_packets: u64 = recorded.iter().map(|b| b.len() as u64).sum();
+    let specs: Vec<QuerySpec> =
+        QueryKind::CHAPTER4_SET.iter().map(|kind| QuerySpec::new(*kind)).collect();
+    let demand = netshed_monitor::reference::measure_total_demand(&specs, &recorded[..batches / 4])
+        .expect("valid query specs");
+
+    let mut fleet = Monitor::builder()
+        .capacity(demand / 2.0)
+        .strategy(Strategy::Predictive(AllocationPolicy::MmfsPkt))
+        .no_noise()
+        .with_shards(shards)
+        .queries(specs)
+        .build_sharded()
+        .expect("valid configuration");
+    let mut source = BatchReplay::new(recorded);
+    let start = Instant::now();
+    let summary = fleet.run(&mut source, &mut NullObserver).expect("run");
+    let elapsed_s = start.elapsed().as_secs_f64();
+    assert_eq!(summary.bins + summary.empty_bins, batches as u64);
+
+    PipelineNumbers {
+        batches,
+        packets: total_packets,
+        elapsed_s,
+        packets_per_sec: total_packets as f64 / elapsed_s,
+        exec_stats: fleet.exec_stats(),
+    }
+}
+
 struct PredictionPlaneNumbers {
     bins: usize,
     alloc_ns_per_bin: f64,
@@ -450,6 +492,13 @@ struct ScalingPoint {
     projected_speedup: f64,
 }
 
+struct ShardedScalingPoint {
+    shards: usize,
+    packets_per_sec: f64,
+    measured_speedup: f64,
+    projected_speedup: f64,
+}
+
 struct ScalingNumbers {
     batches: usize,
     host_cores: usize,
@@ -457,6 +506,10 @@ struct ScalingNumbers {
     points: Vec<ScalingPoint>,
     speedup_4w: f64,
     speedup_4w_basis: &'static str,
+    shard_lanes: usize,
+    sharded_points: Vec<ShardedScalingPoint>,
+    sharded_speedup_4s: f64,
+    sharded_speedup_4s_basis: &'static str,
 }
 
 /// The 2× overload pipeline at 1/2/4 workers. Measured wall-clock speedups
@@ -489,6 +542,34 @@ fn bench_parallel_scaling(batches: usize) -> ScalingNumbers {
     } else {
         (four.projected_speedup, "projected_list_schedule_single_core_host")
     };
+
+    // The sharded row: same pipeline through the fixed-lane fleet at 1/2/4
+    // shard threads. The speedup is intra-run — both endpoints are measured
+    // in this invocation, on the identical lane layout and trace.
+    let sharded_baseline = bench_sharded_pipeline_at(batches, 1);
+    let sharded_stats = sharded_baseline.exec_stats;
+    let mut sharded_points = vec![ShardedScalingPoint {
+        shards: 1,
+        packets_per_sec: sharded_baseline.packets_per_sec,
+        measured_speedup: 1.0,
+        projected_speedup: 1.0,
+    }];
+    for shards in [2usize, 4] {
+        let run = bench_sharded_pipeline_at(batches, shards);
+        sharded_points.push(ShardedScalingPoint {
+            shards,
+            packets_per_sec: run.packets_per_sec,
+            measured_speedup: run.packets_per_sec / sharded_baseline.packets_per_sec,
+            projected_speedup: sharded_stats.projected_speedup(shards).unwrap_or(1.0),
+        });
+    }
+    let four_shards = sharded_points.last().expect("4-shard point");
+    let (sharded_speedup_4s, sharded_speedup_4s_basis) = if host_cores >= 4 {
+        (four_shards.measured_speedup, "measured")
+    } else {
+        (four_shards.projected_speedup, "projected_list_schedule_single_core_host")
+    };
+
     ScalingNumbers {
         batches,
         host_cores,
@@ -496,6 +577,10 @@ fn bench_parallel_scaling(batches: usize) -> ScalingNumbers {
         points,
         speedup_4w,
         speedup_4w_basis,
+        shard_lanes: netshed_monitor::DEFAULT_SHARD_LANES,
+        sharded_points,
+        sharded_speedup_4s,
+        sharded_speedup_4s_basis,
     }
 }
 
@@ -701,6 +786,20 @@ fn main() {
         "  host cores: {} | parallel fraction {:.2} | 4-worker speedup {:.2}x ({})",
         scaling.host_cores, scaling.parallel_fraction, scaling.speedup_4w, scaling.speedup_4w_basis
     );
+    eprintln!(
+        "sharded scaling: same pipeline through the {}-lane fleet at 1/2/4 shard threads ...",
+        scaling.shard_lanes
+    );
+    for point in &scaling.sharded_points {
+        eprintln!(
+            "  {} shard(s): {:.0} packets/s | measured {:.2}x | projected {:.2}x",
+            point.shards, point.packets_per_sec, point.measured_speedup, point.projected_speedup
+        );
+    }
+    eprintln!(
+        "  4-shard speedup {:.2}x ({})",
+        scaling.sharded_speedup_4s, scaling.sharded_speedup_4s_basis
+    );
 
     let registry_points_json: String = registry
         .points
@@ -722,6 +821,21 @@ fn main() {
                 "      {{ \"workers\": {}, \"packets_per_sec\": {:.0}, \
                  \"measured_speedup\": {:.3}, \"projected_speedup\": {:.3} }}",
                 point.workers,
+                point.packets_per_sec,
+                point.measured_speedup,
+                point.projected_speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let sharded_points_json: String = scaling
+        .sharded_points
+        .iter()
+        .map(|point| {
+            format!(
+                "        {{ \"shards\": {}, \"packets_per_sec\": {:.0}, \
+                 \"measured_speedup\": {:.3}, \"projected_speedup\": {:.3} }}",
+                point.shards,
                 point.packets_per_sec,
                 point.measured_speedup,
                 point.projected_speedup
@@ -756,7 +870,9 @@ fn main() {
          \"marginal_ns_per_query_per_bin\": {:.0}\n  }},\n  \
          \"parallel_scaling\": {{\n    \"batches\": {},\n    \"host_cores\": {},\n    \
          \"parallel_fraction\": {:.3},\n    \"workers\": [\n{}\n    ],\n    \
-         \"speedup_4w\": {:.3},\n    \"speedup_4w_basis\": \"{}\"\n  }}\n}}\n",
+         \"speedup_4w\": {:.3},\n    \"speedup_4w_basis\": \"{}\",\n    \
+         \"sharded\": {{\n      \"shard_lanes\": {},\n      \"shards\": [\n{}\n      ],\n      \
+         \"sharded_speedup_4s\": {:.3},\n      \"sharded_speedup_4s_basis\": \"{}\"\n    }}\n  }}\n}}\n",
         if smoke { " -- --smoke" } else { "" },
         smoke,
         extract.packets,
@@ -799,6 +915,10 @@ fn main() {
         scaling_points_json,
         scaling.speedup_4w,
         scaling.speedup_4w_basis,
+        scaling.shard_lanes,
+        sharded_points_json,
+        scaling.sharded_speedup_4s,
+        scaling.sharded_speedup_4s_basis,
     );
     // Cargo runs bench binaries with the package directory as CWD; default
     // to the workspace root so the JSON lands in one predictable place.

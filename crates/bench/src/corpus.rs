@@ -111,6 +111,34 @@ pub fn digest_run_with_predictor(
     Ok(observer.digest())
 }
 
+/// Replays a batch vector through one strategy on a flow-sharded fleet
+/// (the default lane partition) at the given shard-thread and worker counts
+/// and returns the run fingerprint.
+///
+/// Per the shard-plane contract, the result depends on neither `shards` nor
+/// `workers` — `tests/golden.rs` proves that over the whole corpus and the
+/// full shards×workers matrix for all seven strategies.
+pub fn sharded_digest_run(
+    batches: &[Batch],
+    strategy: Strategy,
+    capacity: f64,
+    shards: usize,
+    workers: usize,
+) -> Result<RunDigest, NetshedError> {
+    let mut fleet = Monitor::builder()
+        .capacity(capacity)
+        .seed(CORPUS_SEED)
+        .strategy(strategy)
+        .predictor(PredictorKind::MlrFcbf)
+        .with_shards(shards)
+        .with_workers(workers)
+        .queries(corpus_specs())
+        .build_sharded()?;
+    let mut observer = DigestObserver::new();
+    fleet.run(&mut BatchReplay::new(batches.to_vec()), &mut observer)?;
+    Ok(observer.digest())
+}
+
 /// The corpus configuration of one strategy run, exactly as
 /// [`digest_run`]'s builder assembles it — the service-plane helpers below
 /// need the explicit [`MonitorConfig`] because `.nsck` restore cross-checks

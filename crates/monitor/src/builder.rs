@@ -180,6 +180,32 @@ impl MonitorBuilder {
         self
     }
 
+    /// Sets how many shard threads a [`build_sharded`](Self::build_sharded)
+    /// fleet executes its lanes on (validated into `[1, MAX_WORKERS]` at
+    /// build time).
+    ///
+    /// Like [`with_workers`](Self::with_workers) this is a pure wall-clock
+    /// knob — any shard count produces bit-identical output, because the
+    /// state-owning partition is [`with_shard_lanes`](Self::with_shard_lanes)
+    /// and lanes are merged in a fixed order (see DESIGN.md, "Shard plane").
+    /// Defaults to `NETSHED_SHARDS` when set, else 1.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the number of virtual lanes a
+    /// [`build_sharded`](Self::build_sharded) fleet partitions flow space
+    /// into (validated into `[1, MAX_WORKERS]` at build time).
+    ///
+    /// Unlike `shards`, this is *configuration*: each lane owns predictor,
+    /// buffer and policy state for its flow partition, so changing the lane
+    /// count changes the output — like changing the seed.
+    pub fn with_shard_lanes(mut self, lanes: usize) -> Self {
+        self.config.shard_lanes = lanes;
+        self
+    }
+
     /// Queues a query to register when the monitor is built.
     pub fn query(mut self, spec: QuerySpec) -> Self {
         self.specs.push(spec);
@@ -214,6 +240,38 @@ impl MonitorBuilder {
             monitor.register(spec)?;
         }
         Ok(monitor)
+    }
+
+    /// Validates the configuration and builds a flow-sharded
+    /// [`ShardedMonitor`] fleet with every queued query registered on every
+    /// lane.
+    ///
+    /// Custom [`with_policy`](Self::with_policy) /
+    /// [`with_predictor`](Self::with_predictor) overrides are rejected here:
+    /// a fleet needs one independent policy and predictor instance per lane,
+    /// and a boxed override is a single instance. Use the [`Strategy`] /
+    /// [`PredictorKind`](crate::config::PredictorKind) constructors, which
+    /// every lane instantiates for itself.
+    pub fn build_sharded(self) -> Result<crate::sharded::ShardedMonitor, NetshedError> {
+        if let Some(policy) = &self.policy {
+            return Err(NetshedError::InvalidConfig(format!(
+                "custom policy {:?} cannot be sharded: each lane needs its own instance; \
+                 use a Strategy instead",
+                policy.name()
+            )));
+        }
+        if self.predictor_factory.is_some() {
+            return Err(NetshedError::InvalidConfig(
+                "custom predictor factories cannot be sharded: each lane needs its own \
+                 instance; use a PredictorKind instead"
+                    .to_string(),
+            ));
+        }
+        let mut fleet = crate::sharded::ShardedMonitor::new(self.config)?;
+        for spec in &self.specs {
+            fleet.register(spec)?;
+        }
+        Ok(fleet)
     }
 }
 

@@ -229,7 +229,25 @@ pub struct MonitorConfig {
     /// (see DESIGN.md, "Execution plane"). The default honours the
     /// `NETSHED_THREADS` environment variable when it holds a valid count.
     pub workers: usize,
+    /// Shard threads a [`ShardedMonitor`](crate::ShardedMonitor) executes
+    /// its virtual lanes on. Like `workers`, a pure wall-clock knob: lane
+    /// `i` runs on shard `i % shards`, and any value produces bit-identical
+    /// output (see DESIGN.md, "Shard plane"). Ignored by a plain
+    /// [`Monitor`](crate::Monitor). The default honours the
+    /// `NETSHED_SHARDS` environment variable when it holds a valid count.
+    pub shards: usize,
+    /// Virtual lanes of a [`ShardedMonitor`](crate::ShardedMonitor): the
+    /// fixed, state-owning partition of flow space (each lane owns a full
+    /// monitor — predictor, capture buffer, policy state). Changing the lane
+    /// count changes the partition and therefore the output stream, like
+    /// changing the seed — it is configuration, not a wall-clock knob.
+    pub shard_lanes: usize,
 }
+
+/// Default number of virtual lanes of a sharded monitor: enough to spread
+/// load over the shard counts CI pins ({1, 2, 4}) without fragmenting
+/// per-lane predictor history.
+pub const DEFAULT_SHARD_LANES: usize = 4;
 
 impl Default for MonitorConfig {
     fn default() -> Self {
@@ -251,6 +269,8 @@ impl Default for MonitorConfig {
             reactive_min_rate: 0.05,
             seed: 1,
             workers: crate::exec::workers_from_env(),
+            shards: crate::exec::shards_from_env(),
+            shard_lanes: DEFAULT_SHARD_LANES,
         }
     }
 }
@@ -283,6 +303,20 @@ impl MonitorConfig {
     /// Sets the execution-plane worker count (1 = sequential).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets the shard-thread count of a sharded monitor (1 = all lanes run
+    /// on the calling thread).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the virtual-lane count of a sharded monitor (the state-owning
+    /// flow partition; changing it changes the output stream).
+    pub fn with_shard_lanes(mut self, lanes: usize) -> Self {
+        self.shard_lanes = lanes;
         self
     }
 
@@ -372,6 +406,20 @@ impl MonitorConfig {
                 "workers must be in [1, {}], got {}",
                 crate::exec::MAX_WORKERS,
                 self.workers
+            ));
+        }
+        if !(1..=crate::exec::MAX_WORKERS).contains(&self.shards) {
+            return invalid(format!(
+                "shards must be in [1, {}], got {}",
+                crate::exec::MAX_WORKERS,
+                self.shards
+            ));
+        }
+        if !(1..=crate::exec::MAX_WORKERS).contains(&self.shard_lanes) {
+            return invalid(format!(
+                "shard_lanes must be in [1, {}], got {}",
+                crate::exec::MAX_WORKERS,
+                self.shard_lanes
             ));
         }
         if self.capacity_cycles_per_bin <= self.platform_overhead_cycles {

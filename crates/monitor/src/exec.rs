@@ -31,9 +31,15 @@ use std::time::Instant;
 /// Highest accepted worker count (a sanity cap, not a tuning hint).
 pub const MAX_WORKERS: usize = 256;
 
-/// Worker counts the execution plane simulates makespans for (the points the
-/// scaling benchmark reports).
+/// Worker counts the scaling benchmark reports projected speedups at (a
+/// display grid; [`ExecStats::projected_speedup`] itself answers any count
+/// up to [`MAX_SIMULATED_WORKERS`]).
 pub const SIMULATED_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Highest worker count [`ExecStats::projected_speedup`] can answer for:
+/// per-bin makespans are accumulated for every count in
+/// `1..=MAX_SIMULATED_WORKERS`.
+pub const MAX_SIMULATED_WORKERS: usize = 64;
 
 /// Reusable per-dispatch timing scratch: the buffers [`run_tasks_into`]
 /// writes per-task nanoseconds into.
@@ -166,12 +172,13 @@ pub fn simulated_makespan(task_ns: &[u64], workers: usize) -> u64 {
 ///
 /// Every processed bin contributes its sequential nanoseconds (everything on
 /// the caller's thread) and its dispatched task nanoseconds; from the
-/// per-task durations the plane also accumulates simulated makespans at the
-/// [`SIMULATED_WORKERS`] points. [`ExecStats::projected_speedup`] turns those
-/// into the throughput scaling an `N`-core host would see — measured task
-/// costs, modelled schedule — which is what the scaling benchmark reports on
-/// hosts with fewer cores than workers.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// per-task durations the plane also accumulates simulated makespans at
+/// every worker count in `1..=`[`MAX_SIMULATED_WORKERS`].
+/// [`ExecStats::projected_speedup`] turns those into the throughput scaling
+/// an `N`-core host would see — measured task costs, modelled schedule —
+/// which is what the scaling benchmark reports on hosts with fewer cores
+/// than workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecStats {
     /// Bins processed.
     pub bins: u64,
@@ -182,8 +189,21 @@ pub struct ExecStats {
     pub task_ns: u64,
     /// Tasks dispatched to the execution plane.
     pub dispatched_tasks: u64,
-    /// Simulated makespans at the [`SIMULATED_WORKERS`] points.
-    makespan_ns: [u64; SIMULATED_WORKERS.len()],
+    /// Simulated makespans; slot `i` holds the accumulated makespan at
+    /// `i + 1` workers.
+    makespan_ns: [u64; MAX_SIMULATED_WORKERS],
+}
+
+impl Default for ExecStats {
+    fn default() -> Self {
+        Self {
+            bins: 0,
+            sequential_ns: 0,
+            task_ns: 0,
+            dispatched_tasks: 0,
+            makespan_ns: [0; MAX_SIMULATED_WORKERS],
+        }
+    }
 }
 
 impl ExecStats {
@@ -196,7 +216,7 @@ impl ExecStats {
         for task_ns in dispatches {
             self.dispatched_tasks += task_ns.len() as u64;
             self.task_ns += task_ns.iter().sum::<u64>();
-            for (slot, &workers) in self.makespan_ns.iter_mut().zip(&SIMULATED_WORKERS) {
+            for (slot, workers) in self.makespan_ns.iter_mut().zip(1..) {
                 *slot += simulated_makespan(task_ns, workers);
             }
         }
@@ -213,13 +233,16 @@ impl ExecStats {
     }
 
     /// Projected throughput speedup at `workers` workers relative to one,
-    /// from the measured task costs under the pool's list schedule. Returns
-    /// `None` for worker counts outside [`SIMULATED_WORKERS`] or before any
-    /// bin was processed.
+    /// from the measured task costs under the pool's list schedule. Answers
+    /// any count in `1..=`[`MAX_SIMULATED_WORKERS`] — not just the
+    /// [`SIMULATED_WORKERS`] display grid; returns `None` beyond the bound
+    /// or before any bin was processed.
     pub fn projected_speedup(&self, workers: usize) -> Option<f64> {
-        let index = SIMULATED_WORKERS.iter().position(|&w| w == workers)?;
+        if workers == 0 || workers > MAX_SIMULATED_WORKERS {
+            return None;
+        }
         let one = self.sequential_ns + self.makespan_ns[0];
-        let at = self.sequential_ns + self.makespan_ns[index];
+        let at = self.sequential_ns + self.makespan_ns[workers - 1];
         (at > 0).then(|| one as f64 / at as f64)
     }
 }
@@ -227,16 +250,55 @@ impl ExecStats {
 /// Parses the `NETSHED_THREADS` environment override: a worker count in
 /// `[1, MAX_WORKERS]`. Unset, empty or out-of-domain values fall back to 1
 /// (the sequential path) rather than failing construction, so an exported
-/// stray value cannot break unrelated runs.
+/// stray value cannot break unrelated runs — but a *rejected* value is
+/// reported once per process on stderr, so a typo'd export no longer
+/// silently serialises a production run.
 pub(crate) fn workers_from_env() -> usize {
-    parse_workers(std::env::var("NETSHED_THREADS").ok().as_deref())
+    static DIAGNOSED: std::sync::Once = std::sync::Once::new();
+    count_from_env("NETSHED_THREADS", &DIAGNOSED)
 }
 
-/// The pure parsing rule behind [`workers_from_env`].
-fn parse_workers(raw: Option<&str>) -> usize {
-    raw.and_then(|raw| raw.trim().parse::<usize>().ok())
-        .filter(|&workers| (1..=MAX_WORKERS).contains(&workers))
-        .unwrap_or(1)
+/// Parses the `NETSHED_SHARDS` environment override: a shard count in
+/// `[1, MAX_WORKERS]`, with the same fallback and once-per-process
+/// rejection diagnostic as [`workers_from_env`].
+pub(crate) fn shards_from_env() -> usize {
+    static DIAGNOSED: std::sync::Once = std::sync::Once::new();
+    count_from_env("NETSHED_SHARDS", &DIAGNOSED)
+}
+
+/// Reads and parses one count-valued environment override, emitting the
+/// rejection diagnostic (at most once per process per variable, gated by the
+/// caller's `Once`).
+fn count_from_env(var: &str, diagnosed: &'static std::sync::Once) -> usize {
+    let raw = std::env::var(var).ok();
+    let (count, rejected) = parse_count(raw.as_deref());
+    if let Some(rejected) = rejected {
+        diagnosed.call_once(|| {
+            eprintln!(
+                "netshed: ignoring invalid {var}={rejected:?} \
+                 (expected an integer in 1..={MAX_WORKERS}); falling back to 1"
+            );
+        });
+    }
+    count
+}
+
+/// The pure parsing rule behind [`workers_from_env`] / [`shards_from_env`]:
+/// the effective count, plus — when a present, non-empty value was rejected —
+/// the offending raw string for the diagnostic. Unset and empty (after
+/// trimming) values are the documented "disabled" spelling and are not
+/// flagged.
+fn parse_count(raw: Option<&str>) -> (usize, Option<String>) {
+    let Some(raw) = raw else {
+        return (1, None);
+    };
+    if raw.trim().is_empty() {
+        return (1, None);
+    }
+    match raw.trim().parse::<usize>().ok().filter(|count| (1..=MAX_WORKERS).contains(count)) {
+        Some(count) => (count, None),
+        None => (1, Some(raw.to_string())),
+    }
 }
 
 #[cfg(test)]
@@ -299,17 +361,51 @@ mod tests {
         // 1 worker: 100 + 200 = 300; 4 workers: 100 + 50 = 150 → 2×.
         assert_eq!(stats.projected_speedup(1), Some(1.0));
         assert_eq!(stats.projected_speedup(4), Some(2.0));
-        assert_eq!(stats.projected_speedup(3), None);
+        // Off the display grid: 3 workers list-schedule 4×50 as 100|50|50 →
+        // 100 + 100 = 200 → 1.5×.
+        assert_eq!(stats.projected_speedup(3), Some(1.5));
+        // Beyond the task count the makespan floors at one task.
+        assert_eq!(stats.projected_speedup(MAX_SIMULATED_WORKERS), Some(2.0));
+        // Outside the simulated bound (or nonsensical) stays unanswerable.
+        assert_eq!(stats.projected_speedup(0), None);
+        assert_eq!(stats.projected_speedup(MAX_SIMULATED_WORKERS + 1), None);
+    }
+
+    #[test]
+    fn projected_speedup_answers_every_simulated_count() {
+        let mut stats = ExecStats::default();
+        stats.fold_bin(0, &[&[30, 20, 10, 10, 10]]);
+        let mut previous = 0.0;
+        for workers in 1..=MAX_SIMULATED_WORKERS {
+            let speedup =
+                stats.projected_speedup(workers).expect("every count up to the bound answers");
+            assert!(speedup >= previous - 1e-12, "speedup is monotone in workers");
+            previous = speedup;
+        }
+        assert!(ExecStats::default().projected_speedup(2).is_none(), "no bins yet");
     }
 
     #[test]
     fn env_override_accepts_counts_and_rejects_junk() {
-        assert_eq!(parse_workers(None), 1, "unset falls back to sequential");
-        assert_eq!(parse_workers(Some("4")), 4);
-        assert_eq!(parse_workers(Some("  8 ")), 8, "surrounding whitespace is tolerated");
-        assert_eq!(parse_workers(Some(&MAX_WORKERS.to_string())), MAX_WORKERS);
-        for junk in ["0", "-3", "1.5", "many", "", &format!("{}", MAX_WORKERS + 1)] {
-            assert_eq!(parse_workers(Some(junk)), 1, "junk value {junk:?} must fall back to 1");
+        // Accepted values parse cleanly, with no diagnostic.
+        assert_eq!(parse_count(None), (1, None), "unset falls back to sequential");
+        assert_eq!(parse_count(Some("4")), (4, None));
+        assert_eq!(parse_count(Some("  8 ")), (8, None), "surrounding whitespace is tolerated");
+        assert_eq!(parse_count(Some(&MAX_WORKERS.to_string())), (MAX_WORKERS, None));
+        // Empty (or blank) is the documented "disabled" spelling: fall back
+        // silently, exactly like unset.
+        assert_eq!(parse_count(Some("")), (1, None));
+        assert_eq!(parse_count(Some("   ")), (1, None));
+        // Junk falls back to 1 *and* surfaces the rejected value for the
+        // once-per-process diagnostic.
+        for junk in ["0", "-3", "1.5", "four", "many", &format!("{}", MAX_WORKERS + 1)] {
+            assert_eq!(
+                parse_count(Some(junk)),
+                (1, Some(junk.to_string())),
+                "junk value {junk:?} must fall back to 1 and be diagnosed"
+            );
         }
+        // The diagnostic echoes the raw value, not the trimmed one.
+        assert_eq!(parse_count(Some(" zero ")), (1, Some(" zero ".to_string())));
     }
 }

@@ -74,11 +74,15 @@ pub mod policy;
 pub mod reference;
 pub mod report;
 pub mod robust;
+pub mod sharded;
 pub mod shedder;
 
 pub use builder::MonitorBuilder;
 pub use capture::CaptureBuffer;
-pub use config::{AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKind, Strategy};
+pub use config::{
+    AllocationPolicy, EnforcementConfig, MonitorConfig, PredictorKind, Strategy,
+    DEFAULT_SHARD_LANES,
+};
 pub use digest::{DigestObserver, RunDigest, StreamDigest};
 pub use error::NetshedError;
 pub use exec::{simulated_makespan, ExecStats, MAX_WORKERS};
@@ -91,4 +95,5 @@ pub use policy::{
 pub use reference::ReferenceRunner;
 pub use report::{BinRecord, QueryBinRecord, RunSummary};
 pub use robust::{AllocationGameAttacker, DegradationGuard, DegradationGuardConfig};
+pub use sharded::ShardedMonitor;
 pub use shedder::{flow_sample, flow_sample_with, packet_sample, packet_sample_with};

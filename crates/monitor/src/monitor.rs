@@ -419,6 +419,42 @@ impl Monitor {
         self.close_interval()
     }
 
+    /// Replaces the cycle budget of the *next* bins.
+    ///
+    /// This is the cross-shard coordinator's knob: only the compute budget
+    /// (`capacity_cycles_per_bin`) moves — the capture buffer keeps the
+    /// depth it was built with, because buffer memory models the NIC-drain
+    /// capacity of the deployment, which reallocating compute does not
+    /// change. The budget must be positive and finite (enforced by
+    /// [`Monitor::process_batch`] as `CapacityUnderflow` otherwise).
+    pub fn set_bin_capacity(&mut self, cycles_per_bin: f64) {
+        self.config.capacity_cycles_per_bin = cycles_per_bin;
+    }
+
+    /// Advances the measurement-interval clock over an *empty* bin,
+    /// returning the closed interval's outputs when the bin starts a new
+    /// interval — the interval-bookkeeping head of
+    /// [`Monitor::process_batch`] without any packet work.
+    ///
+    /// [`Monitor::run`] skips empty bins entirely, which is sound for a
+    /// single monitor (the next non-empty batch closes the interval).
+    /// Lock-step lane fleets cannot skip: every lane must close intervals on
+    /// the *same* bins, including lanes that happened to receive no packets
+    /// for a bin whose global batch was non-empty. Such drivers feed every
+    /// lane every bin — non-empty sub-batches through `process_batch`, empty
+    /// ones through this method.
+    pub fn advance_empty_bin(&mut self, batch: &Batch) -> Option<Vec<(String, QueryOutput)>> {
+        let interval = batch.measurement_interval(self.config.measurement_interval_us);
+        let interval_outputs =
+            if self.current_interval.is_some() && self.current_interval != Some(interval) {
+                Some(self.close_interval())
+            } else {
+                None
+            };
+        self.current_interval = Some(interval);
+        interval_outputs
+    }
+
     /// Drives the full monitoring pipeline over a batch source until the
     /// source is exhausted, reporting progress to `observer` and returning
     /// the aggregated [`RunSummary`].

@@ -47,14 +47,17 @@ use netshed_queries::QuerySpec;
 use netshed_sketch::{StateError, StateReader, StateWriter};
 use netshed_trace::PacketSource;
 
+use crate::engine::MonitorEngine;
 use crate::snapshot::{Snapshot, SnapshotError};
 
 /// Default number of non-empty bins one [`Daemon::tick`] processes.
 pub const DEFAULT_BINS_PER_TICK: u64 = 64;
 
-/// Names of the four `.nsck` sections a daemon checkpoint carries.
+/// Names of the service-plane `.nsck` sections every daemon checkpoint
+/// carries; the hosted engine contributes its own sections between `config`
+/// and `daemon` (`monitor` for a solo run, `shard.{i}` + `sharded` for a
+/// fleet).
 const SECTION_CONFIG: &str = "config";
-const SECTION_MONITOR: &str = "monitor";
 const SECTION_DAEMON: &str = "daemon";
 const SECTION_DIGEST: &str = "digest";
 
@@ -230,8 +233,8 @@ impl ControlChannel {
 /// [`PacketSource`], advanced a bounded number of bins per [`tick`]
 /// (Daemon::tick), administered through a [`ControlChannel`] and
 /// checkpointable to the `.nsck` format.
-pub struct Daemon<S> {
-    monitor: Monitor,
+pub struct Daemon<S, M = Monitor> {
+    monitor: M,
     source: S,
     digest: DigestObserver,
     commands: Receiver<Command>,
@@ -243,12 +246,14 @@ pub struct Daemon<S> {
     shutdown: bool,
 }
 
-impl<S: PacketSource> Daemon<S> {
-    /// Wraps a monitor and a source into a daemon, returning the control
-    /// handle for it. The monitor may already have queries registered
-    /// (builder-style) or start empty and be populated through the channel —
-    /// both paths produce identical state for identical registration order.
-    pub fn new(monitor: Monitor, source: S) -> (Self, ControlChannel) {
+impl<S: PacketSource, M: MonitorEngine> Daemon<S, M> {
+    /// Wraps an engine — a solo [`Monitor`] or a
+    /// [`ShardedMonitor`](netshed_monitor::ShardedMonitor) fleet — and a
+    /// source into a daemon, returning the control handle for it. The engine
+    /// may already have queries registered (builder-style) or start empty
+    /// and be populated through the channel — both paths produce identical
+    /// state for identical registration order.
+    pub fn new(monitor: M, source: S) -> (Self, ControlChannel) {
         let (tx, rx) = channel();
         let daemon = Daemon {
             monitor,
@@ -275,8 +280,8 @@ impl<S: PacketSource> Daemon<S> {
         ControlChannel { tx: self.handle.clone() }
     }
 
-    /// The wrapped monitor.
-    pub fn monitor(&self) -> &Monitor {
+    /// The wrapped engine.
+    pub fn monitor(&self) -> &M {
         &self.monitor
     }
 
@@ -317,13 +322,7 @@ impl<S: PacketSource> Daemon<S> {
                 // cursor and still opens a command window.
                 continue;
             }
-            self.digest.on_batch(&batch);
-            let record = self.monitor.process_batch(&batch)?;
-            if let Some(outputs) = &record.interval_outputs {
-                self.digest.on_interval(outputs);
-            }
-            self.digest.on_decision(record.bin_index, &record.decision);
-            self.digest.on_bin(&record);
+            self.monitor.ingest(&batch, &mut self.digest)?;
             bins += 1;
         }
     }
@@ -357,7 +356,7 @@ impl<S: PacketSource> Daemon<S> {
                     let _ = reply.send(result);
                 }
                 Command::SwapPolicy { strategy, reply } => {
-                    self.monitor.set_policy(strategy.control_policy());
+                    self.monitor.set_strategy(strategy);
                     let _ = reply.send(Ok(self.monitor.policy_name()));
                 }
                 Command::Checkpoint { reply } => {
@@ -398,9 +397,7 @@ impl<S: PacketSource> Daemon<S> {
         section.str(config.predictor.name());
         snapshot.push(SECTION_CONFIG, section.into_bytes())?;
 
-        let mut section = StateWriter::new();
-        self.monitor.save_state(&mut section)?;
-        snapshot.push(SECTION_MONITOR, section.into_bytes())?;
+        self.monitor.save_sections(&mut snapshot)?;
 
         let mut section = StateWriter::new();
         section.u64(self.bins_ingested);
@@ -423,7 +420,7 @@ impl<S: PacketSource> Daemon<S> {
     /// tested. `source` must replay the same stream from the beginning; it
     /// is fast-forwarded past the bins the checkpoint already consumed
     /// (O(1) for [`BatchReplay`](netshed_trace::BatchReplay)).
-    pub fn restore(
+    pub fn restore_engine(
         config: MonitorConfig,
         mut source: S,
         bytes: &[u8],
@@ -451,14 +448,12 @@ impl<S: PacketSource> Daemon<S> {
         let strategy = Strategy::from_name(&policy_name)
             .ok_or_else(|| ServiceError::UnknownPolicy(policy_name.clone()))?;
 
-        let mut monitor = Monitor::new(config);
+        let mut monitor = M::from_config(config)?;
         // The active policy may differ from the configured strategy if the
         // run saw a SwapPolicy; install the snapshot's before loading state
         // so shadow reconstruction follows the right policy.
-        monitor.set_policy(strategy.control_policy());
-        let mut section = StateReader::new(snapshot.section(SECTION_MONITOR)?);
-        monitor.load_state(&mut section)?;
-        section.finish()?;
+        monitor.set_strategy(strategy);
+        monitor.load_sections(&snapshot)?;
 
         let mut section = StateReader::new(snapshot.section(SECTION_DAEMON)?);
         let bins_ingested = section.u64()?;
@@ -486,6 +481,21 @@ impl<S: PacketSource> Daemon<S> {
             shutdown: false,
         };
         Ok((daemon, ControlChannel { tx }))
+    }
+}
+
+impl<S: PacketSource> Daemon<S> {
+    /// Rebuilds a solo-monitor daemon from a `.nsck` checkpoint — the common
+    /// case, kept monomorphic so call sites need no engine annotation. Fleet
+    /// checkpoints restore through
+    /// [`restore_engine`](Daemon::restore_engine) with
+    /// `Daemon::<_, ShardedMonitor>` spelled out.
+    pub fn restore(
+        config: MonitorConfig,
+        source: S,
+        bytes: &[u8],
+    ) -> Result<(Self, ControlChannel), ServiceError> {
+        Self::restore_engine(config, source, bytes)
     }
 }
 

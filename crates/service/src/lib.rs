@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 
 pub mod daemon;
+pub mod engine;
 pub mod snapshot;
 
 pub use daemon::{
     ControlChannel, Daemon, Pending, ServiceError, TickStatus, DEFAULT_BINS_PER_TICK,
 };
+pub use engine::MonitorEngine;
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};

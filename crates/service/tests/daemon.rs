@@ -455,3 +455,90 @@ fn a_real_checkpoint_reencodes_byte_identically_at_several_cuts() {
         assert_eq!(bytes, reencoded, "cut {cut}: re-encoding must be byte-identical");
     }
 }
+
+/// A sharded fleet over the same configuration and query set.
+fn sharded_fleet(config: &MonitorConfig) -> netshed_monitor::ShardedMonitor {
+    netshed_monitor::MonitorBuilder::from_config(config.clone())
+        .queries(KINDS.iter().map(|kind| QuerySpec::new(*kind)))
+        .build_sharded()
+        .expect("valid sharded configuration")
+}
+
+/// The digest of the same sharded run driven by `ShardedMonitor::run`
+/// directly.
+fn sharded_run_digest(config: &MonitorConfig) -> RunDigest {
+    let mut fleet = sharded_fleet(config);
+    let mut source = recorded_trace();
+    let mut digest = DigestObserver::new();
+    fleet.run(&mut source, &mut digest).expect("run");
+    digest.digest()
+}
+
+#[test]
+fn a_sharded_daemon_run_matches_the_fleet_run_exactly() {
+    // The sharded engine's ingest must mirror ShardedMonitor::run's observer
+    // sequence, exactly as the solo engine mirrors Monitor::run's.
+    let config = overloaded_config(1).with_shard_lanes(4);
+    let reference = sharded_run_digest(&config);
+    let (daemon, _control) = Daemon::new(sharded_fleet(&config), recorded_trace());
+    let mut daemon = daemon.with_bins_per_tick(5);
+    assert!(matches!(daemon.run_to_exhaustion().expect("run"), TickStatus::SourceExhausted));
+    assert_eq!(daemon.digest(), reference);
+    assert_eq!(daemon.bins_ingested(), TRACE_BINS as u64);
+}
+
+#[test]
+fn a_sharded_checkpoint_restores_bit_identically_at_any_shard_thread_count() {
+    // One .nsck carries the whole fleet: per-lane `shard.{i}` sections plus
+    // the coordinator's `sharded` section. Restoring at a different
+    // shard-thread count must finish on the uninterrupted run's digest —
+    // `shards`, like `workers`, is a pure wall-clock knob.
+    let config = overloaded_config(1).with_shard_lanes(4);
+    let reference = sharded_run_digest(&config);
+
+    let (daemon, control) = Daemon::new(sharded_fleet(&config), recorded_trace());
+    let mut daemon = daemon.with_bins_per_tick(7);
+    for _ in 0..2 {
+        assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { bins: 7 }));
+    }
+    let pending = control.checkpoint();
+    assert!(matches!(daemon.tick().expect("tick"), TickStatus::Progressed { .. }));
+    let bytes = pending.wait().expect("checkpoint");
+    drop(daemon);
+
+    let snapshot = Snapshot::from_bytes(&bytes).expect("valid container");
+    for lane in 0..4 {
+        let section = format!("shard.{lane}");
+        assert!(snapshot.section(&section).is_ok(), "checkpoint carries {section}");
+    }
+    assert!(snapshot.section("sharded").is_ok(), "checkpoint carries the coordinator");
+
+    for shards in [1usize, 2, 4] {
+        let (mut resumed, _control) = Daemon::<_, netshed_monitor::ShardedMonitor>::restore_engine(
+            config.clone().with_shards(shards),
+            recorded_trace(),
+            &bytes,
+        )
+        .expect("restore");
+        assert!(matches!(
+            resumed.run_to_exhaustion().expect("resume"),
+            TickStatus::SourceExhausted
+        ));
+        assert_eq!(
+            resumed.digest(),
+            reference,
+            "restore at {shards} shard threads must finish bit-identically"
+        );
+    }
+
+    // A fleet with a different lane partition must refuse the checkpoint:
+    // lanes own state, so the lane count is configuration, not a knob.
+    let error = Daemon::<_, netshed_monitor::ShardedMonitor>::restore_engine(
+        config.with_shard_lanes(2),
+        recorded_trace(),
+        &bytes,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(matches!(error, ServiceError::Snapshot(_)), "got {error:?}");
+}

@@ -37,8 +37,37 @@
 use crate::aggregate::AggregateHashes;
 use crate::packet::{FiveTuple, Packet, Timestamp, TCP_ACK, TCP_SYN};
 use bytes::Bytes;
+use netshed_sketch::hash_bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Fixed seed of the symmetric host-pair shard keys (see
+/// [`PacketStore::shard_keys`]). Deliberately *not* configurable: the shard
+/// routing must agree across every component of a deployment (front end,
+/// checkpoint restore, replay verification), so the seed is part of the wire
+/// contract like the `.nstr` frame checksum seed.
+const SHARD_KEY_SEED: u64 = 0x7368_6172_644b_6579; // "shardKey"
+
+/// The shard-routing key of a five-tuple: a hash of the *unordered*
+/// `{src_ip, dst_ip}` host pair.
+///
+/// Symmetry (both directions of a conversation yield the same key) keeps the
+/// canonical flows of the P2P detector and the per-pair state of the
+/// super-sources query shard-atomic; hashing hosts rather than full tuples
+/// keeps every flow of a host pair on one shard regardless of ports. The key
+/// is independent of the shard count — lane assignment reduces it modulo the
+/// number of lanes, so the key column can be shared by any topology.
+pub fn shard_key(tuple: &FiveTuple) -> u64 {
+    let (lo, hi) = if tuple.src_ip <= tuple.dst_ip {
+        (tuple.src_ip, tuple.dst_ip)
+    } else {
+        (tuple.dst_ip, tuple.src_ip)
+    };
+    let mut pair = [0_u8; 8];
+    pair[..4].copy_from_slice(&lo.to_be_bytes());
+    pair[4..].copy_from_slice(&hi.to_be_bytes());
+    hash_bytes(&pair, SHARD_KEY_SEED)
+}
 
 /// The owning, reference-counted, struct-of-arrays storage behind a
 /// [`Batch`].
@@ -76,6 +105,11 @@ pub struct PacketStore {
     /// misconfigured multi-seed deployments that silently lose the shared
     /// cache (relaxed: a counter, not a synchronisation point).
     seed_misses: AtomicU64,
+    /// Per-packet shard-routing keys (see [`shard_key`]). Lazy like the
+    /// aggregate-hash rows: single-instance runs never pay for the column,
+    /// and the fixed [`SHARD_KEY_SEED`] means there is no seed-claim race to
+    /// arbitrate.
+    shard_keys: OnceLock<Vec<u64>>,
 }
 
 /// Streaming constructor for a [`PacketStore`]: one pass fills every column
@@ -165,6 +199,7 @@ impl StoreBuilder {
             stats: self.stats,
             aggregate_hashes: OnceLock::new(),
             seed_misses: AtomicU64::new(0),
+            shard_keys: OnceLock::new(),
         }
     }
 }
@@ -312,6 +347,20 @@ impl PacketStore {
     /// hashing).
     pub fn hash_seed_misses(&self) -> u64 {
         self.seed_misses.load(Ordering::Relaxed)
+    }
+
+    /// The per-packet shard-routing key column (see [`shard_key`]).
+    ///
+    /// Computed in one pass over the tuple column on first request and cached
+    /// for the life of the store, mirroring the aggregate-hash side array:
+    /// the front end routes once, and every shard's view borrows the same
+    /// column. Keys use the fixed [`SHARD_KEY_SEED`], so unlike the
+    /// aggregate-hash cache there is no per-seed claim to negotiate.
+    pub fn shard_keys(&self) -> &[u64] {
+        self.shard_keys.get_or_init(|| {
+            // lint:allow(hot-path-alloc): the once-per-batch key-column build; every later call borrows it
+            self.tuples.iter().map(shard_key).collect()
+        })
     }
 
     /// Copies the columns back into owned [`Packet`]s (interop only; payload
@@ -594,6 +643,42 @@ impl Batch {
             }
         }
         Batch::from_store(self.bin_index, self.start_ts, self.duration_us, builder.finish())
+    }
+
+    /// Splits the batch into `lanes` per-lane sub-batches by shard-routing
+    /// key (`lane = shard_key % lanes`, see [`shard_key`]).
+    ///
+    /// Every sub-batch keeps this batch's bin geometry (`bin_index`,
+    /// `start_ts`, `duration_us`), so each lane's monitor observes the same
+    /// bin clock and closes measurement intervals on the same bins; lanes
+    /// that receive no packets get an empty batch rather than a gap. Within
+    /// a lane the original timestamp order is preserved (the split is a
+    /// stable partition). Payload bytes are shared, not copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn split_shards(&self, lanes: usize) -> Vec<Batch> {
+        assert!(lanes > 0, "split_shards needs at least one lane");
+        let keys = self.packets.shard_keys();
+        let mut builders: Vec<StoreBuilder> = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            builders.push(PacketStore::builder(self.len() / lanes + 1));
+        }
+        for (packet, key) in self.packets.iter().zip(keys) {
+            let lane = (key % lanes as u64) as usize;
+            builders[lane].push(
+                packet.ts(),
+                *packet.tuple(),
+                packet.ip_len(),
+                packet.tcp_flags(),
+                packet.payload().cloned(),
+            );
+        }
+        builders
+            .into_iter()
+            .map(|b| Batch::from_store(self.bin_index, self.start_ts, self.duration_us, b.finish()))
+            .collect() // lint:allow(hot-path-alloc): one lane-batch vector per global bin, not per packet
     }
 
     /// Summary statistics for the batch, accumulated at construction.
@@ -1156,6 +1241,58 @@ mod tests {
 
     fn pkt(ts: Timestamp) -> Packet {
         Packet::header_only(ts, FiveTuple::new(1, 2, 3, 4, 6), 100, 0)
+    }
+
+    #[test]
+    fn shard_key_is_symmetric_and_port_independent() {
+        let forward = shard_key(&FiveTuple::new(10, 20, 1111, 80, 6));
+        let reverse = shard_key(&FiveTuple::new(20, 10, 80, 1111, 6));
+        let other_flow = shard_key(&FiveTuple::new(10, 20, 2222, 443, 17));
+        assert_eq!(forward, reverse, "both directions of a conversation share a key");
+        assert_eq!(forward, other_flow, "all flows of a host pair share a key");
+        assert_ne!(forward, shard_key(&FiveTuple::new(10, 21, 1111, 80, 6)));
+    }
+
+    #[test]
+    fn split_shards_partitions_by_key_and_keeps_bin_geometry() {
+        let packets: Vec<Packet> = (0..64)
+            .map(|i| {
+                Packet::header_only(1000 + i as u64, FiveTuple::new(i, 1000 + i, 10, 20, 6), 100, 0)
+            })
+            .collect();
+        let batch = Batch::new(7, 1000, 100_000, packets);
+        let lanes = batch.split_shards(4);
+        assert_eq!(lanes.len(), 4);
+        let total: usize = lanes.iter().map(Batch::len).sum();
+        assert_eq!(total, batch.len(), "the split is a partition");
+        let mut last_ts = [0_u64; 4];
+        for (lane, sub) in lanes.iter().enumerate() {
+            assert_eq!(sub.bin_index, 7);
+            assert_eq!(sub.start_ts, 1000);
+            assert_eq!(sub.duration_us, 100_000);
+            for packet in sub.packets.iter() {
+                assert_eq!(
+                    (shard_key(packet.tuple()) % 4) as usize,
+                    lane,
+                    "every packet lands on the lane of its key"
+                );
+                assert!(packet.ts() >= last_ts[lane], "the split is order-preserving");
+                last_ts[lane] = packet.ts();
+            }
+        }
+    }
+
+    #[test]
+    fn split_shards_emits_empty_batches_for_idle_lanes() {
+        // One flow: every packet shares one shard key, so exactly one lane is
+        // populated and the others still exist (same bin clock, no packets).
+        let batch = Batch::new(3, 0, 100_000, vec![pkt(1), pkt(2), pkt(3)]);
+        let lanes = batch.split_shards(8);
+        assert_eq!(lanes.len(), 8);
+        assert_eq!(lanes.iter().filter(|b| !b.is_empty()).count(), 1);
+        for sub in &lanes {
+            assert_eq!(sub.bin_index, 3);
+        }
     }
 
     #[test]

@@ -494,6 +494,46 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
+    /// Skips the next frame without decoding its body.
+    ///
+    /// `Ok(true)` when a batch frame was stepped over, `Ok(false)` at the
+    /// (validated) end frame. The 32-byte frame head is read to learn the
+    /// body length, then `body_len + 8` bytes (body plus trailing checksum)
+    /// are discarded unread — no column decode, no body hash. The container
+    /// header checksum was already verified in [`TraceReader::new`]; a frame
+    /// whose declared length overruns the file still reports
+    /// [`FormatError::Truncated`].
+    fn skip_frame(&mut self) -> Result<bool, FormatError> {
+        if self.finished {
+            return Ok(false);
+        }
+        let mut kind = [0u8; 1];
+        read_exact_or_truncated(&mut self.reader, &mut kind)?;
+        match kind[0] {
+            FRAME_END => {
+                let mut rest = [0u8; 16];
+                read_exact_or_truncated(&mut self.reader, &mut rest)?;
+                validate_end_frame(&rest, self.decoded)?;
+                self.finished = true;
+                Ok(false)
+            }
+            FRAME_BATCH => {
+                let mut head = [0u8; 32];
+                read_exact_or_truncated(&mut self.reader, &mut head)?;
+                let skip = u64::from(le_u32(&head, 28)) + 8;
+                let copied =
+                    std::io::copy(&mut (&mut self.reader).take(skip), &mut std::io::sink())
+                        .map_err(FormatError::Io)?;
+                if copied != skip {
+                    return Err(FormatError::Truncated);
+                }
+                self.decoded += 1;
+                Ok(true)
+            }
+            kind => Err(FormatError::UnknownFrame { kind }),
+        }
+    }
+
     /// Decodes the whole trace into a batch vector.
     pub fn read_all(mut self) -> Result<Vec<Batch>, FormatError> {
         let mut batches = Vec::new();
@@ -523,6 +563,29 @@ impl<R: Read> PacketSource for TraceReader<R> {
                 None
             }
         }
+    }
+
+    /// Frame-skip fast path: steps over `count` frames by their declared
+    /// lengths instead of decoding and checksumming every body (the default
+    /// implementation's cost on a daemon restore over a large `.nstr`).
+    /// Cursor, frame counter and error latching behave exactly like `count`
+    /// calls to `next_batch` that drop their result.
+    fn skip_batches(&mut self, count: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < count {
+            if self.error.is_some() {
+                break;
+            }
+            match self.skip_frame() {
+                Ok(true) => skipped += 1,
+                Ok(false) => break,
+                Err(error) => {
+                    self.error = Some(error);
+                    break;
+                }
+            }
+        }
+        skipped
     }
 }
 
@@ -628,6 +691,43 @@ impl SharedTraceReader {
         }
     }
 
+    /// Skips the next frame without decoding its body (the in-memory twin of
+    /// [`TraceReader::skip_frame`]: a bounds-checked cursor bump past
+    /// `body_len + 8` bytes).
+    fn skip_frame(&mut self) -> Result<bool, FormatError> {
+        if self.finished {
+            return Ok(false);
+        }
+        let bytes = self.buffer.as_slice();
+        let kind = *bytes.get(self.at).ok_or(FormatError::Truncated)?;
+        self.at += 1;
+        match kind {
+            FRAME_END => {
+                let mut rest = [0u8; 16];
+                rest.copy_from_slice(
+                    bytes.get(self.at..self.at + 16).ok_or(FormatError::Truncated)?,
+                );
+                self.at += 16;
+                validate_end_frame(&rest, self.decoded)?;
+                self.finished = true;
+                Ok(false)
+            }
+            FRAME_BATCH => {
+                let head = bytes.get(self.at..self.at + 32).ok_or(FormatError::Truncated)?;
+                let body_len = le_u32(head, 28);
+                let frame_end = self
+                    .at
+                    .checked_add(32 + body_len as usize + 8)
+                    .filter(|&end| end <= bytes.len())
+                    .ok_or(FormatError::Truncated)?;
+                self.at = frame_end;
+                self.decoded += 1;
+                Ok(true)
+            }
+            kind => Err(FormatError::UnknownFrame { kind }),
+        }
+    }
+
     /// Decodes the whole trace into a batch vector (payloads stay borrowed
     /// from the container buffer).
     pub fn read_all(mut self) -> Result<Vec<Batch>, FormatError> {
@@ -658,6 +758,26 @@ impl PacketSource for SharedTraceReader {
                 None
             }
         }
+    }
+
+    /// Frame-skip fast path over the in-memory container (same contract as
+    /// [`TraceReader`]'s override).
+    fn skip_batches(&mut self, count: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < count {
+            if self.error.is_some() {
+                break;
+            }
+            match self.skip_frame() {
+                Ok(true) => skipped += 1,
+                Ok(false) => break,
+                Err(error) => {
+                    self.error = Some(error);
+                    break;
+                }
+            }
+        }
+        skipped
     }
 }
 
@@ -782,6 +902,59 @@ mod tests {
         fnv.write(&bytes[end..end + 9]);
         let sum = fnv.finish();
         bytes[end + 9..end + 17].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn skip_batches_fast_path_matches_the_default_cursor() {
+        let batches = sample_batches(true);
+        let bytes = encode_batches(&batches, 100_000).expect("encode");
+
+        // Reference cursor: a wrapper that hides the readers' overrides, so
+        // `skip_batches` resolves to the trait's decode-and-drop default.
+        struct DefaultSkip<S>(S);
+        impl<S: PacketSource> PacketSource for DefaultSkip<S> {
+            fn next_batch(&mut self) -> Option<Batch> {
+                self.0.next_batch()
+            }
+        }
+
+        // 0 = no-op, mid-stream, exact end, past the end (shortfall).
+        for skip in [0u64, 1, 3, 5, 7] {
+            let mut reference = DefaultSkip(TraceReader::new(&bytes[..]).expect("header"));
+            let reference_skipped = reference.skip_batches(skip);
+            let reference_rest: Vec<Batch> =
+                std::iter::from_fn(|| reference.next_batch()).collect();
+            assert!(reference.0.error().is_none());
+
+            let mut fast = TraceReader::new(&bytes[..]).expect("header");
+            assert_eq!(fast.skip_batches(skip), reference_skipped, "skip={skip}");
+            let fast_rest: Vec<Batch> = std::iter::from_fn(|| fast.next_batch()).collect();
+            assert!(fast.error().is_none(), "skip={skip}");
+            assert_eq!(fast_rest, reference_rest, "skip={skip}");
+
+            let mut shared = SharedTraceReader::new(Bytes::from(bytes.clone())).expect("header");
+            assert_eq!(shared.skip_batches(skip), reference_skipped, "skip={skip}");
+            let shared_rest: Vec<Batch> = std::iter::from_fn(|| shared.next_batch()).collect();
+            assert!(shared.error().is_none(), "skip={skip}");
+            assert_eq!(shared_rest, reference_rest, "skip={skip}");
+        }
+    }
+
+    #[test]
+    fn skip_batches_reports_truncation_like_the_decode_path() {
+        let batches = sample_batches(false);
+        let bytes = encode_batches(&batches, 100_000).expect("encode");
+        // Cut mid-body of some frame: the skip must run off the end and
+        // latch `Truncated` instead of silently succeeding.
+        let cut = &bytes[..bytes.len() / 2];
+        let mut reader = TraceReader::new(cut).expect("header");
+        let skipped = reader.skip_batches(u64::from(u32::MAX));
+        assert!(skipped < batches.len() as u64);
+        assert!(matches!(reader.error(), Some(FormatError::Truncated)));
+
+        let mut shared = SharedTraceReader::new(Bytes::from(cut.to_vec())).expect("header");
+        assert_eq!(shared.skip_batches(u64::from(u32::MAX)), skipped);
+        assert!(matches!(shared.error(), Some(FormatError::Truncated)));
     }
 
     #[test]

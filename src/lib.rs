@@ -41,14 +41,15 @@ pub use netshed_monitor::{
     DigestObserver, EnforcementConfig, ExecStats, HysteresisReactivePolicy, Monitor,
     MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
     PredictivePolicy, PredictorKind, QueryId, ReactivePolicy, RecordSink, ReferenceRunner,
-    RunDigest, RunObserver, RunSummary, Strategy, StreamDigest,
+    RunDigest, RunObserver, RunSummary, ShardedMonitor, Strategy, StreamDigest,
+    DEFAULT_SHARD_LANES,
 };
 pub use netshed_predict::{Predictor, PredictorFactory, RobustMlrConfig, RobustMlrPredictor};
 pub use netshed_queries::{QueryKind, QueryOutput, QuerySpec};
 pub use netshed_trace::{
-    AnomalyEvent, Batch, BatchReplay, BatchView, FormatError, Interleave, Link, PacketSource,
-    PacketSourceExt, Phase, Scenario, ScenarioAnomaly, ScenarioError, ScenarioSource, TraceConfig,
-    TraceGenerator, TraceProfile, TraceReader, TraceWriter,
+    shard_key, AnomalyEvent, Batch, BatchReplay, BatchView, FormatError, Interleave, Link,
+    PacketSource, PacketSourceExt, Phase, Scenario, ScenarioAnomaly, ScenarioError, ScenarioSource,
+    TraceConfig, TraceGenerator, TraceProfile, TraceReader, TraceWriter,
 };
 
 /// Everything a typical experiment needs, in one import.
@@ -60,13 +61,15 @@ pub mod prelude {
         DigestObserver, EnforcementConfig, ExecStats, HysteresisReactivePolicy, Monitor,
         MonitorBuilder, MonitorConfig, NetshedError, NoSheddingPolicy, NullObserver, OraclePolicy,
         PredictivePolicy, PredictorKind, QueryBinRecord, QueryId, ReactivePolicy, RecordSink,
-        ReferenceRunner, RunDigest, RunObserver, RunSummary, Strategy, StreamDigest,
+        ReferenceRunner, RunDigest, RunObserver, RunSummary, ShardedMonitor, Strategy,
+        StreamDigest, DEFAULT_SHARD_LANES,
     };
     pub use netshed_predict::{Predictor, PredictorFactory, RobustMlrConfig, RobustMlrPredictor};
     pub use netshed_queries::{CustomBehavior, QueryKind, QueryOutput, QuerySpec};
     pub use netshed_trace::{
-        Anomaly, AnomalyEvent, AnomalyKind, Batch, BatchReplay, BatchView, FormatError, Interleave,
-        Link, PacketSource, PacketSourceExt, Phase, Scenario, ScenarioAnomaly, ScenarioError,
-        ScenarioSource, TraceConfig, TraceGenerator, TraceProfile, TraceReader, TraceWriter,
+        shard_key, Anomaly, AnomalyEvent, AnomalyKind, Batch, BatchReplay, BatchView, FormatError,
+        Interleave, Link, PacketSource, PacketSourceExt, Phase, Scenario, ScenarioAnomaly,
+        ScenarioError, ScenarioSource, TraceConfig, TraceGenerator, TraceProfile, TraceReader,
+        TraceWriter,
     };
 }

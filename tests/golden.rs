@@ -241,3 +241,71 @@ fn ambient_worker_config_matches_the_manifest() {
         );
     }
 }
+
+/// The shard-plane acceptance criterion: a flow-sharded fleet produces
+/// bit-identical digests at every shards×workers combination in
+/// {1,2,4}×{1,4}, for all seven strategies, over the whole corpus. The
+/// (shards=1, workers=1) run is the reference — the fleet's output is its
+/// own contract (it legitimately differs from the solo monitor's, because
+/// the lane partition owns predictor and policy state).
+#[test]
+fn sharded_digests_are_invariant_across_the_shards_workers_matrix() {
+    for scenario in builtins() {
+        let batches = scenario.generate().expect("builtins are valid");
+        let capacity = corpus_capacity(&batches);
+        for (name, strategy) in all_strategies() {
+            let reference =
+                netshed_bench::corpus::sharded_digest_run(&batches, strategy, capacity, 1, 1)
+                    .expect("corpus run");
+            assert!(
+                reference.bins > 0,
+                "{}/{name}: the sharded corpus run must process bins",
+                scenario.name()
+            );
+            for (shards, workers) in [(1, 4), (2, 1), (2, 4), (4, 1), (4, 4)] {
+                let digest = netshed_bench::corpus::sharded_digest_run(
+                    &batches, strategy, capacity, shards, workers,
+                )
+                .expect("corpus run");
+                assert_eq!(
+                    reference,
+                    digest,
+                    "{}/{name}: sharded digest changed at {shards} shards x {workers} workers",
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
+/// Fleets built *without* an explicit shard-thread count inherit
+/// `NETSHED_SHARDS`; their digests must equal the pinned-count reference.
+/// This is what makes the CI golden-corpus job's `NETSHED_SHARDS=2` / `=4`
+/// passes genuinely different from the default one — the matrix test above
+/// pins its shard counts explicitly.
+#[test]
+fn ambient_shard_config_matches_the_pinned_reference() {
+    let scenario = &builtins()[1]; // ddos-spike: the shard-borrowing workload
+    let batches = scenario.generate().expect("builtins are valid");
+    let capacity = corpus_capacity(&batches);
+    let (name, strategy) = all_strategies().into_iter().last().expect("seven strategies");
+    let reference = netshed_bench::corpus::sharded_digest_run(&batches, strategy, capacity, 1, 1)
+        .expect("corpus run");
+    let mut fleet = Monitor::builder()
+        .capacity(capacity)
+        .seed(netshed_bench::corpus::CORPUS_SEED)
+        .strategy(strategy)
+        // No .with_shards(): the count comes from NETSHED_SHARDS.
+        .queries(corpus_specs())
+        .build_sharded()
+        .expect("valid corpus configuration");
+    let mut digest = DigestObserver::new();
+    fleet.run(&mut BatchReplay::new(batches), &mut digest).expect("corpus run");
+    assert_eq!(
+        reference,
+        digest.digest(),
+        "{}/{name}: ambient-shard run drifted (shards from NETSHED_SHARDS={:?})",
+        scenario.name(),
+        std::env::var("NETSHED_SHARDS").ok()
+    );
+}

@@ -466,3 +466,69 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Flow-to-shard routing is a pure function of the host pair: both
+    /// directions of a conversation, and every flow between the same two
+    /// hosts, route to the same lane — for any lane count.
+    #[test]
+    fn shard_routing_is_symmetric_and_port_independent(
+        src_ip in 0u32..u32::MAX,
+        dst_ip in 0u32..u32::MAX,
+        ports in proptest::collection::vec((0u16..u16::MAX, 0u16..u16::MAX, 0u8..18), 1..20),
+        lanes in 1usize..17,
+    ) {
+        use netshed::trace::shard_key;
+        let reference = shard_key(&FiveTuple::new(src_ip, dst_ip, 1, 2, 6));
+        for (src_port, dst_port, proto) in ports {
+            let forward = FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto);
+            let reverse = FiveTuple::new(dst_ip, src_ip, dst_port, src_port, proto);
+            prop_assert_eq!(shard_key(&forward), reference, "ports/proto must not affect routing");
+            prop_assert_eq!(shard_key(&reverse), reference, "routing must be direction-symmetric");
+            prop_assert_eq!(
+                (shard_key(&forward) % lanes as u64) as usize,
+                (reference % lanes as u64) as usize
+            );
+        }
+    }
+
+    /// `split_shards` is an exact partition: every packet lands on the lane
+    /// its shard key names, nothing is lost or duplicated, per-lane order is
+    /// the original capture order, and the bin geometry survives untouched.
+    #[test]
+    fn split_shards_partitions_exactly_for_any_lane_count(
+        hosts in proptest::collection::vec((0u32..u32::MAX, 0u32..u32::MAX, 0u16..u16::MAX), 1..150),
+        lanes in 1usize..9,
+    ) {
+        use netshed::trace::shard_key;
+        let packets: Vec<Packet> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dst, port))| {
+                Packet::header_only(i as u64 * 100, FiveTuple::new(src, dst, port, 80, 6), 200, 0)
+            })
+            .collect();
+        let batch = Batch::new(3, 0, 100_000, packets);
+        let sub_batches = batch.split_shards(lanes);
+        prop_assert_eq!(sub_batches.len(), lanes);
+
+        let mut total = 0usize;
+        for (lane, sub) in sub_batches.iter().enumerate() {
+            prop_assert_eq!(sub.bin_index, batch.bin_index);
+            prop_assert_eq!(sub.start_ts, batch.start_ts);
+            prop_assert_eq!(sub.duration_us, batch.duration_us);
+            total += sub.len();
+            let mut previous_ts = 0u64;
+            for packet in sub.packets.iter() {
+                prop_assert_eq!(
+                    (shard_key(packet.tuple()) % lanes as u64) as usize,
+                    lane,
+                    "a packet sits on a lane its key does not name"
+                );
+                prop_assert!(packet.ts() >= previous_ts, "capture order must survive the split");
+                previous_ts = packet.ts();
+            }
+        }
+        prop_assert_eq!(total, batch.len(), "the split must be an exact partition");
+    }
+}
